@@ -1,0 +1,50 @@
+"""Experiment ``perf_detectors``: detector throughput comparison.
+
+Measures how long each detector family takes to analyse the benchmark
+data set (with sessionization shared, as in the real pipeline).  No paper
+table corresponds to this; it documents the cost side of the diversity
+trade-off -- running two (or five) detectors in parallel costs what the
+serial-configuration experiment tries to save.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.behavioral import BehavioralSessionDetector
+from repro.detectors.commercial import CommercialBotDefenceDetector
+from repro.detectors.inhouse import InHouseHeuristicDetector
+from repro.detectors.naive_bayes import NaiveBayesRobotDetector
+from repro.detectors.ratelimit import RateLimitDetector
+from repro.detectors.reputation import IPReputationDetector
+from repro.logs.sessionization import Sessionizer
+
+DETECTOR_FACTORIES = {
+    "commercial": CommercialBotDefenceDetector,
+    "inhouse": InHouseHeuristicDetector,
+    "behavioral": BehavioralSessionDetector,
+    "rate-limit": RateLimitDetector,
+    "ip-reputation": IPReputationDetector,
+    "naive-bayes": NaiveBayesRobotDetector,
+}
+
+
+@pytest.fixture(scope="module")
+def shared_sessions(bench_dataset):
+    return Sessionizer().sessionize(bench_dataset.records)
+
+
+@pytest.mark.parametrize("detector_name", sorted(DETECTOR_FACTORIES))
+def test_perf_detector_throughput(benchmark, bench_dataset, shared_sessions, detector_name):
+    detector = DETECTOR_FACTORIES[detector_name]()
+
+    alerts = benchmark.pedantic(
+        detector.analyze,
+        args=(bench_dataset,),
+        kwargs={"sessions": shared_sessions},
+        rounds=2,
+        iterations=1,
+    )
+
+    print(f"\n{detector_name}: {len(alerts):,} of {len(bench_dataset):,} requests alerted")
+    assert len(alerts) <= len(bench_dataset)

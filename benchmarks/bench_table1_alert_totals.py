@@ -1,0 +1,60 @@
+"""Experiment ``table1``: HTTP requests alerted by the two tools (paper Table 1).
+
+Regenerates the paper's Table 1 -- the total number of HTTP requests and
+the number alerted by each tool -- on the calibrated synthetic scenario,
+prints the reproduced table next to the paper's published counts and
+checks the shape (both tools alert on the large majority of traffic, the
+commercial tool slightly more than the in-house tool).
+"""
+
+from __future__ import annotations
+
+from repro.bench.comparison import ShapeCheck
+from repro.bench.expected import PAPER_TABLE1, paper_alert_fraction
+from repro.core.reporting import render_table1
+
+
+def test_table1_alert_totals(benchmark, bench_experiment):
+    result = bench_experiment
+
+    def compute():
+        return result.matrix.alert_counts()
+
+    alert_counts = benchmark(compute)
+
+    total = result.total_requests
+    print()
+    print(render_table1(total, alert_counts, title="Table 1 (reproduced)"))
+    print()
+    print(render_table1(PAPER_TABLE1["total"], {k: v for k, v in PAPER_TABLE1.items() if k != "total"}, title="Table 1 (paper)"))
+
+    check = ShapeCheck("Table 1 shape: per-tool alert fractions")
+    check.check_fraction(
+        "commercial alert fraction",
+        alert_counts["commercial"] / total,
+        paper_alert_fraction("commercial"),
+        tolerance_factor=1.3,
+    )
+    check.check_fraction(
+        "inhouse alert fraction",
+        alert_counts["inhouse"] / total,
+        paper_alert_fraction("inhouse"),
+        tolerance_factor=1.3,
+    )
+    check.check_greater(
+        "commercial alerts more than inhouse (as Distil > Arcane)",
+        alert_counts["commercial"],
+        alert_counts["inhouse"],
+        larger_label="commercial",
+        smaller_label="inhouse",
+    )
+    check.check_greater(
+        "both tools alert on the majority of traffic",
+        min(alert_counts.values()) / total,
+        0.5,
+        larger_label="min alert fraction",
+        smaller_label="0.5",
+    )
+    print()
+    print(check.report())
+    assert check.passed, check.report()

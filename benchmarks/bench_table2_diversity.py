@@ -1,0 +1,56 @@
+"""Experiment ``table2``: diversity in the alerting behaviour (paper Table 2).
+
+Regenerates the both/neither/only-one breakdown of the two tools' alerts,
+prints it next to the paper's counts and checks the shape: agreement on
+the bulk of the traffic, a double-digit "neither" share, and a
+commercial-only mass several times larger than the in-house-only mass.
+"""
+
+from __future__ import annotations
+
+from repro.bench.comparison import ShapeCheck
+from repro.bench.expected import PAPER_TABLE2, paper_fractions_table2
+from repro.core.diversity import diversity_breakdown
+from repro.core.reporting import render_table2
+
+
+def test_table2_diversity_breakdown(benchmark, bench_experiment):
+    result = bench_experiment
+    matrix = result.matrix
+
+    breakdown = benchmark(diversity_breakdown, matrix, "commercial", "inhouse")
+
+    print()
+    print(render_table2(breakdown, title="Table 2 (reproduced)"))
+    print()
+    print("Table 2 (paper): " + ", ".join(f"{key}={value:,}" for key, value in PAPER_TABLE2.items()))
+
+    total = breakdown.total
+    measured = {
+        "both": breakdown.both / total,
+        "neither": breakdown.neither / total,
+        "commercial_only": breakdown.first_only / total,
+        "inhouse_only": breakdown.second_only / total,
+    }
+    expected = paper_fractions_table2()
+
+    check = ShapeCheck("Table 2 shape: diversity breakdown fractions")
+    for key, expected_value in expected.items():
+        check.check_fraction(key, measured[key], expected_value, tolerance_factor=2.0)
+    check.check_greater(
+        "commercial-only exceeds inhouse-only (Distil-only >> Arcane-only)",
+        breakdown.first_only,
+        breakdown.second_only,
+        larger_label="commercial_only",
+        smaller_label="inhouse_only",
+    )
+    check.check_greater(
+        "both >> disagreement",
+        breakdown.both,
+        breakdown.disagreement,
+        larger_label="both",
+        smaller_label="disagreement",
+    )
+    print()
+    print(check.report())
+    assert check.passed, check.report()

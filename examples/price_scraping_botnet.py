@@ -1,0 +1,128 @@
+"""Scenario study: a price-scraping botnet campaign against a travel site.
+
+This is the workload the paper's introduction motivates: a botnet
+harvesting fares from an e-commerce application, mixed in with legitimate
+customers and search-engine crawlers.  The example builds the campaign
+explicitly from the botnet API (rather than using a preset scenario),
+writes the resulting Apache access log to disk, re-parses it and shows
+how each individual detection technique -- not just the two composite
+tools -- covers each scraper family.
+
+Run with::
+
+    python examples/price_scraping_botnet.py
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.evaluation import per_actor_class_detection
+from repro.core.reporting import render_evaluation_rows
+from repro.detectors.behavioral import BehavioralSessionDetector
+from repro.detectors.commercial import CommercialBotDefenceDetector
+from repro.detectors.fingerprint import UserAgentFingerprintDetector
+from repro.detectors.inhouse import InHouseHeuristicDetector
+from repro.detectors.pipeline import run_detectors
+from repro.detectors.ratelimit import RateLimitDetector
+from repro.detectors.reputation import IPReputationDetector
+from repro.logs.parser import LogParser
+from repro.logs.writer import LogWriter
+from repro.traffic.actors import ActorPopulation, TimeWindow
+from repro.traffic.botnet import BotnetCampaign
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.humans import HumanVisitor
+from repro.traffic.goodbots import SearchEngineCrawler
+from repro.traffic.ipspace import IPSpace
+from repro.traffic.site import SiteModel
+from repro.traffic.useragents import UserAgentCatalog
+
+
+def build_population(rng: random.Random) -> ActorPopulation:
+    """Three scraping campaigns plus organic traffic."""
+    site = SiteModel()
+    ips = IPSpace()
+    agents = UserAgentCatalog()
+    population = ActorPopulation()
+
+    campaigns = [
+        BotnetCampaign(name="fare-harvest", family="aggressive", total_requests=18_000, nodes=8),
+        BotnetCampaign(name="quiet-mirror", family="stealth", total_requests=1_500, nodes=3),
+        BotnetCampaign(name="api-mapper", family="probing", total_requests=600, nodes=2),
+    ]
+    for campaign in campaigns:
+        population.extend(campaign.build_actors(site, ips, agents, rng))
+
+    for index in range(120):
+        population.add(
+            HumanVisitor(
+                f"human-{index}",
+                site,
+                client_ip=ips.residential.random_address(rng),
+                user_agent=agents.random_browser(rng),
+                request_budget=rng.randint(20, 60),
+            )
+        )
+    population.add(
+        SearchEngineCrawler(
+            "googlebot",
+            site,
+            client_ip=ips.crawler.random_address(rng),
+            user_agent=agents.random_crawler(rng),
+            request_budget=400,
+        )
+    )
+    return population
+
+
+def main() -> int:
+    rng = random.Random(99)
+    window = TimeWindow(start=datetime(2018, 3, 11, tzinfo=timezone.utc), days=3)
+    generator = TrafficGenerator(build_population(rng), window, seed=99)
+    dataset = generator.run(dataset_name="price_scraping_botnet").dataset
+    print(f"Simulated {len(dataset):,} requests over {window.days} days "
+          f"({dataset.malicious_fraction():.1%} from the scraping campaigns).")
+
+    # Materialise the traffic as a real Apache access log and parse it back,
+    # exactly what an operations team would feed their detectors.
+    log_path = Path(tempfile.gettempdir()) / "price_scraping_botnet_access.log"
+    LogWriter().write_file(dataset.records, str(log_path))
+    print(f"Wrote the access log to {log_path} "
+          f"({log_path.stat().st_size / 1_048_576:.1f} MiB); re-parsing it ...")
+    reparsed_count = len(LogParser().parse_file(str(log_path)))
+    print(f"Re-parsed {reparsed_count:,} records.\n")
+
+    detectors = [
+        CommercialBotDefenceDetector(),
+        InHouseHeuristicDetector(),
+        BehavioralSessionDetector(),
+        RateLimitDetector(threshold_rpm=60),
+        IPReputationDetector(),
+        UserAgentFingerprintDetector(),
+    ]
+    result = run_detectors(dataset, detectors)
+
+    print("Alerted requests per detector:")
+    for name, count in result.matrix.alert_counts().items():
+        print(f"  {name:>16}: {count:>7,} ({count / len(dataset):.1%})")
+    print()
+
+    rows = []
+    for name in result.matrix.detector_names:
+        rates = per_actor_class_detection(dataset, result.matrix.alerted_by(name))
+        rows.append({"detector": name, **{k: v for k, v in rates.items()}})
+    print(render_evaluation_rows(rows, title="Detection rate per actor class and detector"))
+    print()
+    print("Reading the table: the aggressive fare-harvest campaign is caught by "
+          "nearly everything, the stealth campaign only by behaviour-based "
+          "detection, and the API-mapping campaign only by the error/probe "
+          "heuristics -- which is exactly why the paper argues for diverse "
+          "detectors.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""repro -- diverse detectors for detecting malicious web scraping activity.
+
+A from-scratch reproduction of Marques et al., "Using Diverse Detectors
+for Detecting Malicious Web Scraping Activity" (DSN 2018), together with
+every substrate the study depends on:
+
+* :mod:`repro.logs` -- Apache access-log parsing, writing, data sets,
+  sessionization.
+* :mod:`repro.traffic` -- a synthetic e-commerce traffic generator with
+  human visitors, legitimate crawlers and several scraper families,
+  calibrated to the structure of the paper's data set.
+* :mod:`repro.detectors` -- a family of scraping detectors, including the
+  commercial-product and in-house-tool stand-ins the reproduction uses in
+  place of the paper's proprietary Distil and Arcane tools.
+* :mod:`repro.anomaly` / :mod:`repro.ml` -- from-scratch anomaly-detection
+  and classification algorithms used by the statistical detectors.
+* :mod:`repro.core` -- the diversity analysis itself: alert matrices,
+  the paper's Tables 1-4, diversity metrics, adjudication schemes,
+  parallel/serial deployment configurations and labelled evaluation.
+
+Quickstart::
+
+    from repro import PaperExperiment, amadeus_march_2018
+
+    experiment = PaperExperiment()
+    result = experiment.run_scenario(amadeus_march_2018(scale=0.02))
+    print(result.render_all())
+"""
+
+from repro.core.experiment import ExperimentResult, PaperExperiment
+from repro.detectors.commercial import CommercialBotDefenceDetector
+from repro.detectors.inhouse import InHouseHeuristicDetector
+from repro.logs.dataset import Dataset
+from repro.traffic.generator import generate_dataset
+from repro.traffic.scenarios import amadeus_march_2018, balanced_small, get_scenario, stealth_heavy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommercialBotDefenceDetector",
+    "Dataset",
+    "ExperimentResult",
+    "InHouseHeuristicDetector",
+    "PaperExperiment",
+    "__version__",
+    "amadeus_march_2018",
+    "balanced_small",
+    "generate_dataset",
+    "get_scenario",
+    "stealth_heavy",
+]

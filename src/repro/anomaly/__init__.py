@@ -1,0 +1,24 @@
+"""Unsupervised anomaly-detection algorithms (from scratch, numpy only).
+
+These are the statistical substrate behind the anomaly-based session
+detector used in the multi-detector extension experiments.  All models
+share the same small interface (:class:`~repro.anomaly.base.AnomalyModel`):
+``fit(X)`` on a matrix of feature vectors, then ``score(X)`` returns a
+non-negative anomaly score per row (higher means more anomalous), and
+``threshold_for_contamination`` converts an expected contamination rate
+into a score threshold.
+"""
+
+from repro.anomaly.base import AnomalyModel
+from repro.anomaly.isolation_forest import IsolationForestModel
+from repro.anomaly.knn import KNNDistanceModel
+from repro.anomaly.mahalanobis import MahalanobisModel
+from repro.anomaly.zscore import RobustZScoreModel
+
+__all__ = [
+    "AnomalyModel",
+    "IsolationForestModel",
+    "KNNDistanceModel",
+    "MahalanobisModel",
+    "RobustZScoreModel",
+]

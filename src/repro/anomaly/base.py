@@ -1,0 +1,68 @@
+"""Common interface of the anomaly-detection models."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import DetectorNotFittedError
+
+
+class AnomalyModel(abc.ABC):
+    """Base class for unsupervised anomaly scorers.
+
+    Subclasses implement :meth:`fit` and :meth:`score`.  Scores are
+    non-negative and *higher means more anomalous*; absolute magnitudes
+    are model-specific, so thresholds should always be derived from the
+    score distribution (see :meth:`threshold_for_contamination`).
+    """
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray) -> "AnomalyModel":
+        """Fit the model on the rows of ``X`` and return ``self``."""
+
+    @abc.abstractmethod
+    def score(self, X: np.ndarray) -> np.ndarray:
+        """Anomaly score for each row of ``X`` (higher = more anomalous)."""
+
+    # ------------------------------------------------------------------
+    def fit_score(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return the scores of its own rows."""
+        return self.fit(X).score(X)
+
+    def threshold_for_contamination(self, scores: np.ndarray, contamination: float) -> float:
+        """Score threshold above which the top ``contamination`` fraction lies.
+
+        Parameters
+        ----------
+        scores:
+            Scores of the fitting population.
+        contamination:
+            Expected fraction of anomalous rows, in ``(0, 1)``.
+        """
+        if not 0.0 < contamination < 1.0:
+            raise ValueError("contamination must be in (0, 1)")
+        if scores.size == 0:
+            return float("inf")
+        return float(np.quantile(scores, 1.0 - contamination))
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise DetectorNotFittedError(f"{self.__class__.__name__} must be fitted before scoring")
+
+    @staticmethod
+    def _validate_matrix(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected a 2-D feature matrix, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot operate on an empty feature matrix")
+        if not np.isfinite(X).all():
+            raise ValueError("feature matrix contains NaN or infinite values")
+        return X

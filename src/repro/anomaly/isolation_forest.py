@@ -1,0 +1,125 @@
+"""Isolation forest, implemented from scratch.
+
+An isolation forest isolates points by recursive random axis-aligned
+splits; anomalous points are isolated in fewer splits.  The score follows
+the original formulation of Liu, Ting & Zhou (2008): for a point with
+average path length ``E[h]`` over the trees and subsample size ``n``,
+
+    score = 2 ** ( -E[h] / c(n) )
+
+where ``c(n)`` is the expected path length of an unsuccessful BST search.
+Scores lie in (0, 1) with values close to 1 indicating anomalies, which
+also satisfies this package's "higher = more anomalous" convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.anomaly.base import AnomalyModel
+
+
+@dataclass
+class _Node:
+    """One node of an isolation tree."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    size: int = 0
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+def _average_path_length(n: int) -> float:
+    """Expected path length of an unsuccessful search in a BST of ``n`` nodes."""
+    if n <= 1:
+        return 0.0
+    if n == 2:
+        return 1.0
+    harmonic = np.log(n - 1) + np.euler_gamma
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+def _build_tree(X: np.ndarray, depth: int, max_depth: int, rng: np.random.Generator) -> _Node:
+    node = _Node(size=X.shape[0], depth=depth)
+    if depth >= max_depth or X.shape[0] <= 1:
+        return node
+    # Pick a feature that still varies in this partition.
+    spans = X.max(axis=0) - X.min(axis=0)
+    candidates = np.flatnonzero(spans > 0)
+    if candidates.size == 0:
+        return node
+    feature = int(rng.choice(candidates))
+    low, high = X[:, feature].min(), X[:, feature].max()
+    threshold = float(rng.uniform(low, high))
+    mask = X[:, feature] < threshold
+    if mask.all() or (~mask).all():
+        return node
+    node.feature = feature
+    node.threshold = threshold
+    node.left = _build_tree(X[mask], depth + 1, max_depth, rng)
+    node.right = _build_tree(X[~mask], depth + 1, max_depth, rng)
+    return node
+
+
+def _path_length(node: _Node, row: np.ndarray) -> float:
+    depth = 0.0
+    current = node
+    while not current.is_leaf:
+        if row[current.feature] < current.threshold:
+            assert current.left is not None
+            current = current.left
+        else:
+            assert current.right is not None
+            current = current.right
+        depth += 1.0
+    # Unresolved leaves (stopped by depth limit) are credited the expected
+    # remaining path length for their size.
+    return depth + _average_path_length(current.size)
+
+
+class IsolationForestModel(AnomalyModel):
+    """An ensemble of random isolation trees."""
+
+    def __init__(self, *, n_trees: int = 100, subsample: int = 256, seed: int = 29):
+        super().__init__()
+        if n_trees < 1:
+            raise ValueError("n_trees must be at least 1")
+        if subsample < 2:
+            raise ValueError("subsample must be at least 2")
+        self.n_trees = n_trees
+        self.subsample = subsample
+        self.seed = seed
+        self._trees: list[_Node] = []
+        self._subsample_size = 0
+
+    def fit(self, X: np.ndarray) -> "IsolationForestModel":
+        X = self._validate_matrix(X)
+        rng = np.random.default_rng(self.seed)
+        self._subsample_size = min(self.subsample, X.shape[0])
+        max_depth = int(np.ceil(np.log2(max(2, self._subsample_size))))
+        self._trees = []
+        for _ in range(self.n_trees):
+            index = rng.choice(X.shape[0], size=self._subsample_size, replace=False)
+            self._trees.append(_build_tree(X[index], 0, max_depth, rng))
+        self._fitted = True
+        return self
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = self._validate_matrix(X)
+        expected = _average_path_length(self._subsample_size)
+        if expected == 0:
+            return np.zeros(X.shape[0])
+        scores = np.empty(X.shape[0], dtype=float)
+        for i, row in enumerate(X):
+            mean_path = np.mean([_path_length(tree, row) for tree in self._trees])
+            scores[i] = 2.0 ** (-mean_path / expected)
+        return scores

@@ -1,0 +1,65 @@
+"""k-nearest-neighbour distance anomaly model.
+
+The anomaly score of a row is its (standardised-space) distance to its
+k-th nearest neighbour among the fitting population: points in dense
+regions get small scores, isolated points get large ones.  To keep the
+model usable on large session populations the fitting set is subsampled
+to ``max_reference`` rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomaly.base import AnomalyModel
+
+
+class KNNDistanceModel(AnomalyModel):
+    """Distance to the k-th nearest neighbour as the anomaly score."""
+
+    def __init__(self, *, k: int = 10, max_reference: int = 2000, seed: int = 13):
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if max_reference < 2:
+            raise ValueError("max_reference must be at least 2")
+        self.k = k
+        self.max_reference = max_reference
+        self.seed = seed
+        self._reference: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "KNNDistanceModel":
+        X = self._validate_matrix(X)
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self._std = std
+        standardised = (X - self._mean) / self._std
+        if standardised.shape[0] > self.max_reference:
+            rng = np.random.default_rng(self.seed)
+            index = rng.choice(standardised.shape[0], size=self.max_reference, replace=False)
+            standardised = standardised[index]
+        self._reference = standardised
+        self._fitted = True
+        return self
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = self._validate_matrix(X)
+        assert self._reference is not None and self._mean is not None and self._std is not None
+        standardised = (X - self._mean) / self._std
+        reference = self._reference
+        effective_k = min(self.k, reference.shape[0] - 1) if reference.shape[0] > 1 else 1
+        scores = np.empty(standardised.shape[0], dtype=float)
+        # Chunked pairwise distances keep memory bounded for large inputs.
+        chunk = 512
+        for start in range(0, standardised.shape[0], chunk):
+            block = standardised[start : start + chunk]
+            distances = np.sqrt(((block[:, None, :] - reference[None, :, :]) ** 2).sum(axis=2))
+            # A row that is itself part of the reference has a zero distance
+            # to itself; using the k-th smallest (0-indexed k) skips it.
+            partition = np.partition(distances, effective_k, axis=1)
+            scores[start : start + block.shape[0]] = partition[:, effective_k]
+        return scores

@@ -1,0 +1,49 @@
+"""Mahalanobis-distance anomaly model.
+
+The anomaly score of a row is its Mahalanobis distance from the mean of
+the fitting population, i.e. the multivariate generalisation of a z-score
+that accounts for feature correlations.  The covariance matrix is
+regularised (shrunk towards its diagonal) so the model stays well-defined
+when features are collinear or constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomaly.base import AnomalyModel
+
+
+class MahalanobisModel(AnomalyModel):
+    """Mahalanobis distance from the fitted mean with a shrunk covariance."""
+
+    def __init__(self, *, shrinkage: float = 0.1):
+        super().__init__()
+        if not 0.0 <= shrinkage <= 1.0:
+            raise ValueError("shrinkage must be in [0, 1]")
+        self.shrinkage = shrinkage
+        self._mean: np.ndarray | None = None
+        self._precision: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MahalanobisModel":
+        X = self._validate_matrix(X)
+        self._mean = X.mean(axis=0)
+        centred = X - self._mean
+        covariance = centred.T @ centred / max(1, X.shape[0] - 1)
+        diagonal = np.diag(np.diag(covariance))
+        shrunk = (1.0 - self.shrinkage) * covariance + self.shrinkage * diagonal
+        # A small ridge keeps the matrix invertible even when some feature
+        # is constant in the fitting data.
+        ridge = 1e-6 * np.trace(shrunk) / max(1, shrunk.shape[0])
+        shrunk += np.eye(shrunk.shape[0]) * max(ridge, 1e-12)
+        self._precision = np.linalg.pinv(shrunk)
+        self._fitted = True
+        return self
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = self._validate_matrix(X)
+        assert self._mean is not None and self._precision is not None
+        centred = X - self._mean
+        squared = np.einsum("ij,jk,ik->i", centred, self._precision, centred)
+        return np.sqrt(np.maximum(squared, 0.0))

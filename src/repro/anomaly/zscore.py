@@ -1,0 +1,50 @@
+"""Robust z-score anomaly model.
+
+Each feature is standardised with the median and the MAD (median absolute
+deviation), which are robust to the very outliers we are trying to find;
+the anomaly score of a row is the mean of its absolute robust z-scores
+over all features.  Simple, fast and surprisingly competitive on
+session-feature data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomaly.base import AnomalyModel
+
+#: Consistency constant making the MAD comparable to a standard deviation
+#: under normality.
+MAD_SCALE = 1.4826
+
+
+class RobustZScoreModel(AnomalyModel):
+    """Median/MAD standardisation with mean |z| as the anomaly score."""
+
+    def __init__(self, *, clip: float = 10.0):
+        super().__init__()
+        if clip <= 0:
+            raise ValueError("clip must be positive")
+        self.clip = clip
+        self._median: np.ndarray | None = None
+        self._mad: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "RobustZScoreModel":
+        X = self._validate_matrix(X)
+        self._median = np.median(X, axis=0)
+        mad = np.median(np.abs(X - self._median), axis=0) * MAD_SCALE
+        # Features with zero spread carry no information; give them a unit
+        # scale so they contribute zero to every score instead of dividing
+        # by zero.
+        mad[mad == 0] = 1.0
+        self._mad = mad
+        self._fitted = True
+        return self
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = self._validate_matrix(X)
+        assert self._median is not None and self._mad is not None
+        z = np.abs(X - self._median) / self._mad
+        z = np.clip(z, 0.0, self.clip)
+        return z.mean(axis=1)

@@ -1,0 +1,33 @@
+"""Shared support for the benchmark harness.
+
+The benchmarks under ``benchmarks/`` regenerate every table of the paper;
+this package holds the paper's published numbers
+(:mod:`repro.bench.expected`), shape-comparison helpers
+(:mod:`repro.bench.comparison`) and the cached experiment runner shared by
+all benchmark modules (:mod:`repro.bench.harness`).
+"""
+
+from repro.bench.comparison import ShapeCheck, compare_fractions, compare_ordering
+from repro.bench.expected import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    paper_fractions_table2,
+)
+from repro.bench.harness import BENCH_SCALE, BENCH_SEED, experiment_result, scenario_dataset
+
+__all__ = [
+    "BENCH_SCALE",
+    "BENCH_SEED",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "ShapeCheck",
+    "compare_fractions",
+    "compare_ordering",
+    "experiment_result",
+    "paper_fractions_table2",
+    "scenario_dataset",
+]

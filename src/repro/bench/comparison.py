@@ -1,0 +1,126 @@
+"""Shape comparisons between measured and published results.
+
+The reproduction cannot (and does not try to) match the paper's absolute
+counts -- the traffic is synthetic and the tools are stand-ins.  What the
+benchmarks check instead is the *shape* the paper reports:
+
+* which quantity is larger than which (orderings),
+* roughly what fraction of traffic falls in each cell (fractions within a
+  tolerance factor),
+* which categories dominate a breakdown.
+
+:class:`ShapeCheck` collects the individual comparisons so a benchmark can
+print a readable paper-vs-measured report and assert that every check
+passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+@dataclass
+class CheckResult:
+    """One shape comparison."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        marker = "PASS" if self.passed else "FAIL"
+        return f"[{marker}] {self.name}: {self.detail}"
+
+
+@dataclass
+class ShapeCheck:
+    """A collection of shape comparisons with a printable report."""
+
+    title: str
+    results: list[CheckResult] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, passed: bool, detail: str) -> None:
+        """Record one comparison."""
+        self.results.append(CheckResult(name=name, passed=passed, detail=detail))
+
+    def check_fraction(
+        self,
+        name: str,
+        measured: float,
+        expected: float,
+        *,
+        tolerance_factor: float = 2.0,
+        absolute_slack: float = 0.02,
+    ) -> None:
+        """Check that a measured fraction is within a factor of the paper's.
+
+        The comparison passes when the measured value lies within
+        ``[expected / tolerance_factor - slack, expected * tolerance_factor + slack]``.
+        The additive slack keeps very small fractions (fractions of a
+        percent) from failing on sampling noise.
+        """
+        low = expected / tolerance_factor - absolute_slack
+        high = expected * tolerance_factor + absolute_slack
+        passed = low <= measured <= high
+        self.add(name, passed, f"measured {measured:.4f} vs paper {expected:.4f} (allowed {low:.4f}..{high:.4f})")
+
+    def check_greater(self, name: str, larger: float, smaller: float, *, larger_label: str = "a", smaller_label: str = "b") -> None:
+        """Check an ordering relation (``larger > smaller``)."""
+        passed = larger > smaller
+        self.add(name, passed, f"{larger_label}={larger:,.4g} vs {smaller_label}={smaller:,.4g}")
+
+    def check_dominant(self, name: str, counts: Mapping[object, int], expected_top: object) -> None:
+        """Check that ``expected_top`` is the largest category of a breakdown."""
+        if not counts:
+            self.add(name, False, "empty breakdown")
+            return
+        top = max(counts.items(), key=lambda item: item[1])[0]
+        self.add(name, top == expected_top, f"dominant category {top!r} (expected {expected_top!r})")
+
+    # ------------------------------------------------------------------
+    @property
+    def passed(self) -> bool:
+        """True when every comparison passed."""
+        return all(result.passed for result in self.results)
+
+    def failures(self) -> list[CheckResult]:
+        """The comparisons that failed."""
+        return [result for result in self.results if not result.passed]
+
+    def report(self) -> str:
+        """A printable paper-vs-measured report."""
+        lines = [self.title, "=" * len(self.title)]
+        lines.extend(str(result) for result in self.results)
+        summary = "ALL CHECKS PASSED" if self.passed else f"{len(self.failures())} CHECK(S) FAILED"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def compare_fractions(
+    title: str,
+    measured: Mapping[str, float],
+    expected: Mapping[str, float],
+    *,
+    tolerance_factor: float = 2.0,
+) -> ShapeCheck:
+    """Compare two fraction dictionaries key by key."""
+    check = ShapeCheck(title)
+    for key, expected_value in expected.items():
+        check.check_fraction(key, measured.get(key, 0.0), expected_value, tolerance_factor=tolerance_factor)
+    return check
+
+
+def compare_ordering(title: str, measured: Mapping[str, float], expected_order: Sequence[str]) -> ShapeCheck:
+    """Check that the measured values follow the expected descending order."""
+    check = ShapeCheck(title)
+    for first, second in zip(expected_order, expected_order[1:]):
+        check.check_greater(
+            f"{first} >= {second}",
+            measured.get(first, 0.0) + 1e-12,
+            measured.get(second, 0.0),
+            larger_label=first,
+            smaller_label=second,
+        )
+    return check

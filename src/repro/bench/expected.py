@@ -1,0 +1,93 @@
+"""The paper's published numbers (Tables 1-4 of Marques et al., DSN 2018).
+
+These constants are the reference the benchmark harness compares against.
+Absolute counts cannot be matched (the paper's tools and data are
+proprietary); the comparisons in :mod:`repro.bench.comparison` therefore
+work on fractions and orderings.
+
+Naming: the paper's commercial tool (Distil) corresponds to the
+``"commercial"`` stand-in detector and the in-house tool (Arcane) to the
+``"inhouse"`` stand-in.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Table 1 -- total HTTP requests and per-tool alert counts.
+PAPER_TABLE1: Mapping[str, int] = {
+    "total": 1_469_744,
+    "commercial": 1_275_056,  # Distil
+    "inhouse": 1_240_713,  # Arcane
+}
+
+#: Table 2 -- diversity in the alerting behaviour of the two tools.
+PAPER_TABLE2: Mapping[str, int] = {
+    "both": 1_231_408,
+    "neither": 185_383,
+    "inhouse_only": 9_305,  # Arcane only
+    "commercial_only": 43_648,  # Distil only
+}
+
+#: Table 3 -- alerted requests by HTTP status, overall counts per tool.
+PAPER_TABLE3: Mapping[str, Mapping[int, int]] = {
+    "inhouse": {  # Arcane
+        200: 1_204_241,
+        302: 34_561,
+        204: 1_560,
+        400: 256,
+        304: 76,
+        500: 11,
+        404: 8,
+    },
+    "commercial": {  # Distil
+        200: 1_239_079,
+        302: 34_832,
+        204: 1_018,
+        400: 73,
+        404: 32,
+        304: 15,
+        500: 6,
+        403: 1,
+    },
+}
+
+#: Table 4 -- alerted requests by HTTP status for requests alerted by only one tool.
+PAPER_TABLE4: Mapping[str, Mapping[int, int]] = {
+    "inhouse": {  # Arcane only
+        200: 7_693,
+        204: 956,
+        302: 321,
+        400: 247,
+        304: 76,
+        404: 7,
+        500: 5,
+    },
+    "commercial": {  # Distil only
+        200: 42_531,
+        302: 592,
+        204: 414,
+        400: 64,
+        404: 31,
+        304: 15,
+        403: 1,
+    },
+}
+
+
+def paper_fractions_table2() -> dict[str, float]:
+    """Table 2 expressed as fractions of the total request count."""
+    total = PAPER_TABLE1["total"]
+    return {key: value / total for key, value in PAPER_TABLE2.items()}
+
+
+def paper_alert_fraction(tool: str) -> float:
+    """Fraction of all requests a tool alerted on (from Table 1)."""
+    return PAPER_TABLE1[tool] / PAPER_TABLE1["total"]
+
+
+def paper_status_fractions(table: Mapping[str, Mapping[int, int]], tool: str) -> dict[int, float]:
+    """A tool's Table 3/4 column expressed as fractions of its own total."""
+    counts = table[tool]
+    total = sum(counts.values())
+    return {status: count / total for status, count in counts.items()}

@@ -1,0 +1,154 @@
+"""Command-line interface (``repro-scrapeguard``).
+
+Subcommands
+-----------
+``generate``
+    Generate the synthetic access log for a scenario and write it to disk
+    as an Apache combined-log-format file (plus a JSON label file).
+``tables``
+    Run the two stand-in tools on a scenario (or an existing log file) and
+    print the reproduction of the paper's Tables 1-4.
+``evaluate``
+    Print the labelled extension analyses: per-tool sensitivity /
+    specificity, the k-out-of-2 adjudication schemes and the parallel vs
+    serial configuration comparison.
+``scenarios``
+    List the available preset scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.configurations import compare_configurations
+from repro.core.evaluation import per_actor_class_detection
+from repro.core.experiment import PaperExperiment
+from repro.core.reporting import render_evaluation_rows
+from repro.detectors.commercial import CommercialBotDefenceDetector
+from repro.detectors.inhouse import InHouseHeuristicDetector
+from repro.logs.dataset import Dataset
+from repro.logs.parser import LogParser
+from repro.logs.writer import LogWriter
+from repro.traffic.generator import generate_dataset
+from repro.traffic.scenarios import get_scenario, list_scenarios
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scrapeguard",
+        description="Diverse detectors for malicious web scraping (DSN 2018 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic access log")
+    generate.add_argument("--scenario", default="amadeus_march_2018", help="preset scenario name")
+    generate.add_argument("--scale", type=float, default=0.02, help="fraction of the paper's data-set size")
+    generate.add_argument("--seed", type=int, default=2018, help="simulation seed")
+    generate.add_argument("--output", required=True, help="path of the access-log file to write")
+    generate.add_argument("--labels", default=None, help="optional path for the ground-truth JSON")
+
+    tables = subparsers.add_parser("tables", help="reproduce the paper's tables")
+    tables.add_argument("--scenario", default="amadeus_march_2018", help="preset scenario name")
+    tables.add_argument("--scale", type=float, default=0.02, help="fraction of the paper's data-set size")
+    tables.add_argument("--seed", type=int, default=2018, help="simulation seed")
+    tables.add_argument("--log-file", default=None, help="analyse an existing access log instead of generating one")
+
+    evaluate = subparsers.add_parser("evaluate", help="labelled extension analyses")
+    evaluate.add_argument("--scenario", default="amadeus_march_2018", help="preset scenario name")
+    evaluate.add_argument("--scale", type=float, default=0.02, help="fraction of the paper's data-set size")
+    evaluate.add_argument("--seed", type=int, default=2018, help="simulation seed")
+    evaluate.add_argument("--configurations", action="store_true", help="also compare parallel vs serial deployments")
+
+    subparsers.add_parser("scenarios", help="list preset scenarios")
+    return parser
+
+
+def _scenario_dataset(args: argparse.Namespace) -> Dataset:
+    scenario_kwargs = {"seed": args.seed}
+    if args.scenario == "amadeus_march_2018":
+        scenario_kwargs["scale"] = args.scale
+    scenario = get_scenario(args.scenario, **scenario_kwargs)
+    return generate_dataset(scenario)
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    dataset = _scenario_dataset(args)
+    count = LogWriter().write_file(dataset.records, args.output)
+    print(f"wrote {count:,} log lines to {args.output}")
+    if args.labels:
+        dataset.save_labels(args.labels)
+        print(f"wrote ground-truth labels to {args.labels}")
+    return 0
+
+
+def _command_tables(args: argparse.Namespace) -> int:
+    if args.log_file:
+        records = LogParser(skip_malformed=True).parse_file(args.log_file)
+        dataset = Dataset(records)
+    else:
+        dataset = _scenario_dataset(args)
+    result = PaperExperiment().run_on(dataset)
+    print(result.render_all())
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    dataset = _scenario_dataset(args)
+    result = PaperExperiment().run_on(dataset)
+
+    rows = [evaluation.as_dict() for evaluation in result.tool_evaluations]
+    print(render_evaluation_rows(rows, title="Per-tool labelled evaluation"))
+    print()
+    rows = [evaluation.as_dict() for evaluation in result.adjudication_evaluations]
+    print(render_evaluation_rows(rows, title="Adjudication schemes (k-out-of-2)"))
+    print()
+    commercial_rates = per_actor_class_detection(dataset, result.matrix.alerted_by(result.matrix.detector_names[0]))
+    inhouse_rates = per_actor_class_detection(dataset, result.matrix.alerted_by(result.matrix.detector_names[1]))
+    rows = [
+        {"actor_class": actor, "commercial": commercial_rates[actor], "inhouse": inhouse_rates[actor]}
+        for actor in commercial_rates
+    ]
+    print(render_evaluation_rows(rows, title="Detection rate per actor class"))
+
+    if args.configurations:
+        print()
+        comparison = compare_configurations(dataset, CommercialBotDefenceDetector(), InHouseHeuristicDetector())
+        rows = []
+        for outcome in comparison.outcomes:
+            row = {
+                "configuration": outcome.name,
+                "alerts": outcome.alert_count,
+                "workload": outcome.total_workload,
+            }
+            if outcome.confusion is not None:
+                row["sensitivity"] = outcome.confusion.sensitivity()
+                row["specificity"] = outcome.confusion.specificity()
+            rows.append(row)
+        print(render_evaluation_rows(rows, title="Parallel vs serial configurations"))
+    return 0
+
+
+def _command_scenarios(_: argparse.Namespace) -> int:
+    for name in list_scenarios():
+        print(name)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "tables": _command_tables,
+        "evaluate": _command_evaluate,
+        "scenarios": _command_scenarios,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

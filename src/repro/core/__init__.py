@@ -1,0 +1,112 @@
+"""Diversity analysis core -- the paper's primary contribution.
+
+This package implements the analysis the paper performs on the alerts of
+two (or more) scraping detectors observing the same HTTP traffic:
+
+* :mod:`repro.core.alerts` -- alerts, per-detector alert sets and the
+  request x detector alert matrix.
+* :mod:`repro.core.diversity` -- the both/neither/only-one breakdown of
+  Table 2, generalised to N detectors.
+* :mod:`repro.core.breakdown` -- per-dimension (HTTP status, day, method)
+  breakdowns of alerted requests (Tables 3 and 4).
+* :mod:`repro.core.metrics` -- pairwise diversity measures (Cohen's kappa,
+  Yule's Q, disagreement, double-fault, entropy).
+* :mod:`repro.core.adjudication` -- 1-out-of-N / k-out-of-N / weighted
+  adjudication schemes over detector ensembles.
+* :mod:`repro.core.confusion` -- confusion matrices and derived rates.
+* :mod:`repro.core.evaluation` -- labelled evaluation of detectors and
+  adjudicated ensembles.
+* :mod:`repro.core.configurations` -- parallel vs. serial deployment
+  configurations with their detection/cost trade-offs.
+* :mod:`repro.core.reporting` -- plain-text rendering of the paper's
+  tables.
+* :mod:`repro.core.experiment` -- the end-to-end experiment runner that
+  regenerates every table of the paper in one call.
+"""
+
+from repro.core.adjudication import (
+    AdjudicationResult,
+    KOutOfNScheme,
+    MajorityScheme,
+    UnanimousScheme,
+    WeightedVoteScheme,
+    adjudicate,
+)
+from repro.core.alerts import Alert, AlertMatrix, AlertSet
+from repro.core.breakdown import (
+    BreakdownTable,
+    exclusive_status_breakdown,
+    status_breakdown,
+    breakdown_by,
+)
+from repro.core.configurations import (
+    ConfigurationComparison,
+    ParallelConfiguration,
+    SerialConfiguration,
+    compare_configurations,
+)
+from repro.core.confusion import ConfusionMatrix
+from repro.core.diversity import DiversityBreakdown, diversity_breakdown, multi_detector_breakdown
+from repro.core.evaluation import DetectorEvaluation, evaluate_alert_set, evaluate_ensemble
+from repro.core.experiment import ExperimentResult, PaperExperiment
+from repro.core.metrics import (
+    PairwiseDiversity,
+    cohens_kappa,
+    correlation_coefficient,
+    disagreement_measure,
+    double_fault_measure,
+    entropy_measure,
+    pairwise_diversity,
+    yules_q,
+)
+from repro.core.reporting import render_table
+from repro.core.selection import greedy_selection, marginal_coverage, redundancy_matrix
+from repro.core.thresholds import OperatingPoint, SweepResult, sweep_detector
+from repro.core.timeline import agreement_timeline, alert_timeline, detect_alert_bursts
+
+__all__ = [
+    "OperatingPoint",
+    "SweepResult",
+    "agreement_timeline",
+    "alert_timeline",
+    "detect_alert_bursts",
+    "greedy_selection",
+    "marginal_coverage",
+    "redundancy_matrix",
+    "sweep_detector",
+    "AdjudicationResult",
+    "Alert",
+    "AlertMatrix",
+    "AlertSet",
+    "BreakdownTable",
+    "ConfigurationComparison",
+    "ConfusionMatrix",
+    "DetectorEvaluation",
+    "DiversityBreakdown",
+    "ExperimentResult",
+    "KOutOfNScheme",
+    "MajorityScheme",
+    "PairwiseDiversity",
+    "PaperExperiment",
+    "ParallelConfiguration",
+    "SerialConfiguration",
+    "UnanimousScheme",
+    "WeightedVoteScheme",
+    "adjudicate",
+    "breakdown_by",
+    "cohens_kappa",
+    "compare_configurations",
+    "correlation_coefficient",
+    "disagreement_measure",
+    "diversity_breakdown",
+    "double_fault_measure",
+    "entropy_measure",
+    "evaluate_alert_set",
+    "evaluate_ensemble",
+    "exclusive_status_breakdown",
+    "multi_detector_breakdown",
+    "pairwise_diversity",
+    "render_table",
+    "status_breakdown",
+    "yules_q",
+]

@@ -1,0 +1,128 @@
+"""Diversity breakdowns (the paper's Table 2).
+
+For a pair of detectors the breakdown counts how many requests were
+alerted by *both*, by *neither*, and by each detector *only* -- exactly
+the four rows of the paper's Table 2.  The breakdown generalises to N
+detectors as a distribution over alert-count (how many requests were
+alerted by 0, 1, ..., N detectors) plus per-detector exclusive counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.alerts import AlertMatrix
+from repro.exceptions import AnalysisError
+
+
+@dataclass(frozen=True)
+class DiversityBreakdown:
+    """The pairwise both/neither/only-one breakdown."""
+
+    first_detector: str
+    second_detector: str
+    both: int
+    neither: int
+    first_only: int
+    second_only: int
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Total number of requests in the analysed data set."""
+        return self.both + self.neither + self.first_only + self.second_only
+
+    @property
+    def first_total(self) -> int:
+        """Requests alerted by the first detector (Table 1 row for that tool)."""
+        return self.both + self.first_only
+
+    @property
+    def second_total(self) -> int:
+        """Requests alerted by the second detector."""
+        return self.both + self.second_only
+
+    @property
+    def agreement(self) -> int:
+        """Requests on which the detectors agree (both or neither)."""
+        return self.both + self.neither
+
+    @property
+    def disagreement(self) -> int:
+        """Requests on which the detectors disagree (alerted by exactly one)."""
+        return self.first_only + self.second_only
+
+    def agreement_rate(self) -> float:
+        """Fraction of requests on which the detectors agree."""
+        if self.total == 0:
+            return 1.0
+        return self.agreement / self.total
+
+    def as_dict(self) -> dict[str, int]:
+        """The four counts keyed the way the paper labels them."""
+        return {
+            "both": self.both,
+            "neither": self.neither,
+            f"{self.first_detector}_only": self.first_only,
+            f"{self.second_detector}_only": self.second_only,
+        }
+
+    def contingency(self) -> np.ndarray:
+        """The 2x2 contingency table ``[[both, first_only], [second_only, neither]]``."""
+        return np.array([[self.both, self.first_only], [self.second_only, self.neither]], dtype=float)
+
+
+def diversity_breakdown(matrix: AlertMatrix, first: str, second: str) -> DiversityBreakdown:
+    """Compute the pairwise breakdown for two detectors of an alert matrix."""
+    if first == second:
+        raise AnalysisError("the pairwise breakdown needs two distinct detectors")
+    first_column = matrix.column(first)
+    second_column = matrix.column(second)
+    both = int(np.sum(first_column & second_column))
+    neither = int(np.sum(~first_column & ~second_column))
+    first_only = int(np.sum(first_column & ~second_column))
+    second_only = int(np.sum(~first_column & second_column))
+    return DiversityBreakdown(
+        first_detector=first,
+        second_detector=second,
+        both=both,
+        neither=neither,
+        first_only=first_only,
+        second_only=second_only,
+    )
+
+
+@dataclass(frozen=True)
+class MultiDetectorBreakdown:
+    """The N-detector generalisation of Table 2."""
+
+    detector_names: tuple[str, ...]
+    #: ``votes_histogram[k]`` is the number of requests alerted by exactly k detectors.
+    votes_histogram: Mapping[int, int]
+    #: Requests alerted by one detector only, per detector.
+    exclusive_counts: Mapping[str, int]
+    alerted_by_all: int
+    alerted_by_none: int
+    total: int
+
+    def coverage_union(self) -> int:
+        """Requests alerted by at least one detector."""
+        return self.total - self.alerted_by_none
+
+
+def multi_detector_breakdown(matrix: AlertMatrix) -> MultiDetectorBreakdown:
+    """Compute the N-detector breakdown of an alert matrix."""
+    votes = matrix.votes_per_request()
+    histogram = {k: int(np.sum(votes == k)) for k in range(matrix.n_detectors + 1)}
+    exclusive = {name: len(matrix.alerted_by_exactly(name)) for name in matrix.detector_names}
+    return MultiDetectorBreakdown(
+        detector_names=tuple(matrix.detector_names),
+        votes_histogram=histogram,
+        exclusive_counts=exclusive,
+        alerted_by_all=len(matrix.alerted_by_all()),
+        alerted_by_none=histogram.get(0, 0),
+        total=matrix.n_requests,
+    )

@@ -1,0 +1,85 @@
+"""Plain-text rendering of the paper's tables.
+
+The benchmarks and the CLI print the reproduced tables in the same layout
+as the paper.  Rendering is deliberately plain text (no external
+dependencies) and returns strings so tests can assert on the content.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.breakdown import BreakdownTable
+from repro.core.diversity import DiversityBreakdown
+
+
+def render_table(title: str, rows: Sequence[tuple[str, object]], *, value_header: str = "Count") -> str:
+    """Render ``(label, value)`` rows as an aligned two-column table."""
+    label_width = max([len(str(label)) for label, _ in rows] + [len(title), 20])
+    value_width = max([len(f"{value:,}") if isinstance(value, int) else len(str(value)) for _, value in rows] + [len(value_header)])
+    lines = [title, "-" * (label_width + value_width + 3)]
+    lines.append(f"{'':<{label_width}} | {value_header:>{value_width}}")
+    for label, value in rows:
+        rendered = f"{value:,}" if isinstance(value, int) else str(value)
+        lines.append(f"{str(label):<{label_width}} | {rendered:>{value_width}}")
+    return "\n".join(lines)
+
+
+def render_table1(total_requests: int, alert_counts: Mapping[str, int], *, title: str = "Table 1 - HTTP requests alerted by the tools") -> str:
+    """Render the reproduction of the paper's Table 1."""
+    rows: list[tuple[str, object]] = [("Total HTTP requests", total_requests)]
+    for detector, count in alert_counts.items():
+        rows.append((f"HTTP requests alerted as malicious by {detector}", count))
+    return render_table(title, rows)
+
+
+def render_table2(breakdown: DiversityBreakdown, *, title: str = "Table 2 - Diversity in the alerting behaviour") -> str:
+    """Render the reproduction of the paper's Table 2."""
+    rows: list[tuple[str, object]] = [
+        (f"Both {breakdown.first_detector} and {breakdown.second_detector}", breakdown.both),
+        ("Neither", breakdown.neither),
+        (f"{breakdown.second_detector} only", breakdown.second_only),
+        (f"{breakdown.first_detector} only", breakdown.first_only),
+    ]
+    return render_table(title, rows)
+
+
+def render_status_breakdown(table: BreakdownTable, *, title: str | None = None) -> str:
+    """Render a Table 3/4-style status breakdown for one detector."""
+    heading = title or f"Alerted requests by HTTP status - {table.detector}"
+    rows = [(str(key), count) for key, count in table.sorted_rows()]
+    return render_table(heading, rows)
+
+
+def render_side_by_side(left: str, right: str, *, gap: int = 4) -> str:
+    """Render two pre-rendered tables side by side (the paper's Table 3/4 layout)."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    width = max(len(line) for line in left_lines) if left_lines else 0
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    return "\n".join(
+        f"{l:<{width}}{' ' * gap}{r}" for l, r in zip(left_lines, right_lines)
+    )
+
+
+def render_evaluation_rows(rows: Sequence[Mapping[str, object]], *, title: str = "Labelled evaluation") -> str:
+    """Render a list of metric dictionaries (one row per detector/scheme)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = [key for key in rows[0].keys()]
+    widths = {column: max(len(str(column)), *(len(_format_cell(row.get(column))) for row in rows)) for column in columns}
+    lines = [title, "-" * (sum(widths.values()) + 3 * (len(columns) - 1))]
+    lines.append(" | ".join(f"{column:<{widths[column]}}" for column in columns))
+    for row in rows:
+        lines.append(" | ".join(f"{_format_cell(row.get(column)):<{widths[column]}}" for column in columns))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

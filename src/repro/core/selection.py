@@ -1,0 +1,155 @@
+"""Ensemble selection: which detectors are worth deploying together?
+
+The diversity-for-security literature the paper builds on (Littlewood &
+Strigini 2004; Bishop et al. 2011) notes that the hard question is not
+whether diversity *can* help but **which** diverse defences to pick.  This
+module answers that question for a pool of detectors run over the same
+traffic:
+
+* :func:`marginal_coverage` -- how many alerted requests each detector
+  contributes that no other detector in the pool catches (its unique
+  value),
+* :func:`greedy_selection` -- greedy forward selection of a detector
+  subset that maximises a labelled objective (F1 by default) under an
+  optional budget on the number of detectors,
+* :func:`redundancy_matrix` -- pairwise overlap fractions, the quick
+  visual answer to "are these two tools interchangeable?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.alerts import AlertMatrix
+from repro.core.confusion import ConfusionMatrix
+from repro.exceptions import AnalysisError
+from repro.logs.dataset import Dataset
+
+
+def marginal_coverage(matrix: AlertMatrix) -> dict[str, int]:
+    """Requests only one detector alerts on, per detector (its unique value)."""
+    return {name: len(matrix.alerted_by_exactly(name)) for name in matrix.detector_names}
+
+
+def redundancy_matrix(matrix: AlertMatrix) -> dict[tuple[str, str], float]:
+    """Pairwise overlap fraction: |A ∩ B| / |A ∪ B| for each detector pair."""
+    alerted = {name: matrix.alerted_by(name) for name in matrix.detector_names}
+    overlaps: dict[tuple[str, str], float] = {}
+    names = matrix.detector_names
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            union = alerted[first] | alerted[second]
+            if not union:
+                overlaps[(first, second)] = 1.0
+                continue
+            overlaps[(first, second)] = len(alerted[first] & alerted[second]) / len(union)
+    return overlaps
+
+
+@dataclass(frozen=True)
+class SelectionStep:
+    """One step of the greedy selection."""
+
+    added_detector: str
+    selected: tuple[str, ...]
+    objective: float
+    confusion: ConfusionMatrix
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """The outcome of a greedy ensemble selection."""
+
+    objective_name: str
+    steps: tuple[SelectionStep, ...]
+
+    @property
+    def selected(self) -> tuple[str, ...]:
+        """The final selected detector subset (in selection order)."""
+        if not self.steps:
+            return ()
+        return self.steps[-1].selected
+
+    @property
+    def best_objective(self) -> float:
+        """The objective value of the final subset."""
+        if not self.steps:
+            return 0.0
+        return self.steps[-1].objective
+
+
+_OBJECTIVES = {
+    "f1": lambda cm: cm.f1_score(),
+    "sensitivity": lambda cm: cm.sensitivity(),
+    "balanced_accuracy": lambda cm: cm.balanced_accuracy(),
+    "youden": lambda cm: cm.sensitivity() + cm.specificity() - 1.0,
+}
+
+
+def _evaluate_subset(dataset: Dataset, matrix: AlertMatrix, subset: tuple[str, ...]) -> ConfusionMatrix:
+    """Confusion matrix of the 1-out-of-k union of a detector subset."""
+    columns = [matrix.column(name) for name in subset]
+    union = np.logical_or.reduce(columns) if columns else np.zeros(matrix.n_requests, dtype=bool)
+    alerted = {rid for rid, flag in zip(matrix.request_ids, union) if flag}
+    return ConfusionMatrix.from_alerts(dataset, alerted)
+
+
+def greedy_selection(
+    dataset: Dataset,
+    matrix: AlertMatrix,
+    *,
+    objective: str = "f1",
+    max_detectors: int | None = None,
+    min_gain: float = 1e-6,
+) -> SelectionResult:
+    """Greedy forward selection of detectors maximising a labelled objective.
+
+    At each step the detector whose addition improves the objective the
+    most is added; selection stops when no candidate improves it by at
+    least ``min_gain``, or when ``max_detectors`` are selected.  The
+    combined ensemble is evaluated under 1-out-of-k adjudication (the
+    union), which is the natural objective for coverage-oriented
+    selection; callers wanting stricter schemes can evaluate the selected
+    subset with :mod:`repro.core.adjudication` afterwards.
+    """
+    if objective not in _OBJECTIVES:
+        raise AnalysisError(f"unknown objective {objective!r}; expected one of {sorted(_OBJECTIVES)}")
+    dataset.require_labels()
+    objective_fn = _OBJECTIVES[objective]
+    budget = max_detectors if max_detectors is not None else matrix.n_detectors
+    if budget < 1:
+        raise AnalysisError("max_detectors must be at least 1")
+
+    remaining = list(matrix.detector_names)
+    selected: tuple[str, ...] = ()
+    steps: list[SelectionStep] = []
+    current_value = float("-inf")
+
+    while remaining and len(selected) < budget:
+        best_candidate = None
+        best_value = current_value
+        best_confusion = None
+        for candidate in remaining:
+            subset = selected + (candidate,)
+            confusion = _evaluate_subset(dataset, matrix, subset)
+            value = objective_fn(confusion)
+            if value > best_value + min_gain or (best_candidate is None and not steps and value > best_value):
+                best_candidate = candidate
+                best_value = value
+                best_confusion = confusion
+        if best_candidate is None or best_confusion is None:
+            break
+        selected = selected + (best_candidate,)
+        remaining.remove(best_candidate)
+        current_value = best_value
+        steps.append(
+            SelectionStep(
+                added_detector=best_candidate,
+                selected=selected,
+                objective=best_value,
+                confusion=best_confusion,
+            )
+        )
+    return SelectionResult(objective_name=objective, steps=tuple(steps))

@@ -1,0 +1,127 @@
+"""Operating-point sweeps for threshold-based detectors.
+
+The paper frames the value of diversity in terms of false-positive /
+false-negative trade-offs.  Individual detectors have the same trade-off
+internally: a rule threshold or behavioural score cut-off moves them along
+a sensitivity/specificity curve.  This module sweeps such thresholds,
+producing ROC-style operating-point curves that can be compared against
+what adjudicating *diverse* detectors achieves -- the quantitative version
+of "is combining two tools better than tuning one?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.confusion import ConfusionMatrix
+from repro.detectors.base import Detector
+from repro.exceptions import AnalysisError
+from repro.logs.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One point of a threshold sweep."""
+
+    parameter: float
+    confusion: ConfusionMatrix
+
+    @property
+    def sensitivity(self) -> float:
+        """True-positive rate at this threshold."""
+        return self.confusion.sensitivity()
+
+    @property
+    def specificity(self) -> float:
+        """True-negative rate at this threshold."""
+        return self.confusion.specificity()
+
+    @property
+    def false_positive_rate(self) -> float:
+        """1 - specificity (the ROC x-axis)."""
+        return self.confusion.false_positive_rate()
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All operating points of one sweep, in parameter order."""
+
+    detector_name: str
+    parameter_name: str
+    points: tuple[OperatingPoint, ...]
+
+    def best_by_f1(self) -> OperatingPoint:
+        """The operating point with the highest F1 score."""
+        if not self.points:
+            raise AnalysisError("the sweep produced no operating points")
+        return max(self.points, key=lambda point: point.confusion.f1_score())
+
+    def roc_points(self) -> list[tuple[float, float]]:
+        """(false-positive rate, sensitivity) pairs sorted by FPR."""
+        pairs = [(point.false_positive_rate, point.sensitivity) for point in self.points]
+        return sorted(pairs)
+
+    def auc(self) -> float:
+        """Area under the ROC curve (trapezoidal, anchored at (0,0) and (1,1))."""
+        pairs = self.roc_points()
+        xs = [0.0] + [x for x, _ in pairs] + [1.0]
+        ys = [0.0] + [y for _, y in pairs] + [1.0]
+        order = np.argsort(xs)
+        xs_arr = np.array(xs)[order]
+        ys_arr = np.array(ys)[order]
+        return float(np.trapezoid(ys_arr, xs_arr))
+
+
+def sweep_detector(
+    dataset: Dataset,
+    detector_factory: Callable[[float], Detector],
+    parameters: Sequence[float],
+    *,
+    parameter_name: str = "threshold",
+) -> SweepResult:
+    """Evaluate a detector at several parameter values against the ground truth.
+
+    Parameters
+    ----------
+    dataset:
+        A labelled data set.
+    detector_factory:
+        Callable building a detector for a given parameter value, e.g.
+        ``lambda t: RateLimitDetector(threshold_rpm=t)``.
+    parameters:
+        The parameter values to sweep.
+    """
+    if not parameters:
+        raise AnalysisError("a sweep needs at least one parameter value")
+    dataset.require_labels()
+    points = []
+    detector_name = ""
+    for value in parameters:
+        detector = detector_factory(value)
+        detector_name = detector.name
+        alerts = detector.analyze(dataset)
+        confusion = ConfusionMatrix.from_alerts(dataset, alerts)
+        points.append(OperatingPoint(parameter=float(value), confusion=confusion))
+    return SweepResult(detector_name=detector_name, parameter_name=parameter_name, points=tuple(points))
+
+
+def compare_sweep_to_ensemble(sweep: SweepResult, ensemble_confusion: ConfusionMatrix) -> dict[str, float]:
+    """Compare the best single-detector operating point with an ensemble's.
+
+    Returns the sensitivity/specificity of both, plus the deltas -- the
+    quantitative answer to "does combining diverse tools beat tuning one
+    tool's threshold?".
+    """
+    best = sweep.best_by_f1()
+    return {
+        "best_single_parameter": best.parameter,
+        "best_single_sensitivity": best.sensitivity,
+        "best_single_specificity": best.specificity,
+        "ensemble_sensitivity": ensemble_confusion.sensitivity(),
+        "ensemble_specificity": ensemble_confusion.specificity(),
+        "sensitivity_gain": ensemble_confusion.sensitivity() - best.sensitivity,
+        "specificity_gain": ensemble_confusion.specificity() - best.specificity,
+    }

@@ -1,0 +1,188 @@
+"""Temporal analysis of alerting behaviour.
+
+The paper's data set spans 8 days; a natural drill-down (and one the
+operations teams running such tools care about) is how the alert volume
+and the tools' agreement evolve over time: does the diversity come from a
+single campaign on one day, or is it a stable property of the tools?
+This module provides:
+
+* :func:`alert_timeline` -- per-bucket (hour/day) request and alert counts
+  for every detector of an alert matrix,
+* :func:`agreement_timeline` -- per-bucket both/neither/only-one counts
+  for a detector pair (Table 2 as a time series),
+* :func:`detect_alert_bursts` -- simple burst detection over a detector's
+  alert volume, used to locate campaign spikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.alerts import AlertMatrix
+from repro.core.diversity import DiversityBreakdown
+from repro.exceptions import AnalysisError
+from repro.logs.dataset import Dataset
+
+#: Supported bucketing granularities.
+GRANULARITIES = ("hour", "day")
+
+
+def _bucket_of(record, granularity: str) -> str:
+    if granularity == "day":
+        return record.day
+    if granularity == "hour":
+        return record.timestamp.strftime("%Y-%m-%d %H:00")
+    raise AnalysisError(f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}")
+
+
+@dataclass(frozen=True)
+class TimelineBucket:
+    """Request and per-detector alert counts for one time bucket."""
+
+    bucket: str
+    total_requests: int
+    alert_counts: Mapping[str, int]
+
+    def alert_rate(self, detector: str) -> float:
+        """Fraction of the bucket's requests alerted by ``detector``."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.alert_counts.get(detector, 0) / self.total_requests
+
+
+def alert_timeline(
+    dataset: Dataset,
+    matrix: AlertMatrix,
+    *,
+    granularity: str = "day",
+) -> list[TimelineBucket]:
+    """Per-bucket totals and per-detector alert counts, in time order."""
+    if granularity not in GRANULARITIES:
+        raise AnalysisError(f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}")
+    totals: dict[str, int] = {}
+    per_detector: dict[str, dict[str, int]] = {name: {} for name in matrix.detector_names}
+    alerted_sets = {name: matrix.alerted_by(name) for name in matrix.detector_names}
+
+    for record in dataset:
+        bucket = _bucket_of(record, granularity)
+        totals[bucket] = totals.get(bucket, 0) + 1
+        for name, alerted in alerted_sets.items():
+            if record.request_id in alerted:
+                per_detector[name][bucket] = per_detector[name].get(bucket, 0) + 1
+
+    buckets = []
+    for bucket in sorted(totals):
+        buckets.append(
+            TimelineBucket(
+                bucket=bucket,
+                total_requests=totals[bucket],
+                alert_counts={name: per_detector[name].get(bucket, 0) for name in matrix.detector_names},
+            )
+        )
+    return buckets
+
+
+def agreement_timeline(
+    dataset: Dataset,
+    matrix: AlertMatrix,
+    first: str,
+    second: str,
+    *,
+    granularity: str = "day",
+) -> dict[str, DiversityBreakdown]:
+    """The Table 2 breakdown computed per time bucket, keyed by bucket."""
+    if granularity not in GRANULARITIES:
+        raise AnalysisError(f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}")
+    first_alerted = matrix.alerted_by(first)
+    second_alerted = matrix.alerted_by(second)
+
+    cells: dict[str, list[int]] = {}
+    for record in dataset:
+        bucket = _bucket_of(record, granularity)
+        counts = cells.setdefault(bucket, [0, 0, 0, 0])  # both, neither, first-only, second-only
+        in_first = record.request_id in first_alerted
+        in_second = record.request_id in second_alerted
+        if in_first and in_second:
+            counts[0] += 1
+        elif not in_first and not in_second:
+            counts[1] += 1
+        elif in_first:
+            counts[2] += 1
+        else:
+            counts[3] += 1
+
+    return {
+        bucket: DiversityBreakdown(
+            first_detector=first,
+            second_detector=second,
+            both=counts[0],
+            neither=counts[1],
+            first_only=counts[2],
+            second_only=counts[3],
+        )
+        for bucket, counts in sorted(cells.items())
+    }
+
+
+@dataclass(frozen=True)
+class AlertBurst:
+    """A contiguous run of buckets with unusually high alert volume."""
+
+    detector: str
+    start_bucket: str
+    end_bucket: str
+    peak_alerts: int
+    total_alerts: int
+
+    @property
+    def bucket_span(self) -> tuple[str, str]:
+        """The (start, end) bucket labels of the burst."""
+        return (self.start_bucket, self.end_bucket)
+
+
+def detect_alert_bursts(
+    buckets: Sequence[TimelineBucket],
+    detector: str,
+    *,
+    threshold_factor: float = 2.0,
+) -> list[AlertBurst]:
+    """Find runs of buckets where a detector's alert volume spikes.
+
+    A bucket belongs to a burst when its alert count exceeds
+    ``threshold_factor`` times the median bucket alert count for that
+    detector.  Consecutive burst buckets are merged into one
+    :class:`AlertBurst`.
+    """
+    if threshold_factor <= 1.0:
+        raise AnalysisError("threshold_factor must be greater than 1")
+    counts = [bucket.alert_counts.get(detector, 0) for bucket in buckets]
+    if not counts:
+        return []
+    ordered = sorted(counts)
+    median = ordered[len(ordered) // 2]
+    threshold = max(1.0, median * threshold_factor)
+
+    bursts: list[AlertBurst] = []
+    run: list[TimelineBucket] = []
+    for bucket, count in zip(buckets, counts):
+        if count > threshold:
+            run.append(bucket)
+            continue
+        if run:
+            bursts.append(_close_burst(run, detector))
+            run = []
+    if run:
+        bursts.append(_close_burst(run, detector))
+    return bursts
+
+
+def _close_burst(run: Sequence[TimelineBucket], detector: str) -> AlertBurst:
+    counts = [bucket.alert_counts.get(detector, 0) for bucket in run]
+    return AlertBurst(
+        detector=detector,
+        start_bucket=run[0].bucket,
+        end_bucket=run[-1].bucket,
+        peak_alerts=max(counts),
+        total_alerts=sum(counts),
+    )

@@ -1,0 +1,61 @@
+"""Anomaly-based session detector.
+
+Wraps any of the unsupervised models from :mod:`repro.anomaly` (isolation
+forest, k-NN distance, Mahalanobis, robust z-score) into the common
+detector interface: fit on the session feature matrix of the analysed
+data set, score every session and alert on the most anomalous fraction
+(the *contamination* parameter).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.anomaly.base import AnomalyModel
+from repro.anomaly.isolation_forest import IsolationForestModel
+from repro.core.alerts import AlertSet
+from repro.detectors.base import Detector
+from repro.detectors.features import feature_matrix
+from repro.logs.dataset import Dataset
+from repro.logs.sessionization import Session, Sessionizer
+
+
+class AnomalySessionDetector(Detector):
+    """Alert on the most anomalous sessions according to an unsupervised model."""
+
+    def __init__(
+        self,
+        model: AnomalyModel | None = None,
+        *,
+        name: str = "anomaly",
+        contamination: float = 0.3,
+        sessionizer: Sessionizer | None = None,
+    ) -> None:
+        if not 0.0 < contamination < 1.0:
+            raise ValueError("contamination must be in (0, 1)")
+        self.name = name
+        self.model = model or IsolationForestModel()
+        self.contamination = contamination
+        self.sessionizer = sessionizer or Sessionizer()
+
+    def analyze(self, dataset: Dataset, *, sessions: Sequence[Session] | None = None) -> AlertSet:
+        alert_set = AlertSet(self.name)
+        if sessions is None:
+            sessions = self.sessionizer.sessionize(dataset.records)
+        if len(sessions) < 2:
+            return alert_set
+
+        matrix = feature_matrix(list(sessions))
+        scores = self.model.fit_score(matrix)
+        threshold = self.model.threshold_for_contamination(scores, self.contamination)
+        max_score = float(scores.max()) or 1.0
+        for session, score in zip(sessions, scores):
+            if score < threshold:
+                continue
+            for request_id in session.request_ids():
+                alert_set.add(
+                    request_id,
+                    score=min(1.0, float(score) / max_score),
+                    reasons=(f"anomalous session ({self.model.__class__.__name__} score {score:.3f})",),
+                )
+        return alert_set

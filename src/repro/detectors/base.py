@@ -1,0 +1,82 @@
+"""Detector base classes.
+
+Every detector consumes a :class:`~repro.logs.dataset.Dataset` (records
+only -- never the ground truth) and produces an
+:class:`~repro.core.alerts.AlertSet`.  Two base classes are provided:
+
+* :class:`Detector` -- the minimal interface (``analyze``).
+* :class:`SessionDetector` -- for detectors that reason about visitor
+  sessions; it handles sessionization and lets subclasses implement a
+  single ``judge_session`` method.  Sessionization is the dominant cost
+  when running many detectors over the same data, so pre-computed
+  sessions can be passed in and shared.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.core.alerts import AlertSet
+from repro.logs.dataset import Dataset
+from repro.logs.sessionization import Session, Sessionizer
+
+
+class Detector(abc.ABC):
+    """Abstract base class for all detectors."""
+
+    #: Unique, human-readable detector name (used as the alert-set name).
+    name: str = "detector"
+
+    @abc.abstractmethod
+    def analyze(self, dataset: Dataset, *, sessions: Sequence[Session] | None = None) -> AlertSet:
+        """Analyse the data set and return this detector's alerts.
+
+        Parameters
+        ----------
+        dataset:
+            The access-log data set to analyse.
+        sessions:
+            Optional pre-computed sessions (from
+            :class:`~repro.logs.sessionization.Sessionizer`) so several
+            detectors can share the sessionization work.  Detectors that
+            do not need sessions ignore the argument.
+        """
+
+    def describe(self) -> str:
+        """A one-line description (defaults to the class docstring's first line)."""
+        doc = (self.__class__.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+class SessionDetector(Detector):
+    """Base class for detectors that reason about whole sessions.
+
+    Subclasses implement :meth:`judge_session`, returning either ``None``
+    (no alert) or a ``(score, reasons)`` tuple; every request of a flagged
+    session is then alerted, which matches how both commercial products
+    and in-house tools attribute session verdicts back to requests.
+    """
+
+    def __init__(self, sessionizer: Sessionizer | None = None):
+        self.sessionizer = sessionizer or Sessionizer()
+
+    @abc.abstractmethod
+    def judge_session(self, session: Session) -> tuple[float, Sequence[str]] | None:
+        """Return ``(score, reasons)`` when the session is malicious, else ``None``."""
+
+    def analyze(self, dataset: Dataset, *, sessions: Sequence[Session] | None = None) -> AlertSet:
+        alert_set = AlertSet(self.name)
+        if sessions is None:
+            sessions = self.sessionizer.sessionize(dataset.records)
+        for session in sessions:
+            verdict = self.judge_session(session)
+            if verdict is None:
+                continue
+            score, reasons = verdict
+            for request_id in session.request_ids():
+                alert_set.add(request_id, score=score, reasons=reasons)
+        return alert_set

@@ -1,0 +1,121 @@
+"""Behavioural session scoring.
+
+Commercial bot-defence products complement signature checks with a model
+of *how* the visitor behaves: real browsers load assets and send
+referrers, real people pause irregularly between pages and do not sweep
+the whole catalogue.  The :class:`BehavioralSessionDetector` scores each
+session against those behavioural expectations and alerts when the
+accumulated evidence crosses a threshold.
+
+The scoring is an interpretable, weighted-evidence model rather than a
+black-box classifier -- partly because that is auditable, and partly
+because the genuinely statistical detectors (naive Bayes, decision tree,
+anomaly detection) are available separately for the multi-detector
+extension experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.detectors.base import SessionDetector
+from repro.detectors.features import SessionFeatures, extract_features
+from repro.detectors.fingerprint import UserAgentFingerprintDetector
+from repro.logs.sessionization import Session, Sessionizer
+
+
+@dataclass(frozen=True)
+class BehaviouralScoreConfig:
+    """Weights and thresholds of the behavioural evidence model."""
+
+    #: Sessions that never load static assets.
+    no_assets_weight: float = 2.0
+    no_assets_threshold: float = 0.05
+    #: Sessions that never send a Referer header.
+    no_referrer_weight: float = 1.5
+    no_referrer_threshold: float = 0.2
+    #: Machine-regular inter-arrival times.
+    machine_timing_weight: float = 2.5
+    machine_timing_cv: float = 0.25
+    machine_timing_min_requests: int = 10
+    #: Unusually large sessions.
+    high_volume_weight: float = 1.0
+    high_volume_requests: int = 30
+    #: Exhaustive coverage of distinct resources.
+    coverage_weight: float = 0.5
+    coverage_ratio: float = 0.9
+    coverage_min_requests: int = 20
+    #: Sustained activity in the dead of night.
+    night_weight: float = 0.5
+    night_fraction: float = 0.4
+    #: Non-browser client fingerprints (scripted / headless).
+    fingerprint_weight: float = 4.0
+    #: Total evidence needed to alert.
+    alert_threshold: float = 4.0
+
+
+class BehavioralSessionDetector(SessionDetector):
+    """Weighted-evidence behavioural model over session features."""
+
+    def __init__(
+        self,
+        config: BehaviouralScoreConfig | None = None,
+        *,
+        name: str = "behavioral",
+        fingerprint: UserAgentFingerprintDetector | None = None,
+        sessionizer: Sessionizer | None = None,
+    ) -> None:
+        super().__init__(sessionizer)
+        self.name = name
+        self.config = config or BehaviouralScoreConfig()
+        self.fingerprint = fingerprint or UserAgentFingerprintDetector()
+
+    # ------------------------------------------------------------------
+    def score_session(self, session: Session) -> tuple[float, list[str]]:
+        """Return the accumulated evidence score and the contributing signals."""
+        config = self.config
+        features = extract_features(session)
+        score = 0.0
+        signals: list[str] = []
+
+        if features.asset_fraction < config.no_assets_threshold:
+            score += config.no_assets_weight
+            signals.append("no static assets loaded")
+        if features.referrer_fraction < config.no_referrer_threshold:
+            score += config.no_referrer_weight
+            signals.append("no referrer headers")
+        if (
+            features.request_count >= config.machine_timing_min_requests
+            and features.interarrival_cv < config.machine_timing_cv
+        ):
+            score += config.machine_timing_weight
+            signals.append(f"machine-regular timing (cv={features.interarrival_cv:.2f})")
+        if features.request_count >= config.high_volume_requests:
+            score += config.high_volume_weight
+            signals.append(f"high volume ({features.request_count} requests)")
+        if (
+            features.request_count >= config.coverage_min_requests
+            and features.unique_path_ratio > config.coverage_ratio
+        ):
+            score += config.coverage_weight
+            signals.append("exhaustive URL coverage")
+        if features.night_fraction > config.night_fraction:
+            score += config.night_weight
+            signals.append("night-time activity")
+        if self._suspicious_fingerprint(session, features):
+            score += config.fingerprint_weight
+            signals.append("non-browser client fingerprint")
+        return score, signals
+
+    def _suspicious_fingerprint(self, session: Session, features: SessionFeatures) -> bool:
+        verdict = self.fingerprint.judge_request(session.user_agent, session.client_ip)
+        return verdict is not None
+
+    # ------------------------------------------------------------------
+    def judge_session(self, session: Session) -> tuple[float, Sequence[str]] | None:
+        score, signals = self.score_session(session)
+        if score < self.config.alert_threshold:
+            return None
+        normalised = min(1.0, score / (2 * self.config.alert_threshold))
+        return normalised, tuple(signals)

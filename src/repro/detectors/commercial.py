@@ -1,0 +1,95 @@
+"""The commercial-product stand-in ("Distil-like" composite detector).
+
+Commercial bot-mitigation products combine several layers that all feed
+one verdict per visitor:
+
+1. **client fingerprint validation** -- scripted clients, headless
+   browsers and fake search-engine crawlers are flagged outright;
+2. **IP reputation** -- requests from ranges known to host scraping
+   infrastructure are flagged;
+3. **global rate limiting** -- visitors exceeding an aggressive request
+   rate are flagged regardless of anything else;
+4. **behavioural analysis** -- sessions whose browsing behaviour is
+   inconsistent with a human driving a real browser are flagged.
+
+Verified search-engine crawlers are whitelisted, as every commercial
+product does.  The composite's alert set is the union of the layers'
+alerts, with the triggering layer(s) recorded as alert reasons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.alerts import AlertSet
+from repro.detectors.base import Detector
+from repro.detectors.behavioral import BehavioralSessionDetector, BehaviouralScoreConfig
+from repro.detectors.fingerprint import UserAgentFingerprintDetector
+from repro.detectors.ratelimit import RateLimitDetector
+from repro.detectors.reputation import IPReputationDetector
+from repro.logs.dataset import Dataset
+from repro.logs.sessionization import Session, Sessionizer
+
+
+class CommercialBotDefenceDetector(Detector):
+    """Multi-layer commercial-style bot defence (the paper's "Distil" stand-in)."""
+
+    def __init__(
+        self,
+        *,
+        name: str = "commercial",
+        reputation_blocklist: Iterable[str] | None = None,
+        rate_threshold_rpm: float = 90.0,
+        behavioural_config: BehaviouralScoreConfig | None = None,
+        sessionizer: Sessionizer | None = None,
+    ) -> None:
+        self.name = name
+        self.sessionizer = sessionizer or Sessionizer()
+        self.fingerprint = UserAgentFingerprintDetector(name=f"{name}/fingerprint")
+        self.reputation = IPReputationDetector(reputation_blocklist, name=f"{name}/reputation")
+        self.ratelimit = RateLimitDetector(
+            name=f"{name}/rate",
+            threshold_rpm=rate_threshold_rpm,
+            sessionizer=self.sessionizer,
+        )
+        self.behavioral = BehavioralSessionDetector(
+            behavioural_config,
+            name=f"{name}/behavioral",
+            fingerprint=self.fingerprint,
+            sessionizer=self.sessionizer,
+        )
+
+    # ------------------------------------------------------------------
+    def analyze(self, dataset: Dataset, *, sessions: Sequence[Session] | None = None) -> AlertSet:
+        if sessions is None:
+            sessions = self.sessionizer.sessionize(dataset.records)
+
+        layer_alerts = [
+            ("fingerprint", self.fingerprint.analyze(dataset, sessions=sessions)),
+            ("reputation", self.reputation.analyze(dataset, sessions=sessions)),
+            ("rate", self.ratelimit.analyze(dataset, sessions=sessions)),
+            ("behavioral", self.behavioral.analyze(dataset, sessions=sessions)),
+        ]
+
+        whitelisted = self._whitelisted_request_ids(sessions)
+
+        combined = AlertSet(self.name)
+        for layer_name, alerts in layer_alerts:
+            for alert in alerts.alerts():
+                if alert.request_id in whitelisted:
+                    continue
+                combined.add(
+                    alert.request_id,
+                    score=alert.score,
+                    reasons=tuple(f"{layer_name}: {reason}" for reason in alert.reasons) or (layer_name,),
+                )
+        return combined
+
+    # ------------------------------------------------------------------
+    def _whitelisted_request_ids(self, sessions: Sequence[Session]) -> set[str]:
+        """Requests from verified search-engine crawlers are never alerted."""
+        whitelisted: set[str] = set()
+        for session in sessions:
+            if self.fingerprint.is_verified_crawler(session.user_agent, session.client_ip):
+                whitelisted.update(session.request_ids())
+        return whitelisted

@@ -1,0 +1,74 @@
+"""User-agent / client fingerprint detector.
+
+Commercial bot defences validate the client's claimed identity: obvious
+scripted clients (python-requests, curl, Scrapy, ...) are flagged
+outright, headless browsers are flagged, and user agents that *claim* to
+be a well-known crawler are checked against the crawler operators'
+published IP ranges (fake Googlebots are a scraping staple).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.alerts import AlertSet
+from repro.detectors.base import Detector
+from repro.logs.dataset import Dataset
+from repro.logs.sessionization import Session
+from repro.traffic.ipspace import IPPool, IPSpace
+from repro.traffic.useragents import is_headless_agent, is_known_crawler_agent, is_scripted_agent
+
+
+class UserAgentFingerprintDetector(Detector):
+    """Flag requests whose client fingerprint is inconsistent or non-browser."""
+
+    def __init__(
+        self,
+        *,
+        name: str = "ua-fingerprint",
+        crawler_pool: IPPool | None = None,
+        flag_scripted: bool = True,
+        flag_headless: bool = True,
+        flag_missing_agent: bool = True,
+        flag_fake_crawlers: bool = True,
+    ) -> None:
+        self.name = name
+        self.crawler_pool = crawler_pool or IPSpace().crawler
+        self.flag_scripted = flag_scripted
+        self.flag_headless = flag_headless
+        self.flag_missing_agent = flag_missing_agent
+        self.flag_fake_crawlers = flag_fake_crawlers
+
+    # ------------------------------------------------------------------
+    def judge_request(self, user_agent: str, client_ip: str) -> tuple[float, str] | None:
+        """Return ``(score, reason)`` when the fingerprint is suspicious."""
+        if self.flag_missing_agent and not user_agent.strip():
+            return 0.9, "missing user agent"
+        if self.flag_scripted and is_scripted_agent(user_agent):
+            return 1.0, "scripted client user agent"
+        if self.flag_headless and is_headless_agent(user_agent):
+            return 0.9, "headless browser user agent"
+        if self.flag_fake_crawlers and is_known_crawler_agent(user_agent):
+            if not self.crawler_pool.contains(client_ip):
+                return 0.95, "claims to be a known crawler from an unverified IP"
+        return None
+
+    def is_verified_crawler(self, user_agent: str, client_ip: str) -> bool:
+        """True for crawler user agents whose source IP checks out."""
+        return is_known_crawler_agent(user_agent) and self.crawler_pool.contains(client_ip)
+
+    def analyze(self, dataset: Dataset, *, sessions: Sequence[Session] | None = None) -> AlertSet:
+        alert_set = AlertSet(self.name)
+        # Fingerprints depend only on (user agent, client IP), so cache
+        # verdicts per pair instead of re-evaluating per request.
+        cache: dict[tuple[str, str], tuple[float, str] | None] = {}
+        for record in dataset:
+            key = (record.user_agent, record.client_ip)
+            if key not in cache:
+                cache[key] = self.judge_request(record.user_agent, record.client_ip)
+            verdict = cache[key]
+            if verdict is None:
+                continue
+            score, reason = verdict
+            alert_set.add(record.request_id, score=score, reasons=(reason,))
+        return alert_set

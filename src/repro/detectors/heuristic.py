@@ -1,0 +1,217 @@
+"""Rule-based heuristic detection.
+
+In-house scraping detectors are typically transparent rule engines: a set
+of operational heuristics, each encoding one observation the security team
+made about scraper behaviour ("nobody legitimate makes 50 search requests
+a minute", "browsers load stylesheets", "humans don't generate 10% 400s").
+This module provides the rule engine plus the individual rules; the
+Arcane-like composite in :mod:`repro.detectors.inhouse` is a particular
+configuration of it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.detectors.base import SessionDetector
+from repro.logs.sessionization import Session, Sessionizer
+from repro.traffic.ipspace import IPPool, IPSpace
+from repro.traffic.useragents import is_known_crawler_agent, is_scripted_agent
+
+
+class Rule(abc.ABC):
+    """One heuristic rule evaluated against a session."""
+
+    #: Short rule name (shows up as an alert reason prefix).
+    name: str = "rule"
+
+    @abc.abstractmethod
+    def matches(self, session: Session) -> str | None:
+        """Return a human-readable reason when the rule fires, else ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}()"
+
+
+class RateRule(Rule):
+    """Sessions faster than a human could sustain.
+
+    The rule fires on either the session's average rate or its busiest
+    one-minute window (:meth:`~repro.logs.sessionization.Session.peak_requests_per_minute`),
+    so bursty scrapers cannot hide behind long idle gaps.
+    """
+
+    name = "session-rate"
+
+    def __init__(self, threshold_rpm: float = 30.0, min_requests: int = 10):
+        if threshold_rpm <= 0:
+            raise ValueError("threshold_rpm must be positive")
+        self.threshold_rpm = threshold_rpm
+        self.min_requests = min_requests
+
+    def matches(self, session: Session) -> str | None:
+        if session.request_count < self.min_requests:
+            return None
+        rate = session.requests_per_minute()
+        if rate > self.threshold_rpm:
+            return f"{self.name}: {rate:.0f} req/min > {self.threshold_rpm:.0f}"
+        peak = session.peak_requests_per_minute()
+        if peak > self.threshold_rpm:
+            return f"{self.name}: peak {peak:.0f} req/min > {self.threshold_rpm:.0f}"
+        return None
+
+
+class ScriptedAgentRule(Rule):
+    """Obvious scripted-client user agents (requests/curl/Scrapy/...)."""
+
+    name = "scripted-agent"
+
+    def matches(self, session: Session) -> str | None:
+        if is_scripted_agent(session.user_agent):
+            return f"{self.name}: {session.user_agent.split('/')[0]}"
+        if not session.user_agent.strip():
+            return f"{self.name}: empty user agent"
+        return None
+
+
+class ErrorProbeRule(Rule):
+    """Sessions that probe the application's error space.
+
+    Scrapers that map an API or fuzz query parameters leave a trail of
+    400/404 responses, empty ``204`` responses and HEAD probes at rates no
+    organic visitor produces.  The application's own tracking beacons also
+    answer ``204``, so paths matching ``tracking_path_markers`` are
+    excluded from the 204 computation -- an in-house tool knows its own
+    telemetry endpoints.
+    """
+
+    name = "error-probe"
+
+    def __init__(
+        self,
+        *,
+        min_requests: int = 8,
+        error_rate_threshold: float = 0.04,
+        no_content_threshold: float = 0.06,
+        head_threshold: float = 0.08,
+        tracking_path_markers: Sequence[str] = ("/track", "/beacon", "/pixel"),
+    ) -> None:
+        self.min_requests = min_requests
+        self.error_rate_threshold = error_rate_threshold
+        self.no_content_threshold = no_content_threshold
+        self.head_threshold = head_threshold
+        self.tracking_path_markers = tuple(tracking_path_markers)
+
+    def _is_tracking_path(self, path: str) -> bool:
+        lowered = path.lower()
+        return any(marker in lowered for marker in self.tracking_path_markers)
+
+    def _no_content_fraction(self, session: Session) -> float:
+        """Fraction of 204 responses, ignoring the site's own tracking endpoints."""
+        relevant = [r for r in session.records if not self._is_tracking_path(r.url_path)]
+        if not relevant:
+            return 0.0
+        return sum(1 for r in relevant if r.status == 204) / len(relevant)
+
+    def matches(self, session: Session) -> str | None:
+        if session.request_count < self.min_requests:
+            return None
+        error_rate = session.error_rate()
+        if error_rate >= self.error_rate_threshold:
+            return f"{self.name}: error rate {error_rate:.1%}"
+        no_content = self._no_content_fraction(session)
+        if no_content >= self.no_content_threshold:
+            return f"{self.name}: 204 fraction {no_content:.1%}"
+        head_fraction = session.head_fraction()
+        if head_fraction >= self.head_threshold:
+            return f"{self.name}: HEAD fraction {head_fraction:.1%}"
+        return None
+
+
+class RobotsNoAssetRule(Rule):
+    """Crawler-shaped sessions that are not verified crawlers.
+
+    Fetching ``robots.txt`` while never loading a stylesheet or image is
+    crawler behaviour; when the visitor is not one of the verified search
+    engines it is almost certainly a scraper seeding its crawl.
+    """
+
+    name = "robots-no-assets"
+
+    def __init__(self, *, min_requests: int = 10, asset_threshold: float = 0.02):
+        self.min_requests = min_requests
+        self.asset_threshold = asset_threshold
+
+    def matches(self, session: Session) -> str | None:
+        if session.request_count < self.min_requests:
+            return None
+        if session.robots_txt_hits() == 0:
+            return None
+        if session.asset_fraction() <= self.asset_threshold:
+            return f"{self.name}: robots.txt fetched, {session.asset_fraction():.1%} assets"
+        return None
+
+
+class PathRepetitionRule(Rule):
+    """The same resource hammered repeatedly within one session."""
+
+    name = "path-repetition"
+
+    def __init__(self, *, min_requests: int = 20, repetition_threshold: float = 8.0):
+        self.min_requests = min_requests
+        self.repetition_threshold = repetition_threshold
+
+    def matches(self, session: Session) -> str | None:
+        if session.request_count < self.min_requests:
+            return None
+        repetition = session.path_repetition()
+        if repetition >= self.repetition_threshold:
+            return f"{self.name}: {repetition:.1f} requests per distinct path"
+        return None
+
+
+class HeuristicRuleDetector(SessionDetector):
+    """A rule engine: a session is alerted when any rule fires.
+
+    Verified crawlers (well-known crawler user agent from the operator's
+    published IP range) are whitelisted before the rules run, as every
+    operations team does to avoid alert noise from Googlebot.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        *,
+        name: str = "heuristic-rules",
+        whitelist_verified_crawlers: bool = True,
+        crawler_pool: IPPool | None = None,
+        sessionizer: Sessionizer | None = None,
+    ) -> None:
+        super().__init__(sessionizer)
+        if not rules:
+            raise ValueError("a rule detector needs at least one rule")
+        self.name = name
+        self.rules = list(rules)
+        self.whitelist_verified_crawlers = whitelist_verified_crawlers
+        self.crawler_pool = crawler_pool or IPSpace().crawler
+
+    def is_whitelisted(self, session: Session) -> bool:
+        """True for sessions from verified, well-known crawlers."""
+        if not self.whitelist_verified_crawlers:
+            return False
+        return is_known_crawler_agent(session.user_agent) and self.crawler_pool.contains(session.client_ip)
+
+    def judge_session(self, session: Session) -> tuple[float, Sequence[str]] | None:
+        if self.is_whitelisted(session):
+            return None
+        reasons = []
+        for rule in self.rules:
+            reason = rule.matches(session)
+            if reason is not None:
+                reasons.append(reason)
+        if not reasons:
+            return None
+        # More independent rules firing means higher confidence.
+        score = min(1.0, 0.6 + 0.2 * (len(reasons) - 1))
+        return score, tuple(reasons)

@@ -1,0 +1,66 @@
+"""Running several detectors over one data set.
+
+The paper's setting is exactly this: multiple tools observing the same
+traffic.  :class:`DetectionPipeline` sessionizes the data once, runs each
+detector with the shared sessions and returns the per-detector alert sets
+together with the assembled :class:`~repro.core.alerts.AlertMatrix`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.alerts import AlertMatrix, AlertSet
+from repro.detectors.base import Detector
+from repro.exceptions import DetectorError
+from repro.logs.dataset import Dataset
+from repro.logs.sessionization import Sessionizer
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced by one pipeline run."""
+
+    dataset: Dataset
+    alert_sets: list[AlertSet]
+    matrix: AlertMatrix
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def alert_set(self, detector_name: str) -> AlertSet:
+        """The alert set of one detector."""
+        for alert_set in self.alert_sets:
+            if alert_set.detector_name == detector_name:
+                return alert_set
+        raise DetectorError(f"no alert set for detector {detector_name!r}")
+
+
+class DetectionPipeline:
+    """Run a list of detectors over a data set with shared sessionization."""
+
+    def __init__(self, detectors: Sequence[Detector], *, sessionizer: Sessionizer | None = None):
+        if not detectors:
+            raise DetectorError("a detection pipeline needs at least one detector")
+        names = [detector.name for detector in detectors]
+        if len(set(names)) != len(names):
+            raise DetectorError(f"detector names must be unique, got {names}")
+        self.detectors = list(detectors)
+        self.sessionizer = sessionizer or Sessionizer()
+
+    def run(self, dataset: Dataset) -> PipelineResult:
+        """Run every detector and assemble the alert matrix."""
+        sessions = self.sessionizer.sessionize(dataset.records)
+        alert_sets: list[AlertSet] = []
+        timings: dict[str, float] = {}
+        for detector in self.detectors:
+            started = time.perf_counter()
+            alert_sets.append(detector.analyze(dataset, sessions=sessions))
+            timings[detector.name] = time.perf_counter() - started
+        matrix = AlertMatrix.from_alert_sets(dataset, alert_sets)
+        return PipelineResult(dataset=dataset, alert_sets=alert_sets, matrix=matrix, timings=timings)
+
+
+def run_detectors(dataset: Dataset, detectors: Sequence[Detector]) -> PipelineResult:
+    """Convenience wrapper: ``DetectionPipeline(detectors).run(dataset)``."""
+    return DetectionPipeline(detectors).run(dataset)

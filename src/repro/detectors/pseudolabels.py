@@ -1,0 +1,74 @@
+"""Pseudo-labelling of sessions for the self-trained detectors.
+
+The naive-Bayes and decision-tree detectors are supervised models, but at
+deployment time no labelled traffic exists (the paper's own data set was
+unlabelled).  The standard operational answer is *self-training*: derive
+high-confidence pseudo-labels from unambiguous indicators (an obviously
+scripted client is a bot; a modest-rate visitor loading assets with
+referrers is a person), train on those, and generalise to the ambiguous
+middle ground.  This module centralises that pseudo-labelling logic so
+both detectors share it and tests can exercise it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detectors.features import SessionFeatures
+
+
+@dataclass(frozen=True)
+class PseudoLabelConfig:
+    """Thresholds defining the high-confidence regions."""
+
+    #: A session faster than this is confidently automated.
+    bot_rate_rpm: float = 80.0
+    bot_min_requests: int = 20
+    #: A session with at least this much asset/referrer behaviour and a
+    #: modest size is confidently human.
+    human_asset_fraction: float = 0.25
+    human_referrer_fraction: float = 0.5
+    human_max_requests: int = 60
+    human_max_rate_rpm: float = 25.0
+
+
+def pseudo_label(features: SessionFeatures, config: PseudoLabelConfig | None = None) -> int | None:
+    """Return 1 (bot), 0 (human) or ``None`` (ambiguous) for a session."""
+    config = config or PseudoLabelConfig()
+    if features.scripted_agent or features.headless_agent:
+        return 1
+    if (
+        features.requests_per_minute > config.bot_rate_rpm
+        and features.request_count >= config.bot_min_requests
+    ):
+        return 1
+    if (
+        features.asset_fraction >= config.human_asset_fraction
+        and features.referrer_fraction >= config.human_referrer_fraction
+        and features.request_count <= config.human_max_requests
+        and features.requests_per_minute <= config.human_max_rate_rpm
+    ):
+        return 0
+    return None
+
+
+def pseudo_label_sessions(
+    feature_list: list[SessionFeatures],
+    config: PseudoLabelConfig | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pseudo-label a list of session features.
+
+    Returns ``(indices, labels)`` where ``indices`` are positions into
+    ``feature_list`` that received a confident label and ``labels`` are the
+    corresponding 0/1 values.
+    """
+    indices: list[int] = []
+    labels: list[int] = []
+    for position, features in enumerate(feature_list):
+        label = pseudo_label(features, config)
+        if label is not None:
+            indices.append(position)
+            labels.append(label)
+    return np.array(indices, dtype=int), np.array(labels, dtype=int)

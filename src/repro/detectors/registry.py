@@ -1,0 +1,65 @@
+"""Detector registry.
+
+A small name -> factory registry so the CLI, the examples and the
+benchmarks can construct detectors from strings (``"commercial"``,
+``"inhouse"``, ``"rate-limit"``, ...) without importing every detector
+module themselves.  Third-party code can register additional detectors
+with :func:`register_detector`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.detectors.anomaly_detector import AnomalySessionDetector
+from repro.detectors.base import Detector
+from repro.detectors.behavioral import BehavioralSessionDetector
+from repro.detectors.commercial import CommercialBotDefenceDetector
+from repro.detectors.crawler_ml import CrawlerDecisionTreeDetector
+from repro.detectors.fingerprint import UserAgentFingerprintDetector
+from repro.detectors.inhouse import InHouseHeuristicDetector
+from repro.detectors.naive_bayes import NaiveBayesRobotDetector
+from repro.detectors.ratelimit import RateLimitDetector
+from repro.detectors.reputation import IPReputationDetector
+from repro.exceptions import DetectorError
+
+DetectorFactory = Callable[..., Detector]
+
+_REGISTRY: dict[str, DetectorFactory] = {}
+
+
+def register_detector(name: str, factory: DetectorFactory, *, overwrite: bool = False) -> None:
+    """Register a detector factory under ``name``."""
+    if not name:
+        raise DetectorError("detector registry names must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise DetectorError(f"detector {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_detectors() -> list[str]:
+    """Names of all registered detectors."""
+    return sorted(_REGISTRY)
+
+
+def create_detector(name: str, **kwargs) -> Detector:
+    """Instantiate a registered detector by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        raise DetectorError(f"unknown detector {name!r}; available: {available_detectors()}") from exc
+    return factory(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Built-in registrations
+# ----------------------------------------------------------------------
+register_detector("commercial", CommercialBotDefenceDetector)
+register_detector("inhouse", InHouseHeuristicDetector)
+register_detector("rate-limit", RateLimitDetector)
+register_detector("ip-reputation", IPReputationDetector)
+register_detector("ua-fingerprint", UserAgentFingerprintDetector)
+register_detector("behavioral", BehavioralSessionDetector)
+register_detector("naive-bayes", NaiveBayesRobotDetector)
+register_detector("decision-tree", CrawlerDecisionTreeDetector)
+register_detector("anomaly", AnomalySessionDetector)

@@ -1,0 +1,61 @@
+"""IP-reputation detector.
+
+Commercial bot-mitigation products consume threat-intelligence feeds that
+flag hosting/datacenter ranges and known proxy exits.  The detector here
+consumes a blocklist of /24 prefixes; by default the blocklist is the
+simulated reputation feed from :class:`repro.traffic.ipspace.IPSpace`
+(which flags a large share of the datacenter space and nothing else),
+built with a fixed seed so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.core.alerts import AlertSet
+from repro.detectors.base import Detector
+from repro.logs.dataset import Dataset
+from repro.logs.sessionization import Session
+from repro.traffic.ipspace import IPSpace, prefix24
+
+
+class IPReputationDetector(Detector):
+    """Flag every request from a /24 prefix present on a reputation blocklist."""
+
+    def __init__(
+        self,
+        blocklist: Iterable[str] | None = None,
+        *,
+        name: str = "ip-reputation",
+        feed_seed: int = 99,
+        min_requests_from_prefix: int = 1,
+    ) -> None:
+        self.name = name
+        if blocklist is None:
+            blocklist = IPSpace().reputation_blocklist(random.Random(feed_seed))
+        self.blocklist = set(blocklist)
+        if min_requests_from_prefix < 1:
+            raise ValueError("min_requests_from_prefix must be at least 1")
+        self.min_requests_from_prefix = min_requests_from_prefix
+
+    def is_blocklisted(self, client_ip: str) -> bool:
+        """True when the address's /24 prefix is on the blocklist."""
+        return prefix24(client_ip) in self.blocklist
+
+    def analyze(self, dataset: Dataset, *, sessions: Sequence[Session] | None = None) -> AlertSet:
+        alert_set = AlertSet(self.name)
+        if self.min_requests_from_prefix > 1:
+            counts: dict[str, int] = {}
+            for record in dataset:
+                counts[prefix24(record.client_ip)] = counts.get(prefix24(record.client_ip), 0) + 1
+        else:
+            counts = {}
+        for record in dataset:
+            prefix = prefix24(record.client_ip)
+            if prefix not in self.blocklist:
+                continue
+            if self.min_requests_from_prefix > 1 and counts.get(prefix, 0) < self.min_requests_from_prefix:
+                continue
+            alert_set.add(record.request_id, score=0.8, reasons=(f"IP prefix {prefix}.0/24 on reputation blocklist",))
+        return alert_set

@@ -1,0 +1,152 @@
+"""Online (streaming) detection.
+
+The batch detectors analyse a finished log file, which matches the
+paper's retrospective study.  In production the same techniques run
+*online*: requests arrive one by one and a verdict is needed immediately
+so the request can be blocked or challenged.  This module provides a
+streaming counterpart built from sliding-window state per visitor:
+
+* :class:`StreamingRateLimiter` -- a per-visitor sliding-window rate
+  limiter that flags a request as soon as its visitor exceeds the allowed
+  request budget per window.
+* :class:`StreamingDetector` -- wraps any streaming rule into the common
+  batch :class:`~repro.detectors.base.Detector` interface (replaying the
+  data set in time order), so online and offline detectors can be
+  compared inside the same diversity analysis.
+
+The streaming rate limiter is intentionally simple -- it is the ablation
+baseline the richer detectors are compared against, and it demonstrates
+how to add further online rules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Sequence
+
+from repro.core.alerts import AlertSet
+from repro.detectors.base import Detector
+from repro.logs.dataset import Dataset
+from repro.logs.record import LogRecord
+from repro.logs.sessionization import Session
+from repro.traffic.useragents import is_scripted_agent
+
+
+@dataclass
+class StreamingVerdict:
+    """The online decision for one request."""
+
+    request_id: str
+    alerted: bool
+    reason: str = ""
+    score: float = 0.0
+
+
+@dataclass
+class _VisitorWindow:
+    """Sliding-window state for one visitor key."""
+
+    timestamps: Deque = field(default_factory=deque)
+    alerted_until: float = 0.0
+
+
+class StreamingRateLimiter:
+    """Per-visitor sliding-window rate limiting with a penalty period.
+
+    A request is flagged when its visitor has issued more than
+    ``max_requests`` requests within the last ``window_seconds``.  Once a
+    visitor trips the limit it stays flagged for ``penalty_seconds`` (the
+    way production rate limiters and bot-mitigation challenges behave),
+    which also makes the streaming verdicts comparable with the
+    session-level batch detectors.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_requests: int = 30,
+        window_seconds: float = 60.0,
+        penalty_seconds: float = 300.0,
+        flag_scripted_agents: bool = True,
+    ) -> None:
+        if max_requests < 1:
+            raise ValueError("max_requests must be at least 1")
+        if window_seconds <= 0 or penalty_seconds < 0:
+            raise ValueError("window_seconds must be positive and penalty_seconds non-negative")
+        self.max_requests = max_requests
+        self.window_seconds = window_seconds
+        self.penalty_seconds = penalty_seconds
+        self.flag_scripted_agents = flag_scripted_agents
+        self._state: dict[tuple[str, str], _VisitorWindow] = {}
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all visitor state (start of a new deployment)."""
+        self._state.clear()
+
+    def observe(self, record: LogRecord) -> StreamingVerdict:
+        """Process one request and return the online verdict."""
+        if self.flag_scripted_agents and is_scripted_agent(record.user_agent):
+            return StreamingVerdict(
+                request_id=record.request_id,
+                alerted=True,
+                reason="scripted client user agent",
+                score=1.0,
+            )
+
+        key = record.actor_key()
+        window = self._state.setdefault(key, _VisitorWindow())
+        now = record.timestamp.timestamp()
+
+        if now < window.alerted_until:
+            return StreamingVerdict(
+                request_id=record.request_id,
+                alerted=True,
+                reason="visitor in rate-limit penalty period",
+                score=0.8,
+            )
+
+        window.timestamps.append(now)
+        cutoff = now - self.window_seconds
+        while window.timestamps and window.timestamps[0] < cutoff:
+            window.timestamps.popleft()
+
+        if len(window.timestamps) > self.max_requests:
+            window.alerted_until = now + self.penalty_seconds
+            rate = len(window.timestamps)
+            return StreamingVerdict(
+                request_id=record.request_id,
+                alerted=True,
+                reason=f"{rate} requests in {self.window_seconds:.0f}s exceeds {self.max_requests}",
+                score=min(1.0, 0.5 + 0.5 * (rate - self.max_requests) / self.max_requests),
+            )
+        return StreamingVerdict(request_id=record.request_id, alerted=False)
+
+    def observe_stream(self, records) -> list[StreamingVerdict]:
+        """Process an iterable of records (assumed time-ordered)."""
+        return [self.observe(record) for record in records]
+
+
+class StreamingDetector(Detector):
+    """Adapter exposing a streaming rule through the batch detector interface.
+
+    The data set is replayed in timestamp order (as the requests would have
+    arrived) and the streaming verdicts are collected into an alert set, so
+    online detection can participate in the same diversity/adjudication
+    analyses as the offline tools.
+    """
+
+    def __init__(self, limiter: StreamingRateLimiter | None = None, *, name: str = "streaming-rate"):
+        self.name = name
+        self.limiter = limiter or StreamingRateLimiter()
+
+    def analyze(self, dataset: Dataset, *, sessions: Sequence[Session] | None = None) -> AlertSet:
+        self.limiter.reset()
+        alert_set = AlertSet(self.name)
+        ordered = sorted(dataset.records, key=lambda record: record.timestamp)
+        for record in ordered:
+            verdict = self.limiter.observe(record)
+            if verdict.alerted:
+                alert_set.add(record.request_id, score=verdict.score, reasons=(verdict.reason,))
+        return alert_set

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class at
+application boundaries while still being able to distinguish the
+individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class LogParseError(ReproError):
+    """Raised when an access-log line cannot be parsed.
+
+    Attributes
+    ----------
+    line:
+        The offending raw log line (possibly truncated for display).
+    line_number:
+        1-based line number within the source file, if known.
+    """
+
+    def __init__(self, message: str, line: str = "", line_number: int | None = None):
+        super().__init__(message)
+        self.line = line
+        self.line_number = line_number
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        base = super().__str__()
+        if self.line_number is not None:
+            base = f"line {self.line_number}: {base}"
+        if self.line:
+            preview = self.line if len(self.line) <= 120 else self.line[:117] + "..."
+            base = f"{base} [{preview!r}]"
+        return base
+
+
+class DatasetError(ReproError):
+    """Raised for inconsistent or invalid data-set operations."""
+
+
+class LabelError(DatasetError):
+    """Raised when ground-truth labels are missing or inconsistent."""
+
+
+class DetectorError(ReproError):
+    """Raised when a detector is misconfigured or misused."""
+
+
+class DetectorNotFittedError(DetectorError):
+    """Raised when a detector that requires fitting is used before ``fit``."""
+
+
+class AdjudicationError(ReproError):
+    """Raised for invalid adjudication-scheme configurations."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid deployment-configuration setups."""
+
+
+class ScenarioError(ReproError):
+    """Raised when a traffic scenario is invalid or unknown."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a diversity analysis cannot be computed."""

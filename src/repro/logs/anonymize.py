@@ -1,0 +1,96 @@
+"""Anonymisation of access-log data sets.
+
+The paper's data set could not be shared because access logs identify
+users (client IPs, occasionally query parameters).  Research groups that
+*do* share such data pseudonymise it first; this module implements the
+standard techniques so synthetic studies built with this library can be
+exported in a shareable form while preserving exactly the properties the
+detectors rely on:
+
+* **prefix-preserving IP pseudonymisation** -- each /24 prefix and each
+  host suffix is mapped through a keyed permutation, so "same subnet" and
+  "same host" relations survive but real addresses do not,
+* **query-string scrubbing** -- parameter values are replaced by
+  placeholders (parameter *names* and counts are kept, which is what the
+  detectors use),
+* **user-agent preservation** -- user agents are detection-relevant and
+  not personal, so they pass through unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from urllib.parse import parse_qsl, urlencode, urlsplit, urlunsplit
+
+from dataclasses import replace
+
+from repro.logs.dataset import Dataset
+from repro.logs.record import LogRecord
+
+
+class LogAnonymizer:
+    """Keyed, deterministic anonymiser for log records and data sets."""
+
+    def __init__(self, secret: str = "repro-secret", *, scrub_queries: bool = True):
+        if not secret:
+            raise ValueError("the anonymisation secret must be non-empty")
+        self.secret = secret.encode("utf-8")
+        self.scrub_queries = scrub_queries
+
+    # ------------------------------------------------------------------
+    # IP pseudonymisation
+    # ------------------------------------------------------------------
+    def _keyed_octet(self, label: str, value: str) -> int:
+        digest = hmac.new(self.secret, f"{label}:{value}".encode("utf-8"), hashlib.sha256).digest()
+        return digest[0]
+
+    def anonymize_ip(self, client_ip: str) -> str:
+        """Pseudonymise an IPv4 address, preserving subnet relationships.
+
+        The first two octets are mapped as a pair (so distinct /16s stay
+        distinct), the third octet is mapped within its /16 and the host
+        octet within its /24 -- two hosts in the same real subnet remain in
+        the same pseudonymous subnet.
+        """
+        parts = client_ip.split(".")
+        if len(parts) != 4:
+            # Not an IPv4 address (e.g. already anonymised or IPv6): hash wholesale.
+            digest = hmac.new(self.secret, client_ip.encode("utf-8"), hashlib.sha256).hexdigest()
+            return f"anon-{digest[:12]}"
+        upper = ".".join(parts[:2])
+        mapped_upper_a = self._keyed_octet("upper-a", upper)
+        mapped_upper_b = self._keyed_octet("upper-b", upper)
+        mapped_third = self._keyed_octet("third", ".".join(parts[:3]))
+        mapped_host = self._keyed_octet("host", client_ip)
+        return f"10.{mapped_upper_a ^ mapped_upper_b}.{mapped_third}.{max(1, mapped_host)}"
+
+    # ------------------------------------------------------------------
+    # Query scrubbing
+    # ------------------------------------------------------------------
+    def scrub_path(self, path: str) -> str:
+        """Replace query-string values with placeholders, keeping the keys."""
+        split = urlsplit(path)
+        if not split.query:
+            return path
+        scrubbed = [(key, "x") for key, _ in parse_qsl(split.query, keep_blank_values=True)]
+        return urlunsplit((split.scheme, split.netloc, split.path, urlencode(scrubbed), split.fragment))
+
+    # ------------------------------------------------------------------
+    def anonymize_record(self, record: LogRecord) -> LogRecord:
+        """Return an anonymised copy of one record."""
+        path = self.scrub_path(record.path) if self.scrub_queries else record.path
+        referrer = record.referrer
+        if referrer and self.scrub_queries:
+            referrer = self.scrub_path(referrer)
+        return replace(
+            record,
+            client_ip=self.anonymize_ip(record.client_ip),
+            path=path,
+            referrer=referrer,
+        )
+
+    def anonymize_dataset(self, dataset: Dataset) -> Dataset:
+        """Anonymise every record; ground truth and metadata are preserved."""
+        records = [self.anonymize_record(record) for record in dataset.records]
+        return Dataset(records, ground_truth=dataset.ground_truth, metadata=dataset.metadata)

@@ -1,0 +1,276 @@
+"""The :class:`Dataset` container.
+
+A data set binds together:
+
+* the ordered collection of :class:`~repro.logs.record.LogRecord` objects
+  (what the detectors see),
+* optional :class:`GroundTruth` labels (what the labelled-evaluation
+  extension experiments need), and
+* :class:`DatasetMetadata` describing where the data came from.
+
+Ground truth is deliberately kept *outside* the records so a detector can
+never read a label by accident; the paper's whole point is that the tools
+only observe the HTTP requests.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import DatasetError, LabelError
+from repro.logs.record import LogRecord
+
+#: Label value used for requests issued by malicious scrapers.
+MALICIOUS = "malicious"
+#: Label value used for benign requests (humans and legitimate bots).
+BENIGN = "benign"
+
+
+@dataclass(frozen=True)
+class DatasetMetadata:
+    """Descriptive metadata attached to a :class:`Dataset`."""
+
+    name: str = "unnamed"
+    description: str = ""
+    source: str = "synthetic"
+    scenario: str = ""
+    scale: float = 1.0
+    seed: int | None = None
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+
+class GroundTruth:
+    """Ground-truth labels for the requests of a data set.
+
+    The label store maps ``request_id -> (label, actor_class)`` where
+    ``label`` is :data:`MALICIOUS` or :data:`BENIGN` and ``actor_class``
+    is the finer-grained actor family that produced the request (e.g.
+    ``"human"``, ``"search_crawler"``, ``"aggressive_scraper"``).
+    """
+
+    def __init__(self) -> None:
+        self._labels: dict[str, str] = {}
+        self._actor_classes: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def set(self, request_id: str, label: str, actor_class: str = "") -> None:
+        """Record the label for a request."""
+        if label not in (MALICIOUS, BENIGN):
+            raise LabelError(f"unknown label {label!r}; expected {MALICIOUS!r} or {BENIGN!r}")
+        self._labels[request_id] = label
+        if actor_class:
+            self._actor_classes[request_id] = actor_class
+
+    def label_of(self, request_id: str) -> str:
+        """Return the label for a request, raising :class:`LabelError` if absent."""
+        try:
+            return self._labels[request_id]
+        except KeyError as exc:
+            raise LabelError(f"no ground truth for request {request_id!r}") from exc
+
+    def actor_class_of(self, request_id: str) -> str:
+        """Return the actor class for a request (empty string when unknown)."""
+        return self._actor_classes.get(request_id, "")
+
+    def is_malicious(self, request_id: str) -> bool:
+        """True when the request is labelled malicious."""
+        return self.label_of(request_id) == MALICIOUS
+
+    def __contains__(self, request_id: str) -> bool:
+        return request_id in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def malicious_ids(self) -> set[str]:
+        """The set of request ids labelled malicious."""
+        return {rid for rid, label in self._labels.items() if label == MALICIOUS}
+
+    def benign_ids(self) -> set[str]:
+        """The set of request ids labelled benign."""
+        return {rid for rid, label in self._labels.items() if label == BENIGN}
+
+    def actor_class_counts(self) -> Counter[str]:
+        """Number of requests per actor class."""
+        return Counter(self._actor_classes.values())
+
+    def to_dict(self) -> dict[str, dict[str, str]]:
+        """JSON-friendly representation (used by :meth:`Dataset.save_labels`)."""
+        return {
+            rid: {"label": label, "actor_class": self._actor_classes.get(rid, "")}
+            for rid, label in self._labels.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Mapping[str, str]]) -> "GroundTruth":
+        """Inverse of :meth:`to_dict`."""
+        truth = cls()
+        for rid, entry in data.items():
+            truth.set(rid, entry["label"], entry.get("actor_class", ""))
+        return truth
+
+
+class Dataset:
+    """An ordered collection of log records with optional ground truth."""
+
+    def __init__(
+        self,
+        records: Sequence[LogRecord] | Iterable[LogRecord],
+        ground_truth: GroundTruth | None = None,
+        metadata: DatasetMetadata | None = None,
+    ) -> None:
+        self._records: list[LogRecord] = list(records)
+        self._by_id: dict[str, LogRecord] = {}
+        for record in self._records:
+            if record.request_id in self._by_id:
+                raise DatasetError(f"duplicate request id: {record.request_id!r}")
+            self._by_id[record.request_id] = record
+        self.ground_truth = ground_truth
+        self.metadata = metadata or DatasetMetadata()
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> LogRecord:
+        return self._records[index]
+
+    def __contains__(self, request_id: str) -> bool:
+        return request_id in self._by_id
+
+    @property
+    def records(self) -> list[LogRecord]:
+        """The records in log order (do not mutate)."""
+        return self._records
+
+    @property
+    def request_ids(self) -> list[str]:
+        """All request ids in log order."""
+        return [record.request_id for record in self._records]
+
+    def get(self, request_id: str) -> LogRecord:
+        """Return the record with the given id."""
+        try:
+            return self._by_id[request_id]
+        except KeyError as exc:
+            raise DatasetError(f"no record with request id {request_id!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    @property
+    def is_labelled(self) -> bool:
+        """True when every record has a ground-truth label."""
+        if self.ground_truth is None:
+            return False
+        return all(record.request_id in self.ground_truth for record in self._records)
+
+    def require_labels(self) -> GroundTruth:
+        """Return the ground truth, raising :class:`LabelError` if incomplete."""
+        if self.ground_truth is None:
+            raise LabelError("data set has no ground truth labels")
+        missing = [r.request_id for r in self._records if r.request_id not in self.ground_truth]
+        if missing:
+            raise LabelError(f"{len(missing)} records lack ground truth (first: {missing[0]!r})")
+        return self.ground_truth
+
+    def malicious_fraction(self) -> float:
+        """Fraction of requests labelled malicious (requires labels)."""
+        truth = self.require_labels()
+        if not self._records:
+            return 0.0
+        malicious = sum(1 for r in self._records if truth.is_malicious(r.request_id))
+        return malicious / len(self._records)
+
+    # ------------------------------------------------------------------
+    # Views and statistics
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[LogRecord], bool], name: str | None = None) -> "Dataset":
+        """Return a new data set containing only records matching ``predicate``.
+
+        Ground truth and metadata are shared with the parent (labels are a
+        superset of the filtered records, which is fine).
+        """
+        filtered = [record for record in self._records if predicate(record)]
+        metadata = self.metadata
+        if name:
+            metadata = DatasetMetadata(
+                name=name,
+                description=f"filtered view of {self.metadata.name}",
+                source=self.metadata.source,
+                scenario=self.metadata.scenario,
+                scale=self.metadata.scale,
+                seed=self.metadata.seed,
+            )
+        return Dataset(filtered, ground_truth=self.ground_truth, metadata=metadata)
+
+    def status_counts(self) -> Counter[int]:
+        """Number of requests per HTTP status code."""
+        return Counter(record.status for record in self._records)
+
+    def method_counts(self) -> Counter[str]:
+        """Number of requests per HTTP method."""
+        return Counter(record.method.value for record in self._records)
+
+    def day_counts(self) -> Counter[str]:
+        """Number of requests per calendar day (ISO date strings)."""
+        return Counter(record.day for record in self._records)
+
+    def unique_ips(self) -> set[str]:
+        """The set of distinct client IPs."""
+        return {record.client_ip for record in self._records}
+
+    def unique_user_agents(self) -> set[str]:
+        """The set of distinct user-agent strings."""
+        return {record.user_agent for record in self._records}
+
+    def time_span(self) -> tuple[datetime, datetime]:
+        """The (first, last) request timestamps."""
+        if not self._records:
+            raise DatasetError("cannot compute the time span of an empty data set")
+        timestamps = [record.timestamp for record in self._records]
+        return min(timestamps), max(timestamps)
+
+    def sorted_by_time(self) -> "Dataset":
+        """Return a copy with the records sorted by timestamp (stable)."""
+        ordered = sorted(self._records, key=lambda record: record.timestamp)
+        return Dataset(ordered, ground_truth=self.ground_truth, metadata=self.metadata)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_labels(self, path: str) -> None:
+        """Write the ground truth to ``path`` as JSON."""
+        truth = self.require_labels()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(truth.to_dict(), handle)
+
+    @staticmethod
+    def load_labels(path: str) -> GroundTruth:
+        """Load ground truth previously written by :meth:`save_labels`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return GroundTruth.from_dict(json.load(handle))
+
+    def summary(self) -> dict[str, object]:
+        """A dictionary summary of the data set (used by the CLI and reports)."""
+        info: dict[str, object] = {
+            "name": self.metadata.name,
+            "records": len(self._records),
+            "unique_ips": len(self.unique_ips()),
+            "unique_user_agents": len(self.unique_user_agents()),
+            "statuses": dict(self.status_counts()),
+            "days": dict(self.day_counts()),
+            "labelled": self.is_labelled,
+        }
+        if self.is_labelled:
+            info["malicious_fraction"] = round(self.malicious_fraction(), 4)
+        return info

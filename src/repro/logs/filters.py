@@ -1,0 +1,110 @@
+"""Composable record predicates.
+
+The diversity analysis slices the data set along several dimensions (by
+status for Tables 3-4, by day, by tool-exclusive alerts, ...).  These
+small predicate factories keep that slicing readable:
+
+>>> ok_only = dataset.filter(by_status(200))
+>>> errors = dataset.filter(by_status_class(4))
+>>> chrome = dataset.filter(by_user_agent_substring("Chrome"))
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.logs.record import LogRecord
+
+RecordPredicate = Callable[[LogRecord], bool]
+
+
+def by_status(status: int) -> RecordPredicate:
+    """Match records with exactly the given status code."""
+
+    def predicate(record: LogRecord) -> bool:
+        return record.status == status
+
+    return predicate
+
+
+def by_status_class(status_class: int) -> RecordPredicate:
+    """Match records in the given status class (2 for 2xx, 4 for 4xx, ...)."""
+
+    def predicate(record: LogRecord) -> bool:
+        return record.status_class == status_class
+
+    return predicate
+
+
+def by_ip(client_ip: str) -> RecordPredicate:
+    """Match records from the given client IP."""
+
+    def predicate(record: LogRecord) -> bool:
+        return record.client_ip == client_ip
+
+    return predicate
+
+
+def by_method(method: str) -> RecordPredicate:
+    """Match records with the given HTTP method (case-insensitive)."""
+    method_upper = method.upper()
+
+    def predicate(record: LogRecord) -> bool:
+        return record.method.value == method_upper
+
+    return predicate
+
+
+def by_path_prefix(prefix: str) -> RecordPredicate:
+    """Match records whose URL path starts with ``prefix``."""
+
+    def predicate(record: LogRecord) -> bool:
+        return record.url_path.startswith(prefix)
+
+    return predicate
+
+
+def by_user_agent_substring(fragment: str) -> RecordPredicate:
+    """Match records whose user agent contains ``fragment`` (case-insensitive)."""
+    fragment_lower = fragment.lower()
+
+    def predicate(record: LogRecord) -> bool:
+        return fragment_lower in record.user_agent.lower()
+
+    return predicate
+
+
+def by_day(iso_date: str) -> RecordPredicate:
+    """Match records from the given ISO calendar day (``YYYY-MM-DD``)."""
+
+    def predicate(record: LogRecord) -> bool:
+        return record.day == iso_date
+
+    return predicate
+
+
+def and_filter(*predicates: RecordPredicate) -> RecordPredicate:
+    """Match records satisfying *all* of the given predicates."""
+
+    def predicate(record: LogRecord) -> bool:
+        return all(p(record) for p in predicates)
+
+    return predicate
+
+
+def or_filter(*predicates: RecordPredicate) -> RecordPredicate:
+    """Match records satisfying *any* of the given predicates."""
+
+    def predicate(record: LogRecord) -> bool:
+        return any(p(record) for p in predicates)
+
+    return predicate
+
+
+def not_filter(inner: RecordPredicate) -> RecordPredicate:
+    """Match records that do *not* satisfy ``inner``."""
+
+    def predicate(record: LogRecord) -> bool:
+        return not inner(record)
+
+    return predicate

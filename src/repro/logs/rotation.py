@@ -1,0 +1,43 @@
+"""Day-by-day views of a data set.
+
+The paper's data set spans 8 days of production traffic; operationally
+such logs are rotated daily.  These helpers split a :class:`Dataset` into
+per-day data sets and iterate over them in calendar order, which the
+per-day drill-down analyses and the CLI use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.logs.dataset import Dataset, DatasetMetadata
+
+
+def split_by_day(dataset: Dataset) -> dict[str, Dataset]:
+    """Split ``dataset`` into one data set per calendar day.
+
+    The returned mapping is keyed by ISO date (``YYYY-MM-DD``).  Records
+    keep their original order within each day; ground truth is shared.
+    """
+    buckets: dict[str, list] = {}
+    for record in dataset:
+        buckets.setdefault(record.day, []).append(record)
+    result: dict[str, Dataset] = {}
+    for day in sorted(buckets):
+        metadata = DatasetMetadata(
+            name=f"{dataset.metadata.name}:{day}",
+            description=f"day {day} of {dataset.metadata.name}",
+            source=dataset.metadata.source,
+            scenario=dataset.metadata.scenario,
+            scale=dataset.metadata.scale,
+            seed=dataset.metadata.seed,
+        )
+        result[day] = Dataset(buckets[day], ground_truth=dataset.ground_truth, metadata=metadata)
+    return result
+
+
+def iter_days(dataset: Dataset) -> Iterator[tuple[str, Dataset]]:
+    """Iterate ``(iso_date, per-day data set)`` pairs in calendar order."""
+    per_day = split_by_day(dataset)
+    for day in sorted(per_day):
+        yield day, per_day[day]

@@ -1,0 +1,69 @@
+"""HTTP status code registry.
+
+Tables 3 and 4 of the paper break alerted requests down by HTTP status and
+report the human-readable reason phrase alongside the numeric code (e.g.
+``200 (OK)``, ``302 (Found)``).  This module centralises that mapping so
+the breakdown and reporting code renders statuses the same way the paper
+does.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Reason phrases for the status codes that occur in the paper and in the
+#: synthetic e-commerce workload.  Unknown codes fall back to the generic
+#: class description in :func:`describe_status`.
+STATUS_REGISTRY: Mapping[int, str] = {
+    200: "OK",
+    201: "Created",
+    204: "No content",
+    206: "Partial content",
+    301: "Moved permanently",
+    302: "Found",
+    303: "See other",
+    304: "Not modified",
+    307: "Temporary redirect",
+    400: "Bad request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not found",
+    405: "Method not allowed",
+    408: "Request timeout",
+    410: "Gone",
+    429: "Too many requests",
+    499: "Client closed request",
+    500: "Internal Server Error",
+    502: "Bad gateway",
+    503: "Service unavailable",
+    504: "Gateway timeout",
+}
+
+_CLASS_NAMES = {
+    1: "Informational",
+    2: "Success",
+    3: "Redirection",
+    4: "Client error",
+    5: "Server error",
+}
+
+
+def status_class(status: int) -> int:
+    """Return the status class digit (2 for 2xx, 3 for 3xx, ...)."""
+    if status < 100 or status > 599:
+        raise ValueError(f"invalid HTTP status code: {status}")
+    return status // 100
+
+
+def describe_status(status: int) -> str:
+    """Return ``"<code> (<reason>)"``, matching the paper's table labels.
+
+    >>> describe_status(200)
+    '200 (OK)'
+    >>> describe_status(302)
+    '302 (Found)'
+    """
+    reason = STATUS_REGISTRY.get(status)
+    if reason is None:
+        reason = _CLASS_NAMES.get(status_class(status), "Unknown")
+    return f"{status} ({reason})"

@@ -1,0 +1,60 @@
+"""Serialisation of :class:`~repro.logs.record.LogRecord` back to log lines.
+
+The writer is the inverse of :mod:`repro.logs.parser`: formatting a record
+and re-parsing it yields an equivalent record.  It is used by the traffic
+generator to materialise synthetic data sets as real Apache access-log
+files on disk, so the whole pipeline (generate -> write -> parse -> detect
+-> analyse) exercises the same code path the paper's production data
+would.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator
+
+from repro.logs.parser import APACHE_TIMESTAMP_FORMAT
+from repro.logs.record import LogRecord
+
+
+def format_record(record: LogRecord) -> str:
+    """Format ``record`` as a combined log format line (without newline)."""
+    timestamp = record.timestamp.strftime(APACHE_TIMESTAMP_FORMAT)
+    referrer = record.referrer if record.referrer else "-"
+    agent = record.user_agent if record.user_agent else "-"
+    size = str(record.response_size) if record.response_size else "0"
+    return (
+        f"{record.client_ip} {record.ident} {record.auth_user} "
+        f"[{timestamp}] "
+        f'"{record.method.value} {record.path} {record.protocol}" '
+        f"{record.status} {size} "
+        f'"{referrer}" "{agent}"'
+    )
+
+
+def format_records(records: Iterable[LogRecord]) -> Iterator[str]:
+    """Yield one combined-log-format line per record."""
+    for record in records:
+        yield format_record(record)
+
+
+def write_records(records: Iterable[LogRecord], handle: IO[str]) -> int:
+    """Write ``records`` to an open text file handle; return the line count."""
+    count = 0
+    for line in format_records(records):
+        handle.write(line)
+        handle.write("\n")
+        count += 1
+    return count
+
+
+class LogWriter:
+    """File-oriented writer with the same convenience shape as :class:`LogParser`."""
+
+    def write_file(self, records: Iterable[LogRecord], path: str) -> int:
+        """Write ``records`` to ``path`` as an Apache access log; return the count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            return write_records(records, handle)
+
+    def to_lines(self, records: Iterable[LogRecord]) -> list[str]:
+        """Return the formatted lines as a list (used by tests and benches)."""
+        return list(format_records(records))

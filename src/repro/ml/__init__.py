@@ -1,0 +1,21 @@
+"""Small supervised-learning substrate (from scratch, numpy only).
+
+The web-robot-detection literature the paper cites uses probabilistic
+reasoning (Stassopoulou & Dikaiakos 2009) and decision-tree style data
+mining (Stevanovic et al. 2012).  This package implements those two model
+families from scratch so the corresponding detectors have no dependency
+beyond numpy:
+
+* :class:`~repro.ml.naive_bayes.GaussianNaiveBayes` and
+  :class:`~repro.ml.naive_bayes.BernoulliNaiveBayes`
+* :class:`~repro.ml.decision_tree.DecisionTreeClassifier`
+"""
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.naive_bayes import BernoulliNaiveBayes, GaussianNaiveBayes
+
+__all__ = [
+    "BernoulliNaiveBayes",
+    "DecisionTreeClassifier",
+    "GaussianNaiveBayes",
+]

@@ -1,0 +1,155 @@
+"""CART-style decision tree classifier (from scratch).
+
+A small, readable implementation of a binary classification tree with
+Gini-impurity splits, used by the crawler-classification detector
+(following the data-mining approach of Stevanovic et al. 2012).  It
+supports a maximum depth, a minimum leaf size and probability estimates
+from leaf class frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DetectorNotFittedError
+
+
+@dataclass
+class _TreeNode:
+    """A node of the fitted tree (leaf when ``feature`` is ``-1``)."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_TreeNode | None" = None
+    right: "_TreeNode | None" = None
+    probability: float = 0.0  # P(class == 1) at this node
+    samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature == -1
+
+
+def _gini(y: np.ndarray) -> float:
+    """Gini impurity of a binary label vector."""
+    if y.size == 0:
+        return 0.0
+    p = y.mean()
+    return float(2.0 * p * (1.0 - p))
+
+
+def _best_split(X: np.ndarray, y: np.ndarray, min_leaf: int) -> tuple[int, float, float] | None:
+    """Find the (feature, threshold, impurity-decrease) of the best split."""
+    parent_impurity = _gini(y)
+    best: tuple[int, float, float] | None = None
+    n = y.size
+    for feature in range(X.shape[1]):
+        values = X[:, feature]
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        sorted_labels = y[order]
+        # Candidate thresholds are midpoints between distinct consecutive values.
+        positives_left = np.cumsum(sorted_labels)
+        for split_at in range(min_leaf, n - min_leaf + 1):
+            if split_at >= n:
+                break
+            if sorted_values[split_at - 1] == sorted_values[split_at]:
+                continue
+            left_n = split_at
+            right_n = n - split_at
+            left_pos = positives_left[split_at - 1]
+            right_pos = positives_left[-1] - left_pos
+            p_left = left_pos / left_n
+            p_right = right_pos / right_n
+            impurity = (left_n / n) * 2 * p_left * (1 - p_left) + (right_n / n) * 2 * p_right * (1 - p_right)
+            decrease = parent_impurity - impurity
+            threshold = (sorted_values[split_at - 1] + sorted_values[split_at]) / 2.0
+            if best is None or decrease > best[2]:
+                best = (feature, float(threshold), float(decrease))
+    if best is None or best[2] <= 1e-12:
+        return None
+    return best
+
+
+class DecisionTreeClassifier:
+    """Binary CART classifier with Gini splits."""
+
+    def __init__(self, *, max_depth: int = 6, min_leaf: int = 5):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if min_leaf < 1:
+            raise ValueError("min_leaf must be at least 1")
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self._root: _TreeNode | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if set(np.unique(y)) - {0, 1}:
+            raise ValueError("DecisionTreeClassifier expects binary 0/1 labels")
+        self._root = self._grow(X, y, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(probability=float(y.mean()) if y.size else 0.0, samples=int(y.size))
+        if depth >= self.max_depth or y.size < 2 * self.min_leaf or _gini(y) == 0.0:
+            return node
+        split = _best_split(X, y, self.min_leaf)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(class == 1) for each row."""
+        if self._root is None:
+            raise DetectorNotFittedError("DecisionTreeClassifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        probabilities = np.empty(X.shape[0], dtype=float)
+        for index, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            probabilities[index] = node.probability
+        return probabilities
+
+    def predict(self, X: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
+        """Predicted class labels (0/1)."""
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y, dtype=int)))
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def _depth(node: _TreeNode | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        if self._root is None:
+            raise DetectorNotFittedError("DecisionTreeClassifier is not fitted")
+        return _depth(self._root)
+
+    def node_count(self) -> int:
+        """Total number of nodes in the fitted tree."""
+        def _count(node: _TreeNode | None) -> int:
+            if node is None:
+                return 0
+            return 1 + _count(node.left) + _count(node.right)
+
+        if self._root is None:
+            raise DetectorNotFittedError("DecisionTreeClassifier is not fitted")
+        return _count(self._root)

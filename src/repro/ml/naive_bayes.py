@@ -1,0 +1,133 @@
+"""Naive Bayes classifiers (from scratch).
+
+Two variants are provided:
+
+* :class:`GaussianNaiveBayes` -- continuous features modelled as
+  per-class Gaussians (used on the raw session feature vectors).
+* :class:`BernoulliNaiveBayes` -- binary features (used on thresholded
+  session indicators, the closest analogue to the probabilistic-reasoning
+  robot detector of Stassopoulou & Dikaiakos).
+
+Both expose the usual ``fit`` / ``predict_proba`` / ``predict`` trio and
+operate on numpy arrays only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DetectorNotFittedError
+
+
+class _BaseNaiveBayes:
+    """Shared plumbing: class priors, fitted-state checks, argmax predict."""
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+        self.class_log_prior_: np.ndarray | None = None
+
+    def _fit_priors(self, y: np.ndarray) -> np.ndarray:
+        classes, counts = np.unique(y, return_counts=True)
+        if classes.size < 2:
+            raise ValueError("naive Bayes needs at least two classes in the training labels")
+        self.classes_ = classes
+        self.class_log_prior_ = np.log(counts / counts.sum())
+        return classes
+
+    def _require_fitted(self) -> None:
+        if self.classes_ is None:
+            raise DetectorNotFittedError(f"{self.__class__.__name__} is not fitted")
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class membership probabilities, rows summing to one."""
+        self._require_fitted()
+        joint = self._joint_log_likelihood(np.asarray(X, dtype=float))
+        joint -= joint.max(axis=1, keepdims=True)
+        probabilities = np.exp(joint)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class for each row."""
+        self._require_fitted()
+        assert self.classes_ is not None
+        joint = self._joint_log_likelihood(np.asarray(X, dtype=float))
+        return self.classes_[np.argmax(joint, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+
+class GaussianNaiveBayes(_BaseNaiveBayes):
+    """Per-class Gaussian likelihoods with a variance floor."""
+
+    def __init__(self, *, var_smoothing: float = 1e-9):
+        super().__init__()
+        self.var_smoothing = var_smoothing
+        self.theta_: np.ndarray | None = None
+        self.var_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        classes = self._fit_priors(y)
+        n_features = X.shape[1]
+        self.theta_ = np.zeros((classes.size, n_features))
+        self.var_ = np.zeros((classes.size, n_features))
+        global_var = X.var(axis=0).max() if X.size else 1.0
+        floor = self.var_smoothing * max(global_var, 1e-12)
+        for index, cls in enumerate(classes):
+            rows = X[y == cls]
+            self.theta_[index] = rows.mean(axis=0)
+            self.var_[index] = rows.var(axis=0) + floor
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        assert self.theta_ is not None and self.var_ is not None and self.class_log_prior_ is not None
+        joint = np.zeros((X.shape[0], self.theta_.shape[0]))
+        for index in range(self.theta_.shape[0]):
+            mean = self.theta_[index]
+            var = self.var_[index]
+            log_likelihood = -0.5 * (np.log(2.0 * np.pi * var) + (X - mean) ** 2 / var)
+            joint[:, index] = self.class_log_prior_[index] + log_likelihood.sum(axis=1)
+        return joint
+
+
+class BernoulliNaiveBayes(_BaseNaiveBayes):
+    """Binary-feature naive Bayes with Laplace smoothing."""
+
+    def __init__(self, *, alpha: float = 1.0):
+        super().__init__()
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self.feature_log_prob_: np.ndarray | None = None
+        self.feature_log_neg_prob_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BernoulliNaiveBayes":
+        X = np.asarray(X, dtype=float)
+        if ((X != 0) & (X != 1)).any():
+            raise ValueError("BernoulliNaiveBayes expects binary (0/1) features")
+        y = np.asarray(y)
+        classes = self._fit_priors(y)
+        n_features = X.shape[1]
+        probabilities = np.zeros((classes.size, n_features))
+        for index, cls in enumerate(classes):
+            rows = X[y == cls]
+            probabilities[index] = (rows.sum(axis=0) + self.alpha) / (rows.shape[0] + 2 * self.alpha)
+        self.feature_log_prob_ = np.log(probabilities)
+        self.feature_log_neg_prob_ = np.log(1.0 - probabilities)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        assert (
+            self.feature_log_prob_ is not None
+            and self.feature_log_neg_prob_ is not None
+            and self.class_log_prior_ is not None
+        )
+        positive = X @ self.feature_log_prob_.T
+        negative = (1.0 - X) @ self.feature_log_neg_prob_.T
+        return self.class_log_prior_ + positive + negative

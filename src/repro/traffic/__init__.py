@@ -1,0 +1,62 @@
+"""Synthetic e-commerce traffic generator.
+
+The paper's data set -- 8 days of Apache access logs for an Amadeus
+e-commerce application -- is proprietary.  This package builds the closest
+synthetic equivalent: a travel e-commerce *site model*, a population of
+*actors* (human visitors, legitimate crawlers and several families of
+scraping bots) and a *generator* that simulates their activity over a
+configurable time window and emits genuine Apache combined-log-format
+records with ground-truth labels.
+
+The preset :func:`repro.traffic.scenarios.amadeus_march_2018` scenario is
+calibrated so that the resulting traffic has the same structural shape as
+the paper's data set (bot-dominated traffic, the same status-code mix and
+the same kind of detector-coverage asymmetries).
+"""
+
+from repro.traffic.actors import Actor, ActorPopulation, RequestEvent
+from repro.traffic.diurnal import DiurnalProfile
+from repro.traffic.generator import TrafficGenerator, generate_dataset
+from repro.traffic.goodbots import MonitoringBot, SearchEngineCrawler
+from repro.traffic.humans import HumanVisitor
+from repro.traffic.ipspace import IPSpace, IPPool
+from repro.traffic.labels import actor_label, is_malicious_class
+from repro.traffic.scenarios import (
+    Scenario,
+    amadeus_march_2018,
+    balanced_small,
+    get_scenario,
+    list_scenarios,
+    stealth_heavy,
+)
+from repro.traffic.scrapers import AggressiveScraper, ProbingScraper, StealthScraper
+from repro.traffic.site import Endpoint, SiteModel
+from repro.traffic.useragents import UserAgentCatalog
+
+__all__ = [
+    "Actor",
+    "ActorPopulation",
+    "AggressiveScraper",
+    "DiurnalProfile",
+    "Endpoint",
+    "HumanVisitor",
+    "IPPool",
+    "IPSpace",
+    "MonitoringBot",
+    "ProbingScraper",
+    "RequestEvent",
+    "Scenario",
+    "SearchEngineCrawler",
+    "SiteModel",
+    "StealthScraper",
+    "TrafficGenerator",
+    "UserAgentCatalog",
+    "actor_label",
+    "amadeus_march_2018",
+    "balanced_small",
+    "generate_dataset",
+    "get_scenario",
+    "is_malicious_class",
+    "list_scenarios",
+    "stealth_heavy",
+]

@@ -1,0 +1,103 @@
+"""Botnet coordination model.
+
+Price-scraping campaigns are rarely a single machine: a *campaign*
+controls a fleet of nodes spread over rented datacenter ranges (and, for
+the stealthier tiers, residential proxy pools), divides the scraping
+workload between them and mixes scripted clients with spoofed browser
+identities.  The :class:`BotnetCampaign` builder turns a campaign
+description (total request budget, node count, stealth tier) into the
+concrete actor instances the generator simulates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.traffic.actors import Actor, split_budget
+from repro.traffic.ipspace import IPSpace
+from repro.traffic.scrapers import AggressiveScraper, ProbingScraper, StealthScraper
+from repro.traffic.site import SiteModel
+from repro.traffic.useragents import UserAgentCatalog
+
+
+@dataclass
+class BotnetCampaign:
+    """Description of one scraping campaign."""
+
+    name: str
+    family: str  # "aggressive", "stealth" or "probing"
+    total_requests: int
+    nodes: int
+    #: Fraction of aggressive nodes that use obvious scripted user agents
+    #: (the rest spoof mainstream browsers).
+    scripted_agent_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.family not in ("aggressive", "stealth", "probing"):
+            raise ValueError(f"unknown campaign family {self.family!r}")
+        if self.total_requests < 0:
+            raise ValueError("total_requests must be non-negative")
+        if self.nodes <= 0:
+            raise ValueError("a campaign needs at least one node")
+
+    # ------------------------------------------------------------------
+    def build_actors(
+        self,
+        site: SiteModel,
+        ip_space: IPSpace,
+        agents: UserAgentCatalog,
+        rng: random.Random,
+    ) -> list[Actor]:
+        """Instantiate the campaign's nodes as concrete actors."""
+        budgets = split_budget(self.total_requests, self.nodes, rng)
+        actors: list[Actor] = []
+        for index, budget in enumerate(budgets):
+            actor_id = f"{self.name}-node{index}"
+            if self.family == "aggressive":
+                actors.append(self._aggressive_node(actor_id, budget, site, ip_space, agents, rng))
+            elif self.family == "stealth":
+                actors.append(self._stealth_node(actor_id, budget, site, ip_space, agents, rng))
+            else:
+                actors.append(self._probing_node(actor_id, budget, site, ip_space, agents, rng))
+        return actors
+
+    # ------------------------------------------------------------------
+    def _aggressive_node(self, actor_id, budget, site, ip_space, agents, rng) -> Actor:
+        if rng.random() < self.scripted_agent_fraction:
+            user_agent = agents.random_scripted(rng)
+        elif rng.random() < 0.3:
+            user_agent = agents.random_headless(rng)
+        else:
+            user_agent = agents.random_browser(rng)
+        return AggressiveScraper(
+            actor_id,
+            site,
+            client_ip=ip_space.datacenter.random_address(rng),
+            user_agent=user_agent,
+            request_budget=budget,
+            requests_per_minute=rng.uniform(45, 200),
+        )
+
+    def _stealth_node(self, actor_id, budget, site, ip_space, agents, rng) -> Actor:
+        # Stealth nodes rotate over a handful of residential-proxy exits.
+        exit_count = rng.randint(2, 5)
+        client_ips = [ip_space.proxy.random_address(rng) for _ in range(exit_count)]
+        return StealthScraper(
+            actor_id,
+            site,
+            client_ips=client_ips,
+            user_agent=agents.random_browser(rng),
+            request_budget=budget,
+            requests_per_minute=rng.uniform(5, 14),
+        )
+
+    def _probing_node(self, actor_id, budget, site, ip_space, agents, rng) -> Actor:
+        return ProbingScraper(
+            actor_id,
+            site,
+            client_ip=ip_space.proxy.random_address(rng),
+            user_agent=agents.random_browser(rng),
+            request_budget=budget,
+            requests_per_minute=rng.uniform(5, 16),
+        )

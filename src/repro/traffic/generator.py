@@ -1,0 +1,112 @@
+"""The traffic generator.
+
+The generator takes an :class:`~repro.traffic.actors.ActorPopulation`, a
+:class:`~repro.traffic.actors.TimeWindow` and a seed, simulates every
+actor independently (each with its own deterministic child random
+generator), merges the resulting request events in time order and
+materialises them as a labelled :class:`~repro.logs.dataset.Dataset`.
+
+The output of the generator is indistinguishable, format-wise, from a
+parsed production access log: the detectors only ever consume the
+:class:`~repro.logs.record.LogRecord` objects (or the combined-log-format
+lines written by :mod:`repro.logs.writer`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.logs.dataset import Dataset, DatasetMetadata, GroundTruth
+from repro.logs.record import LogRecord, RequestMethod
+from repro.traffic.actors import ActorPopulation, RequestEvent, TimeWindow
+from repro.traffic.labels import actor_label
+
+
+@dataclass
+class GenerationResult:
+    """The outcome of one generator run (dataset plus per-actor accounting)."""
+
+    dataset: Dataset
+    events_per_class: dict[str, int]
+
+    @property
+    def total_requests(self) -> int:
+        """Total number of generated requests."""
+        return len(self.dataset)
+
+
+class TrafficGenerator:
+    """Simulate an actor population over a time window."""
+
+    def __init__(self, population: ActorPopulation, window: TimeWindow, *, seed: int = 2018):
+        self.population = population
+        self.window = window
+        self.seed = seed
+
+    def run(self, *, dataset_name: str = "synthetic", scenario_name: str = "", scale: float = 1.0) -> GenerationResult:
+        """Simulate every actor and build the labelled data set."""
+        events: list[RequestEvent] = []
+        events_per_class: dict[str, int] = {}
+        master = random.Random(self.seed)
+        for actor in self.population:
+            # One child generator per actor keeps actors independent and the
+            # whole run reproducible regardless of actor iteration details.
+            child = random.Random(master.randrange(2**63))
+            actor_events = actor.generate(self.window, child)
+            for event in actor_events:
+                if self.window.contains(event.timestamp):
+                    events.append(event)
+            events_per_class[actor.actor_class] = events_per_class.get(actor.actor_class, 0) + len(actor_events)
+
+        events.sort(key=lambda event: event.timestamp)
+
+        records: list[LogRecord] = []
+        truth = GroundTruth()
+        for index, event in enumerate(events):
+            request_id = f"r{index}"
+            records.append(_event_to_record(request_id, event))
+            truth.set(request_id, actor_label(event.actor_class), event.actor_class)
+
+        metadata = DatasetMetadata(
+            name=dataset_name,
+            description="synthetic e-commerce access log",
+            source="repro.traffic",
+            scenario=scenario_name,
+            scale=scale,
+            seed=self.seed,
+        )
+        dataset = Dataset(records, ground_truth=truth, metadata=metadata)
+        return GenerationResult(dataset=dataset, events_per_class=events_per_class)
+
+
+def _event_to_record(request_id: str, event: RequestEvent) -> LogRecord:
+    """Convert a request event into an immutable log record."""
+    return LogRecord(
+        request_id=request_id,
+        timestamp=event.timestamp,
+        client_ip=event.client_ip,
+        method=RequestMethod.from_string(event.method),
+        path=event.path,
+        protocol=event.protocol,
+        status=event.status,
+        response_size=event.response_size,
+        referrer=event.referrer,
+        user_agent=event.user_agent,
+    )
+
+
+def generate_dataset(scenario, *, seed: int | None = None) -> Dataset:
+    """Generate the data set described by a :class:`~repro.traffic.scenarios.Scenario`.
+
+    This is the main convenience entry point used by the examples,
+    benchmarks and the CLI::
+
+        from repro.traffic import amadeus_march_2018, generate_dataset
+        dataset = generate_dataset(amadeus_march_2018(scale=0.02))
+    """
+    effective_seed = scenario.seed if seed is None else seed
+    population = scenario.build_population(random.Random(effective_seed))
+    generator = TrafficGenerator(population, scenario.window, seed=effective_seed)
+    result = generator.run(dataset_name=scenario.name, scenario_name=scenario.name, scale=scenario.scale)
+    return result.dataset

@@ -1,0 +1,189 @@
+"""Human visitor behaviour model.
+
+A human visit to the travel site follows the classic funnel: land on the
+home page (often from a search-engine or campaign referrer), run a couple
+of flight searches, open a handful of offers, occasionally proceed towards
+booking.  Along the way the browser loads static assets, fires tracking
+beacons and re-validates cached assets (``304``).  Humans browse with
+think-time gaps of several seconds to a couple of minutes and are active
+according to the diurnal profile.
+
+A small fraction of humans are *power users* -- fare-hunters refreshing
+search results rapidly -- whose sessions brush against the detectors'
+rate thresholds.  These are the realistic source of false positives in
+the labelled extension experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import timedelta
+
+from repro.traffic.actors import Actor, RequestEvent, TimeWindow, spread_session_starts
+from repro.traffic.diurnal import HUMAN_HOURLY_WEIGHTS
+from repro.traffic.site import SiteModel
+
+#: External referrers humans arrive from.
+ENTRY_REFERRERS = (
+    "https://www.google.com/",
+    "https://www.google.fr/",
+    "https://www.bing.com/",
+    "https://duckduckgo.com/",
+    "https://www.travelnews.example/",
+    "https://mail.example.com/",
+    "",
+)
+
+SITE_ORIGIN = "https://shop.example.com"
+
+
+class HumanVisitor(Actor):
+    """One human visitor with a browser, cookies and a purpose."""
+
+    actor_class = "human"
+
+    def __init__(
+        self,
+        actor_id: str,
+        site: SiteModel,
+        *,
+        client_ip: str,
+        user_agent: str,
+        request_budget: int = 40,
+        power_user: bool = False,
+    ) -> None:
+        super().__init__(actor_id, site)
+        self.client_ip = client_ip
+        self.user_agent = user_agent
+        self.request_budget = max(4, request_budget)
+        self.power_user = power_user
+
+    # ------------------------------------------------------------------
+    def generate(self, window: TimeWindow, rng: random.Random) -> list[RequestEvent]:
+        events: list[RequestEvent] = []
+        remaining = self.request_budget
+        # A visitor spreads their budget over one to four visits.
+        session_count = min(max(1, round(self.request_budget / 22)), 4)
+        starts = spread_session_starts(window, session_count, rng, hourly_weights=HUMAN_HOURLY_WEIGHTS)
+        for start in starts:
+            if remaining <= 0:
+                break
+            session_budget = max(4, min(remaining, round(self.request_budget / session_count)))
+            session_events = self._browse_session(window, start, session_budget, rng)
+            events.extend(session_events)
+            remaining -= len(session_events)
+        return events
+
+    # ------------------------------------------------------------------
+    def _browse_session(
+        self,
+        window: TimeWindow,
+        start,
+        budget: int,
+        rng: random.Random,
+    ) -> list[RequestEvent]:
+        """One visit: pages, assets, beacons, plausible think times."""
+        events: list[RequestEvent] = []
+        now = window.clamp(start)
+        referrer = rng.choice(ENTRY_REFERRERS)
+        current_page = "/"
+
+        # Landing page.
+        status, size = self.site.respond("home", rng)
+        events.append(self._page_event(now, "home", current_page, status, size, referrer, rng))
+        now = self._advance(now, rng)
+
+        page_plan = self._plan_pages(budget, rng)
+        for endpoint_name in page_plan:
+            if len(events) >= budget:
+                break
+            path = self.site.build_path(endpoint_name, rng)
+            malformed = rng.random() < 0.002  # the odd copy-paste accident
+            status, size = self.site.respond(endpoint_name, rng, malformed=malformed)
+            events.append(
+                self._event(
+                    now,
+                    self.client_ip,
+                    self.user_agent,
+                    path=path,
+                    status=status,
+                    size=size,
+                    referrer=f"{SITE_ORIGIN}{current_page}",
+                )
+            )
+            current_page = path.split("?")[0]
+            now = self._load_page_resources(events, now, budget, current_page, rng)
+            now = self._advance(now, rng)
+        return events
+
+    def _plan_pages(self, budget: int, rng: random.Random) -> list[str]:
+        """The sequence of page endpoints for this visit."""
+        searches = rng.randint(1, 4) if not self.power_user else rng.randint(6, 14)
+        plan: list[str] = []
+        for _ in range(searches):
+            plan.append("search")
+            for _ in range(rng.randint(0, 3)):
+                plan.append("offer")
+        if rng.random() < 0.25:
+            plan.append("login")
+        if rng.random() < 0.18:
+            plan.extend(["booking", "checkout"])
+        # Budget cap: pages account for roughly half the requests (the rest
+        # being assets and beacons), so trim the plan accordingly.
+        max_pages = max(2, budget // 2)
+        return plan[:max_pages]
+
+    def _load_page_resources(self, events, now, budget, current_page, rng: random.Random):
+        """Static assets and beacons triggered by a page view."""
+        asset_count = rng.randint(1, 3)
+        for _ in range(asset_count):
+            if len(events) >= budget:
+                return now
+            asset = rng.choice(["asset_css", "asset_js", "asset_img"])
+            conditional = rng.random() < 0.3  # browser cache re-validation
+            status, size = self.site.respond(asset, rng, conditional=conditional)
+            path = self.site.build_path(asset, rng, item_id=rng.randrange(40))
+            events.append(
+                self._event(
+                    now + timedelta(seconds=rng.uniform(0.1, 1.5)),
+                    self.client_ip,
+                    self.user_agent,
+                    path=path,
+                    status=status,
+                    size=size,
+                    referrer=f"{SITE_ORIGIN}{current_page}",
+                )
+            )
+        if rng.random() < 0.6 and len(events) < budget:
+            status, size = self.site.respond("beacon", rng)
+            events.append(
+                self._event(
+                    now + timedelta(seconds=rng.uniform(0.5, 2.5)),
+                    self.client_ip,
+                    self.user_agent,
+                    path=self.site.build_path("beacon", rng, query=f"pg={current_page}"),
+                    status=status,
+                    size=size,
+                    referrer=f"{SITE_ORIGIN}{current_page}",
+                )
+            )
+        return now
+
+    def _page_event(self, now, endpoint_name, path, status, size, referrer, rng) -> RequestEvent:
+        return self._event(
+            now,
+            self.client_ip,
+            self.user_agent,
+            path=path,
+            status=status,
+            size=size,
+            referrer=referrer,
+        )
+
+    def _advance(self, now, rng: random.Random):
+        """Human think time between page views."""
+        if self.power_user:
+            think = rng.uniform(1.5, 8.0)
+        else:
+            think = rng.uniform(4.0, 75.0)
+        return now + timedelta(seconds=think)

@@ -1,0 +1,137 @@
+"""IP address space model.
+
+Scraping campaigns and ordinary visitors come from structurally different
+parts of the IP space: botnets rent cloud/datacenter ranges or cycle
+through residential proxies, humans come from ISP ranges, and legitimate
+crawlers come from their operators' well-known ranges.  The
+:class:`IPSpace` model captures that structure, and the IP-reputation
+detector consumes the same range definitions (plus a simulated reputation
+feed) without ever seeing ground truth.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class IPPool:
+    """A named pool of CIDR blocks from which addresses can be drawn."""
+
+    name: str
+    cidrs: Sequence[str]
+    description: str = ""
+
+    def networks(self) -> list[ipaddress.IPv4Network]:
+        """The pool's CIDR blocks as network objects."""
+        return [ipaddress.ip_network(cidr) for cidr in self.cidrs]
+
+    def random_address(self, rng: random.Random) -> str:
+        """Draw a random address from the pool."""
+        network = rng.choice(self.networks())
+        offset = rng.randrange(1, network.num_addresses - 1)
+        return str(network.network_address + offset)
+
+    def contains(self, address: str) -> bool:
+        """True when ``address`` falls inside one of the pool's blocks."""
+        ip = ipaddress.ip_address(address)
+        return any(ip in network for network in self.networks())
+
+
+#: Documentation/TEST-NET style ranges are used so the synthetic data can
+#: never collide with real-world addresses.
+RESIDENTIAL_POOL = IPPool(
+    name="residential",
+    cidrs=("10.16.0.0/14", "10.32.0.0/14", "10.48.0.0/14", "10.64.0.0/14"),
+    description="ISP / residential ranges used by human visitors",
+)
+
+DATACENTER_POOL = IPPool(
+    name="datacenter",
+    cidrs=("172.20.0.0/16", "172.21.0.0/16", "172.22.0.0/16"),
+    description="cloud and hosting ranges commonly rented by scraping botnets",
+)
+
+PROXY_POOL = IPPool(
+    name="residential_proxy",
+    cidrs=("10.96.0.0/13", "10.112.0.0/13"),
+    description="residential proxy networks used by stealthy scrapers",
+)
+
+CRAWLER_POOL = IPPool(
+    name="search_crawler",
+    cidrs=("192.168.66.0/24", "192.168.77.0/24"),
+    description="well-known ranges of legitimate search-engine crawlers",
+)
+
+MOBILE_POOL = IPPool(
+    name="mobile_carrier",
+    cidrs=("10.128.0.0/14",),
+    description="mobile carrier-grade NAT ranges",
+)
+
+
+class IPSpace:
+    """The full address-space model used by a scenario."""
+
+    def __init__(
+        self,
+        residential: IPPool = RESIDENTIAL_POOL,
+        datacenter: IPPool = DATACENTER_POOL,
+        proxy: IPPool = PROXY_POOL,
+        crawler: IPPool = CRAWLER_POOL,
+        mobile: IPPool = MOBILE_POOL,
+    ) -> None:
+        self.residential = residential
+        self.datacenter = datacenter
+        self.proxy = proxy
+        self.crawler = crawler
+        self.mobile = mobile
+
+    def pools(self) -> list[IPPool]:
+        """All pools in the space."""
+        return [self.residential, self.datacenter, self.proxy, self.crawler, self.mobile]
+
+    def pool_of(self, address: str) -> str:
+        """Return the name of the pool containing ``address`` (or ``"unknown"``)."""
+        for pool in self.pools():
+            if pool.contains(address):
+                return pool.name
+        return "unknown"
+
+    # ------------------------------------------------------------------
+    # Reputation feed simulation
+    # ------------------------------------------------------------------
+    def reputation_blocklist(self, rng: random.Random, *, datacenter_fraction: float = 0.65) -> set[str]:
+        """Simulate a commercial IP-reputation feed.
+
+        A reputation feed flags a large share of datacenter/hosting CIDRs
+        (where scraping traffic concentrates) and essentially none of the
+        residential space.  The feed is expressed as a set of /24 prefixes
+        considered "bad", which is how such feeds are commonly consumed.
+        """
+        flagged: set[str] = set()
+        for network in self.datacenter.networks():
+            for subnet in network.subnets(new_prefix=24):
+                if rng.random() < datacenter_fraction:
+                    flagged.add(str(subnet.network_address).rsplit(".", 1)[0])
+        return flagged
+
+
+def prefix24(address: str) -> str:
+    """Return the /24 prefix of an IPv4 address (``"10.16.3"`` for ``10.16.3.7``)."""
+    return address.rsplit(".", 1)[0]
+
+
+def addresses_from(pool: IPPool, count: int, rng: random.Random) -> list[str]:
+    """Draw ``count`` distinct-ish addresses from ``pool``."""
+    return [pool.random_address(rng) for _ in range(count)]
+
+
+def spread_over_pools(pools: Iterable[IPPool], count: int, rng: random.Random) -> list[str]:
+    """Draw ``count`` addresses spread uniformly over several pools."""
+    pool_list = list(pools)
+    return [rng.choice(pool_list).random_address(rng) for _ in range(count)]

@@ -1,0 +1,46 @@
+"""Mapping from actor classes to ground-truth labels.
+
+The traffic generator records the *actor class* that produced each request
+(e.g. ``"human"``, ``"search_crawler"``, ``"aggressive_scraper"``); this
+module maps those classes onto the binary malicious/benign labels used by
+the labelled-evaluation extension experiments.
+"""
+
+from __future__ import annotations
+
+from repro.logs.dataset import BENIGN, MALICIOUS
+
+#: Actor classes considered malicious scraping activity.
+MALICIOUS_CLASSES: frozenset[str] = frozenset(
+    {
+        "aggressive_scraper",
+        "stealth_scraper",
+        "probing_scraper",
+        "botnet_node",
+    }
+)
+
+#: Actor classes considered benign traffic.
+BENIGN_CLASSES: frozenset[str] = frozenset(
+    {
+        "human",
+        "search_crawler",
+        "monitoring_bot",
+    }
+)
+
+
+def is_malicious_class(actor_class: str) -> bool:
+    """True when the actor class represents malicious scraping activity."""
+    if actor_class in MALICIOUS_CLASSES:
+        return True
+    if actor_class in BENIGN_CLASSES:
+        return False
+    # Unknown classes default to benign: a detector should not get credit
+    # for alerting on traffic we cannot attribute.
+    return False
+
+
+def actor_label(actor_class: str) -> str:
+    """Return the ground-truth label (:data:`MALICIOUS` or :data:`BENIGN`)."""
+    return MALICIOUS if is_malicious_class(actor_class) else BENIGN

@@ -1,0 +1,143 @@
+"""User-agent catalogue.
+
+The catalogue distinguishes four families of user agents, because the
+detectors treat them very differently:
+
+* mainstream **browser** user agents (used by humans and by scrapers that
+  spoof a browser identity),
+* **legitimate crawler** user agents (Googlebot, Bingbot, monitoring
+  services),
+* **scripted-client** user agents (python-requests, curl, Scrapy, Java,
+  Go) -- the signature of unsophisticated scraping tools,
+* **headless-browser** user agents (HeadlessChrome, PhantomJS) used by
+  middle-tier scrapers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+BROWSER_AGENTS: Sequence[str] = (
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36",
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/65.0.3325.146 Safari/537.36",
+    "Mozilla/5.0 (Windows NT 6.1; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/63.0.3239.132 Safari/537.36",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_13_3) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_13_3) AppleWebKit/604.5.6 (KHTML, like Gecko) Version/11.0.3 Safari/604.5.6",
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:58.0) Gecko/20100101 Firefox/58.0",
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:59.0) Gecko/20100101 Firefox/59.0",
+    "Mozilla/5.0 (X11; Linux x86_64; rv:52.0) Gecko/20100101 Firefox/52.0",
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.140 Safari/537.36 Edge/16.16299",
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 11_2_6 like Mac OS X) AppleWebKit/604.5.6 (KHTML, like Gecko) Version/11.0 Mobile/15D100 Safari/604.1",
+    "Mozilla/5.0 (Linux; Android 8.0.0; SM-G950F) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.137 Mobile Safari/537.36",
+    "Mozilla/5.0 (iPad; CPU OS 11_2_5 like Mac OS X) AppleWebKit/604.5.6 (KHTML, like Gecko) Version/11.0 Mobile/15D60 Safari/604.1",
+)
+
+CRAWLER_AGENTS: Sequence[str] = (
+    "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+    "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)",
+    "Mozilla/5.0 (compatible; YandexBot/3.0; +http://yandex.com/bots)",
+    "Mozilla/5.0 (compatible; Baiduspider/2.0; +http://www.baidu.com/search/spider.html)",
+    "Mozilla/5.0 (compatible; Pingdom.com_bot_version_1.4; http://www.pingdom.com/)",
+    "Mozilla/5.0 (compatible; UptimeRobot/2.0; http://www.uptimerobot.com/)",
+)
+
+SCRIPTED_AGENTS: Sequence[str] = (
+    "python-requests/2.18.4",
+    "python-requests/2.19.1",
+    "python-urllib3/1.22",
+    "Scrapy/1.5.0 (+https://scrapy.org)",
+    "curl/7.58.0",
+    "curl/7.47.0",
+    "Wget/1.19.4 (linux-gnu)",
+    "Java/1.8.0_161",
+    "Apache-HttpClient/4.5.5 (Java/1.8.0_151)",
+    "Go-http-client/1.1",
+    "okhttp/3.9.1",
+    "libwww-perl/6.31",
+    "PHP/7.2.2",
+    "Ruby",
+)
+
+HEADLESS_AGENTS: Sequence[str] = (
+    "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) HeadlessChrome/64.0.3282.186 Safari/537.36",
+    "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) HeadlessChrome/65.0.3325.146 Safari/537.36",
+    "Mozilla/5.0 (Unknown; Linux x86_64) AppleWebKit/538.1 (KHTML, like Gecko) PhantomJS/2.1.1 Safari/538.1",
+    "Mozilla/5.0 (Windows NT 6.1) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/41.0.2228.0 Safari/537.36 SlimerJS/0.10.3",
+)
+
+#: Substrings that identify scripted clients; shared with the detectors'
+#: fingerprint rules so the library has a single source of truth for what
+#: an obviously non-browser user agent looks like.
+SCRIPTED_AGENT_MARKERS: Sequence[str] = (
+    "python-requests",
+    "python-urllib",
+    "scrapy",
+    "curl/",
+    "wget/",
+    "java/",
+    "apache-httpclient",
+    "go-http-client",
+    "okhttp",
+    "libwww-perl",
+    "php/",
+    "ruby",
+)
+
+#: Substrings that identify headless browsers.
+HEADLESS_AGENT_MARKERS: Sequence[str] = ("headlesschrome", "phantomjs", "slimerjs")
+
+#: Substrings that identify well-known legitimate crawlers.
+KNOWN_CRAWLER_MARKERS: Sequence[str] = (
+    "googlebot",
+    "bingbot",
+    "yandexbot",
+    "baiduspider",
+    "pingdom",
+    "uptimerobot",
+)
+
+
+@dataclass
+class UserAgentCatalog:
+    """Weighted access to the user-agent families."""
+
+    browsers: Sequence[str] = field(default_factory=lambda: tuple(BROWSER_AGENTS))
+    crawlers: Sequence[str] = field(default_factory=lambda: tuple(CRAWLER_AGENTS))
+    scripted: Sequence[str] = field(default_factory=lambda: tuple(SCRIPTED_AGENTS))
+    headless: Sequence[str] = field(default_factory=lambda: tuple(HEADLESS_AGENTS))
+
+    def random_browser(self, rng: random.Random) -> str:
+        """A mainstream browser user agent."""
+        return rng.choice(list(self.browsers))
+
+    def random_crawler(self, rng: random.Random) -> str:
+        """A legitimate crawler user agent."""
+        return rng.choice(list(self.crawlers))
+
+    def random_scripted(self, rng: random.Random) -> str:
+        """A scripted-client user agent (requests/curl/Scrapy/...)."""
+        return rng.choice(list(self.scripted))
+
+    def random_headless(self, rng: random.Random) -> str:
+        """A headless-browser user agent."""
+        return rng.choice(list(self.headless))
+
+
+def is_scripted_agent(user_agent: str) -> bool:
+    """True when the user agent is an obvious scripted client."""
+    lowered = user_agent.lower()
+    return any(marker in lowered for marker in SCRIPTED_AGENT_MARKERS)
+
+
+def is_headless_agent(user_agent: str) -> bool:
+    """True when the user agent is a headless browser."""
+    lowered = user_agent.lower()
+    return any(marker in lowered for marker in HEADLESS_AGENT_MARKERS)
+
+
+def is_known_crawler_agent(user_agent: str) -> bool:
+    """True when the user agent claims to be a well-known legitimate crawler."""
+    lowered = user_agent.lower()
+    return any(marker in lowered for marker in KNOWN_CRAWLER_MARKERS)

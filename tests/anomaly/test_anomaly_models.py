@@ -1,0 +1,181 @@
+"""Tests for the from-scratch anomaly-detection models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anomaly import (
+    AnomalyModel,
+    IsolationForestModel,
+    KNNDistanceModel,
+    MahalanobisModel,
+    RobustZScoreModel,
+)
+from repro.exceptions import DetectorNotFittedError
+
+ALL_MODELS = [RobustZScoreModel, MahalanobisModel, KNNDistanceModel, IsolationForestModel]
+
+
+def _clustered_data_with_outliers(seed: int = 0, n: int = 300, outliers: int = 6) -> tuple[np.ndarray, np.ndarray]:
+    """A tight Gaussian cluster plus a few far-away outliers."""
+    rng = np.random.default_rng(seed)
+    inliers = rng.normal(0.0, 1.0, size=(n, 4))
+    anomalies = rng.normal(12.0, 1.0, size=(outliers, 4))
+    X = np.vstack([inliers, anomalies])
+    labels = np.concatenate([np.zeros(n), np.ones(outliers)])
+    return X, labels
+
+
+class TestAnomalyBase:
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_score_before_fit_raises(self, model_cls):
+        with pytest.raises(DetectorNotFittedError):
+            model_cls().score(np.zeros((3, 4)))
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_rejects_non_2d_input(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls().fit(np.zeros(5))
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_rejects_empty_input(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls().fit(np.zeros((0, 4)))
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_rejects_nan_input(self, model_cls):
+        X = np.zeros((5, 3))
+        X[2, 1] = np.nan
+        with pytest.raises(ValueError):
+            model_cls().fit(X)
+
+    def test_threshold_for_contamination_bounds(self):
+        model = RobustZScoreModel()
+        scores = np.linspace(0, 1, 101)
+        threshold = model.threshold_for_contamination(scores, 0.1)
+        assert 0.85 <= threshold <= 0.95
+        with pytest.raises(ValueError):
+            model.threshold_for_contamination(scores, 0.0)
+        with pytest.raises(ValueError):
+            model.threshold_for_contamination(scores, 1.0)
+
+
+class TestOutlierSeparation:
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_outliers_score_higher_than_inliers(self, model_cls):
+        X, labels = _clustered_data_with_outliers()
+        scores = model_cls().fit_score(X)
+        assert scores.shape == (X.shape[0],)
+        mean_outlier = scores[labels == 1].mean()
+        mean_inlier = scores[labels == 0].mean()
+        assert mean_outlier > mean_inlier * 1.5
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_scores_are_finite_and_nonnegative(self, model_cls):
+        X, _ = _clustered_data_with_outliers(seed=3)
+        scores = model_cls().fit_score(X)
+        assert np.isfinite(scores).all()
+        assert (scores >= 0).all()
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_contamination_threshold_selects_top_fraction(self, model_cls):
+        X, labels = _clustered_data_with_outliers(n=200, outliers=10)
+        model = model_cls()
+        scores = model.fit_score(X)
+        threshold = model.threshold_for_contamination(scores, 0.05)
+        flagged = scores >= threshold
+        # The flagged fraction is close to the contamination and catches
+        # most of the injected outliers.
+        assert 0.02 <= flagged.mean() <= 0.12
+        assert flagged[labels == 1].mean() >= 0.8
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_deterministic_given_same_input(self, model_cls):
+        X, _ = _clustered_data_with_outliers(seed=5)
+        first = model_cls().fit_score(X)
+        second = model_cls().fit_score(X)
+        np.testing.assert_allclose(first, second)
+
+
+class TestRobustZScore:
+    def test_constant_feature_contributes_nothing(self):
+        X = np.random.default_rng(0).normal(size=(100, 3))
+        X[:, 2] = 7.0  # constant feature
+        scores_with = RobustZScoreModel().fit_score(X)
+        scores_without = RobustZScoreModel().fit_score(X[:, :2])
+        # The constant column only rescales by the number of features.
+        np.testing.assert_allclose(scores_with * 3, scores_without * 2, rtol=1e-8)
+
+    def test_clip_limits_extreme_scores(self):
+        X = np.vstack([np.zeros((50, 2)), np.full((1, 2), 1e9)])
+        X[:50] += np.random.default_rng(1).normal(0, 1, size=(50, 2))
+        scores = RobustZScoreModel(clip=5.0).fit_score(X)
+        assert scores.max() <= 5.0 + 1e-9
+
+    def test_invalid_clip(self):
+        with pytest.raises(ValueError):
+            RobustZScoreModel(clip=0)
+
+
+class TestMahalanobis:
+    def test_handles_collinear_features(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(100, 1))
+        X = np.hstack([base, base * 2.0, rng.normal(size=(100, 1))])
+        scores = MahalanobisModel().fit_score(X)
+        assert np.isfinite(scores).all()
+
+    def test_accounts_for_correlation(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(500, 1))
+        X = np.hstack([base, base + rng.normal(0, 0.1, size=(500, 1))])
+        model = MahalanobisModel(shrinkage=0.0).fit(X)
+        # A point far off the correlation axis should score higher than a
+        # point equally far along it.
+        on_axis = np.array([[3.0, 3.0]])
+        off_axis = np.array([[3.0, -3.0]])
+        assert model.score(off_axis)[0] > model.score(on_axis)[0]
+
+    def test_invalid_shrinkage(self):
+        with pytest.raises(ValueError):
+            MahalanobisModel(shrinkage=1.5)
+
+
+class TestKNN:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KNNDistanceModel(k=0)
+        with pytest.raises(ValueError):
+            KNNDistanceModel(max_reference=1)
+
+    def test_subsampling_keeps_model_usable(self):
+        X, labels = _clustered_data_with_outliers(n=500, outliers=8)
+        model = KNNDistanceModel(k=5, max_reference=100)
+        scores = model.fit_score(X)
+        assert scores[labels == 1].mean() > scores[labels == 0].mean()
+
+
+class TestIsolationForest:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IsolationForestModel(n_trees=0)
+        with pytest.raises(ValueError):
+            IsolationForestModel(subsample=1)
+
+    def test_scores_bounded_in_unit_interval(self):
+        X, _ = _clustered_data_with_outliers()
+        scores = IsolationForestModel(n_trees=50).fit_score(X)
+        assert (scores > 0).all()
+        assert (scores < 1).all()
+
+    def test_seed_controls_forest(self):
+        X, _ = _clustered_data_with_outliers()
+        a = IsolationForestModel(n_trees=30, seed=1).fit_score(X)
+        b = IsolationForestModel(n_trees=30, seed=1).fit_score(X)
+        c = IsolationForestModel(n_trees=30, seed=2).fit_score(X)
+        np.testing.assert_allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_base_class_contract(self):
+        assert issubclass(IsolationForestModel, AnomalyModel)

@@ -1,0 +1,141 @@
+"""Tests for :mod:`repro.core.alerts`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.alerts import Alert, AlertMatrix, AlertSet
+from repro.exceptions import AnalysisError
+from repro.logs.dataset import Dataset
+from tests.helpers import make_alert_matrix, make_records
+
+
+class TestAlert:
+    def test_negative_score_rejected(self):
+        with pytest.raises(ValueError):
+            Alert(request_id="r0", detector="d", score=-0.1)
+
+    def test_defaults(self):
+        alert = Alert(request_id="r0", detector="d")
+        assert alert.score == 1.0
+        assert alert.reasons == ()
+
+
+class TestAlertSet:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            AlertSet("")
+
+    def test_add_and_membership(self):
+        alerts = AlertSet("tool")
+        alerts.add("r0", score=0.5, reasons=("x",))
+        assert "r0" in alerts
+        assert "r1" not in alerts
+        assert len(alerts) == 1
+        assert alerts.request_ids() == {"r0"}
+
+    def test_duplicate_add_merges_reasons_and_keeps_max_score(self):
+        alerts = AlertSet("tool")
+        alerts.add("r0", score=0.4, reasons=("first",))
+        alerts.add("r0", score=0.9, reasons=("second", "first"))
+        alert = alerts.get("r0")
+        assert alert.score == 0.9
+        assert alert.reasons == ("first", "second")
+        assert len(alerts) == 1
+
+    def test_add_alert_enforces_detector_name(self):
+        alerts = AlertSet("tool")
+        with pytest.raises(AnalysisError):
+            alerts.add_alert(Alert(request_id="r0", detector="other"))
+
+    def test_reason_counts(self):
+        alerts = AlertSet("tool")
+        alerts.add("r0", reasons=("rate",))
+        alerts.add("r1", reasons=("rate", "agent"))
+        assert alerts.reason_counts() == {"rate": 2, "agent": 1}
+
+    def test_restrict_to(self):
+        alerts = AlertSet("tool")
+        alerts.add("r0")
+        alerts.add("r1")
+        restricted = alerts.restrict_to(["r1", "r9"])
+        assert restricted.request_ids() == {"r1"}
+        assert restricted.detector_name == "tool"
+
+    def test_iteration_yields_request_ids(self):
+        alerts = AlertSet("tool")
+        alerts.add("a")
+        alerts.add("b")
+        assert set(alerts) == {"a", "b"}
+
+
+class TestAlertMatrix:
+    def _dataset(self, n: int = 6) -> Dataset:
+        return Dataset(make_records(n))
+
+    def test_from_alert_sets_shape_and_counts(self):
+        dataset = self._dataset()
+        matrix = make_alert_matrix(dataset, {"a": ["r0", "r1"], "b": ["r1", "r2", "r3"]})
+        assert matrix.n_requests == 6
+        assert matrix.n_detectors == 2
+        assert matrix.alert_counts() == {"a": 2, "b": 3}
+
+    def test_duplicate_detector_names_rejected(self):
+        dataset = self._dataset()
+        sets = [AlertSet("a"), AlertSet("a")]
+        with pytest.raises(AnalysisError, match="duplicate detector names"):
+            AlertMatrix.from_alert_sets(dataset, sets)
+
+    def test_unknown_request_id_rejected_when_strict(self):
+        dataset = self._dataset()
+        alerts = AlertSet("a")
+        alerts.add("not-a-request")
+        with pytest.raises(AnalysisError, match="unknown request id"):
+            AlertMatrix.from_alert_sets(dataset, [alerts])
+
+    def test_unknown_request_id_ignored_when_lenient(self):
+        dataset = self._dataset()
+        alerts = AlertSet("a")
+        alerts.add("not-a-request")
+        matrix = AlertMatrix.from_alert_sets(dataset, [alerts], strict=False)
+        assert matrix.alert_counts() == {"a": 0}
+
+    def test_column_and_row_access(self):
+        dataset = self._dataset(3)
+        matrix = make_alert_matrix(dataset, {"a": ["r0"], "b": ["r0", "r2"]})
+        np.testing.assert_array_equal(matrix.column("a"), [True, False, False])
+        np.testing.assert_array_equal(matrix.row("r0"), [True, True])
+        with pytest.raises(AnalysisError):
+            matrix.column("nope")
+        with pytest.raises(AnalysisError):
+            matrix.row("nope")
+
+    def test_votes_and_set_queries(self):
+        dataset = self._dataset(4)
+        matrix = make_alert_matrix(dataset, {"a": ["r0", "r1"], "b": ["r1", "r2"]})
+        assert list(matrix.votes_per_request()) == [1, 2, 1, 0]
+        assert matrix.alerted_by("a") == {"r0", "r1"}
+        assert matrix.alerted_by_exactly("a") == {"r0"}
+        assert matrix.alerted_by_all() == {"r1"}
+        assert matrix.alerted_by_none() == {"r3"}
+
+    def test_select_subset_of_detectors(self):
+        dataset = self._dataset(3)
+        matrix = make_alert_matrix(dataset, {"a": ["r0"], "b": ["r1"], "c": ["r2"]})
+        sub = matrix.select(["c", "a"])
+        assert sub.detector_names == ["c", "a"]
+        assert sub.alert_counts() == {"c": 1, "a": 1}
+        with pytest.raises(AnalysisError):
+            matrix.select(["nope"])
+
+    def test_to_alert_sets_roundtrip(self):
+        dataset = self._dataset(4)
+        matrix = make_alert_matrix(dataset, {"a": ["r0", "r3"], "b": []})
+        restored = matrix.to_alert_sets()
+        assert restored[0].request_ids() == {"r0", "r3"}
+        assert len(restored[1]) == 0
+
+    def test_mismatched_matrix_shape_rejected(self):
+        with pytest.raises(AnalysisError, match="shape"):
+            AlertMatrix(["r0", "r1"], ["a"], np.zeros((3, 1), dtype=bool))

@@ -1,0 +1,133 @@
+"""Tests for the confusion matrix and the labelled evaluation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adjudication import adjudicate
+from repro.core.confusion import ConfusionMatrix
+from repro.core.evaluation import (
+    evaluate_alert_set,
+    evaluate_ensemble,
+    evaluate_matrix,
+    per_actor_class_detection,
+    sensitivity_specificity_tradeoff,
+)
+from repro.exceptions import AnalysisError
+from tests.helpers import make_alert_matrix, make_labelled_dataset
+
+
+class TestConfusionMatrix:
+    def test_rates_from_counts(self):
+        cm = ConfusionMatrix(true_positives=80, false_positives=10, true_negatives=90, false_negatives=20)
+        assert cm.sensitivity() == pytest.approx(0.8)
+        assert cm.specificity() == pytest.approx(0.9)
+        assert cm.precision() == pytest.approx(80 / 90)
+        assert cm.false_positive_rate() == pytest.approx(0.1)
+        assert cm.false_negative_rate() == pytest.approx(0.2)
+        assert cm.accuracy() == pytest.approx(170 / 200)
+        assert cm.balanced_accuracy() == pytest.approx(0.85)
+        assert 0 < cm.f1_score() < 1
+        assert 0 < cm.matthews_correlation() < 1
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(AnalysisError):
+            ConfusionMatrix(true_positives=-1, false_positives=0, true_negatives=0, false_negatives=0)
+
+    def test_degenerate_populations(self):
+        no_positives = ConfusionMatrix(0, 0, 10, 0)
+        assert no_positives.sensitivity() == 1.0
+        assert no_positives.precision() == 1.0
+        no_negatives = ConfusionMatrix(10, 0, 0, 0)
+        assert no_negatives.specificity() == 1.0
+        empty = ConfusionMatrix(0, 0, 0, 0)
+        assert empty.accuracy() == 1.0
+        # An empty population is vacuously perfect (sensitivity and precision
+        # both default to 1.0), so F1 follows; MCC degenerates to 0.
+        assert empty.f1_score() == 1.0
+        assert empty.matthews_correlation() == 0.0
+
+    def test_from_alerts(self):
+        dataset = make_labelled_dataset(["m0", "m1", "m2"], ["b0", "b1"])
+        cm = ConfusionMatrix.from_alerts(dataset, {"m0", "m1", "b0"})
+        assert cm.true_positives == 2
+        assert cm.false_negatives == 1
+        assert cm.false_positives == 1
+        assert cm.true_negatives == 1
+        assert cm.total == 5
+
+    def test_from_alerts_with_explicit_ids(self):
+        dataset = make_labelled_dataset(["m0", "m1"], ["b0"])
+        cm = ConfusionMatrix.from_alerts(dataset, {"m0"}, request_ids=["m0", "b0"])
+        assert cm.total == 2
+
+    def test_as_dict_keys(self):
+        cm = ConfusionMatrix(1, 2, 3, 4)
+        assert {"tp", "fp", "tn", "fn", "sensitivity", "specificity", "precision", "f1"} <= set(cm.as_dict())
+
+
+class TestEvaluation:
+    def _setup(self):
+        dataset = make_labelled_dataset(["m0", "m1", "m2", "m3"], ["b0", "b1", "b2", "b3"])
+        matrix = make_alert_matrix(
+            dataset,
+            {
+                "sharp": ["m0", "m1", "m2"],
+                "noisy": ["m0", "m1", "m2", "m3", "b0", "b1"],
+            },
+        )
+        return dataset, matrix
+
+    def test_evaluate_alert_set(self):
+        dataset, matrix = self._setup()
+        evaluation = evaluate_alert_set(dataset, matrix.alerted_by("sharp"), name="sharp")
+        assert evaluation.sensitivity == pytest.approx(0.75)
+        assert evaluation.specificity == pytest.approx(1.0)
+        assert evaluation.name == "sharp"
+        assert evaluation.as_dict()["name"] == "sharp"
+
+    def test_evaluate_matrix_covers_all_detectors(self):
+        dataset, matrix = self._setup()
+        evaluations = {e.name: e for e in evaluate_matrix(dataset, matrix)}
+        assert set(evaluations) == {"sharp", "noisy"}
+        assert evaluations["noisy"].sensitivity == pytest.approx(1.0)
+        assert evaluations["noisy"].specificity == pytest.approx(0.5)
+
+    def test_evaluate_ensemble_k_schemes(self):
+        dataset, matrix = self._setup()
+        evaluations = evaluate_ensemble(dataset, matrix)
+        assert len(evaluations) == 2  # k = 1, 2
+        union, intersection = evaluations
+        assert union.sensitivity >= intersection.sensitivity
+        assert intersection.specificity >= union.specificity
+
+    def test_evaluate_ensemble_specific_ks(self):
+        dataset, matrix = self._setup()
+        evaluations = evaluate_ensemble(dataset, matrix, ks=[2])
+        assert len(evaluations) == 1
+
+    def test_tradeoff_points_structure(self):
+        dataset, matrix = self._setup()
+        points = sensitivity_specificity_tradeoff(dataset, matrix)
+        assert len(points) == 2
+        assert all({"scheme", "sensitivity", "specificity", "precision", "f1"} <= set(p) for p in points)
+
+    def test_adjudication_tradeoff_direction(self):
+        """1-out-of-2 never has lower sensitivity, 2-out-of-2 never lower specificity."""
+        dataset, matrix = self._setup()
+        single = [evaluate_alert_set(dataset, matrix.alerted_by(n), name=n) for n in matrix.detector_names]
+        union = evaluate_alert_set(dataset, adjudicate(matrix, 1).alerted_ids, name="1oo2")
+        both = evaluate_alert_set(dataset, adjudicate(matrix, 2).alerted_ids, name="2oo2")
+        assert union.sensitivity >= max(e.sensitivity for e in single)
+        assert both.specificity >= max(e.specificity for e in single)
+
+    def test_per_actor_class_detection(self):
+        dataset = make_labelled_dataset(["m0", "m1"], ["b0"])
+        rates = per_actor_class_detection(dataset, {"m0"})
+        assert rates["aggressive_scraper"] == pytest.approx(0.5)
+        assert rates["human"] == 0.0
+
+    def test_per_actor_class_on_generated_traffic(self, small_dataset, pipeline_result):
+        rates = per_actor_class_detection(small_dataset, pipeline_result.matrix.alerted_by("commercial"))
+        assert rates["aggressive_scraper"] > 0.9
+        assert rates["human"] < 0.1

@@ -1,0 +1,87 @@
+"""Tests for :mod:`repro.core.selection`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selection import greedy_selection, marginal_coverage, redundancy_matrix
+from repro.exceptions import AnalysisError
+from tests.helpers import make_alert_matrix, make_labelled_dataset
+
+
+def _pool():
+    """Four malicious, four benign requests; three detectors of varying quality."""
+    dataset = make_labelled_dataset(["m0", "m1", "m2", "m3"], ["b0", "b1", "b2", "b3"])
+    matrix = make_alert_matrix(
+        dataset,
+        {
+            "good": ["m0", "m1", "m2"],            # precise, misses m3
+            "complement": ["m3"],                    # catches exactly what "good" misses
+            "noisy": ["m0", "m1", "b0", "b1", "b2"],  # redundant and noisy
+        },
+    )
+    return dataset, matrix
+
+
+class TestMarginalCoverage:
+    def test_counts_unique_contributions(self):
+        _, matrix = _pool()
+        coverage = marginal_coverage(matrix)
+        assert coverage["complement"] == 1  # m3 is caught only by it
+        assert coverage["noisy"] == 3  # the three benign false positives
+        assert coverage["good"] == 1  # m2 is caught by nobody else
+
+    def test_redundancy_matrix_bounds_and_symmetric_pairs(self):
+        _, matrix = _pool()
+        overlaps = redundancy_matrix(matrix)
+        assert set(overlaps) == {("good", "complement"), ("good", "noisy"), ("complement", "noisy")}
+        assert all(0.0 <= value <= 1.0 for value in overlaps.values())
+        assert overlaps[("good", "complement")] == 0.0
+        assert overlaps[("good", "noisy")] > 0.0
+
+
+class TestGreedySelection:
+    def test_selects_complementary_pair_over_noisy(self):
+        dataset, matrix = _pool()
+        result = greedy_selection(dataset, matrix, objective="f1")
+        assert result.steps[0].added_detector == "good"
+        assert set(result.selected) == {"good", "complement"}
+        assert "noisy" not in result.selected
+        assert result.best_objective == pytest.approx(1.0)
+
+    def test_budget_limits_subset_size(self):
+        dataset, matrix = _pool()
+        result = greedy_selection(dataset, matrix, max_detectors=1)
+        assert len(result.selected) == 1
+
+    def test_objective_monotone_over_steps(self):
+        dataset, matrix = _pool()
+        result = greedy_selection(dataset, matrix, objective="sensitivity")
+        values = [step.objective for step in result.steps]
+        assert values == sorted(values)
+
+    def test_unknown_objective_rejected(self):
+        dataset, matrix = _pool()
+        with pytest.raises(AnalysisError):
+            greedy_selection(dataset, matrix, objective="vibes")
+
+    def test_invalid_budget_rejected(self):
+        dataset, matrix = _pool()
+        with pytest.raises(AnalysisError):
+            greedy_selection(dataset, matrix, max_detectors=0)
+
+    def test_requires_labels(self):
+        from repro.logs.dataset import Dataset
+        from tests.helpers import make_records
+
+        dataset = Dataset(make_records(4))
+        matrix = make_alert_matrix(dataset, {"a": ["r0"]})
+        with pytest.raises(Exception):
+            greedy_selection(dataset, matrix)
+
+    def test_on_realistic_two_tool_pool(self, small_dataset, pipeline_result):
+        """On the generated traffic the greedy selection keeps both tools:
+        each contributes coverage the other lacks."""
+        result = greedy_selection(small_dataset, pipeline_result.matrix, objective="f1")
+        assert set(result.selected) == {"commercial", "inhouse"}
+        assert result.steps[-1].objective >= result.steps[0].objective

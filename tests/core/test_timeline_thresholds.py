@@ -1,0 +1,179 @@
+"""Tests for the timeline analysis and the threshold-sweep machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.thresholds import compare_sweep_to_ensemble, sweep_detector
+from repro.core.timeline import agreement_timeline, alert_timeline, detect_alert_bursts
+from repro.core.confusion import ConfusionMatrix
+from repro.detectors.ratelimit import RateLimitDetector
+from repro.exceptions import AnalysisError
+from repro.logs.dataset import Dataset
+from tests.helpers import make_alert_matrix, make_labelled_dataset, make_record, make_records
+
+
+def _three_day_matrix():
+    records = []
+    for day in range(3):
+        for i in range(4):
+            records.append(make_record(f"d{day}r{i}", seconds=day * 86_400 + i * 600))
+    dataset = Dataset(records)
+    matrix = make_alert_matrix(
+        dataset,
+        {
+            # Detector "a" alerts heavily on day 1 only; "b" alerts on one
+            # request every day.
+            "a": ["d1r0", "d1r1", "d1r2", "d1r3"],
+            "b": ["d0r0", "d1r0", "d2r0"],
+        },
+    )
+    return dataset, matrix
+
+
+class TestAlertTimeline:
+    def test_day_buckets_cover_all_days(self):
+        dataset, matrix = _three_day_matrix()
+        buckets = alert_timeline(dataset, matrix, granularity="day")
+        assert [bucket.bucket for bucket in buckets] == ["2018-03-11", "2018-03-12", "2018-03-13"]
+        assert all(bucket.total_requests == 4 for bucket in buckets)
+
+    def test_alert_counts_per_bucket(self):
+        dataset, matrix = _three_day_matrix()
+        buckets = alert_timeline(dataset, matrix, granularity="day")
+        assert [bucket.alert_counts["a"] for bucket in buckets] == [0, 4, 0]
+        assert [bucket.alert_counts["b"] for bucket in buckets] == [1, 1, 1]
+
+    def test_alert_rate(self):
+        dataset, matrix = _three_day_matrix()
+        buckets = alert_timeline(dataset, matrix, granularity="day")
+        assert buckets[1].alert_rate("a") == pytest.approx(1.0)
+        assert buckets[0].alert_rate("a") == 0.0
+
+    def test_hour_granularity(self):
+        dataset, matrix = _three_day_matrix()
+        buckets = alert_timeline(dataset, matrix, granularity="hour")
+        assert len(buckets) >= 3
+        assert all(" " in bucket.bucket for bucket in buckets)
+
+    def test_unknown_granularity_rejected(self):
+        dataset, matrix = _three_day_matrix()
+        with pytest.raises(AnalysisError):
+            alert_timeline(dataset, matrix, granularity="week")
+
+    def test_totals_sum_to_dataset(self):
+        dataset, matrix = _three_day_matrix()
+        buckets = alert_timeline(dataset, matrix)
+        assert sum(bucket.total_requests for bucket in buckets) == len(dataset)
+
+
+class TestAgreementTimeline:
+    def test_per_bucket_breakdowns_partition_each_day(self):
+        dataset, matrix = _three_day_matrix()
+        per_day = agreement_timeline(dataset, matrix, "a", "b")
+        assert set(per_day) == {"2018-03-11", "2018-03-12", "2018-03-13"}
+        for breakdown in per_day.values():
+            assert breakdown.total == 4
+
+    def test_day_one_has_agreement_mass(self):
+        dataset, matrix = _three_day_matrix()
+        per_day = agreement_timeline(dataset, matrix, "a", "b")
+        assert per_day["2018-03-12"].both == 1
+        assert per_day["2018-03-12"].first_only == 3
+        assert per_day["2018-03-11"].second_only == 1
+
+    def test_matches_global_breakdown_when_summed(self):
+        from repro.core.diversity import diversity_breakdown
+
+        dataset, matrix = _three_day_matrix()
+        per_day = agreement_timeline(dataset, matrix, "a", "b")
+        total = diversity_breakdown(matrix, "a", "b")
+        assert sum(b.both for b in per_day.values()) == total.both
+        assert sum(b.neither for b in per_day.values()) == total.neither
+
+
+class TestBurstDetection:
+    def test_detects_the_campaign_day(self):
+        dataset, matrix = _three_day_matrix()
+        buckets = alert_timeline(dataset, matrix, granularity="day")
+        bursts = detect_alert_bursts(buckets, "a", threshold_factor=2.0)
+        assert len(bursts) == 1
+        assert bursts[0].start_bucket == "2018-03-12"
+        assert bursts[0].peak_alerts == 4
+
+    def test_steady_detector_has_no_bursts(self):
+        dataset, matrix = _three_day_matrix()
+        buckets = alert_timeline(dataset, matrix, granularity="day")
+        assert detect_alert_bursts(buckets, "b", threshold_factor=2.0) == []
+
+    def test_invalid_threshold_factor(self):
+        with pytest.raises(AnalysisError):
+            detect_alert_bursts([], "a", threshold_factor=1.0)
+
+    def test_empty_buckets(self):
+        assert detect_alert_bursts([], "a") == []
+
+
+class TestThresholdSweep:
+    def _fast_and_slow_dataset(self) -> Dataset:
+        """Malicious blast at ~120 req/min plus a slow benign visitor."""
+        from repro.logs.dataset import BENIGN, MALICIOUS, GroundTruth
+
+        records = []
+        truth = GroundTruth()
+        for i in range(40):
+            rid = f"m{i}"
+            records.append(make_record(rid, seconds=i * 0.5, ip="172.20.0.9"))
+            truth.set(rid, MALICIOUS, "aggressive_scraper")
+        for i in range(20):
+            rid = f"b{i}"
+            records.append(make_record(rid, seconds=i * 30.0, ip="10.16.0.1"))
+            truth.set(rid, BENIGN, "human")
+        return Dataset(records, ground_truth=truth)
+
+    def test_sweep_produces_one_point_per_parameter(self):
+        dataset = self._fast_and_slow_dataset()
+        sweep = sweep_detector(
+            dataset,
+            lambda t: RateLimitDetector(threshold_rpm=t),
+            [10.0, 60.0, 500.0],
+        )
+        assert len(sweep.points) == 3
+        assert sweep.detector_name == "rate-limit"
+
+    def test_lower_threshold_means_higher_sensitivity(self):
+        dataset = self._fast_and_slow_dataset()
+        sweep = sweep_detector(dataset, lambda t: RateLimitDetector(threshold_rpm=t), [10.0, 500.0])
+        aggressive, conservative = sweep.points
+        assert aggressive.sensitivity >= conservative.sensitivity
+        assert conservative.specificity >= aggressive.specificity - 1e-9
+
+    def test_auc_in_unit_interval_and_reasonable(self):
+        dataset = self._fast_and_slow_dataset()
+        sweep = sweep_detector(dataset, lambda t: RateLimitDetector(threshold_rpm=t), [10.0, 60.0, 200.0, 500.0])
+        assert 0.5 <= sweep.auc() <= 1.0
+
+    def test_best_by_f1(self):
+        dataset = self._fast_and_slow_dataset()
+        sweep = sweep_detector(dataset, lambda t: RateLimitDetector(threshold_rpm=t), [10.0, 60.0, 500.0])
+        best = sweep.best_by_f1()
+        assert best.confusion.f1_score() == max(p.confusion.f1_score() for p in sweep.points)
+
+    def test_empty_parameters_rejected(self):
+        dataset = self._fast_and_slow_dataset()
+        with pytest.raises(AnalysisError):
+            sweep_detector(dataset, lambda t: RateLimitDetector(threshold_rpm=t), [])
+
+    def test_requires_labels(self):
+        dataset = Dataset(make_records(5))
+        with pytest.raises(Exception):
+            sweep_detector(dataset, lambda t: RateLimitDetector(threshold_rpm=t), [10.0])
+
+    def test_compare_sweep_to_ensemble(self):
+        dataset = self._fast_and_slow_dataset()
+        sweep = sweep_detector(dataset, lambda t: RateLimitDetector(threshold_rpm=t), [10.0, 60.0])
+        ensemble = ConfusionMatrix(true_positives=40, false_positives=0, true_negatives=20, false_negatives=0)
+        comparison = compare_sweep_to_ensemble(sweep, ensemble)
+        assert comparison["ensemble_sensitivity"] == 1.0
+        assert comparison["sensitivity_gain"] >= 0.0
+        assert {"best_single_parameter", "specificity_gain"} <= set(comparison)

@@ -1,0 +1,162 @@
+"""Tests for detector base classes, feature extraction and pseudo-labelling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.alerts import AlertSet
+from repro.detectors.base import Detector, SessionDetector
+from repro.detectors.features import FEATURE_NAMES, extract_features, feature_matrix
+from repro.detectors.pseudolabels import PseudoLabelConfig, pseudo_label, pseudo_label_sessions
+from repro.logs.dataset import Dataset
+from tests.helpers import BROWSER_UA, SCRIPTED_UA, make_record, make_records, make_session
+
+
+class _AlwaysAlertDetector(SessionDetector):
+    """Toy detector flagging every session (used to test the base plumbing)."""
+
+    name = "always"
+
+    def judge_session(self, session):
+        return 1.0, ("always",)
+
+
+class _NeverAlertDetector(SessionDetector):
+    name = "never"
+
+    def judge_session(self, session):
+        return None
+
+
+class TestSessionDetectorBase:
+    def test_alerts_cover_all_requests_of_flagged_sessions(self):
+        dataset = Dataset(make_records(6, gap_seconds=2))
+        alerts = _AlwaysAlertDetector().analyze(dataset)
+        assert alerts.request_ids() == set(dataset.request_ids)
+
+    def test_never_alerting_detector_returns_empty_set(self):
+        dataset = Dataset(make_records(6))
+        alerts = _NeverAlertDetector().analyze(dataset)
+        assert len(alerts) == 0
+        assert isinstance(alerts, AlertSet)
+
+    def test_precomputed_sessions_are_used(self):
+        dataset = Dataset(make_records(4))
+        session = make_session(dataset.records[:2])
+        alerts = _AlwaysAlertDetector().analyze(dataset, sessions=[session])
+        # Only the two requests of the supplied session are alerted.
+        assert alerts.request_ids() == {"r0", "r1"}
+
+    def test_describe_uses_docstring(self):
+        assert "Toy detector" in _AlwaysAlertDetector().describe()
+
+    def test_detector_is_abstract(self):
+        with pytest.raises(TypeError):
+            Detector()  # type: ignore[abstract]
+
+
+class TestFeatureExtraction:
+    def test_vector_matches_feature_names(self):
+        session = make_session(make_records(5))
+        features = extract_features(session)
+        assert features.vector().shape == (len(FEATURE_NAMES),)
+        assert set(features.as_dict()) == set(FEATURE_NAMES)
+
+    def test_machine_timing_has_low_cv(self):
+        session = make_session(make_records(20, gap_seconds=1.0))
+        assert extract_features(session).interarrival_cv < 0.01
+
+    def test_irregular_timing_has_high_cv(self):
+        records = [make_record(f"r{i}", seconds=s) for i, s in enumerate([0, 1, 30, 31, 120, 121, 400])]
+        assert extract_features(make_session(records)).interarrival_cv > 0.5
+
+    def test_scripted_agent_flag(self):
+        session = make_session(make_records(3, user_agent=SCRIPTED_UA))
+        features = extract_features(session)
+        assert features.scripted_agent
+        assert not features.headless_agent
+
+    def test_asset_and_referrer_fractions(self):
+        records = [
+            make_record("a", path="/static/css/app.css", referrer="https://shop.example.com/"),
+            make_record("b", path="/search", seconds=1),
+        ]
+        features = extract_features(make_session(records))
+        assert features.asset_fraction == pytest.approx(0.5)
+        assert features.referrer_fraction == pytest.approx(0.5)
+
+    def test_error_and_probe_fractions(self):
+        records = [
+            make_record("a", status=400),
+            make_record("b", status=204, seconds=1),
+            make_record("c", status=304, seconds=2),
+            make_record("d", status=200, seconds=3),
+        ]
+        features = extract_features(make_session(records))
+        assert features.error_rate == pytest.approx(0.25)
+        assert features.no_content_fraction == pytest.approx(0.25)
+        assert features.not_modified_fraction == pytest.approx(0.25)
+
+    def test_night_fraction(self):
+        # BASE_TIME is 12:00 UTC, so shifting by 13h lands between 01:00 and 02:00.
+        night_records = [make_record(f"r{i}", seconds=13 * 3600 + i) for i in range(4)]
+        assert extract_features(make_session(night_records)).night_fraction == 1.0
+
+    def test_feature_matrix_shape(self):
+        sessions = [make_session(make_records(3)), make_session(make_records(4, ip="10.0.0.9"))]
+        matrix = feature_matrix(sessions)
+        assert matrix.shape == (2, len(FEATURE_NAMES))
+        assert np.isfinite(matrix).all()
+
+    def test_feature_matrix_empty(self):
+        assert feature_matrix([]).shape == (0, len(FEATURE_NAMES))
+
+    def test_single_request_session_neutral_cv(self):
+        features = extract_features(make_session([make_record()]))
+        assert features.interarrival_cv == 1.0
+        assert features.mean_interarrival == 0.0
+
+
+class TestPseudoLabels:
+    def test_scripted_agent_is_bot(self):
+        features = extract_features(make_session(make_records(10, user_agent=SCRIPTED_UA)))
+        assert pseudo_label(features) == 1
+
+    def test_fast_large_session_is_bot(self):
+        features = extract_features(make_session(make_records(60, gap_seconds=0.3)))
+        assert pseudo_label(features) == 1
+
+    def test_asset_loading_human_is_benign(self):
+        records = []
+        for i in range(12):
+            records.append(
+                make_record(
+                    f"p{i}",
+                    seconds=i * 20,
+                    path="/static/css/app.css" if i % 2 else "/search",
+                    referrer="https://shop.example.com/",
+                )
+            )
+        features = extract_features(make_session(records))
+        assert pseudo_label(features) == 0
+
+    def test_ambiguous_session_gets_no_label(self):
+        # Browser UA, moderate rate, no assets, no referrers: ambiguous.
+        features = extract_features(make_session(make_records(12, gap_seconds=8, user_agent=BROWSER_UA)))
+        assert pseudo_label(features) is None
+
+    def test_pseudo_label_sessions_returns_indices_and_labels(self):
+        sessions = [
+            make_session(make_records(10, user_agent=SCRIPTED_UA)),
+            make_session(make_records(12, gap_seconds=8)),
+        ]
+        feature_list = [extract_features(s) for s in sessions]
+        indices, labels = pseudo_label_sessions(feature_list)
+        assert list(indices) == [0]
+        assert list(labels) == [1]
+
+    def test_custom_config_thresholds(self):
+        config = PseudoLabelConfig(bot_rate_rpm=1.0, bot_min_requests=2)
+        features = extract_features(make_session(make_records(5, gap_seconds=10)))
+        assert pseudo_label(features, config) == 1

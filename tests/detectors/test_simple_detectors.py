@@ -1,0 +1,129 @@
+"""Tests for the rate-limit, IP-reputation and fingerprint detectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.fingerprint import UserAgentFingerprintDetector
+from repro.detectors.ratelimit import RateLimitDetector
+from repro.detectors.reputation import IPReputationDetector
+from repro.logs.dataset import Dataset
+from repro.traffic.ipspace import IPSpace
+from tests.helpers import BROWSER_UA, SCRIPTED_UA, make_record, make_records
+
+GOOGLEBOT_UA = "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)"
+
+
+class TestRateLimitDetector:
+    def test_fast_session_alerted(self):
+        dataset = Dataset(make_records(30, gap_seconds=0.5))  # 120 req/min
+        alerts = RateLimitDetector(threshold_rpm=60).analyze(dataset)
+        assert len(alerts) == 30
+
+    def test_slow_session_not_alerted(self):
+        dataset = Dataset(make_records(30, gap_seconds=10))  # 6 req/min
+        alerts = RateLimitDetector(threshold_rpm=60).analyze(dataset)
+        assert len(alerts) == 0
+
+    def test_small_sessions_ignored(self):
+        dataset = Dataset(make_records(5, gap_seconds=0.1))
+        alerts = RateLimitDetector(threshold_rpm=60, min_requests=10).analyze(dataset)
+        assert len(alerts) == 0
+
+    def test_alert_reason_mentions_rate(self):
+        dataset = Dataset(make_records(30, gap_seconds=0.5))
+        alerts = RateLimitDetector(threshold_rpm=60).analyze(dataset)
+        alert = alerts.get("r0")
+        assert alert is not None
+        assert "req/min" in alert.reasons[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RateLimitDetector(threshold_rpm=0)
+        with pytest.raises(ValueError):
+            RateLimitDetector(min_requests=0)
+
+    def test_score_increases_with_rate(self):
+        fast = Dataset(make_records(40, gap_seconds=0.2, ip="10.0.0.1"))
+        faster = Dataset(make_records(40, gap_seconds=0.05, ip="10.0.0.2"))
+        detector = RateLimitDetector(threshold_rpm=60)
+        slow_score = detector.analyze(fast).get("r0").score
+        fast_score = detector.analyze(faster).get("r0").score
+        assert fast_score >= slow_score
+
+
+class TestIPReputationDetector:
+    def test_blocklisted_prefix_alerted(self):
+        detector = IPReputationDetector(blocklist={"172.20.5"})
+        dataset = Dataset(
+            [make_record("bad", ip="172.20.5.9"), make_record("good", ip="10.16.0.9", seconds=1)]
+        )
+        alerts = detector.analyze(dataset)
+        assert "bad" in alerts
+        assert "good" not in alerts
+
+    def test_default_blocklist_targets_datacenter_space(self):
+        detector = IPReputationDetector(feed_seed=99)
+        space = IPSpace()
+        assert any(detector.is_blocklisted(prefix + ".1") for prefix in list(detector.blocklist)[:10])
+        # Residential space must stay clean.
+        import random
+
+        rng = random.Random(0)
+        assert not any(detector.is_blocklisted(space.residential.random_address(rng)) for _ in range(50))
+
+    def test_min_requests_from_prefix(self):
+        detector = IPReputationDetector(blocklist={"172.20.5"}, min_requests_from_prefix=3)
+        dataset = Dataset(
+            [
+                make_record("a", ip="172.20.5.9"),
+                make_record("b", ip="172.20.5.10", seconds=1),
+            ]
+        )
+        assert len(detector.analyze(dataset)) == 0
+
+    def test_invalid_min_requests(self):
+        with pytest.raises(ValueError):
+            IPReputationDetector(blocklist=set(), min_requests_from_prefix=0)
+
+
+class TestUserAgentFingerprintDetector:
+    def test_scripted_agent_alerted(self):
+        detector = UserAgentFingerprintDetector()
+        dataset = Dataset(make_records(3, user_agent=SCRIPTED_UA))
+        assert len(detector.analyze(dataset)) == 3
+
+    def test_browser_agent_not_alerted(self):
+        detector = UserAgentFingerprintDetector()
+        dataset = Dataset(make_records(3, user_agent=BROWSER_UA))
+        assert len(detector.analyze(dataset)) == 0
+
+    def test_headless_agent_alerted(self):
+        detector = UserAgentFingerprintDetector()
+        headless = "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) HeadlessChrome/64.0.3282.186 Safari/537.36"
+        dataset = Dataset(make_records(2, user_agent=headless))
+        assert len(detector.analyze(dataset)) == 2
+
+    def test_missing_agent_alerted(self):
+        detector = UserAgentFingerprintDetector()
+        dataset = Dataset(make_records(2, user_agent=""))
+        assert len(detector.analyze(dataset)) == 2
+
+    def test_fake_googlebot_alerted(self):
+        detector = UserAgentFingerprintDetector()
+        dataset = Dataset(make_records(2, user_agent=GOOGLEBOT_UA, ip="172.20.0.7"))
+        alerts = detector.analyze(dataset)
+        assert len(alerts) == 2
+        assert "unverified" in alerts.get("r0").reasons[0]
+
+    def test_verified_googlebot_not_alerted(self):
+        detector = UserAgentFingerprintDetector()
+        crawler_ip = "192.168.66.10"
+        dataset = Dataset(make_records(2, user_agent=GOOGLEBOT_UA, ip=crawler_ip))
+        assert len(detector.analyze(dataset)) == 0
+        assert detector.is_verified_crawler(GOOGLEBOT_UA, crawler_ip)
+
+    def test_flags_can_be_disabled(self):
+        detector = UserAgentFingerprintDetector(flag_scripted=False, flag_missing_agent=False)
+        dataset = Dataset(make_records(2, user_agent=SCRIPTED_UA))
+        assert len(detector.analyze(dataset)) == 0

@@ -1,0 +1,106 @@
+"""Tests for :mod:`repro.logs.anonymize`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logs.anonymize import LogAnonymizer
+from repro.logs.dataset import Dataset
+from tests.helpers import make_labelled_dataset, make_record
+
+
+class TestIPAnonymisation:
+    def test_deterministic_for_same_secret(self):
+        a = LogAnonymizer(secret="k1")
+        b = LogAnonymizer(secret="k1")
+        assert a.anonymize_ip("10.16.3.7") == b.anonymize_ip("10.16.3.7")
+
+    def test_differs_across_secrets(self):
+        a = LogAnonymizer(secret="k1")
+        b = LogAnonymizer(secret="k2")
+        assert a.anonymize_ip("10.16.3.7") != b.anonymize_ip("10.16.3.7")
+
+    def test_does_not_leak_original_address(self):
+        anonymized = LogAnonymizer().anonymize_ip("172.20.5.9")
+        assert anonymized != "172.20.5.9"
+        assert not anonymized.startswith("172.20.5.")
+
+    def test_preserves_subnet_relationships(self):
+        anon = LogAnonymizer(secret="k1")
+        same_subnet_a = anon.anonymize_ip("10.16.3.7")
+        same_subnet_b = anon.anonymize_ip("10.16.3.99")
+        other_subnet = anon.anonymize_ip("10.17.44.7")
+        prefix = lambda ip: ip.rsplit(".", 1)[0]  # noqa: E731
+        assert prefix(same_subnet_a) == prefix(same_subnet_b)
+        assert prefix(same_subnet_a) != prefix(other_subnet)
+
+    def test_distinct_hosts_usually_stay_distinct_in_subnet(self):
+        anon = LogAnonymizer(secret="k1")
+        mapped = {anon.anonymize_ip(f"10.16.3.{host}") for host in range(1, 60)}
+        # A keyed byte permutation of 59 hosts should keep most distinct.
+        assert len(mapped) > 40
+
+    def test_non_ipv4_input_hashed(self):
+        anon = LogAnonymizer()
+        assert anon.anonymize_ip("2001:db8::1").startswith("anon-")
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            LogAnonymizer(secret="")
+
+
+class TestQueryScrubbing:
+    def test_values_replaced_keys_kept(self):
+        anon = LogAnonymizer()
+        scrubbed = anon.scrub_path("/search?o=PAR&d=LIS&pax=2")
+        assert scrubbed.startswith("/search?")
+        assert "PAR" not in scrubbed and "LIS" not in scrubbed
+        assert "o=" in scrubbed and "d=" in scrubbed and "pax=" in scrubbed
+
+    def test_path_without_query_unchanged(self):
+        assert LogAnonymizer().scrub_path("/offers/42") == "/offers/42"
+
+
+class TestRecordAndDatasetAnonymisation:
+    def test_record_fields_transformed(self):
+        record = make_record(ip="172.20.5.9", path="/search?o=PAR&d=LIS", referrer="https://shop.example.com/search?o=PAR")
+        anonymized = LogAnonymizer().anonymize_record(record)
+        assert anonymized.client_ip != record.client_ip
+        assert "PAR" not in anonymized.path
+        assert "PAR" not in anonymized.referrer
+        assert anonymized.user_agent == record.user_agent
+        assert anonymized.status == record.status
+        assert anonymized.request_id == record.request_id
+
+    def test_dataset_anonymisation_preserves_labels_and_size(self):
+        dataset = make_labelled_dataset(["m0", "m1"], ["b0"])
+        anonymized = LogAnonymizer().anonymize_dataset(dataset)
+        assert len(anonymized) == len(dataset)
+        assert anonymized.ground_truth is dataset.ground_truth
+        assert anonymized.is_labelled
+
+    def test_detector_results_stable_under_anonymisation(self, small_dataset):
+        """Anonymisation must not change what the rule engine sees: session
+        grouping survives because subnet/host relations are preserved.
+
+        The one documented exception is IP-range whitelisting: pseudonymised
+        crawler addresses no longer fall in the published crawler ranges, so
+        verified crawlers lose their whitelist protection.  Any extra alerts
+        must therefore come from that benign crawler traffic, and nothing
+        that was alerted before may stop being alerted.
+        """
+        from repro.detectors.inhouse import InHouseHeuristicDetector
+
+        truth = small_dataset.ground_truth
+        anonymized = LogAnonymizer(secret="share").anonymize_dataset(small_dataset)
+        original_alerts = InHouseHeuristicDetector().analyze(small_dataset).request_ids()
+        anonymized_alerts = InHouseHeuristicDetector().analyze(anonymized).request_ids()
+
+        lost = original_alerts - anonymized_alerts
+        gained = anonymized_alerts - original_alerts
+        assert len(lost) <= max(5, len(original_alerts) // 100)
+        benign_bot_classes = {"search_crawler", "monitoring_bot"}
+        unexplained_gains = [
+            rid for rid in gained if truth.actor_class_of(rid) not in benign_bot_classes
+        ]
+        assert len(unexplained_gains) <= max(5, len(original_alerts) // 100)

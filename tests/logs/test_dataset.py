@@ -1,0 +1,191 @@
+"""Tests for :mod:`repro.logs.dataset`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError, LabelError
+from repro.logs.dataset import BENIGN, MALICIOUS, Dataset, DatasetMetadata, GroundTruth
+from tests.helpers import make_labelled_dataset, make_record, make_records
+
+
+class TestGroundTruth:
+    def test_set_and_lookup(self):
+        truth = GroundTruth()
+        truth.set("r0", MALICIOUS, "aggressive_scraper")
+        truth.set("r1", BENIGN, "human")
+        assert truth.is_malicious("r0")
+        assert not truth.is_malicious("r1")
+        assert truth.actor_class_of("r0") == "aggressive_scraper"
+
+    def test_unknown_label_rejected(self):
+        truth = GroundTruth()
+        with pytest.raises(LabelError, match="unknown label"):
+            truth.set("r0", "suspicious")
+
+    def test_missing_request_raises(self):
+        truth = GroundTruth()
+        with pytest.raises(LabelError, match="no ground truth"):
+            truth.label_of("missing")
+
+    def test_contains_and_len(self):
+        truth = GroundTruth()
+        truth.set("r0", MALICIOUS)
+        assert "r0" in truth
+        assert "r1" not in truth
+        assert len(truth) == 1
+
+    def test_malicious_and_benign_sets(self):
+        truth = GroundTruth()
+        truth.set("a", MALICIOUS)
+        truth.set("b", BENIGN)
+        truth.set("c", MALICIOUS)
+        assert truth.malicious_ids() == {"a", "c"}
+        assert truth.benign_ids() == {"b"}
+
+    def test_actor_class_counts(self):
+        truth = GroundTruth()
+        truth.set("a", MALICIOUS, "stealth_scraper")
+        truth.set("b", MALICIOUS, "stealth_scraper")
+        truth.set("c", BENIGN, "human")
+        assert truth.actor_class_counts() == {"stealth_scraper": 2, "human": 1}
+
+    def test_dict_roundtrip(self):
+        truth = GroundTruth()
+        truth.set("a", MALICIOUS, "probing_scraper")
+        truth.set("b", BENIGN, "human")
+        restored = GroundTruth.from_dict(truth.to_dict())
+        assert restored.is_malicious("a")
+        assert restored.actor_class_of("a") == "probing_scraper"
+        assert not restored.is_malicious("b")
+
+
+class TestDatasetBasics:
+    def test_len_iter_getitem(self):
+        records = make_records(5)
+        dataset = Dataset(records)
+        assert len(dataset) == 5
+        assert list(dataset)[0].request_id == "r0"
+        assert dataset[2].request_id == "r2"
+
+    def test_duplicate_request_ids_rejected(self):
+        records = [make_record("dup"), make_record("dup", seconds=1)]
+        with pytest.raises(DatasetError, match="duplicate request id"):
+            Dataset(records)
+
+    def test_get_by_id(self):
+        dataset = Dataset(make_records(3))
+        assert dataset.get("r1").request_id == "r1"
+
+    def test_get_missing_raises(self):
+        dataset = Dataset(make_records(1))
+        with pytest.raises(DatasetError, match="no record"):
+            dataset.get("nope")
+
+    def test_contains(self):
+        dataset = Dataset(make_records(2))
+        assert "r0" in dataset
+        assert "r9" not in dataset
+
+    def test_request_ids_in_order(self):
+        dataset = Dataset(make_records(4))
+        assert dataset.request_ids == ["r0", "r1", "r2", "r3"]
+
+
+class TestDatasetLabels:
+    def test_is_labelled_false_without_truth(self):
+        assert not Dataset(make_records(2)).is_labelled
+
+    def test_is_labelled_false_when_partial(self):
+        records = make_records(2)
+        truth = GroundTruth()
+        truth.set("r0", BENIGN)
+        assert not Dataset(records, ground_truth=truth).is_labelled
+
+    def test_require_labels_raises_when_partial(self):
+        records = make_records(2)
+        truth = GroundTruth()
+        truth.set("r0", BENIGN)
+        with pytest.raises(LabelError, match="lack ground truth"):
+            Dataset(records, ground_truth=truth).require_labels()
+
+    def test_require_labels_raises_when_absent(self):
+        with pytest.raises(LabelError, match="no ground truth"):
+            Dataset(make_records(1)).require_labels()
+
+    def test_malicious_fraction(self):
+        dataset = make_labelled_dataset(["m0", "m1", "m2"], ["b0"])
+        assert dataset.malicious_fraction() == pytest.approx(0.75)
+
+
+class TestDatasetViews:
+    def test_filter_keeps_matching_records(self):
+        dataset = make_labelled_dataset(["m0"], ["b0", "b1"], status_for={"m0": 404})
+        errors = dataset.filter(lambda record: record.is_error, name="errors")
+        assert len(errors) == 1
+        assert errors[0].request_id == "m0"
+        assert errors.metadata.name == "errors"
+
+    def test_filter_shares_ground_truth(self):
+        dataset = make_labelled_dataset(["m0"], ["b0"])
+        view = dataset.filter(lambda record: True)
+        assert view.ground_truth is dataset.ground_truth
+
+    def test_status_counts(self):
+        dataset = make_labelled_dataset(["m0"], ["b0", "b1"], status_for={"m0": 404, "b0": 302})
+        counts = dataset.status_counts()
+        assert counts[404] == 1
+        assert counts[302] == 1
+        assert counts[200] == 1
+
+    def test_method_and_day_counts(self):
+        dataset = Dataset(make_records(3))
+        assert dataset.method_counts() == {"GET": 3}
+        assert dataset.day_counts() == {"2018-03-11": 3}
+
+    def test_unique_ips_and_agents(self):
+        records = [make_record("a", ip="10.0.0.1"), make_record("b", ip="10.0.0.2", seconds=1)]
+        dataset = Dataset(records)
+        assert dataset.unique_ips() == {"10.0.0.1", "10.0.0.2"}
+        assert len(dataset.unique_user_agents()) == 1
+
+    def test_time_span(self):
+        dataset = Dataset(make_records(3, gap_seconds=10))
+        start, end = dataset.time_span()
+        assert (end - start).total_seconds() == pytest.approx(20.0)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(DatasetError, match="empty data set"):
+            Dataset([]).time_span()
+
+    def test_sorted_by_time(self):
+        records = [make_record("late", seconds=100), make_record("early", seconds=0)]
+        dataset = Dataset(records).sorted_by_time()
+        assert dataset.request_ids == ["early", "late"]
+
+    def test_summary_contains_core_fields(self):
+        dataset = make_labelled_dataset(["m0"], ["b0"])
+        summary = dataset.summary()
+        assert summary["records"] == 2
+        assert summary["labelled"] is True
+        assert "malicious_fraction" in summary
+
+    def test_label_save_and_load(self, tmp_path):
+        dataset = make_labelled_dataset(["m0"], ["b0"])
+        path = tmp_path / "labels.json"
+        dataset.save_labels(str(path))
+        truth = Dataset.load_labels(str(path))
+        assert truth.is_malicious("m0")
+        assert not truth.is_malicious("b0")
+
+
+class TestDatasetMetadata:
+    def test_defaults(self):
+        metadata = DatasetMetadata()
+        assert metadata.name == "unnamed"
+        assert metadata.scale == 1.0
+
+    def test_attached_to_dataset(self):
+        metadata = DatasetMetadata(name="demo", scenario="balanced_small", seed=7)
+        dataset = Dataset(make_records(1), metadata=metadata)
+        assert dataset.metadata.scenario == "balanced_small"

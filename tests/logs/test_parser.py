@@ -1,0 +1,147 @@
+"""Tests for :mod:`repro.logs.parser`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LogParseError
+from repro.logs.parser import LogParser, parse_apache_timestamp, parse_line, parse_lines
+from repro.logs.record import RequestMethod
+
+COMBINED_LINE = (
+    '203.0.113.9 - - [11/Mar/2018:06:25:31 +0000] "GET /search?o=PAR&d=LIS HTTP/1.1" '
+    '200 18311 "https://shop.example.com/" "Mozilla/5.0 (X11; Linux x86_64)"'
+)
+COMMON_LINE = '203.0.113.9 - - [11/Mar/2018:06:25:31 +0000] "GET /robots.txt HTTP/1.0" 200 180'
+
+
+class TestParseLine:
+    def test_combined_format_fields(self):
+        record = parse_line(COMBINED_LINE, request_id="x1")
+        assert record.request_id == "x1"
+        assert record.client_ip == "203.0.113.9"
+        assert record.method is RequestMethod.GET
+        assert record.path == "/search?o=PAR&d=LIS"
+        assert record.protocol == "HTTP/1.1"
+        assert record.status == 200
+        assert record.response_size == 18311
+        assert record.referrer == "https://shop.example.com/"
+        assert "Mozilla" in record.user_agent
+
+    def test_timestamp_parsed_with_offset(self):
+        record = parse_line(COMBINED_LINE)
+        assert record.timestamp.year == 2018
+        assert record.timestamp.month == 3
+        assert record.timestamp.day == 11
+        assert record.timestamp.hour == 6
+        assert record.timestamp.utcoffset().total_seconds() == 0
+
+    def test_common_format_without_headers(self):
+        record = parse_line(COMMON_LINE)
+        assert record.referrer == ""
+        assert record.user_agent == ""
+        assert record.path == "/robots.txt"
+
+    def test_dash_size_becomes_zero(self):
+        line = '10.0.0.1 - - [11/Mar/2018:06:25:31 +0000] "GET /track/beacon HTTP/1.1" 204 - "-" "Mozilla/5.0"'
+        assert parse_line(line).response_size == 0
+
+    def test_dash_referrer_and_agent_become_empty(self):
+        line = '10.0.0.1 - - [11/Mar/2018:06:25:31 +0000] "GET / HTTP/1.1" 200 12 "-" "-"'
+        record = parse_line(line)
+        assert record.referrer == ""
+        assert record.user_agent == ""
+
+    def test_default_request_id_uses_line_number(self):
+        record = parse_line(COMBINED_LINE, line_number=42)
+        assert record.request_id == "r41"
+
+    def test_empty_line_raises(self):
+        with pytest.raises(LogParseError, match="empty log line"):
+            parse_line("   ")
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(LogParseError, match="does not match"):
+            parse_line("this is not an access log line")
+
+    def test_malformed_request_line_raises(self):
+        line = '10.0.0.1 - - [11/Mar/2018:06:25:31 +0000] "GARBAGE" 200 12 "-" "-"'
+        with pytest.raises(LogParseError, match="malformed request line"):
+            parse_line(line)
+
+    def test_unknown_method_raises(self):
+        line = '10.0.0.1 - - [11/Mar/2018:06:25:31 +0000] "BREW /pot HTTP/1.1" 200 12 "-" "-"'
+        with pytest.raises(LogParseError, match="unknown HTTP method"):
+            parse_line(line)
+
+    def test_bad_timestamp_raises(self):
+        line = '10.0.0.1 - - [99/Foo/2018:99:99:99 +0000] "GET / HTTP/1.1" 200 12 "-" "-"'
+        with pytest.raises(LogParseError):
+            parse_line(line)
+
+    def test_missing_protocol_defaults(self):
+        line = '10.0.0.1 - - [11/Mar/2018:06:25:31 +0000] "GET /" 200 12 "-" "-"'
+        assert parse_line(line).protocol == "HTTP/1.0"
+
+
+class TestParseApacheTimestamp:
+    def test_valid(self):
+        parsed = parse_apache_timestamp("11/Mar/2018:06:25:31 +0100")
+        assert parsed.utcoffset().total_seconds() == 3600
+
+    def test_invalid_raises(self):
+        with pytest.raises(LogParseError, match="invalid timestamp"):
+            parse_apache_timestamp("not a timestamp")
+
+
+class TestParseLines:
+    def test_sequential_request_ids(self):
+        records = list(parse_lines([COMBINED_LINE, COMMON_LINE]))
+        assert [record.request_id for record in records] == ["r0", "r1"]
+
+    def test_blank_lines_skipped(self):
+        records = list(parse_lines([COMBINED_LINE, "", "   ", COMMON_LINE]))
+        assert len(records) == 2
+
+    def test_malformed_raises_by_default(self):
+        with pytest.raises(LogParseError):
+            list(parse_lines([COMBINED_LINE, "garbage"]))
+
+    def test_malformed_skipped_when_requested(self):
+        records = list(parse_lines([COMBINED_LINE, "garbage", COMMON_LINE], skip_malformed=True))
+        assert len(records) == 2
+        assert [record.request_id for record in records] == ["r0", "r1"]
+
+    def test_custom_prefix(self):
+        records = list(parse_lines([COMBINED_LINE], request_id_prefix="q"))
+        assert records[0].request_id == "q0"
+
+
+class TestLogParser:
+    def test_parse_list(self):
+        parser = LogParser()
+        records = parser.parse([COMBINED_LINE, COMMON_LINE])
+        assert len(records) == 2
+
+    def test_parse_file_roundtrip(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(COMBINED_LINE + "\n" + COMMON_LINE + "\n", encoding="utf-8")
+        records = LogParser().parse_file(str(path))
+        assert len(records) == 2
+        assert records[0].client_ip == "203.0.113.9"
+
+    def test_parse_report_counts_errors(self):
+        parser = LogParser()
+        records, report = parser.parse_report([COMBINED_LINE, "garbage", COMMON_LINE])
+        assert len(records) == 2
+        assert report.total_lines == 3
+        assert report.parsed == 2
+        assert report.skipped == 1
+        assert len(report.errors) == 1
+        assert isinstance(report.errors[0], LogParseError)
+
+    def test_parse_report_never_raises(self):
+        parser = LogParser(skip_malformed=False)
+        _, report = parser.parse_report(["garbage"] * 3)
+        assert report.parsed == 0
+        assert report.skipped == 3

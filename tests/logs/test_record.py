@@ -1,0 +1,125 @@
+"""Tests for :mod:`repro.logs.record`."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.logs.record import LogRecord, RequestMethod
+from tests.helpers import make_record
+
+
+class TestRequestMethod:
+    def test_from_string_accepts_lowercase(self):
+        assert RequestMethod.from_string("get") is RequestMethod.GET
+
+    def test_from_string_accepts_uppercase(self):
+        assert RequestMethod.from_string("POST") is RequestMethod.POST
+
+    def test_from_string_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown HTTP method"):
+            RequestMethod.from_string("BREW")
+
+    def test_all_methods_roundtrip(self):
+        for method in RequestMethod:
+            assert RequestMethod.from_string(method.value) is method
+
+
+class TestLogRecordValidation:
+    def test_naive_timestamp_is_normalised_to_utc(self):
+        record = LogRecord(
+            request_id="r0",
+            timestamp=datetime(2018, 3, 11, 9, 0, 0),
+            client_ip="10.0.0.1",
+            method=RequestMethod.GET,
+            path="/",
+            protocol="HTTP/1.1",
+            status=200,
+            response_size=10,
+        )
+        assert record.timestamp.tzinfo is timezone.utc
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError, match="invalid HTTP status"):
+            make_record(status=99)
+
+    def test_status_above_599_rejected(self):
+        with pytest.raises(ValueError, match="invalid HTTP status"):
+            make_record(status=700)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="negative response size"):
+            make_record(size=-1)
+
+
+class TestLogRecordDerivedProperties:
+    def test_url_path_strips_query(self):
+        record = make_record(path="/search?o=PAR&d=LIS")
+        assert record.url_path == "/search"
+
+    def test_query_string(self):
+        record = make_record(path="/search?o=PAR&d=LIS")
+        assert record.query_string == "o=PAR&d=LIS"
+
+    def test_query_params(self):
+        record = make_record(path="/search?o=PAR&d=LIS&pax=2")
+        assert record.query_params == {"o": "PAR", "d": "LIS", "pax": "2"}
+
+    def test_query_params_empty_when_no_query(self):
+        assert make_record(path="/offers/12").query_params == {}
+
+    def test_day_is_iso_date(self):
+        assert make_record().day == "2018-03-11"
+
+    def test_status_class(self):
+        assert make_record(status=200).status_class == 2
+        assert make_record(status=302).status_class == 3
+        assert make_record(status=404).status_class == 4
+        assert make_record(status=500).status_class == 5
+
+    def test_is_error(self):
+        assert not make_record(status=200).is_error
+        assert not make_record(status=304).is_error
+        assert make_record(status=400).is_error
+        assert make_record(status=503).is_error
+
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("/static/css/app.css", True),
+            ("/static/js/bundle-3.js", True),
+            ("/static/img/offer-9.jpg", True),
+            ("/favicon.ico", True),
+            ("/fonts/brand.woff2", True),
+            ("/search?o=PAR", False),
+            ("/offers/12", False),
+        ],
+    )
+    def test_is_asset_request(self, path, expected):
+        assert make_record(path=path).is_asset_request is expected
+
+    def test_has_referrer(self):
+        assert not make_record(referrer="").has_referrer
+        assert not make_record(referrer="-").has_referrer
+        assert make_record(referrer="https://shop.example.com/").has_referrer
+
+    def test_has_user_agent(self):
+        assert not make_record(user_agent="").has_user_agent
+        assert make_record().has_user_agent
+
+    def test_with_status_returns_modified_copy(self):
+        record = make_record(status=200)
+        modified = record.with_status(404)
+        assert modified.status == 404
+        assert record.status == 200
+        assert modified.request_id == record.request_id
+
+    def test_actor_key_is_ip_and_agent(self):
+        record = make_record(ip="10.1.2.3")
+        assert record.actor_key() == ("10.1.2.3", record.user_agent)
+
+    def test_records_are_immutable(self):
+        record = make_record()
+        with pytest.raises(AttributeError):
+            record.status = 500  # type: ignore[misc]

@@ -1,0 +1,149 @@
+"""Tests for :mod:`repro.logs.statuses`, :mod:`repro.logs.filters` and
+:mod:`repro.logs.rotation`."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import pytest
+
+from repro.logs.dataset import Dataset
+from repro.logs.filters import (
+    and_filter,
+    by_day,
+    by_ip,
+    by_method,
+    by_path_prefix,
+    by_status,
+    by_status_class,
+    by_user_agent_substring,
+    not_filter,
+    or_filter,
+)
+from repro.logs.rotation import iter_days, split_by_day
+from repro.logs.statuses import STATUS_REGISTRY, describe_status, status_class
+from tests.helpers import BASE_TIME, make_record
+
+
+class TestStatuses:
+    def test_describe_matches_paper_labels(self):
+        assert describe_status(200) == "200 (OK)"
+        assert describe_status(302) == "302 (Found)"
+        assert describe_status(204) == "204 (No content)"
+        assert describe_status(400) == "400 (Bad request)"
+        assert describe_status(304) == "304 (Not modified)"
+        assert describe_status(500) == "500 (Internal Server Error)"
+        assert describe_status(404) == "404 (Not found)"
+        assert describe_status(403) == "403 (Forbidden)"
+
+    def test_unknown_code_falls_back_to_class(self):
+        assert describe_status(299) == "299 (Success)"
+        assert describe_status(599) == "599 (Server error)"
+
+    def test_status_class(self):
+        assert status_class(204) == 2
+        assert status_class(499) == 4
+
+    def test_status_class_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            status_class(42)
+
+    def test_registry_covers_paper_statuses(self):
+        for code in (200, 302, 204, 400, 304, 500, 404, 403):
+            assert code in STATUS_REGISTRY
+
+
+class TestFilters:
+    def test_by_status(self):
+        assert by_status(404)(make_record(status=404))
+        assert not by_status(404)(make_record(status=200))
+
+    def test_by_status_class(self):
+        assert by_status_class(4)(make_record(status=404))
+        assert not by_status_class(4)(make_record(status=200))
+
+    def test_by_ip(self):
+        assert by_ip("10.0.0.1")(make_record(ip="10.0.0.1"))
+        assert not by_ip("10.0.0.1")(make_record(ip="10.0.0.2"))
+
+    def test_by_method_case_insensitive(self):
+        assert by_method("head")(make_record(method="HEAD"))
+
+    def test_by_path_prefix(self):
+        assert by_path_prefix("/api/")(make_record(path="/api/price?x=1"))
+        assert not by_path_prefix("/api/")(make_record(path="/search"))
+
+    def test_by_user_agent_substring(self):
+        assert by_user_agent_substring("chrome")(make_record())
+        assert not by_user_agent_substring("curl")(make_record())
+
+    def test_by_day(self):
+        assert by_day("2018-03-11")(make_record())
+        assert not by_day("2018-03-12")(make_record())
+
+    def test_and_or_not_combinators(self):
+        ok_search = and_filter(by_status(200), by_path_prefix("/search"))
+        assert ok_search(make_record(path="/search?x=1", status=200))
+        assert not ok_search(make_record(path="/search?x=1", status=302))
+
+        redirect_or_error = or_filter(by_status_class(3), by_status_class(4))
+        assert redirect_or_error(make_record(status=302))
+        assert redirect_or_error(make_record(status=404))
+        assert not redirect_or_error(make_record(status=200))
+
+        not_ok = not_filter(by_status(200))
+        assert not_ok(make_record(status=500))
+        assert not not_ok(make_record(status=200))
+
+    def test_filters_compose_with_dataset(self):
+        records = [
+            make_record("a", status=200),
+            make_record("b", status=404, seconds=1),
+            make_record("c", status=500, seconds=2),
+        ]
+        dataset = Dataset(records)
+        errors = dataset.filter(by_status_class(5))
+        assert errors.request_ids == ["c"]
+
+
+class TestRotation:
+    def _three_day_dataset(self) -> Dataset:
+        records = []
+        for day in range(3):
+            for i in range(2 + day):
+                records.append(
+                    make_record(
+                        f"d{day}r{i}",
+                        seconds=day * 86_400 + i * 60,
+                    )
+                )
+        return Dataset(records)
+
+    def test_split_by_day_counts(self):
+        per_day = split_by_day(self._three_day_dataset())
+        assert len(per_day) == 3
+        sizes = [len(d) for d in per_day.values()]
+        assert sizes == [2, 3, 4]
+
+    def test_split_keys_are_iso_dates(self):
+        per_day = split_by_day(self._three_day_dataset())
+        assert sorted(per_day) == ["2018-03-11", "2018-03-12", "2018-03-13"]
+
+    def test_split_preserves_total(self):
+        dataset = self._three_day_dataset()
+        per_day = split_by_day(dataset)
+        assert sum(len(d) for d in per_day.values()) == len(dataset)
+
+    def test_iter_days_in_order(self):
+        days = [day for day, _ in iter_days(self._three_day_dataset())]
+        assert days == sorted(days)
+
+    def test_per_day_metadata_names_include_day(self):
+        per_day = split_by_day(self._three_day_dataset())
+        for day, dataset in per_day.items():
+            assert day in dataset.metadata.name
+
+    def test_timestamps_inside_each_day(self):
+        for day, dataset in iter_days(self._three_day_dataset()):
+            for record in dataset:
+                assert record.day == day

@@ -1,0 +1,70 @@
+"""Tests for :mod:`repro.logs.writer`."""
+
+from __future__ import annotations
+
+import io
+
+from repro.logs.parser import parse_line
+from repro.logs.writer import LogWriter, format_record, format_records, write_records
+from tests.helpers import make_record, make_records
+
+
+class TestFormatRecord:
+    def test_contains_all_fields(self):
+        record = make_record(ip="10.1.2.3", path="/search?o=PAR", status=302, size=420, referrer="https://ref/")
+        line = format_record(record)
+        assert line.startswith("10.1.2.3 - - [")
+        assert '"GET /search?o=PAR HTTP/1.1"' in line
+        assert " 302 420 " in line
+        assert '"https://ref/"' in line
+
+    def test_empty_referrer_and_agent_become_dashes(self):
+        record = make_record(referrer="", user_agent="")
+        line = format_record(record)
+        assert line.endswith('"-" "-"')
+
+    def test_zero_size_rendered_as_zero(self):
+        record = make_record(status=204, size=0)
+        assert " 204 0 " in format_record(record)
+
+    def test_roundtrip_through_parser(self):
+        original = make_record(path="/offers/99?cur=EUR", status=302, size=512, referrer="https://shop.example.com/")
+        reparsed = parse_line(format_record(original), request_id=original.request_id)
+        assert reparsed.client_ip == original.client_ip
+        assert reparsed.path == original.path
+        assert reparsed.status == original.status
+        assert reparsed.response_size == original.response_size
+        assert reparsed.referrer == original.referrer
+        assert reparsed.user_agent == original.user_agent
+        assert reparsed.timestamp == original.timestamp
+
+
+class TestWriteRecords:
+    def test_write_to_handle_counts_lines(self):
+        records = make_records(5)
+        buffer = io.StringIO()
+        count = write_records(records, buffer)
+        assert count == 5
+        assert len(buffer.getvalue().splitlines()) == 5
+
+    def test_format_records_yields_one_line_each(self):
+        records = make_records(3)
+        assert len(list(format_records(records))) == 3
+
+
+class TestLogWriter:
+    def test_write_file_and_reparse(self, tmp_path):
+        from repro.logs.parser import LogParser
+
+        records = make_records(10, gap_seconds=2.0)
+        path = tmp_path / "out.log"
+        count = LogWriter().write_file(records, str(path))
+        assert count == 10
+        reparsed = LogParser().parse_file(str(path))
+        assert len(reparsed) == 10
+        assert [r.status for r in reparsed] == [r.status for r in records]
+
+    def test_to_lines(self):
+        lines = LogWriter().to_lines(make_records(4))
+        assert len(lines) == 4
+        assert all(isinstance(line, str) for line in lines)

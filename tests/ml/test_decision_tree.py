@@ -1,0 +1,91 @@
+"""Tests for :mod:`repro.ml.decision_tree`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DetectorNotFittedError
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+
+def _separable(seed: int = 0, n: int = 300) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 3))
+    y = (X[:, 0] > 0.5).astype(int)
+    return X, y
+
+
+def _xor_data(seed: int = 1, n: int = 400) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 2))
+    y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_axis_aligned_problem_solved_exactly(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier(max_depth=3, min_leaf=2).fit(X, y)
+        assert tree.score(X, y) > 0.97
+
+    def test_xor_needs_depth_two(self):
+        X, y = _xor_data()
+        shallow = DecisionTreeClassifier(max_depth=1, min_leaf=2).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=4, min_leaf=2).fit(X, y)
+        assert deep.score(X, y) > shallow.score(X, y) + 0.2
+
+    def test_max_depth_respected(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=2, min_leaf=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_predict_proba_in_unit_interval(self):
+        X, y = _separable(seed=4)
+        tree = DecisionTreeClassifier().fit(X, y)
+        probabilities = tree.predict_proba(X)
+        assert ((probabilities >= 0) & (probabilities <= 1)).all()
+
+    def test_prediction_threshold(self):
+        X, y = _separable(seed=5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        strict = tree.predict(X, threshold=0.9).sum()
+        lax = tree.predict(X, threshold=0.1).sum()
+        assert lax >= strict
+
+    def test_pure_labels_make_single_leaf(self):
+        X = np.random.default_rng(0).uniform(size=(50, 2))
+        y = np.ones(50, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count() == 1
+        assert tree.predict_proba(X).min() == 1.0
+
+    def test_rejects_non_binary_labels(self):
+        X = np.zeros((4, 2))
+        y = np.array([0, 1, 2, 1])
+        with pytest.raises(ValueError, match="binary"):
+            DecisionTreeClassifier().fit(X, y)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_leaf=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(DetectorNotFittedError):
+            DecisionTreeClassifier().predict_proba(np.zeros((2, 2)))
+        with pytest.raises(DetectorNotFittedError):
+            DecisionTreeClassifier().depth()
+
+    def test_min_leaf_limits_tiny_splits(self):
+        X, y = _separable(seed=6, n=30)
+        small_leaf = DecisionTreeClassifier(max_depth=10, min_leaf=1).fit(X, y)
+        big_leaf = DecisionTreeClassifier(max_depth=10, min_leaf=10).fit(X, y)
+        assert big_leaf.node_count() <= small_leaf.node_count()
+
+    def test_deterministic(self):
+        X, y = _xor_data(seed=9)
+        a = DecisionTreeClassifier(max_depth=4).fit(X, y).predict_proba(X)
+        b = DecisionTreeClassifier(max_depth=4).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(a, b)

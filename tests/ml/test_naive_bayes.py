@@ -1,0 +1,103 @@
+"""Tests for :mod:`repro.ml.naive_bayes`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DetectorNotFittedError
+from repro.ml.naive_bayes import BernoulliNaiveBayes, GaussianNaiveBayes
+
+
+def _gaussian_data(seed: int = 0, n: int = 400) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    class0 = rng.normal(0.0, 1.0, size=(n, 3))
+    class1 = rng.normal(3.0, 1.0, size=(n, 3))
+    X = np.vstack([class0, class1])
+    y = np.concatenate([np.zeros(n, dtype=int), np.ones(n, dtype=int)])
+    return X, y
+
+
+def _bernoulli_data(seed: int = 0, n: int = 400) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    class0 = (rng.random((n, 5)) < 0.15).astype(float)
+    class1 = (rng.random((n, 5)) < 0.8).astype(float)
+    X = np.vstack([class0, class1])
+    y = np.concatenate([np.zeros(n, dtype=int), np.ones(n, dtype=int)])
+    return X, y
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_classes_high_accuracy(self):
+        X, y = _gaussian_data()
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = _gaussian_data()
+        model = GaussianNaiveBayes().fit(X, y)
+        probabilities = model.predict_proba(X[:20])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, rtol=1e-9)
+        assert ((probabilities >= 0) & (probabilities <= 1)).all()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(DetectorNotFittedError):
+            GaussianNaiveBayes().predict(np.zeros((2, 3)))
+
+    def test_single_class_rejected(self):
+        X = np.zeros((10, 2))
+        y = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError, match="two classes"):
+            GaussianNaiveBayes().fit(X, y)
+
+    def test_constant_feature_does_not_break(self):
+        X, y = _gaussian_data(n=100)
+        X[:, 1] = 5.0
+        model = GaussianNaiveBayes().fit(X, y)
+        assert np.isfinite(model.predict_proba(X)).all()
+
+    def test_priors_reflect_class_imbalance(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = np.array([0] * 90 + [1] * 10)
+        model = GaussianNaiveBayes().fit(X, y)
+        priors = np.exp(model.class_log_prior_)
+        assert priors[0] == pytest.approx(0.9)
+        assert priors[1] == pytest.approx(0.1)
+
+
+class TestBernoulliNaiveBayes:
+    def test_separable_classes_high_accuracy(self):
+        X, y = _bernoulli_data()
+        model = BernoulliNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_rejects_non_binary_features(self):
+        X = np.array([[0.0, 0.5], [1.0, 0.0]])
+        y = np.array([0, 1])
+        with pytest.raises(ValueError, match="binary"):
+            BernoulliNaiveBayes().fit(X, y)
+
+    def test_rejects_non_positive_alpha(self):
+        with pytest.raises(ValueError):
+            BernoulliNaiveBayes(alpha=0)
+
+    def test_smoothing_prevents_zero_probabilities(self):
+        # Feature 0 is always 0 in class 0; with Laplace smoothing a test
+        # point with feature 0 set must still get finite likelihoods.
+        X = np.array([[0.0, 1.0]] * 5 + [[1.0, 0.0]] * 5)
+        y = np.array([0] * 5 + [1] * 5)
+        model = BernoulliNaiveBayes().fit(X, y)
+        probabilities = model.predict_proba(np.array([[1.0, 1.0]]))
+        assert np.isfinite(probabilities).all()
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = _bernoulli_data(seed=3)
+        model = BernoulliNaiveBayes().fit(X, y)
+        probabilities = model.predict_proba(X[:50])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_classes_attribute_sorted(self):
+        X, y = _bernoulli_data(seed=3)
+        model = BernoulliNaiveBayes().fit(X, y)
+        assert list(model.classes_) == [0, 1]

@@ -1,0 +1,120 @@
+"""Tests for the benchmark-support package (expected values, shape checks, report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.comparison import ShapeCheck, compare_fractions, compare_ordering
+from repro.bench.expected import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    paper_alert_fraction,
+    paper_fractions_table2,
+    paper_status_fractions,
+)
+from repro.bench.report import render_experiments_report
+from repro.core.experiment import PaperExperiment
+
+
+class TestExpectedValues:
+    def test_table2_sums_to_table1_total(self):
+        assert sum(PAPER_TABLE2.values()) == PAPER_TABLE1["total"]
+
+    def test_table1_consistent_with_table2(self):
+        assert PAPER_TABLE1["commercial"] == PAPER_TABLE2["both"] + PAPER_TABLE2["commercial_only"]
+        assert PAPER_TABLE1["inhouse"] == PAPER_TABLE2["both"] + PAPER_TABLE2["inhouse_only"]
+
+    def test_table3_totals_match_table1(self):
+        # The paper's per-status counts sum to each tool's alerted total.
+        assert sum(PAPER_TABLE3["inhouse"].values()) == PAPER_TABLE1["inhouse"]
+        assert sum(PAPER_TABLE3["commercial"].values()) == PAPER_TABLE1["commercial"]
+
+    def test_table4_totals_match_table2_exclusives(self):
+        assert sum(PAPER_TABLE4["inhouse"].values()) == PAPER_TABLE2["inhouse_only"]
+        assert sum(PAPER_TABLE4["commercial"].values()) == PAPER_TABLE2["commercial_only"]
+
+    def test_fraction_helpers(self):
+        fractions = paper_fractions_table2()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert paper_alert_fraction("commercial") == pytest.approx(0.8675, abs=0.001)
+        status_fractions = paper_status_fractions(PAPER_TABLE3, "inhouse")
+        assert status_fractions[200] > 0.95
+        assert sum(status_fractions.values()) == pytest.approx(1.0)
+
+
+class TestShapeCheck:
+    def test_fraction_within_factor_passes(self):
+        check = ShapeCheck("demo")
+        check.check_fraction("x", 0.10, 0.12, tolerance_factor=2.0)
+        assert check.passed
+
+    def test_fraction_outside_factor_fails(self):
+        check = ShapeCheck("demo")
+        check.check_fraction("x", 0.9, 0.1, tolerance_factor=2.0)
+        assert not check.passed
+        assert len(check.failures()) == 1
+
+    def test_small_fractions_get_absolute_slack(self):
+        check = ShapeCheck("demo")
+        check.check_fraction("tiny", 0.015, 0.001, tolerance_factor=2.0, absolute_slack=0.02)
+        assert check.passed
+
+    def test_greater_and_dominant(self):
+        check = ShapeCheck("demo")
+        check.check_greater("a>b", 2.0, 1.0)
+        check.check_dominant("top", {"x": 5, "y": 1}, "x")
+        check.check_dominant("top-fails", {"x": 1, "y": 5}, "x")
+        assert not check.passed
+        assert len(check.failures()) == 1
+
+    def test_dominant_on_empty_counts_fails(self):
+        check = ShapeCheck("demo")
+        check.check_dominant("empty", {}, "x")
+        assert not check.passed
+
+    def test_report_mentions_every_check(self):
+        check = ShapeCheck("demo")
+        check.add("first", True, "ok")
+        check.add("second", False, "nope")
+        report = check.report()
+        assert "[PASS] first" in report
+        assert "[FAIL] second" in report
+        assert "1 CHECK(S) FAILED" in report
+
+    def test_compare_fractions_and_ordering(self):
+        fractions = compare_fractions("f", {"a": 0.5}, {"a": 0.4})
+        assert fractions.passed
+        ordering = compare_ordering("o", {"a": 3.0, "b": 2.0, "c": 1.0}, ["a", "b", "c"])
+        assert ordering.passed
+        bad = compare_ordering("o", {"a": 1.0, "b": 2.0}, ["a", "b"])
+        assert not bad.passed
+
+
+class TestExperimentsReport:
+    def test_report_contains_all_tables_and_extensions(self, calibrated_dataset):
+        result = PaperExperiment().run_on(calibrated_dataset)
+        report = render_experiments_report(result, scale=0.005, seed=2018)
+        for heading in (
+            "# EXPERIMENTS",
+            "## Table 1",
+            "## Table 2",
+            "## Table 3",
+            "## Table 4",
+            "Labelled evaluation of each tool",
+            "Adjudication schemes",
+            "Pairwise diversity metrics",
+        ):
+            assert heading in report
+        # Paper's headline numbers appear alongside measured ones.
+        assert "1,469,744" in report
+        assert "1,231,408" in report
+        assert f"{result.total_requests:,}" in report
+
+    def test_report_is_valid_markdown_tables(self, calibrated_dataset):
+        result = PaperExperiment().run_on(calibrated_dataset)
+        report = render_experiments_report(result, scale=0.005, seed=2018)
+        table_lines = [line for line in report.splitlines() if line.startswith("|")]
+        assert table_lines, "the report should contain markdown tables"
+        assert all(line.count("|") >= 3 for line in table_lines)

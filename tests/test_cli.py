@@ -1,0 +1,80 @@
+"""Tests for the ``repro-scrapeguard`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(["generate", "--output", "x.log", "--scale", "0.01"])
+        assert args.command == "generate"
+        assert args.scale == 0.01
+
+
+class TestCommands:
+    def test_scenarios_lists_presets(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "amadeus_march_2018" in out
+        assert "balanced_small" in out
+
+    def test_generate_writes_log_and_labels(self, tmp_path, capsys):
+        log_path = tmp_path / "access.log"
+        labels_path = tmp_path / "labels.json"
+        code = main(
+            [
+                "generate",
+                "--scenario",
+                "balanced_small",
+                "--seed",
+                "3",
+                "--output",
+                str(log_path),
+                "--labels",
+                str(labels_path),
+            ]
+        )
+        assert code == 0
+        assert log_path.exists() and log_path.stat().st_size > 0
+        assert labels_path.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_tables_from_generated_scenario(self, capsys):
+        code = main(["tables", "--scenario", "balanced_small", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "HTTP status" in out
+
+    def test_tables_from_log_file(self, tmp_path, capsys):
+        log_path = tmp_path / "access.log"
+        main(["generate", "--scenario", "balanced_small", "--seed", "3", "--output", str(log_path)])
+        capsys.readouterr()
+        code = main(["tables", "--log-file", str(log_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_evaluate_prints_labelled_metrics(self, capsys):
+        code = main(["evaluate", "--scenario", "balanced_small", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-tool labelled evaluation" in out
+        assert "Adjudication schemes" in out
+        assert "actor class" in out
+
+    def test_evaluate_with_configurations(self, capsys):
+        code = main(["evaluate", "--scenario", "balanced_small", "--seed", "3", "--configurations"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Parallel vs serial configurations" in out
+        assert "serial-confirm" in out

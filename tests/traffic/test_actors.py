@@ -1,0 +1,190 @@
+"""Tests for the actor framework, humans, good bots and scraper families."""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.traffic.actors import ActorPopulation, TimeWindow, split_budget, spread_session_starts
+from repro.traffic.goodbots import MonitoringBot, SearchEngineCrawler
+from repro.traffic.humans import HumanVisitor
+from repro.traffic.ipspace import IPSpace
+from repro.traffic.scrapers import AggressiveScraper, ProbingScraper, StealthScraper
+from repro.traffic.site import SiteModel
+from repro.traffic.useragents import UserAgentCatalog, is_known_crawler_agent
+
+WINDOW = TimeWindow(start=datetime(2018, 3, 11, tzinfo=timezone.utc), days=2)
+SITE = SiteModel()
+AGENTS = UserAgentCatalog()
+IPS = IPSpace()
+
+
+def _rng(seed: int = 7) -> random.Random:
+    return random.Random(seed)
+
+
+class TestTimeWindow:
+    def test_end_is_start_plus_days(self):
+        assert (WINDOW.end - WINDOW.start).days == 2
+
+    def test_rejects_non_positive_days(self):
+        with pytest.raises(ValueError):
+            TimeWindow(start=WINDOW.start, days=0)
+
+    def test_contains_and_clamp(self):
+        inside = WINDOW.start.replace(hour=5)
+        assert WINDOW.contains(inside)
+        assert not WINDOW.contains(WINDOW.end)
+        assert WINDOW.clamp(WINDOW.end) < WINDOW.end
+        assert WINDOW.clamp(WINDOW.start) == WINDOW.start
+
+    def test_day_starts(self):
+        starts = WINDOW.day_starts()
+        assert len(starts) == 2
+        assert starts[0] == WINDOW.start
+
+
+class TestHelpers:
+    def test_split_budget_sums_to_roughly_total(self):
+        shares = split_budget(1000, 7, _rng())
+        assert len(shares) == 7
+        assert abs(sum(shares) - 1000) < 100
+
+    def test_split_budget_zero_parts(self):
+        assert split_budget(100, 0, _rng()) == []
+
+    def test_split_budget_zero_total(self):
+        assert split_budget(0, 3, _rng()) == [0, 0, 0]
+
+    def test_spread_session_starts_sorted_and_inside_window(self):
+        starts = spread_session_starts(WINDOW, 50, _rng())
+        assert starts == sorted(starts)
+        assert all(WINDOW.start <= s < WINDOW.end or s < WINDOW.end for s in starts)
+
+
+class TestActorPopulation:
+    def test_add_and_counts(self):
+        population = ActorPopulation()
+        population.add(HumanVisitor("h0", SITE, client_ip="10.16.0.1", user_agent=AGENTS.random_browser(_rng())))
+        population.extend(
+            [
+                AggressiveScraper("a0", SITE, client_ip="172.20.0.5", user_agent="curl/7.58.0", request_budget=100),
+                AggressiveScraper("a1", SITE, client_ip="172.20.0.6", user_agent="curl/7.58.0", request_budget=100),
+            ]
+        )
+        assert len(population) == 3
+        assert population.class_counts() == {"human": 1, "aggressive_scraper": 2}
+
+
+class TestHumanVisitor:
+    def test_generates_roughly_its_budget(self):
+        human = HumanVisitor("h0", SITE, client_ip="10.16.0.1", user_agent=AGENTS.random_browser(_rng()), request_budget=40)
+        events = human.generate(WINDOW, _rng())
+        assert 10 <= len(events) <= 60
+
+    def test_loads_assets_and_sends_referrers(self):
+        human = HumanVisitor("h0", SITE, client_ip="10.16.0.1", user_agent=AGENTS.random_browser(_rng()), request_budget=60)
+        events = human.generate(WINDOW, _rng())
+        asset_fraction = sum(1 for e in events if "/static/" in e.path) / len(events)
+        referrer_fraction = sum(1 for e in events if e.referrer) / len(events)
+        assert asset_fraction > 0.15
+        assert referrer_fraction > 0.5
+
+    def test_human_pacing_is_not_machine_fast(self):
+        human = HumanVisitor("h0", SITE, client_ip="10.16.0.1", user_agent=AGENTS.random_browser(_rng()), request_budget=40)
+        events = sorted(human.generate(WINDOW, _rng()), key=lambda e: e.timestamp)
+        gaps = [
+            (b.timestamp - a.timestamp).total_seconds()
+            for a, b in zip(events, events[1:])
+            if (b.timestamp - a.timestamp).total_seconds() < 1800
+        ]
+        assert sum(gaps) / len(gaps) > 2.0
+
+    def test_events_within_window(self):
+        human = HumanVisitor("h0", SITE, client_ip="10.16.0.1", user_agent=AGENTS.random_browser(_rng()), request_budget=30)
+        for event in human.generate(WINDOW, _rng()):
+            assert WINDOW.start <= event.timestamp < WINDOW.end
+
+    def test_actor_class_label(self):
+        human = HumanVisitor("h0", SITE, client_ip="10.16.0.1", user_agent="x", request_budget=10)
+        assert human.actor_class == "human"
+        assert all(e.actor_class == "human" for e in human.generate(WINDOW, _rng()))
+
+
+class TestGoodBots:
+    def test_crawler_fetches_robots_and_paces_politely(self):
+        crawler = SearchEngineCrawler(
+            "c0", SITE, client_ip=IPS.crawler.random_address(_rng()), user_agent=AGENTS.random_crawler(_rng()), request_budget=100
+        )
+        events = crawler.generate(WINDOW, _rng())
+        assert any(e.path == "/robots.txt" for e in events)
+        assert all(is_known_crawler_agent(e.user_agent) for e in events)
+        assert 20 <= len(events) <= 130
+
+    def test_monitoring_bot_interval(self):
+        bot = MonitoringBot("m0", SITE, client_ip=IPS.crawler.random_address(_rng()), user_agent=AGENTS.random_crawler(_rng()), interval_minutes=60)
+        events = bot.generate(WINDOW, _rng())
+        # Two days at one probe per hour.
+        assert 40 <= len(events) <= 56
+        assert any(e.method == "HEAD" for e in events)
+
+
+class TestScrapers:
+    def test_aggressive_scraper_volume_and_rate(self):
+        scraper = AggressiveScraper(
+            "a0", SITE, client_ip="172.20.1.5", user_agent="python-requests/2.18.4", request_budget=600, requests_per_minute=120
+        )
+        events = sorted(scraper.generate(WINDOW, _rng()), key=lambda e: e.timestamp)
+        assert 400 <= len(events) <= 700
+        gaps = [
+            (b.timestamp - a.timestamp).total_seconds()
+            for a, b in zip(events, events[1:])
+            if (b.timestamp - a.timestamp).total_seconds() < 300
+        ]
+        assert sum(gaps) / len(gaps) < 2.0  # machine-fast pacing
+
+    def test_aggressive_scraper_never_loads_assets(self):
+        scraper = AggressiveScraper("a0", SITE, client_ip="172.20.1.5", user_agent="curl/7.58.0", request_budget=300)
+        events = scraper.generate(WINDOW, _rng())
+        assert not any("/static/" in e.path for e in events)
+        assert all(e.referrer == "" for e in events)
+
+    def test_stealth_scraper_rotates_ips_and_paces_slowly(self):
+        ips = ["10.96.0.5", "10.96.0.6", "10.96.0.7"]
+        scraper = StealthScraper(
+            "s0", SITE, client_ips=ips, user_agent=AGENTS.random_browser(_rng()), request_budget=300, requests_per_minute=8, evasive_fraction=0.0
+        )
+        events = scraper.generate(WINDOW, _rng())
+        assert {e.client_ip for e in events} <= set(ips)
+        assert len({e.client_ip for e in events}) >= 2
+        assert 200 <= len(events) <= 350
+
+    def test_stealth_scraper_requires_ips(self):
+        with pytest.raises(ValueError, match="at least one client IP"):
+            StealthScraper("s0", SITE, client_ips=[], user_agent="x")
+
+    def test_probing_scraper_produces_probe_statuses(self):
+        scraper = ProbingScraper(
+            "p0", SITE, client_ip="10.96.2.9", user_agent=AGENTS.random_browser(_rng()), request_budget=600
+        )
+        events = scraper.generate(WINDOW, _rng())
+        statuses = [e.status for e in events]
+        assert statuses.count(204) / len(statuses) > 0.03
+        assert statuses.count(400) / len(statuses) > 0.02
+        assert any(e.method == "HEAD" for e in events)
+        assert statuses.count(200) / len(statuses) > 0.5
+
+    def test_scraper_budgets_respected_roughly(self):
+        scraper = ProbingScraper("p0", SITE, client_ip="10.96.2.9", user_agent="x", request_budget=200)
+        events = scraper.generate(WINDOW, _rng())
+        assert 120 <= len(events) <= 260
+
+    def test_all_scraper_classes_labelled_malicious(self):
+        from repro.traffic.labels import is_malicious_class
+
+        for actor_class in ("aggressive_scraper", "stealth_scraper", "probing_scraper"):
+            assert is_malicious_class(actor_class)
+        for actor_class in ("human", "search_crawler", "monitoring_bot", "somebody_else"):
+            assert not is_malicious_class(actor_class)

@@ -1,0 +1,119 @@
+"""Tests for :mod:`repro.traffic.site`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.traffic.site import Endpoint, SiteModel
+
+
+@pytest.fixture()
+def site() -> SiteModel:
+    return SiteModel()
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(42)
+
+
+class TestEndpoint:
+    def test_choose_status_respects_weights(self, rng):
+        endpoint = Endpoint(name="x", path_template="/x", status_weights={200: 1.0}, mean_size=100)
+        assert endpoint.choose_status(rng) == 200
+
+    def test_choose_status_only_returns_listed_codes(self, rng):
+        endpoint = Endpoint(name="x", path_template="/x", status_weights={200: 0.5, 302: 0.5}, mean_size=100)
+        statuses = {endpoint.choose_status(rng) for _ in range(200)}
+        assert statuses <= {200, 302}
+        assert len(statuses) == 2
+
+
+class TestSiteModelEndpoints:
+    def test_default_endpoints_include_core_pages(self, site):
+        names = set(site.endpoint_names())
+        assert {"home", "search", "offer", "price_api", "availability", "booking", "beacon", "robots"} <= names
+
+    def test_unknown_endpoint_raises(self, site):
+        with pytest.raises(KeyError, match="unknown endpoint"):
+            site.endpoint("nope")
+
+    def test_build_path_substitutes_item_id(self, site, rng):
+        path = site.build_path("offer", rng, item_id=123)
+        assert path == "/offers/123"
+
+    def test_build_path_search_has_query(self, site, rng):
+        path = site.build_path("search", rng)
+        assert path.startswith("/search?")
+        assert "o=" in path and "d=" in path
+
+    def test_build_path_api_has_query(self, site, rng):
+        path = site.build_path("price_api", rng)
+        assert path.startswith("/api/price?")
+
+    def test_build_path_custom_query(self, site, rng):
+        path = site.build_path("search", rng, query="o=PAR&d=LIS")
+        assert path == "/search?o=PAR&d=LIS"
+
+    def test_search_query_origin_differs_from_destination(self, site, rng):
+        for _ in range(50):
+            query = site.search_query(rng)
+            params = dict(part.split("=") for part in query.split("&"))
+            assert params["o"] != params["d"]
+
+    def test_malformed_query_is_nonempty(self, site, rng):
+        assert site.malformed_query(rng)
+
+
+class TestSiteModelResponses:
+    def test_malformed_request_returns_400(self, site, rng):
+        status, size = site.respond("search", rng, malformed=True)
+        assert status == 400
+        assert size > 0
+
+    def test_not_found_returns_404(self, site, rng):
+        status, _ = site.respond("offer", rng, not_found=True)
+        assert status == 404
+
+    def test_conditional_asset_returns_304_with_zero_size(self, site, rng):
+        status, size = site.respond("asset_css", rng, conditional=True)
+        assert status == 304
+        assert size == 0
+
+    def test_conditional_ignored_for_non_conditional_endpoints(self, site, rng):
+        statuses = {site.respond("search", rng, conditional=True)[0] for _ in range(100)}
+        assert 304 not in statuses
+
+    def test_beacon_mostly_204(self, site, rng):
+        statuses = [site.respond("beacon", rng)[0] for _ in range(300)]
+        assert statuses.count(204) > 250
+
+    def test_search_mostly_200_with_some_302(self, site, rng):
+        statuses = [site.respond("search", rng)[0] for _ in range(2000)]
+        assert statuses.count(200) > 1800
+        assert statuses.count(302) > 10
+
+    def test_204_and_304_have_zero_size(self, site, rng):
+        for _ in range(200):
+            status, size = site.respond("availability", rng)
+            if status == 204:
+                assert size == 0
+
+    def test_200_sizes_scale_with_endpoint_mean(self, site, rng):
+        search_sizes = []
+        beacon_like = []
+        for _ in range(200):
+            status, size = site.respond("search", rng)
+            if status == 200:
+                search_sizes.append(size)
+            status, size = site.respond("price_api", rng)
+            if status == 200:
+                beacon_like.append(size)
+        assert sum(search_sizes) / len(search_sizes) > sum(beacon_like) / len(beacon_like)
+
+    def test_responses_deterministic_for_same_seed(self, site):
+        first = [site.respond("search", random.Random(7)) for _ in range(1)]
+        second = [site.respond("search", random.Random(7)) for _ in range(1)]
+        assert first == second

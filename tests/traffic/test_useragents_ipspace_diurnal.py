@@ -1,0 +1,153 @@
+"""Tests for user agents, IP space and diurnal profile models."""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.traffic.diurnal import DiurnalProfile
+from repro.traffic.ipspace import (
+    CRAWLER_POOL,
+    DATACENTER_POOL,
+    RESIDENTIAL_POOL,
+    IPPool,
+    IPSpace,
+    addresses_from,
+    prefix24,
+    spread_over_pools,
+)
+from repro.traffic.useragents import (
+    UserAgentCatalog,
+    is_headless_agent,
+    is_known_crawler_agent,
+    is_scripted_agent,
+)
+
+
+class TestUserAgentClassification:
+    @pytest.mark.parametrize(
+        "agent",
+        ["python-requests/2.18.4", "curl/7.58.0", "Scrapy/1.5.0 (+https://scrapy.org)", "Java/1.8.0_161", "Go-http-client/1.1"],
+    )
+    def test_scripted_agents_detected(self, agent):
+        assert is_scripted_agent(agent)
+
+    def test_browser_agent_not_scripted(self):
+        catalog = UserAgentCatalog()
+        rng = random.Random(1)
+        assert not is_scripted_agent(catalog.random_browser(rng))
+
+    def test_headless_detected(self):
+        assert is_headless_agent(
+            "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) HeadlessChrome/64.0.3282.186 Safari/537.36"
+        )
+
+    def test_known_crawler_detected(self):
+        assert is_known_crawler_agent("Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)")
+        assert not is_known_crawler_agent("curl/7.58.0")
+
+    def test_catalog_draws_from_each_family(self):
+        catalog = UserAgentCatalog()
+        rng = random.Random(3)
+        assert is_scripted_agent(catalog.random_scripted(rng))
+        assert is_headless_agent(catalog.random_headless(rng))
+        assert is_known_crawler_agent(catalog.random_crawler(rng))
+        assert not is_scripted_agent(catalog.random_browser(rng))
+
+
+class TestIPPools:
+    def test_random_address_is_inside_pool(self):
+        rng = random.Random(5)
+        for pool in (RESIDENTIAL_POOL, DATACENTER_POOL, CRAWLER_POOL):
+            for _ in range(20):
+                assert pool.contains(pool.random_address(rng))
+
+    def test_pools_are_disjoint(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            address = DATACENTER_POOL.random_address(rng)
+            assert not RESIDENTIAL_POOL.contains(address)
+
+    def test_pool_of_classifies_addresses(self):
+        space = IPSpace()
+        rng = random.Random(5)
+        assert space.pool_of(space.datacenter.random_address(rng)) == "datacenter"
+        assert space.pool_of(space.residential.random_address(rng)) == "residential"
+        assert space.pool_of("203.0.113.9") == "unknown"
+
+    def test_prefix24(self):
+        assert prefix24("10.16.3.7") == "10.16.3"
+
+    def test_reputation_blocklist_targets_datacenter_space(self):
+        space = IPSpace()
+        blocklist = space.reputation_blocklist(random.Random(99))
+        assert blocklist, "the feed should flag something"
+        # Every flagged prefix comes from the datacenter pool.
+        for prefix in list(blocklist)[:50]:
+            assert space.datacenter.contains(prefix + ".1")
+        # And no residential prefix is flagged.
+        rng = random.Random(1)
+        for _ in range(50):
+            address = space.residential.random_address(rng)
+            assert prefix24(address) not in blocklist
+
+    def test_reputation_blocklist_fraction_scales(self):
+        space = IPSpace()
+        small = space.reputation_blocklist(random.Random(1), datacenter_fraction=0.1)
+        large = space.reputation_blocklist(random.Random(1), datacenter_fraction=0.9)
+        assert len(large) > len(small)
+
+    def test_addresses_from_and_spread(self):
+        rng = random.Random(2)
+        addresses = addresses_from(RESIDENTIAL_POOL, 10, rng)
+        assert len(addresses) == 10
+        spread = spread_over_pools([RESIDENTIAL_POOL, DATACENTER_POOL], 10, rng)
+        assert len(spread) == 10
+
+    def test_custom_pool_contains(self):
+        pool = IPPool(name="test", cidrs=("192.0.2.0/24",))
+        assert pool.contains("192.0.2.55")
+        assert not pool.contains("192.0.3.55")
+
+
+class TestDiurnalProfile:
+    def test_needs_24_weights(self):
+        with pytest.raises(ValueError, match="24 hourly weights"):
+            DiurnalProfile(hourly_weights=(1.0,) * 23)
+
+    def test_rejects_negative_weights(self):
+        weights = [1.0] * 24
+        weights[3] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            DiurnalProfile(hourly_weights=tuple(weights))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            DiurnalProfile(hourly_weights=(0.0,) * 24)
+
+    def test_samples_fall_within_day(self):
+        profile = DiurnalProfile.human()
+        day_start = datetime(2018, 3, 11, tzinfo=timezone.utc)
+        rng = random.Random(11)
+        times = profile.sample_times(day_start, 200, rng)
+        assert all(t.date() == day_start.date() for t in times)
+        assert times == sorted(times)
+
+    def test_human_profile_prefers_evening_over_night(self):
+        profile = DiurnalProfile.human()
+        day_start = datetime(2018, 3, 11, tzinfo=timezone.utc)
+        rng = random.Random(11)
+        hours = [profile.random_time_in_day(day_start, rng).hour for _ in range(3000)]
+        night = sum(1 for hour in hours if hour < 6)
+        evening = sum(1 for hour in hours if 18 <= hour < 23)
+        assert evening > night * 2
+
+    def test_flat_profile_is_roughly_uniform(self):
+        profile = DiurnalProfile.flat()
+        day_start = datetime(2018, 3, 11, tzinfo=timezone.utc)
+        rng = random.Random(11)
+        hours = [profile.random_time_in_day(day_start, rng).hour for _ in range(4800)]
+        counts = [hours.count(hour) for hour in range(24)]
+        assert min(counts) > 100  # ~200 expected per hour
