@@ -17,6 +17,12 @@ every substrate the study depends on:
 * :mod:`repro.core` -- the diversity analysis itself: alert matrices,
   the paper's Tables 1-4, diversity metrics, adjudication schemes,
   parallel/serial deployment configurations and labelled evaluation.
+* :mod:`repro.stream` -- the real-time counterpart of the batch
+  pipeline: an event-driven engine with incremental sessionization,
+  online ports of the detectors, windowed 1oo2/2oo2 adjudication of live
+  votes, and visitor-sharded multi-worker execution.  Replaying a data
+  set through the engine reproduces the batch alert sets exactly, so
+  streaming runs feed the same Tables 1-4 analysis.
 
 Quickstart::
 
@@ -25,16 +31,31 @@ Quickstart::
     experiment = PaperExperiment()
     result = experiment.run_scenario(amadeus_march_2018(scale=0.02))
     print(result.render_all())
+
+Streaming quickstart::
+
+    from repro import StreamEngine, default_online_detectors, generate_dataset, balanced_small
+    from repro.stream import dataset_replay
+
+    dataset = generate_dataset(balanced_small())
+    result = StreamEngine(default_online_detectors()).run(dataset_replay(dataset))
+    print(result.alert_counts())
 """
 
 from repro.core.experiment import ExperimentResult, PaperExperiment
 from repro.detectors.commercial import CommercialBotDefenceDetector
 from repro.detectors.inhouse import InHouseHeuristicDetector
 from repro.logs.dataset import Dataset
+from repro.stream import (
+    ShardedStreamRunner,
+    StreamEngine,
+    WindowedAdjudicator,
+    default_online_detectors,
+)
 from repro.traffic.generator import generate_dataset
 from repro.traffic.scenarios import amadeus_march_2018, balanced_small, get_scenario, stealth_heavy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CommercialBotDefenceDetector",
@@ -42,9 +63,13 @@ __all__ = [
     "ExperimentResult",
     "InHouseHeuristicDetector",
     "PaperExperiment",
+    "ShardedStreamRunner",
+    "StreamEngine",
+    "WindowedAdjudicator",
     "__version__",
     "amadeus_march_2018",
     "balanced_small",
+    "default_online_detectors",
     "generate_dataset",
     "get_scenario",
     "stealth_heavy",

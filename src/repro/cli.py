@@ -12,6 +12,11 @@ Subcommands
     Print the labelled extension analyses: per-tool sensitivity /
     specificity, the k-out-of-2 adjudication schemes and the parallel vs
     serial configuration comparison.
+``stream``
+    Replay a scenario (or an existing log file) through the real-time
+    streaming engine (:mod:`repro.stream`): live alert totals while the
+    stream runs, then a final Table-1-style summary with the adjudicated
+    ensemble verdict and throughput.
 ``scenarios``
     List the available preset scenarios.
 """
@@ -61,6 +66,28 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--scale", type=float, default=0.02, help="fraction of the paper's data-set size")
     evaluate.add_argument("--seed", type=int, default=2018, help="simulation seed")
     evaluate.add_argument("--configurations", action="store_true", help="also compare parallel vs serial deployments")
+
+    stream = subparsers.add_parser("stream", help="replay traffic through the streaming engine")
+    stream.add_argument("--scenario", default="amadeus_march_2018", help="preset scenario name")
+    stream.add_argument("--scale", type=float, default=0.02, help="fraction of the paper's data-set size")
+    stream.add_argument("--seed", type=int, default=2018, help="simulation seed")
+    stream.add_argument("--log-file", default=None, help="replay an existing access log instead of generating one")
+    stream.add_argument("--shards", type=int, default=1, help="number of visitor-sharded engine workers")
+    stream.add_argument(
+        "--backend",
+        choices=["thread", "process", "serial"],
+        default="thread",
+        help="sharded execution backend (with --shards > 1)",
+    )
+    stream.add_argument("--k", type=int, default=1, help="detector votes required to alert (k-out-of-4)")
+    stream.add_argument("--window", type=float, default=300.0, help="adjudication window in seconds")
+    stream.add_argument("--skew", type=float, default=0.0, help="reorder-buffer bound for out-of-order records (seconds)")
+    stream.add_argument(
+        "--progress-every",
+        type=int,
+        default=0,
+        help="print live alert totals every N requests (single-shard runs only; 0 disables)",
+    )
 
     subparsers.add_parser("scenarios", help="list preset scenarios")
     return parser
@@ -131,6 +158,89 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    from repro.core.reporting import render_table1
+    from repro.stream import (
+        ShardedStreamRunner,
+        StreamEngine,
+        WindowedAdjudicator,
+        dataset_replay,
+        default_online_detectors,
+    )
+
+    if args.shards < 1:
+        from repro.exceptions import DetectorError
+
+        raise DetectorError("--shards must be at least 1")
+    if args.log_file:
+        records = LogParser(skip_malformed=True).parse_file(args.log_file)
+        dataset = Dataset(records)
+    else:
+        dataset = _scenario_dataset(args)
+    source_name = args.log_file or dataset.metadata.name
+
+    detectors = default_online_detectors()
+    names = [detector.name for detector in detectors]
+
+    def engine_factory() -> StreamEngine:
+        return StreamEngine(
+            default_online_detectors(),
+            adjudicator=WindowedAdjudicator(names, k=args.k, window_seconds=args.window),
+            max_skew_seconds=args.skew,
+        )
+
+    print(f"streaming {len(dataset):,} requests from {source_name} "
+          f"({args.shards} shard{'s' if args.shards != 1 else ''}, k={args.k}-out-of-{len(names)})")
+
+    if args.shards > 1:
+        if args.progress_every:
+            print("note: --progress-every applies to single-shard runs only")
+        runner = ShardedStreamRunner(engine_factory, shards=args.shards, backend=args.backend)
+        result = runner.run(dataset_replay(dataset))
+    else:
+        engine = engine_factory()
+        engine.reset()
+        # Milestone-based progress: with a reorder buffer (--skew) one
+        # process() call can release zero or several records, so a plain
+        # modulo check would skip or repeat milestones.
+        next_progress = args.progress_every or float("inf")
+        for record in dataset_replay(dataset):
+            engine.process(record)
+            if engine.stats.records >= next_progress:
+                totals = ", ".join(
+                    f"{name}={count:,}" for name, count in engine.stats.online_alerts.items()
+                )
+                print(
+                    f"  after {engine.stats.records:,} requests: {totals}, "
+                    f"ensemble={engine.stats.ensemble_alerts:,}, "
+                    f"window rate {engine.adjudicator.window_alert_rate():.1%}"
+                )
+                next_progress = (
+                    engine.stats.records // args.progress_every + 1
+                ) * args.progress_every
+        result = engine.finish()
+
+    print()
+    print(
+        render_table1(
+            len(dataset),
+            result.alert_counts(),
+            title="Streaming Table 1 - HTTP requests alerted by the online detectors",
+        )
+    )
+    if result.adjudication is not None:
+        print(
+            f"\nadjudicated ({result.adjudication.scheme_name}): "
+            f"{result.adjudication.alert_count:,} of {len(dataset):,} requests alerted "
+            f"({result.adjudication.alert_rate():.1%})"
+        )
+    print(
+        f"sessions: {result.stats.sessions_closed:,} closed; "
+        f"throughput: {result.stats.records_per_second():,.0f} requests/sec"
+    )
+    return 0
+
+
 def _command_scenarios(_: argparse.Namespace) -> int:
     for name in list_scenarios():
         print(name)
@@ -145,6 +255,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _command_generate,
         "tables": _command_tables,
         "evaluate": _command_evaluate,
+        "stream": _command_stream,
         "scenarios": _command_scenarios,
     }
     return handlers[args.command](args)

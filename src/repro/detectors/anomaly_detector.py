@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.anomaly.base import AnomalyModel
 from repro.anomaly.isolation_forest import IsolationForestModel
 from repro.core.alerts import AlertSet
@@ -18,6 +20,36 @@ from repro.detectors.base import Detector
 from repro.detectors.features import feature_matrix
 from repro.logs.dataset import Dataset
 from repro.logs.sessionization import Session, Sessionizer
+
+
+def alert_anomalous_groups(
+    alert_set: AlertSet,
+    model: AnomalyModel,
+    matrix: np.ndarray,
+    request_id_groups: Sequence[Sequence[str]],
+    contamination: float,
+) -> None:
+    """Fit ``model`` on ``matrix`` and alert the top-``contamination`` rows.
+
+    One row of ``matrix`` describes one session; ``request_id_groups``
+    holds the session's request ids in the same row order.  This is the
+    single definition of the fit/threshold/normalise/alert step, shared
+    by the batch detector below and the streaming port
+    (:class:`repro.stream.detectors.OnlineAnomalyDetector`) so their
+    alert sets can never drift apart.
+    """
+    scores = model.fit_score(matrix)
+    threshold = model.threshold_for_contamination(scores, contamination)
+    max_score = float(scores.max()) or 1.0
+    for request_ids, score in zip(request_id_groups, scores):
+        if score < threshold:
+            continue
+        for request_id in request_ids:
+            alert_set.add(
+                request_id,
+                score=min(1.0, float(score) / max_score),
+                reasons=(f"anomalous session ({model.__class__.__name__} score {score:.3f})",),
+            )
 
 
 class AnomalySessionDetector(Detector):
@@ -46,16 +78,11 @@ class AnomalySessionDetector(Detector):
             return alert_set
 
         matrix = feature_matrix(list(sessions))
-        scores = self.model.fit_score(matrix)
-        threshold = self.model.threshold_for_contamination(scores, self.contamination)
-        max_score = float(scores.max()) or 1.0
-        for session, score in zip(sessions, scores):
-            if score < threshold:
-                continue
-            for request_id in session.request_ids():
-                alert_set.add(
-                    request_id,
-                    score=min(1.0, float(score) / max_score),
-                    reasons=(f"anomalous session ({self.model.__class__.__name__} score {score:.3f})",),
-                )
+        alert_anomalous_groups(
+            alert_set,
+            self.model,
+            matrix,
+            [session.request_ids() for session in sessions],
+            self.contamination,
+        )
         return alert_set

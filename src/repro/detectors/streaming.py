@@ -1,57 +1,41 @@
-"""Online (streaming) detection.
+"""Online (streaming) detection -- batch-facing adapters.
 
-The batch detectors analyse a finished log file, which matches the
-paper's retrospective study.  In production the same techniques run
-*online*: requests arrive one by one and a verdict is needed immediately
-so the request can be blocked or challenged.  This module provides a
-streaming counterpart built from sliding-window state per visitor:
+The real streaming machinery lives in :mod:`repro.stream`: an
+event-driven engine with incremental sessionization, online detector
+ports, windowed adjudication and sharded execution.  This module keeps
+the original batch-facing surface as thin adapters over that engine:
 
-* :class:`StreamingRateLimiter` -- a per-visitor sliding-window rate
-  limiter that flags a request as soon as its visitor exceeds the allowed
-  request budget per window.
-* :class:`StreamingDetector` -- wraps any streaming rule into the common
-  batch :class:`~repro.detectors.base.Detector` interface (replaying the
-  data set in time order), so online and offline detectors can be
-  compared inside the same diversity analysis.
-
-The streaming rate limiter is intentionally simple -- it is the ablation
-baseline the richer detectors are compared against, and it demonstrates
-how to add further online rules.
+* :class:`StreamingRateLimiter` -- the per-visitor sliding-window rate
+  limiter, now an alias-with-defaults of
+  :class:`~repro.stream.detectors.OnlineRequestRateLimiter` (same
+  ``observe`` / ``observe_stream`` / ``reset`` API as before).
+* :class:`StreamingDetector` -- wraps any online detector into the batch
+  :class:`~repro.detectors.base.Detector` interface by replaying the
+  data set through a :class:`~repro.stream.engine.StreamEngine`, so
+  online detection can participate in the same diversity/adjudication
+  analyses as the offline tools.
+* :data:`StreamingVerdict` -- re-export of
+  :class:`~repro.stream.events.OnlineVerdict` (unchanged field layout).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Sequence
+from typing import Iterable, Sequence
 
 from repro.core.alerts import AlertSet
 from repro.detectors.base import Detector
 from repro.logs.dataset import Dataset
 from repro.logs.record import LogRecord
 from repro.logs.sessionization import Session
-from repro.traffic.useragents import is_scripted_agent
+from repro.stream.detectors import OnlineDetector, OnlineRequestRateLimiter
+from repro.stream.engine import StreamEngine
+from repro.stream.events import OnlineVerdict
+
+#: Backwards-compatible name for the per-request online verdict.
+StreamingVerdict = OnlineVerdict
 
 
-@dataclass
-class StreamingVerdict:
-    """The online decision for one request."""
-
-    request_id: str
-    alerted: bool
-    reason: str = ""
-    score: float = 0.0
-
-
-@dataclass
-class _VisitorWindow:
-    """Sliding-window state for one visitor key."""
-
-    timestamps: Deque = field(default_factory=deque)
-    alerted_until: float = 0.0
-
-
-class StreamingRateLimiter:
+class StreamingRateLimiter(OnlineRequestRateLimiter):
     """Per-visitor sliding-window rate limiting with a penalty period.
 
     A request is flagged when its visitor has issued more than
@@ -60,6 +44,11 @@ class StreamingRateLimiter:
     way production rate limiters and bot-mitigation challenges behave),
     which also makes the streaming verdicts comparable with the
     session-level batch detectors.
+
+    Pass ``record_alerts=False`` for indefinitely running deployments
+    that only act on the per-request verdicts: it keeps memory bounded
+    by the per-visitor window state instead of accumulating an alert
+    per flagged request.
     """
 
     def __init__(
@@ -69,84 +58,58 @@ class StreamingRateLimiter:
         window_seconds: float = 60.0,
         penalty_seconds: float = 300.0,
         flag_scripted_agents: bool = True,
+        record_alerts: bool = True,
     ) -> None:
-        if max_requests < 1:
-            raise ValueError("max_requests must be at least 1")
-        if window_seconds <= 0 or penalty_seconds < 0:
-            raise ValueError("window_seconds must be positive and penalty_seconds non-negative")
-        self.max_requests = max_requests
-        self.window_seconds = window_seconds
-        self.penalty_seconds = penalty_seconds
-        self.flag_scripted_agents = flag_scripted_agents
-        self._state: dict[tuple[str, str], _VisitorWindow] = {}
+        super().__init__(
+            max_requests=max_requests,
+            window_seconds=window_seconds,
+            penalty_seconds=penalty_seconds,
+            flag_scripted_agents=flag_scripted_agents,
+            record_alerts=record_alerts,
+        )
 
-    # ------------------------------------------------------------------
-    def reset(self) -> None:
-        """Drop all visitor state (start of a new deployment)."""
-        self._state.clear()
-
-    def observe(self, record: LogRecord) -> StreamingVerdict:
-        """Process one request and return the online verdict."""
-        if self.flag_scripted_agents and is_scripted_agent(record.user_agent):
-            return StreamingVerdict(
-                request_id=record.request_id,
-                alerted=True,
-                reason="scripted client user agent",
-                score=1.0,
-            )
-
-        key = record.actor_key()
-        window = self._state.setdefault(key, _VisitorWindow())
-        now = record.timestamp.timestamp()
-
-        if now < window.alerted_until:
-            return StreamingVerdict(
-                request_id=record.request_id,
-                alerted=True,
-                reason="visitor in rate-limit penalty period",
-                score=0.8,
-            )
-
-        window.timestamps.append(now)
-        cutoff = now - self.window_seconds
-        while window.timestamps and window.timestamps[0] < cutoff:
-            window.timestamps.popleft()
-
-        if len(window.timestamps) > self.max_requests:
-            window.alerted_until = now + self.penalty_seconds
-            rate = len(window.timestamps)
-            return StreamingVerdict(
-                request_id=record.request_id,
-                alerted=True,
-                reason=f"{rate} requests in {self.window_seconds:.0f}s exceeds {self.max_requests}",
-                score=min(1.0, 0.5 + 0.5 * (rate - self.max_requests) / self.max_requests),
-            )
-        return StreamingVerdict(request_id=record.request_id, alerted=False)
-
-    def observe_stream(self, records) -> list[StreamingVerdict]:
+    def observe_stream(self, records: Iterable[LogRecord]) -> list[StreamingVerdict]:
         """Process an iterable of records (assumed time-ordered)."""
         return [self.observe(record) for record in records]
 
 
 class StreamingDetector(Detector):
-    """Adapter exposing a streaming rule through the batch detector interface.
+    """Adapter exposing an online detector through the batch interface.
 
-    The data set is replayed in timestamp order (as the requests would have
-    arrived) and the streaming verdicts are collected into an alert set, so
-    online detection can participate in the same diversity/adjudication
-    analyses as the offline tools.
+    The data set is replayed in timestamp order (as the requests would
+    have arrived) through a single-detector
+    :class:`~repro.stream.engine.StreamEngine` and the engine's final
+    alert set is returned, so online detection can participate in the
+    same diversity/adjudication analyses as the offline tools.
     """
 
-    def __init__(self, limiter: StreamingRateLimiter | None = None, *, name: str = "streaming-rate"):
+    def __init__(
+        self,
+        limiter: OnlineDetector | None = None,
+        *,
+        name: str = "streaming-rate",
+    ):
         self.name = name
         self.limiter = limiter or StreamingRateLimiter()
 
     def analyze(self, dataset: Dataset, *, sessions: Sequence[Session] | None = None) -> AlertSet:
-        self.limiter.reset()
-        alert_set = AlertSet(self.name)
-        ordered = sorted(dataset.records, key=lambda record: record.timestamp)
-        for record in ordered:
-            verdict = self.limiter.observe(record)
-            if verdict.alerted:
-                alert_set.add(record.request_id, score=verdict.score, reasons=(verdict.reason,))
-        return alert_set
+        from repro.stream.sources import dataset_replay
+
+        engine = StreamEngine([self.limiter])
+        # Batch analysis needs the accumulated alert set even when the
+        # limiter was configured alert-free for live deployments.
+        forced_recording = getattr(self.limiter, "record_alerts", True) is False
+        if forced_recording:
+            self.limiter.record_alerts = True
+        try:
+            result = engine.run(dataset_replay(dataset))
+        finally:
+            if forced_recording:
+                self.limiter.record_alerts = False
+        streamed = result.alert_sets[0]
+        if streamed.detector_name == self.name:
+            return streamed
+        renamed = AlertSet(self.name)
+        for alert in streamed.alerts():
+            renamed.add(alert.request_id, score=alert.score, reasons=alert.reasons)
+        return renamed

@@ -1,0 +1,188 @@
+"""Windowed adjudication of live detector votes.
+
+The paper's Section-V schemes (1-out-of-2, 2-out-of-2, and the serial
+confirm/escalate deployments modelled in
+:mod:`repro.core.configurations`) are defined over a finished alert
+matrix.  :class:`WindowedAdjudicator` applies the same schemes *online*:
+every request's detector votes are combined into one ensemble decision
+the moment the request is observed, and a sliding time window of recent
+decisions is maintained for live alert-rate dashboards.
+
+The serial modes also track the second tool's *workload* -- how many
+requests actually needed its verdict -- which is the cost the paper's
+serial configurations try to save.  (Online detectors still observe
+every request to keep their session state correct; the workload counts
+measure how many requests needed the second tool's decision.)
+
+The accumulated decisions convert back into a
+:class:`~repro.core.adjudication.AdjudicationResult` via
+:meth:`WindowedAdjudicator.to_result`, so adjudicated streaming runs can
+be evaluated with the same machinery as the batch schemes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Mapping, Sequence
+
+from repro.core.adjudication import AdjudicationResult
+from repro.exceptions import AdjudicationError
+from repro.logs.record import LogRecord
+from repro.stream.events import OnlineVerdict
+
+#: Valid adjudication modes.
+MODES = ("parallel", "serial-confirm", "serial-escalate")
+
+
+@dataclass(frozen=True)
+class AdjudicatedVerdict:
+    """The ensemble decision for one request."""
+
+    request_id: str
+    alerted: bool
+    votes: int
+    detectors: int
+    scheme: str
+
+
+class WindowedAdjudicator:
+    """Combine per-request detector votes into live ensemble decisions.
+
+    Parameters
+    ----------
+    detector_names:
+        The detectors whose votes are adjudicated, in priority order
+        (the serial modes treat the first name as the filtering tool).
+    k:
+        Votes required to alert in ``parallel`` mode (``k=1`` is the
+        paper's 1-out-of-2, ``k=len(detector_names)`` its 2-out-of-2).
+    mode:
+        ``"parallel"`` applies k-out-of-n voting.  ``"serial-confirm"``
+        alerts when the first detector alerts *and* any later detector
+        confirms; ``"serial-escalate"`` alerts when the first detector
+        alerts *or*, failing that, any later detector does.
+    window_seconds:
+        Width of the trailing decision window kept for live statistics.
+    """
+
+    def __init__(
+        self,
+        detector_names: Sequence[str],
+        *,
+        k: int = 1,
+        mode: str = "parallel",
+        window_seconds: float = 300.0,
+    ) -> None:
+        if not detector_names:
+            raise AdjudicationError("an adjudicator needs at least one detector name")
+        if len(set(detector_names)) != len(detector_names):
+            raise AdjudicationError(f"detector names must be unique, got {list(detector_names)}")
+        if mode not in MODES:
+            raise AdjudicationError(f"unknown adjudication mode {mode!r}; expected one of {MODES}")
+        if mode.startswith("serial") and len(detector_names) < 2:
+            raise AdjudicationError("serial adjudication needs at least two detectors")
+        if not 1 <= k <= len(detector_names):
+            raise AdjudicationError(f"k must be between 1 and {len(detector_names)}")
+        if window_seconds <= 0:
+            raise AdjudicationError("window_seconds must be positive")
+        self.detector_names = tuple(detector_names)
+        self.k = k
+        self.mode = mode
+        self.window_seconds = window_seconds
+        if mode == "parallel":
+            self.name = f"{k}-out-of-{len(detector_names)}"
+        else:
+            rest = "+".join(self.detector_names[1:])
+            self.name = f"{mode}({self.detector_names[0]}->{rest})"
+        self._alerted_ids: set[str] = set()
+        self._processed = 0
+        self._window: Deque[tuple[float, bool]] = deque()
+        self._workload: dict[str, int] = {name: 0 for name in self.detector_names}
+
+    # ------------------------------------------------------------------
+    def observe(self, record: LogRecord, votes: Mapping[str, OnlineVerdict]) -> AdjudicatedVerdict:
+        """Combine one request's votes into the ensemble decision."""
+        missing = [name for name in self.detector_names if name not in votes]
+        if missing:
+            raise AdjudicationError(f"missing votes from {missing}")
+        flags = [votes[name].alerted for name in self.detector_names]
+        first, rest = flags[0], flags[1:]
+
+        if self.mode == "parallel":
+            alerted = sum(flags) >= self.k
+            for name in self.detector_names:
+                self._workload[name] += 1
+        elif self.mode == "serial-confirm":
+            # Later tools only need consulting when the first tool alerts.
+            self._workload[self.detector_names[0]] += 1
+            if first:
+                for name in self.detector_names[1:]:
+                    self._workload[name] += 1
+            alerted = first and any(rest)
+        else:  # serial-escalate
+            self._workload[self.detector_names[0]] += 1
+            if not first:
+                for name in self.detector_names[1:]:
+                    self._workload[name] += 1
+            alerted = first or any(rest)
+
+        self._processed += 1
+        if alerted:
+            self._alerted_ids.add(record.request_id)
+        now = record.timestamp.timestamp()
+        self._window.append((now, alerted))
+        cutoff = now - self.window_seconds
+        while self._window and self._window[0][0] < cutoff:
+            self._window.popleft()
+        return AdjudicatedVerdict(
+            request_id=record.request_id,
+            alerted=alerted,
+            votes=sum(flags),
+            detectors=len(flags),
+            scheme=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Live statistics
+    # ------------------------------------------------------------------
+    def window_counts(self) -> tuple[int, int]:
+        """(alerted, total) decisions inside the trailing window."""
+        alerted = sum(1 for _, flag in self._window if flag)
+        return alerted, len(self._window)
+
+    def window_alert_rate(self) -> float:
+        """Fraction of alerted decisions inside the trailing window."""
+        alerted, total = self.window_counts()
+        return alerted / total if total else 0.0
+
+    @property
+    def alerted_ids(self) -> frozenset[str]:
+        """All request ids the ensemble has alerted on so far."""
+        return frozenset(self._alerted_ids)
+
+    @property
+    def processed(self) -> int:
+        """Number of requests adjudicated so far."""
+        return self._processed
+
+    def workload(self) -> dict[str, int]:
+        """Requests that needed each tool's decision (serial-mode savings)."""
+        return dict(self._workload)
+
+    # ------------------------------------------------------------------
+    def to_result(self, total_requests: int | None = None) -> AdjudicationResult:
+        """The accumulated decisions as a batch-style adjudication result."""
+        return AdjudicationResult(
+            scheme_name=self.name,
+            detector_names=self.detector_names,
+            alerted_ids=frozenset(self._alerted_ids),
+            total_requests=self._processed if total_requests is None else total_requests,
+        )
+
+    def reset(self) -> None:
+        """Drop all state (start of a new stream)."""
+        self._alerted_ids.clear()
+        self._processed = 0
+        self._window.clear()
+        self._workload = {name: 0 for name in self.detector_names}

@@ -1,0 +1,258 @@
+"""Sharded multi-worker execution of the streaming engine.
+
+Every stateful signal the engine computes is keyed by visitor (sessions,
+rate windows, fingerprints), so the stream partitions cleanly by client
+IP: records of one visitor always land on the same shard, each shard
+runs an independent :class:`~repro.stream.engine.StreamEngine`, and the
+per-shard results merge losslessly at the end (the anomaly port pools
+its session features across shards before fitting, so even its global
+contamination threshold matches an unsharded run).
+
+Backends
+--------
+``"serial"``
+    One engine per shard, fed inline on the caller's thread.  The
+    baseline for correctness tests.
+``"thread"``
+    One worker thread per shard behind a *bounded* queue: when a shard
+    falls behind, ``put`` blocks and the feeder slows down -- classic
+    backpressure, so a bursty botnet cannot balloon memory.  Threads
+    share the GIL, so this backend is about isolation and flow control,
+    not CPU speedup.
+``"process"``
+    Fork one worker process per shard (near-linear speedup on multi-core
+    hosts for this CPU-bound workload).  Records are partitioned before
+    forking so the children inherit them copy-free; only the compact
+    per-shard exports travel back.  Falls back to ``"thread"`` where
+    ``fork`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import zlib
+from typing import Callable, Iterable, Sequence
+
+from repro.core.adjudication import AdjudicationResult
+from repro.exceptions import DetectorError
+from repro.logs.record import LogRecord
+from repro.stream.engine import StreamEngine, StreamResult
+from repro.stream.events import EngineStats
+
+BACKENDS = ("serial", "thread", "process")
+
+#: Records handed to a shard queue per batch (thread backend).  Batching
+#: amortises queue synchronisation without hurting latency measurably.
+DEFAULT_BATCH_SIZE = 256
+
+
+def shard_of(client_ip: str, shards: int) -> int:
+    """The shard a visitor belongs to (stable across processes and runs).
+
+    ``zlib.crc32`` rather than ``hash()`` because the latter is salted
+    per process, which would scatter one visitor across shards between
+    the parent and forked workers.
+    """
+    return zlib.crc32(client_ip.encode("utf-8")) % shards
+
+
+# ----------------------------------------------------------------------
+# Fork-based worker plumbing.  The partitions and factory are handed to
+# the children through module globals set immediately before the fork,
+# so nothing but the compact result exports is ever pickled.
+# ----------------------------------------------------------------------
+_FORK_STATE: tuple[list[list[LogRecord]], Callable[[], StreamEngine]] | None = None
+
+
+def _run_fork_shard(index: int) -> dict:
+    assert _FORK_STATE is not None
+    partitions, factory = _FORK_STATE
+    engine = factory()
+    engine.reset()
+    for record in partitions[index]:
+        engine.process(record)
+    return engine.finish_shard()
+
+
+class ShardedStreamRunner:
+    """Run a record stream through visitor-sharded engine workers.
+
+    Parameters
+    ----------
+    engine_factory:
+        Zero-argument callable building one :class:`StreamEngine`; called
+        once per shard (plus once in the parent as the merge reference).
+        Each call must return a fresh engine -- shards share no state.
+    shards:
+        Number of worker shards.
+    backend:
+        One of :data:`BACKENDS`.
+    queue_size:
+        Bound of each shard's inbound queue, in records (thread backend).
+        When a worker lags, feeding blocks: backpressure instead of
+        unbounded buffering.
+    batch_size:
+        Records per queue element (thread backend).
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], StreamEngine],
+        *,
+        shards: int = 2,
+        backend: str = "thread",
+        queue_size: int = 8192,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if shards < 1:
+            raise DetectorError("shards must be at least 1")
+        if backend not in BACKENDS:
+            raise DetectorError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if queue_size < 1 or batch_size < 1:
+            raise DetectorError("queue_size and batch_size must be at least 1")
+        self.engine_factory = engine_factory
+        self.shards = shards
+        self.backend = backend
+        self.queue_size = queue_size
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------
+    def run(self, records: Iterable[LogRecord]) -> StreamResult:
+        """Consume the stream across all shards and merge the results."""
+        backend = self.backend
+        if backend == "process" and "fork" not in multiprocessing.get_all_start_methods():
+            backend = "thread"
+        if backend == "process":
+            exports = self._run_process(records)
+        elif backend == "thread":
+            exports = self._run_thread(records)
+        else:
+            exports = self._run_serial(records)
+        return self._merge(exports, concurrent=backend != "serial")
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, records: Iterable[LogRecord]) -> list[dict]:
+        engines = [self.engine_factory() for _ in range(self.shards)]
+        for engine in engines:
+            engine.reset()
+        for record in records:
+            engines[shard_of(record.client_ip, self.shards)].process(record)
+        return [engine.finish_shard() for engine in engines]
+
+    def _run_thread(self, records: Iterable[LogRecord]) -> list[dict]:
+        max_batches = max(1, self.queue_size // self.batch_size)
+        queues: list[queue.Queue] = [queue.Queue(maxsize=max_batches) for _ in range(self.shards)]
+        exports: list[dict | None] = [None] * self.shards
+        errors: list[BaseException | None] = [None] * self.shards
+
+        def worker(index: int) -> None:
+            sentinel_seen = False
+            try:
+                engine = self.engine_factory()
+                engine.reset()
+                while True:
+                    batch = queues[index].get()
+                    if batch is None:
+                        sentinel_seen = True
+                        exports[index] = engine.finish_shard()
+                        return
+                    for record in batch:
+                        engine.process(record)
+            except BaseException as exc:  # surfaced to the caller below
+                errors[index] = exc
+                # Keep draining until the sentinel: the feeder may be
+                # blocked on this shard's bounded queue, and abandoning it
+                # would deadlock the whole run.  (Skip once the sentinel
+                # was consumed -- nothing more will ever arrive.)
+                if not sentinel_seen:
+                    while queues[index].get() is not None:
+                        pass
+
+        threads = [
+            threading.Thread(target=worker, args=(index,), name=f"stream-shard-{index}", daemon=True)
+            for index in range(self.shards)
+        ]
+        for thread in threads:
+            thread.start()
+
+        pending: list[list[LogRecord]] = [[] for _ in range(self.shards)]
+        for record in records:
+            index = shard_of(record.client_ip, self.shards)
+            pending[index].append(record)
+            if len(pending[index]) >= self.batch_size:
+                queues[index].put(pending[index])
+                pending[index] = []
+        for index in range(self.shards):
+            if pending[index]:
+                queues[index].put(pending[index])
+            queues[index].put(None)
+        for thread in threads:
+            thread.join()
+
+        for error in errors:
+            if error is not None:
+                raise error
+        return [export for export in exports if export is not None]
+
+    def _run_process(self, records: Iterable[LogRecord]) -> list[dict]:
+        global _FORK_STATE
+        partitions: list[list[LogRecord]] = [[] for _ in range(self.shards)]
+        for record in records:
+            partitions[shard_of(record.client_ip, self.shards)].append(record)
+        context = multiprocessing.get_context("fork")
+        _FORK_STATE = (partitions, self.engine_factory)
+        try:
+            with context.Pool(processes=self.shards) as pool:
+                return pool.map(_run_fork_shard, range(self.shards))
+        finally:
+            _FORK_STATE = None
+
+    # ------------------------------------------------------------------
+    def _merge(self, exports: Sequence[dict], *, concurrent: bool) -> StreamResult:
+        if len(exports) != self.shards:
+            raise DetectorError(f"expected {self.shards} shard exports, got {len(exports)}")
+        reference = self.engine_factory()
+        alert_sets = [
+            detector.merge_states([export["states"][column] for export in exports])
+            for column, detector in enumerate(reference.detectors)
+        ]
+
+        stats = EngineStats(online_alerts={d.name: 0 for d in reference.detectors})
+        latencies: list[float] = []
+        for export in exports:
+            shard_stats: EngineStats = export["stats"]
+            stats.records += shard_stats.records
+            stats.sessions_opened += shard_stats.sessions_opened
+            stats.sessions_closed += shard_stats.sessions_closed
+            stats.ensemble_alerts += shard_stats.ensemble_alerts
+            # Concurrent shards overlap, so wall-clock throughput is bounded
+            # by the busiest shard; serial shards run back to back and add up.
+            if concurrent:
+                stats.busy_seconds = max(stats.busy_seconds, shard_stats.busy_seconds)
+            else:
+                stats.busy_seconds += shard_stats.busy_seconds
+            for name, count in shard_stats.online_alerts.items():
+                stats.online_alerts[name] = stats.online_alerts.get(name, 0) + count
+            latencies.extend(export["latencies"])
+
+        adjudication = None
+        if reference.adjudicator is not None and all(
+            export["adjudicated_ids"] is not None for export in exports
+        ):
+            alerted: set[str] = set()
+            for export in exports:
+                alerted.update(export["adjudicated_ids"])
+            adjudication = AdjudicationResult(
+                scheme_name=reference.adjudicator.name,
+                detector_names=reference.adjudicator.detector_names,
+                alerted_ids=frozenset(alerted),
+                total_requests=stats.records,
+            )
+        return StreamResult(
+            alert_sets=alert_sets,
+            stats=stats,
+            adjudication=adjudication,
+            latencies=latencies,
+        )

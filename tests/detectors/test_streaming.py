@@ -58,6 +58,21 @@ class TestStreamingRateLimiter:
         with pytest.raises(ValueError):
             StreamingRateLimiter(window_seconds=0)
 
+    def test_record_alerts_opt_out_bounds_memory(self):
+        limiter = StreamingRateLimiter(max_requests=3, window_seconds=60, record_alerts=False)
+        verdicts = limiter.observe_stream(make_records(10, gap_seconds=1))
+        assert any(verdict.alerted for verdict in verdicts)
+        assert len(limiter.final_alert_set()) == 0
+
+    def test_batch_adapter_works_with_alert_free_limiter(self):
+        # analyze() must return the alerts even when the limiter was
+        # configured alert-free for live deployments.
+        limiter = StreamingRateLimiter(max_requests=10, window_seconds=60, record_alerts=False)
+        dataset = Dataset(make_records(40, gap_seconds=0.5, user_agent=BROWSER_UA))
+        alerts = StreamingDetector(limiter).analyze(dataset)
+        assert len(alerts) > 0
+        assert limiter.record_alerts is False  # restored afterwards
+
 
 class TestStreamingDetector:
     def test_batch_adapter_flags_fast_traffic(self):

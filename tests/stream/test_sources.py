@@ -1,0 +1,107 @@
+"""Tests for the streaming record sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LogParseError
+from repro.logs.writer import LogWriter
+from repro.stream.sources import dataset_replay, generator_feed, tail_log_file
+from tests.helpers import make_record, make_records
+from repro.logs.dataset import Dataset
+
+
+class TestDatasetReplay:
+    def test_yields_records_in_timestamp_order(self):
+        records = list(reversed(make_records(10, gap_seconds=5)))
+        replayed = list(dataset_replay(Dataset(records)))
+        timestamps = [record.timestamp for record in replayed]
+        assert timestamps == sorted(timestamps)
+        assert len(replayed) == 10
+
+
+class TestGeneratorFeed:
+    def test_streams_a_generated_scenario(self):
+        from repro.traffic.scenarios import balanced_small
+
+        records = list(generator_feed(balanced_small(total_requests=600, seed=5)))
+        assert len(records) > 100
+        timestamps = [record.timestamp for record in records]
+        assert timestamps == sorted(timestamps)
+
+
+class TestTailLogFile:
+    def test_reads_a_written_log(self, tmp_path):
+        path = tmp_path / "access.log"
+        LogWriter().write_file(make_records(25, gap_seconds=2), str(path))
+        records = list(tail_log_file(str(path)))
+        assert len(records) == 25
+        assert records[0].request_id == "r0"
+        assert records[0].client_ip == "10.16.0.1"
+
+    def test_skips_malformed_lines_by_default(self, tmp_path):
+        path = tmp_path / "access.log"
+        LogWriter().write_file(make_records(3), str(path))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("this is not a log line\n")
+        LogWriter().write_file([make_record("r3", seconds=10)], str(tmp_path / "tail.log"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write((tmp_path / "tail.log").read_text())
+        records = list(tail_log_file(str(path)))
+        assert len(records) == 4
+
+    def test_request_ids_match_batch_parser_on_dirty_logs(self, tmp_path):
+        from repro.logs.parser import LogParser
+
+        path = tmp_path / "access.log"
+        LogWriter().write_file(make_records(2), str(path))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage in the middle\n")
+        LogWriter().write_file([make_record("x", seconds=10)], str(tmp_path / "tail.log"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write((tmp_path / "tail.log").read_text())
+
+        batch_ids = [r.request_id for r in LogParser(skip_malformed=True).parse_file(str(path))]
+        tail_ids = [r.request_id for r in tail_log_file(str(path))]
+        assert tail_ids == batch_ids == ["r0", "r1", "r2"]
+
+    def test_strict_mode_raises_on_garbage(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text("garbage\n")
+        with pytest.raises(LogParseError):
+            list(tail_log_file(str(path), skip_malformed=False))
+
+    def test_follow_mode_waits_for_partially_written_lines(self, tmp_path):
+        import threading
+
+        path = tmp_path / "access.log"
+        first, second = LogWriter().to_lines(make_records(2, gap_seconds=5))
+        path.write_text(first + "\n" + second[:20])  # second line half-flushed
+
+        def complete_line():
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(second[20:] + "\n")
+
+        timer = threading.Timer(0.1, complete_line)
+        timer.start()
+        records = list(
+            tail_log_file(str(path), follow=True, poll_interval=0.02, max_idle_polls=30)
+        )
+        timer.join()
+        # The fragment must not be parsed (and lost) early: both records
+        # arrive, with batch-identical ids.
+        assert [record.request_id for record in records] == ["r0", "r1"]
+
+    def test_follow_mode_terminates_after_idle_polls(self, tmp_path):
+        path = tmp_path / "access.log"
+        LogWriter().write_file(make_records(2), str(path))
+        records = list(
+            tail_log_file(str(path), follow=True, poll_interval=0.01, max_idle_polls=3)
+        )
+        assert len(records) == 2
+
+    def test_invalid_poll_interval(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            list(tail_log_file(str(path), poll_interval=0))

@@ -78,3 +78,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Parallel vs serial configurations" in out
         assert "serial-confirm" in out
+
+
+class TestStreamCommand:
+    def test_stream_scenario_prints_live_totals_and_summary(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--scenario",
+                "balanced_small",
+                "--seed",
+                "3",
+                "--progress-every",
+                "1000",
+                "--k",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "after 1,000 requests" in out  # live alert totals
+        assert "Streaming Table 1" in out
+        assert "adjudicated (2-out-of-4)" in out
+        assert "requests/sec" in out
+
+    def test_stream_from_log_file_with_shards(self, tmp_path, capsys):
+        log_path = tmp_path / "access.log"
+        main(["generate", "--scenario", "balanced_small", "--seed", "3", "--output", str(log_path)])
+        capsys.readouterr()
+        code = main(["stream", "--log-file", str(log_path), "--shards", "2", "--backend", "serial"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Streaming Table 1" in out
+        assert "rate-limit" in out
+
+    def test_stream_parser_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.command == "stream"
+        assert args.shards == 1
+        assert args.k == 1
+
+    def test_stream_rejects_non_positive_shards(self):
+        from repro.exceptions import DetectorError
+
+        with pytest.raises(DetectorError):
+            main(["stream", "--scenario", "balanced_small", "--shards", "0"])
