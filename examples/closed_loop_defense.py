@@ -1,0 +1,79 @@
+"""Closed-loop defense: blocking a botnet that fights back.
+
+The streaming example answers "which requests do we block?"; this one
+actually blocks them -- and lets the attacker notice.  Two simulations
+run over the same benign background traffic (humans, a crawler, a
+monitoring probe) and the same scraping budget:
+
+1. a **scripted** aggressive campaign that never reacts: the enforcement
+   gateway's escalation ladder (throttle -> challenge -> block) shuts it
+   down within seconds of its first burst;
+2. an **adaptive** campaign whose nodes observe the enforcement feedback
+   and fight back: they back off when throttled, rotate to a fresh exit
+   IP and user agent after a block, lie low long enough to start a clean
+   session -- and give up once their identity pool is burned.
+
+The Table-5-style report shows what the defense bought (requests and
+bytes never served, time-to-block) and what it cost (challenged humans,
+false blocks), and the final comparison quantifies the arms race.
+
+Run with::
+
+    python examples/closed_loop_defense.py [total_requests]
+
+(default 8000 requests, a couple of seconds of runtime).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.mitigation import (
+    build_report,
+    render_comparison,
+    render_mitigation_report,
+    run_defense,
+    standard_policy,
+)
+
+
+def main() -> int:
+    total_requests = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    policy = standard_policy()
+
+    print(
+        f"Closed-loop defense demo: ~{total_requests:,} requests against the "
+        f"{policy.name!r} policy (2-out-of-4 adjudication)\n"
+    )
+
+    reports = {}
+    for campaign in ("scripted", "adaptive"):
+        result = run_defense(
+            total_requests=total_requests,
+            adaptive=campaign == "adaptive",
+            policy=policy,
+            seed=314,
+        )
+        report = build_report(result, policy_name=policy.name)
+        reports[campaign] = report
+        print(
+            render_mitigation_report(
+                report, title=f"Table 5 - Closed-loop outcomes ({campaign} campaign)"
+            )
+        )
+        print()
+
+    print(render_comparison(reports["scripted"], reports["adaptive"]))
+    print()
+    scripted, adaptive = reports["scripted"], reports["adaptive"]
+    print(
+        f"The scripted campaign landed {scripted.attacker_yield:.1%} of its budget; "
+        f"the adaptive one landed {adaptive.attacker_yield:.1%} by burning "
+        f"{adaptive.attacker_identity_rotations} identities "
+        f"({adaptive.attacker_gave_up} node(s) eventually gave up)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,11 @@ every substrate the study depends on:
   votes, and visitor-sharded multi-worker execution.  Replaying a data
   set through the engine reproduces the batch alert sets exactly, so
   streaming runs feed the same Tables 1-4 analysis.
+* :mod:`repro.mitigation` -- the closed loop on top of the stream: a
+  policy-driven enforcement gateway (allow/throttle/challenge/block/
+  tarpit with escalation ladders, cool-downs and a good-bot allowlist),
+  feedback-driven adaptive attackers, and a Table-5-style report of
+  time-to-block, attacker cost, savings and collateral damage.
 
 Quickstart::
 
@@ -46,6 +51,17 @@ from repro.core.experiment import ExperimentResult, PaperExperiment
 from repro.detectors.commercial import CommercialBotDefenceDetector
 from repro.detectors.inhouse import InHouseHeuristicDetector
 from repro.logs.dataset import Dataset
+from repro.mitigation import (
+    Action,
+    ClosedLoopSimulator,
+    EnforcementGateway,
+    Policy,
+    build_report,
+    pass_through_policy,
+    render_mitigation_report,
+    run_defense,
+    standard_policy,
+)
 from repro.stream import (
     ShardedStreamRunner,
     StreamEngine,
@@ -55,22 +71,31 @@ from repro.stream import (
 from repro.traffic.generator import generate_dataset
 from repro.traffic.scenarios import amadeus_march_2018, balanced_small, get_scenario, stealth_heavy
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Action",
+    "ClosedLoopSimulator",
     "CommercialBotDefenceDetector",
     "Dataset",
+    "EnforcementGateway",
     "ExperimentResult",
     "InHouseHeuristicDetector",
     "PaperExperiment",
+    "Policy",
     "ShardedStreamRunner",
     "StreamEngine",
     "WindowedAdjudicator",
     "__version__",
     "amadeus_march_2018",
     "balanced_small",
+    "build_report",
     "default_online_detectors",
     "generate_dataset",
     "get_scenario",
+    "pass_through_policy",
+    "render_mitigation_report",
+    "run_defense",
+    "standard_policy",
     "stealth_heavy",
 ]

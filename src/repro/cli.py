@@ -17,8 +17,14 @@ Subcommands
     streaming engine (:mod:`repro.stream`): live alert totals while the
     stream runs, then a final Table-1-style summary with the adjudicated
     ensemble verdict and throughput.
+``defend``
+    Run the closed-loop enforcement simulation (:mod:`repro.mitigation`):
+    a scraping campaign against the enforcement gateway, reported as a
+    Table-5-style summary (time-to-block, attacker cost, savings,
+    collateral damage), optionally contrasting the scripted campaign
+    with its adaptive variant.
 ``scenarios``
-    List the available preset scenarios.
+    List the available preset scenarios with their traffic mix.
 """
 
 from __future__ import annotations
@@ -27,7 +33,16 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import __version__
 from repro.core.configurations import compare_configurations
+from repro.mitigation import (
+    build_report,
+    get_policy,
+    list_policies,
+    render_comparison,
+    render_mitigation_report,
+    run_defense,
+)
 from repro.core.evaluation import per_actor_class_detection
 from repro.core.experiment import PaperExperiment
 from repro.core.reporting import render_evaluation_rows
@@ -45,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-scrapeguard",
         description="Diverse detectors for malicious web scraping (DSN 2018 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -89,7 +107,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="print live alert totals every N requests (single-shard runs only; 0 disables)",
     )
 
-    subparsers.add_parser("scenarios", help="list preset scenarios")
+    defend = subparsers.add_parser("defend", help="closed-loop enforcement simulation")
+    defend.add_argument("--requests", type=int, default=6000, help="total request budget of the simulation")
+    defend.add_argument("--seed", type=int, default=314, help="simulation seed")
+    defend.add_argument(
+        "--policy",
+        choices=list_policies(),
+        default="standard",
+        help="enforcement policy preset",
+    )
+    defend.add_argument("--k", type=int, default=2, help="detector votes required to alert (k-out-of-4)")
+    defend.add_argument(
+        "--campaign",
+        choices=["scripted", "adaptive", "both"],
+        default="both",
+        help="which scraping campaign to simulate (default: both, with a comparison)",
+    )
+    defend.add_argument(
+        "--identities",
+        type=int,
+        default=8,
+        help="identity pool size of each adaptive node (an n-identity node can rotate n-1 times before giving up)",
+    )
+
+    subparsers.add_parser("scenarios", help="list preset scenarios with their traffic mix")
     return parser
 
 
@@ -241,9 +282,45 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_defend(args: argparse.Namespace) -> int:
+    policy = get_policy(args.policy)
+    campaigns = ["scripted", "adaptive"] if args.campaign == "both" else [args.campaign]
+    reports = {}
+    for campaign in campaigns:
+        print(
+            f"simulating the {campaign} campaign against the {policy.name!r} policy "
+            f"(~{args.requests:,} requests, k={args.k}-out-of-4) ..."
+        )
+        result = run_defense(
+            total_requests=args.requests,
+            adaptive=campaign == "adaptive",
+            policy=policy,
+            seed=args.seed,
+            k=args.k,
+            identities_per_node=args.identities,
+        )
+        reports[campaign] = build_report(result, policy_name=policy.name)
+        print()
+        print(
+            render_mitigation_report(
+                reports[campaign],
+                title=f"Table 5 - Closed-loop enforcement outcomes ({campaign} campaign)",
+            )
+        )
+        print()
+    if len(reports) == 2:
+        print(render_comparison(reports["scripted"], reports["adaptive"]))
+    return 0
+
+
 def _command_scenarios(_: argparse.Namespace) -> int:
     for name in list_scenarios():
-        print(name)
+        scenario = get_scenario(name)
+        mix = " ".join(
+            f"{traffic_class}={fraction:.4f}".rstrip("0").rstrip(".")
+            for traffic_class, fraction in scenario.mix.items()
+        )
+        print(f"{name}: {mix}")
     return 0
 
 
@@ -256,6 +333,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tables": _command_tables,
         "evaluate": _command_evaluate,
         "stream": _command_stream,
+        "defend": _command_defend,
         "scenarios": _command_scenarios,
     }
     return handlers[args.command](args)

@@ -49,10 +49,16 @@ class DetectionPipeline:
         self.sessionizer = sessionizer or Sessionizer()
 
     def run(self, dataset: Dataset) -> PipelineResult:
-        """Run every detector and assemble the alert matrix."""
-        sessions = self.sessionizer.sessionize(dataset.records)
-        alert_sets: list[AlertSet] = []
+        """Run every detector and assemble the alert matrix.
+
+        ``timings`` holds one entry per detector plus the shared
+        ``"sessionization"`` step every detector's cost sits on top of.
+        """
         timings: dict[str, float] = {}
+        started = time.perf_counter()
+        sessions = self.sessionizer.sessionize(dataset.records)
+        timings["sessionization"] = time.perf_counter() - started
+        alert_sets: list[AlertSet] = []
         for detector in self.detectors:
             started = time.perf_counter()
             alert_sets.append(detector.analyze(dataset, sessions=sessions))

@@ -1,0 +1,97 @@
+"""repro.mitigation -- closed-loop enforcement over live verdicts.
+
+PR 1's streaming engine decides; this package *acts*.  It wraps the
+:class:`~repro.stream.engine.StreamEngine` in an enforcement gateway
+that applies a declarative policy -- allow, throttle, challenge, block
+or tarpit, with per-visitor escalation ladders, cool-downs and a good-bot
+allowlist -- to every adjudicated verdict, and couples the result back to
+the traffic layer: stepped actors observe how the defense treated them
+and adapt (rotate identities, back off, give up), while humans
+occasionally fail a challenge and become collateral damage.
+
+* :mod:`repro.mitigation.actions` -- the action vocabulary and decisions;
+* :mod:`repro.mitigation.policy` -- declarative rules, escalation ladders,
+  allowlists, cool-downs and the per-visitor policy engine;
+* :mod:`repro.mitigation.gateway` -- the engine wrapper applying actions
+  and recording the enforcement log alongside the verdict stream;
+* :mod:`repro.mitigation.simulator` -- the closed-loop event simulator
+  coupling stepped actors to the gateway;
+* :mod:`repro.mitigation.metrics` -- the Table-5-style report
+  (time-to-block, attacker cost/yield, savings, collateral damage);
+* :mod:`repro.mitigation.scenarios` -- preset defense scenarios and the
+  :func:`~repro.mitigation.scenarios.run_defense` entry point.
+
+A pass-through policy turns the gateway into an exact wrapper of the
+streaming engine (same alert sets, same adjudication), so the closed
+loop is a strict superset of the PR-1 behaviour.
+
+Quickstart::
+
+    from repro.mitigation import run_defense, build_report, render_mitigation_report
+
+    result = run_defense(total_requests=4000, adaptive=True)
+    print(render_mitigation_report(build_report(result)))
+"""
+
+from repro.mitigation.actions import Action, EnforcementDecision, PolicyError, most_severe
+from repro.mitigation.gateway import (
+    EnforcementGateway,
+    EnforcementOutcome,
+    GatewayResult,
+)
+from repro.mitigation.log import EnforcementLog, EnforcementRecord
+from repro.mitigation.metrics import (
+    ActorOutcome,
+    MitigationReport,
+    build_report,
+    render_comparison,
+    render_mitigation_report,
+)
+from repro.mitigation.policy import (
+    Allowlist,
+    EscalationLadder,
+    Policy,
+    PolicyEngine,
+    PolicyRule,
+    get_policy,
+    good_bot_allowlist,
+    list_policies,
+    pass_through_policy,
+    standard_policy,
+    strict_policy,
+)
+from repro.mitigation.scenarios import build_gateway, defense_population, run_defense
+from repro.mitigation.simulator import ClosedLoopSimulator, SimulationResult
+
+__all__ = [
+    "Action",
+    "ActorOutcome",
+    "Allowlist",
+    "ClosedLoopSimulator",
+    "EnforcementDecision",
+    "EnforcementGateway",
+    "EnforcementLog",
+    "EnforcementOutcome",
+    "EnforcementRecord",
+    "EscalationLadder",
+    "GatewayResult",
+    "MitigationReport",
+    "Policy",
+    "PolicyEngine",
+    "PolicyError",
+    "PolicyRule",
+    "SimulationResult",
+    "build_gateway",
+    "build_report",
+    "defense_population",
+    "get_policy",
+    "good_bot_allowlist",
+    "list_policies",
+    "most_severe",
+    "pass_through_policy",
+    "render_comparison",
+    "render_mitigation_report",
+    "run_defense",
+    "standard_policy",
+    "strict_policy",
+]

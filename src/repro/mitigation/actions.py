@@ -1,0 +1,101 @@
+"""Enforcement actions and decisions.
+
+The closed-loop deployment can do five things with a request, ordered by
+severity:
+
+``allow``
+    Serve the request normally.
+``throttle``
+    Serve it, but delay the response to pace the client down.
+``challenge``
+    Interpose a challenge (CAPTCHA / JavaScript proof-of-browser); the
+    request is served only if the client solves it.
+``block``
+    Reject the request outright (HTTP 403 at the edge).
+``tarpit``
+    Reject it slowly: hold the connection open before failing it, so the
+    attacker's resources are consumed along with ours.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+class PolicyError(ReproError):
+    """Raised for invalid enforcement-policy configurations."""
+
+
+class Action(enum.Enum):
+    """One enforcement action, ordered by severity."""
+
+    ALLOW = "allow"
+    THROTTLE = "throttle"
+    CHALLENGE = "challenge"
+    BLOCK = "block"
+    TARPIT = "tarpit"
+
+    @property
+    def severity(self) -> int:
+        """Position on the escalation scale (``allow`` = 0 ... ``tarpit`` = 4)."""
+        return _SEVERITY[self]
+
+    @property
+    def denies(self) -> bool:
+        """True when the request is rejected rather than served."""
+        return self in (Action.BLOCK, Action.TARPIT)
+
+    @classmethod
+    def from_string(cls, name: str) -> "Action":
+        """Parse an action name (raises :class:`PolicyError` when unknown)."""
+        try:
+            return cls(name)
+        except ValueError as exc:
+            valid = [action.value for action in cls]
+            raise PolicyError(f"unknown action {name!r}; expected one of {valid}") from exc
+
+
+_SEVERITY = {
+    Action.ALLOW: 0,
+    Action.THROTTLE: 1,
+    Action.CHALLENGE: 2,
+    Action.BLOCK: 3,
+    Action.TARPIT: 4,
+}
+
+
+def most_severe(actions: "list[Action]") -> Action:
+    """The most severe of several candidate actions (``allow`` when empty)."""
+    if not actions:
+        return Action.ALLOW
+    return max(actions, key=lambda action: action.severity)
+
+
+def is_served(action: Action, challenge_passed: bool | None) -> bool:
+    """Whether a request handled with ``action`` was actually served.
+
+    Denying actions never serve; a challenged request is served only when
+    the challenge was solved; everything else is served (throttled
+    requests are served after their delay).
+    """
+    if action.denies:
+        return False
+    if action is Action.CHALLENGE:
+        return bool(challenge_passed)
+    return True
+
+
+@dataclass(frozen=True)
+class EnforcementDecision:
+    """What the policy engine decided for one request."""
+
+    action: Action
+    #: The per-visitor state key the decision was made under.
+    visitor_key: str
+    #: Name of the rule / mechanism that produced the action.
+    reason: str
+    #: Enforced delay in seconds (throttle pacing or tarpit stall).
+    delay_seconds: float = 0.0

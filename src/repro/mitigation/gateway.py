@@ -1,0 +1,151 @@
+"""The enforcement gateway: detection wired to action.
+
+:class:`EnforcementGateway` sits where a reverse proxy would: every
+incoming request is fed to the wrapped
+:class:`~repro.stream.engine.StreamEngine` (whose adjudicated verdict is
+the detection signal), the :class:`~repro.mitigation.policy.PolicyEngine`
+turns the verdict into an :class:`~repro.mitigation.actions.Action`, and
+the outcome is appended to the :class:`~repro.mitigation.log.EnforcementLog`
+alongside the verdict stream.
+
+Denied requests are still *observed* by the detectors -- a blocked
+request reaches the edge and is logged even though it is never served --
+so the detection state stays exactly what a batch run over the same
+access log would produce.  That is what makes the pass-through
+equivalence guarantee possible: with a non-enforcing policy the gateway
+is an exact wrapper around ``StreamEngine.run``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.exceptions import DetectorError
+from repro.logs.record import LogRecord
+from repro.mitigation.actions import Action, EnforcementDecision, is_served
+from repro.mitigation.log import EnforcementLog, EnforcementRecord
+from repro.mitigation.policy import Policy, PolicyEngine
+from repro.stream.engine import StreamEngine, StreamResult
+from repro.stream.events import RequestVerdict
+
+#: Decides whether a challenged client solves the challenge.
+ChallengeSolver = Callable[[LogRecord], bool]
+
+
+@dataclass(frozen=True)
+class EnforcementOutcome:
+    """Everything the gateway produced for one request."""
+
+    record: LogRecord
+    verdict: RequestVerdict
+    decision: EnforcementDecision
+    challenge_passed: bool | None = None
+
+    @property
+    def served(self) -> bool:
+        """True when the request was actually served."""
+        return is_served(self.decision.action, self.challenge_passed)
+
+
+@dataclass
+class GatewayResult:
+    """A finished gateway run: the verdict stream plus the enforcement log."""
+
+    stream_result: StreamResult
+    log: EnforcementLog
+
+    def action_counts(self) -> dict[str, int]:
+        """Requests per enforcement action."""
+        return self.log.action_counts()
+
+
+class EnforcementGateway:
+    """Apply an enforcement policy to every request of a stream.
+
+    Parameters
+    ----------
+    engine:
+        The streaming detection engine producing per-request verdicts.
+        The engine must not use a reorder buffer (``max_skew_seconds``
+        must be 0): enforcement is a now-or-never decision, so the
+        gateway requires its input in arrival order.
+    policy:
+        The declarative enforcement policy to apply.
+    challenge_solver:
+        Decides whether a challenged client solves the challenge.  The
+        closed-loop simulator passes the emitting actor's solver; when
+        ``None`` (e.g. replaying a log with no client in the loop),
+        challenges go unanswered and count as failed -- which is exactly
+        what happens to a scripted client that cannot execute JavaScript.
+    """
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        policy: Policy,
+        *,
+        challenge_solver: ChallengeSolver | None = None,
+    ) -> None:
+        if engine.max_skew_seconds != 0.0:
+            raise DetectorError(
+                "the enforcement gateway needs an engine without a reorder buffer "
+                "(max_skew_seconds must be 0): actions cannot be applied retroactively"
+            )
+        self.engine = engine
+        self.policy_engine = PolicyEngine(policy)
+        self.challenge_solver = challenge_solver
+        self.log = EnforcementLog()
+
+    @property
+    def policy(self) -> Policy:
+        """The active enforcement policy."""
+        return self.policy_engine.policy
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all engine, policy and log state for a fresh stream."""
+        self.engine.reset()
+        self.policy_engine.reset()
+        self.log = EnforcementLog()
+
+    def handle(
+        self, record: LogRecord, *, challenge_solver: ChallengeSolver | None = None
+    ) -> EnforcementOutcome:
+        """Judge and act on one incoming request."""
+        (verdict,) = self.engine.process(record)
+        decision = self.policy_engine.decide(record, verdict)
+        challenge_passed: bool | None = None
+        if decision.action is Action.CHALLENGE:
+            solver = challenge_solver or self.challenge_solver
+            challenge_passed = bool(solver(record)) if solver is not None else False
+            self.policy_engine.record_challenge(
+                decision.visitor_key, challenge_passed, record.timestamp.timestamp()
+            )
+        outcome = EnforcementOutcome(record, verdict, decision, challenge_passed)
+        self.log.append(
+            EnforcementRecord(
+                request_id=record.request_id,
+                timestamp=record.timestamp,
+                client_ip=record.client_ip,
+                visitor_key=decision.visitor_key,
+                action=decision.action,
+                reason=decision.reason,
+                alerted=verdict.alerted,
+                delay_seconds=decision.delay_seconds,
+                challenge_passed=challenge_passed,
+                response_size=record.response_size,
+            )
+        )
+        return outcome
+
+    def finish(self) -> GatewayResult:
+        """Flush the engine and return the combined result."""
+        return GatewayResult(stream_result=self.engine.finish(), log=self.log)
+
+    def run(self, records: Iterable[LogRecord]) -> GatewayResult:
+        """Reset, enforce over an entire record stream, and finish."""
+        self.reset()
+        for record in records:
+            self.handle(record)
+        return self.finish()

@@ -1,0 +1,245 @@
+"""Mitigation metrics: the Table-5-style report.
+
+The paper's tables measure *detection*; a closed-loop deployment is
+measured by what enforcement bought and what it cost:
+
+* **time to block** -- how quickly each malicious actor was first denied;
+* **time to neutralize** -- how long each malicious actor kept getting
+  *any* request served (adaptive attackers push this out by rotating
+  identities, which is exactly the evasion the report must surface);
+* **attacker cost / yield** -- requests the campaign spent vs. requests
+  it actually landed, plus the identities it burned;
+* **savings** -- requests and response bytes the backend never served;
+* **collateral damage** -- benign requests denied, humans challenged and
+  humans driven off the site.
+
+:func:`build_report` computes all of this from a
+:class:`~repro.mitigation.simulator.SimulationResult`;
+:func:`render_mitigation_report` prints it in the repo's table style.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.reporting import render_table
+from repro.mitigation.simulator import SimulationResult
+from repro.traffic.labels import is_malicious_class
+
+
+def _median(values: list[float]) -> float | None:
+    return statistics.median(values) if values else None
+
+
+@dataclass(frozen=True)
+class ActorOutcome:
+    """Per-actor enforcement accounting."""
+
+    actor_id: str
+    actor_class: str
+    malicious: bool
+    attempted: int
+    served: int
+    denied: int
+    challenged: int
+    challenges_failed: int
+    #: Seconds from the actor's first request to its first denial.
+    time_to_first_block: float | None
+    #: Seconds from the actor's first request to its last *served* one.
+    time_served: float
+
+
+@dataclass(frozen=True)
+class MitigationReport:
+    """The aggregate Table-5-style report of one closed-loop run."""
+
+    policy_name: str
+    total_requests: int
+    served_requests: int
+    denied_requests: int
+    action_counts: dict[str, int]
+    challenges_passed: int
+    challenges_failed: int
+    bytes_saved: int
+    #: Malicious traffic.
+    attacker_attempted: int
+    attacker_served: int
+    attacker_denied: int
+    attacker_actors: int
+    attacker_actors_blocked: int
+    attacker_identity_rotations: int
+    attacker_gave_up: int
+    median_time_to_first_block: float | None
+    median_time_served: float | None
+    #: Benign traffic (collateral damage).
+    benign_attempted: int
+    benign_denied: int
+    humans_challenged: int
+    humans_challenges_failed: int
+    humans_total: int
+    humans_denied_ever: int
+    actor_outcomes: tuple[ActorOutcome, ...]
+
+    # ------------------------------------------------------------------
+    @property
+    def attacker_yield(self) -> float:
+        """Fraction of malicious requests that were actually served."""
+        if self.attacker_attempted == 0:
+            return 0.0
+        return self.attacker_served / self.attacker_attempted
+
+    @property
+    def requests_saved(self) -> int:
+        """Requests the backend never had to serve."""
+        return self.denied_requests
+
+    @property
+    def false_block_rate(self) -> float:
+        """Fraction of benign requests that were denied."""
+        if self.benign_attempted == 0:
+            return 0.0
+        return self.benign_denied / self.benign_attempted
+
+    @property
+    def human_lockout_rate(self) -> float:
+        """Fraction of human visitors that were ever denied a request."""
+        if self.humans_total == 0:
+            return 0.0
+        return self.humans_denied_ever / self.humans_total
+
+
+def build_report(result: SimulationResult, *, policy_name: str | None = None) -> MitigationReport:
+    """Aggregate a simulation result into the mitigation report."""
+    by_actor: dict[str, list] = {}
+    for record in result.log:
+        actor_id = result.actor_ids[record.request_id]
+        by_actor.setdefault(actor_id, []).append(record)
+
+    outcomes: list[ActorOutcome] = []
+    for actor_id, records in by_actor.items():
+        actor_class = result.actor_classes[records[0].request_id]
+        malicious = is_malicious_class(actor_class)
+        first_ts = records[0].timestamp
+        served_ts = [r.timestamp for r in records if r.served]
+        denied_ts = [r.timestamp for r in records if r.denied]
+        outcomes.append(
+            ActorOutcome(
+                actor_id=actor_id,
+                actor_class=actor_class,
+                malicious=malicious,
+                attempted=len(records),
+                served=len(served_ts),
+                denied=len(denied_ts),
+                challenged=sum(1 for r in records if r.challenge_passed is not None),
+                challenges_failed=sum(1 for r in records if r.challenge_passed is False),
+                time_to_first_block=(
+                    (denied_ts[0] - first_ts).total_seconds() if denied_ts else None
+                ),
+                time_served=(
+                    (served_ts[-1] - first_ts).total_seconds() if served_ts else 0.0
+                ),
+            )
+        )
+
+    attackers = [outcome for outcome in outcomes if outcome.malicious]
+    benign = [outcome for outcome in outcomes if not outcome.malicious]
+    humans = [outcome for outcome in benign if outcome.actor_class == "human"]
+
+    rotations = 0
+    gave_up = 0
+    for actor in result.population:
+        rotations += getattr(actor, "rotations", 0)
+        gave_up += 1 if getattr(actor, "gave_up", False) else 0
+
+    passed, failed = result.log.challenge_counts()
+    return MitigationReport(
+        policy_name=policy_name or "",
+        total_requests=len(result.log),
+        served_requests=result.log.served_count(),
+        denied_requests=result.log.denied_count(),
+        action_counts=result.log.action_counts(),
+        challenges_passed=passed,
+        challenges_failed=failed,
+        bytes_saved=result.log.bytes_saved(),
+        attacker_attempted=sum(o.attempted for o in attackers),
+        attacker_served=sum(o.served for o in attackers),
+        attacker_denied=sum(o.denied for o in attackers),
+        attacker_actors=len(attackers),
+        attacker_actors_blocked=sum(1 for o in attackers if o.denied > 0),
+        attacker_identity_rotations=rotations,
+        attacker_gave_up=gave_up,
+        median_time_to_first_block=_median(
+            [o.time_to_first_block for o in attackers if o.time_to_first_block is not None]
+        ),
+        median_time_served=_median([o.time_served for o in attackers]),
+        benign_attempted=sum(o.attempted for o in benign),
+        benign_denied=sum(o.denied for o in benign),
+        humans_challenged=sum(o.challenged for o in humans),
+        humans_challenges_failed=sum(o.challenges_failed for o in humans),
+        humans_total=len(humans),
+        humans_denied_ever=sum(1 for o in humans if o.denied > 0),
+        actor_outcomes=tuple(outcomes),
+    )
+
+
+def _duration(seconds: float | None) -> str:
+    if seconds is None:
+        return "never"
+    if seconds < 90:
+        return f"{seconds:.0f} s"
+    if seconds < 5400:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds / 3600:.1f} h"
+
+
+def render_mitigation_report(
+    report: MitigationReport, *, title: str = "Table 5 - Closed-loop enforcement outcomes"
+) -> str:
+    """Render the report in the repo's plain-text table style."""
+    heading = title if not report.policy_name else f"{title} [{report.policy_name}]"
+    rows: list[tuple[str, object]] = [
+        ("Requests attempted", report.total_requests),
+        ("Requests served", report.served_requests),
+        ("Requests saved (denied)", report.requests_saved),
+        ("Response bytes saved", report.bytes_saved),
+    ]
+    for action, count in report.action_counts.items():
+        rows.append((f"Action '{action}'", count))
+    rows += [
+        ("Challenges passed / failed", f"{report.challenges_passed} / {report.challenges_failed}"),
+        ("Attacker requests attempted", report.attacker_attempted),
+        ("Attacker requests served (yield)", f"{report.attacker_served} ({report.attacker_yield:.1%})"),
+        ("Attacker actors blocked", f"{report.attacker_actors_blocked} of {report.attacker_actors}"),
+        ("Attacker identity rotations", report.attacker_identity_rotations),
+        ("Attacker nodes that gave up", report.attacker_gave_up),
+        ("Median time to first block", _duration(report.median_time_to_first_block)),
+        ("Median time attacker stayed served", _duration(report.median_time_served)),
+        ("False-block rate (benign requests)", f"{report.false_block_rate:.2%}"),
+        ("Challenges issued to humans / failed", f"{report.humans_challenged} / {report.humans_challenges_failed}"),
+        ("Humans ever denied", f"{report.humans_denied_ever} of {report.humans_total} ({report.human_lockout_rate:.1%})"),
+    ]
+    return render_table(heading, rows, value_header="Value")
+
+
+def render_comparison(naive: MitigationReport, adaptive: MitigationReport) -> str:
+    """Contrast a scripted campaign with its adaptive variant."""
+    rows: list[tuple[str, object]] = [
+        (
+            "Attacker yield (scripted -> adaptive)",
+            f"{naive.attacker_yield:.1%} -> {adaptive.attacker_yield:.1%}",
+        ),
+        (
+            "Median time attacker stayed served",
+            f"{_duration(naive.median_time_served)} -> {_duration(adaptive.median_time_served)}",
+        ),
+        (
+            "Requests saved",
+            f"{naive.requests_saved:,} -> {adaptive.requests_saved:,}",
+        ),
+        (
+            "Identity rotations burned",
+            f"{naive.attacker_identity_rotations:,} -> {adaptive.attacker_identity_rotations:,}",
+        ),
+    ]
+    return render_table("Adaptation: scripted vs adaptive campaign", rows, value_header="Change")

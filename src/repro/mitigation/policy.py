@@ -1,0 +1,323 @@
+"""Declarative enforcement policies and the engine that applies them.
+
+A :class:`Policy` maps adjudicated stream verdicts to enforcement
+actions.  It is built from four declarative parts:
+
+* an :class:`Allowlist` of known good bots (verified crawler IP ranges
+  and user-agent markers) that are never acted against,
+* :class:`PolicyRule` entries that map the *shape* of a verdict (how many
+  detectors voted, which ones) straight to an action,
+* an :class:`EscalationLadder` that turns repeat offenses into
+  progressively harsher actions (throttle -> challenge -> block),
+* cool-downs: strikes decay after a quiet period, blocks expire, and a
+  passed challenge buys the visitor a grace period without re-challenges.
+
+The :class:`PolicyEngine` holds the per-visitor state (strikes,
+escalation level, active blocks, challenge verification) and produces an
+:class:`~repro.mitigation.actions.EnforcementDecision` per request.  It
+never sees ground truth -- only verdicts and the request itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logs.record import LogRecord
+from repro.mitigation.actions import Action, EnforcementDecision, PolicyError, most_severe
+from repro.stream.events import RequestVerdict
+
+#: User-agent markers of bots the default allowlist trusts.
+GOOD_BOT_AGENT_MARKERS = (
+    "Googlebot",
+    "bingbot",
+    "YandexBot",
+    "Baiduspider",
+    "Pingdom",
+    "UptimeRobot",
+)
+
+#: IP prefixes of the verified-crawler ranges in the synthetic IP space
+#: (see :data:`repro.traffic.ipspace.CRAWLER_POOL`).
+GOOD_BOT_IP_PREFIXES = ("192.168.66.", "192.168.77.")
+
+
+@dataclass(frozen=True)
+class Allowlist:
+    """Visitors that are never challenged, throttled or blocked."""
+
+    user_agent_markers: tuple[str, ...] = ()
+    ip_prefixes: tuple[str, ...] = ()
+
+    def permits(self, record: LogRecord) -> bool:
+        """True when the request's client is on the allowlist."""
+        if any(marker in record.user_agent for marker in self.user_agent_markers):
+            return True
+        return any(record.client_ip.startswith(prefix) for prefix in self.ip_prefixes)
+
+
+def good_bot_allowlist() -> Allowlist:
+    """The default allowlist: verified crawler ranges and agent markers."""
+    return Allowlist(
+        user_agent_markers=GOOD_BOT_AGENT_MARKERS,
+        ip_prefixes=GOOD_BOT_IP_PREFIXES,
+    )
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """Map the shape of an alerted verdict directly to an action."""
+
+    name: str
+    action: Action
+    #: Detector votes the request needs before the rule applies.
+    min_votes: int = 1
+    #: When non-empty, at least one of these detectors must have voted.
+    detectors: tuple[str, ...] = ()
+    #: Strikes (alerted requests, including this one) the visitor needs.
+    min_strikes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_votes < 1:
+            raise PolicyError(f"rule {self.name!r}: min_votes must be at least 1")
+        if self.min_strikes < 1:
+            raise PolicyError(f"rule {self.name!r}: min_strikes must be at least 1")
+
+    def matches(self, verdict: RequestVerdict, strikes: int) -> bool:
+        """True when the rule applies to this verdict and visitor history."""
+        if strikes < self.min_strikes:
+            return False
+        if verdict.vote_count < self.min_votes:
+            return False
+        if self.detectors:
+            return any(
+                name in verdict.votes and verdict.votes[name].alerted for name in self.detectors
+            )
+        return True
+
+
+@dataclass(frozen=True)
+class EscalationLadder:
+    """Repeat offenses climb a ladder of progressively harsher actions."""
+
+    steps: tuple[Action, ...] = (Action.THROTTLE, Action.CHALLENGE, Action.BLOCK)
+    #: Strikes spent on each rung before climbing to the next.
+    strikes_per_step: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise PolicyError("an escalation ladder needs at least one step")
+        if self.strikes_per_step < 1:
+            raise PolicyError("strikes_per_step must be at least 1")
+
+    def action_for(self, strikes: int) -> Action:
+        """The rung reached after ``strikes`` alerted requests."""
+        if strikes < 1:
+            return Action.ALLOW
+        rung = min((strikes - 1) // self.strikes_per_step, len(self.steps) - 1)
+        return self.steps[rung]
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A complete declarative enforcement policy."""
+
+    name: str
+    rules: tuple[PolicyRule, ...] = ()
+    ladder: EscalationLadder | None = None
+    allowlist: Allowlist = field(default_factory=Allowlist)
+    #: Quiet seconds after which a visitor's strikes are forgotten.
+    cooldown_seconds: float = 1800.0
+    #: How long a block (or tarpit) stays active.
+    block_seconds: float = 600.0
+    #: Enforced delays for the throttle and tarpit actions.
+    throttle_delay_seconds: float = 2.0
+    tarpit_delay_seconds: float = 8.0
+    #: How long a passed challenge exempts the visitor from re-challenges.
+    challenge_grace_seconds: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.cooldown_seconds <= 0 or self.block_seconds <= 0:
+            raise PolicyError("cooldown_seconds and block_seconds must be positive")
+
+    @property
+    def enforces(self) -> bool:
+        """False for a pure pass-through policy (no rules, no ladder)."""
+        return bool(self.rules) or self.ladder is not None
+
+
+@dataclass
+class VisitorState:
+    """Mutable per-visitor enforcement state."""
+
+    strikes: int = 0
+    last_offense: float | None = None
+    #: Expiry of an active block/tarpit (unix seconds; 0 = none).
+    denied_until: float = 0.0
+    denied_action: Action = Action.BLOCK
+    #: Expiry of a passed-challenge grace period.
+    verified_until: float = 0.0
+    challenges_failed: int = 0
+
+
+class PolicyEngine:
+    """Apply a :class:`Policy` to a stream of adjudicated verdicts."""
+
+    def __init__(self, policy: Policy):
+        self.policy = policy
+        self._states: dict[str, VisitorState] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def visitor_key(record: LogRecord) -> str:
+        """The per-visitor state key (the client address, as an edge sees it)."""
+        return record.client_ip
+
+    def state_of(self, visitor_key: str) -> VisitorState:
+        """The visitor's current state (created on first use)."""
+        state = self._states.get(visitor_key)
+        if state is None:
+            state = self._states[visitor_key] = VisitorState()
+        return state
+
+    # ------------------------------------------------------------------
+    def decide(self, record: LogRecord, verdict: RequestVerdict) -> EnforcementDecision:
+        """Decide the enforcement action for one adjudicated request."""
+        key = self.visitor_key(record)
+        policy = self.policy
+        if not policy.enforces:
+            return EnforcementDecision(Action.ALLOW, key, "pass-through")
+        if policy.allowlist.permits(record):
+            return EnforcementDecision(Action.ALLOW, key, "allowlist")
+
+        now = record.timestamp.timestamp()
+        state = self.state_of(key)
+        # Strike decay: a long quiet period wipes the slate clean.
+        if state.last_offense is not None and now - state.last_offense > policy.cooldown_seconds:
+            state.strikes = 0
+            state.last_offense = None
+
+        # An active block applies regardless of what the detectors say now.
+        if now < state.denied_until:
+            delay = (
+                policy.tarpit_delay_seconds if state.denied_action is Action.TARPIT else 0.0
+            )
+            return EnforcementDecision(state.denied_action, key, "active-block", delay)
+
+        if not verdict.alerted:
+            return EnforcementDecision(Action.ALLOW, key, "no-alert")
+
+        state.strikes += 1
+        state.last_offense = now
+        candidates = [
+            (rule.action, rule.name)
+            for rule in policy.rules
+            if rule.matches(verdict, state.strikes)
+        ]
+        if policy.ladder is not None:
+            candidates.append((policy.ladder.action_for(state.strikes), "escalation-ladder"))
+        action = most_severe([candidate for candidate, _ in candidates])
+        reason = next((name for candidate, name in candidates if candidate is action), "no-rule")
+
+        # A recently verified visitor is not re-challenged; pace them instead.
+        if action is Action.CHALLENGE and now < state.verified_until:
+            action, reason = Action.THROTTLE, "verified-grace"
+
+        delay = 0.0
+        if action is Action.THROTTLE:
+            delay = policy.throttle_delay_seconds
+        elif action.denies:
+            state.denied_until = now + policy.block_seconds
+            state.denied_action = action
+            if action is Action.TARPIT:
+                delay = policy.tarpit_delay_seconds
+        return EnforcementDecision(action, key, reason, delay)
+
+    # ------------------------------------------------------------------
+    def record_challenge(self, visitor_key: str, passed: bool, now: float) -> None:
+        """Fold a challenge outcome back into the visitor's state."""
+        state = self.state_of(visitor_key)
+        if passed:
+            state.verified_until = now + self.policy.challenge_grace_seconds
+            # Proving personhood buys back credibility, not a blank slate.
+            state.strikes //= 2
+        else:
+            state.challenges_failed += 1
+            state.denied_until = now + self.policy.block_seconds
+            state.denied_action = Action.BLOCK
+
+    def reset(self) -> None:
+        """Forget all per-visitor state (start of a new stream)."""
+        self._states.clear()
+
+    @property
+    def tracked_visitors(self) -> int:
+        """Number of visitors with any enforcement state."""
+        return len(self._states)
+
+
+# ----------------------------------------------------------------------
+# Preset policies
+# ----------------------------------------------------------------------
+def pass_through_policy() -> Policy:
+    """Observe-only: every request is allowed (the PR-1 streaming behaviour)."""
+    return Policy(name="pass-through")
+
+
+def standard_policy() -> Policy:
+    """The default closed-loop policy.
+
+    Good bots are allowlisted; repeat offenders climb the
+    throttle -> challenge -> block ladder; a confident multi-detector
+    verdict short-circuits to a challenge, and a near-unanimous one to an
+    immediate block.
+    """
+    return Policy(
+        name="standard",
+        rules=(
+            PolicyRule(name="unanimous-block", action=Action.BLOCK, min_votes=3, min_strikes=2),
+            PolicyRule(name="confident-challenge", action=Action.CHALLENGE, min_votes=2, min_strikes=2),
+        ),
+        ladder=EscalationLadder(
+            steps=(Action.THROTTLE, Action.CHALLENGE, Action.BLOCK), strikes_per_step=3
+        ),
+        allowlist=good_bot_allowlist(),
+        cooldown_seconds=1800.0,
+        block_seconds=600.0,
+    )
+
+
+def strict_policy() -> Policy:
+    """An aggressive variant: fast escalation, long blocks, tarpit at the top."""
+    return Policy(
+        name="strict",
+        rules=(
+            PolicyRule(name="multi-detector-block", action=Action.BLOCK, min_votes=2),
+        ),
+        ladder=EscalationLadder(
+            steps=(Action.CHALLENGE, Action.BLOCK, Action.TARPIT), strikes_per_step=2
+        ),
+        allowlist=good_bot_allowlist(),
+        cooldown_seconds=3600.0,
+        block_seconds=1800.0,
+    )
+
+
+_POLICY_FACTORIES = {
+    "pass-through": pass_through_policy,
+    "standard": standard_policy,
+    "strict": strict_policy,
+}
+
+
+def list_policies() -> list[str]:
+    """Names of the preset policies."""
+    return sorted(_POLICY_FACTORIES)
+
+
+def get_policy(name: str) -> Policy:
+    """Build a preset policy by name."""
+    try:
+        factory = _POLICY_FACTORIES[name]
+    except KeyError as exc:
+        raise PolicyError(f"unknown policy {name!r}; available: {list_policies()}") from exc
+    return factory()

@@ -1,0 +1,186 @@
+"""Preset closed-loop defense scenarios.
+
+The closed-loop counterpart of :mod:`repro.traffic.scenarios`: build a
+stepped population (humans and good bots as responsive scripted actors,
+the scraping campaign either scripted or adaptive), couple it to an
+enforcement gateway and run the simulation.  :func:`run_defense` is the
+one-call entry point shared by the ``repro defend`` CLI subcommand, the
+example, the benchmark and the tests.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timezone
+
+from repro.mitigation.gateway import EnforcementGateway
+from repro.mitigation.policy import Policy, standard_policy
+from repro.mitigation.simulator import ClosedLoopSimulator, SimulationResult
+from repro.stream.adjudicator import WindowedAdjudicator
+from repro.stream.detectors import default_online_detectors
+from repro.stream.engine import StreamEngine
+from repro.traffic.actors import TimeWindow, split_budget
+from repro.traffic.adaptive import AdaptiveCampaign
+from repro.traffic.botnet import BotnetCampaign
+from repro.traffic.goodbots import MonitoringBot, SearchEngineCrawler
+from repro.traffic.humans import HumanVisitor
+from repro.traffic.ipspace import IPSpace
+from repro.traffic.site import SiteModel
+from repro.traffic.stepping import ResponsiveSteppedActor, ScriptedSteppedActor, SteppedPopulation
+from repro.traffic.useragents import UserAgentCatalog
+
+#: Challenge-solving skill of a human visitor (most pass, a few do not:
+#: the residual failures are the defense's irreducible collateral).
+HUMAN_CHALLENGE_SKILL = 0.92
+
+#: Traffic composition of the defense demo (fractions of the budget).
+DEFENSE_MIX = {
+    "attacker": 0.45,
+    "human": 0.47,
+    "crawler": 0.06,
+    "monitoring": 0.02,
+}
+
+
+def build_gateway(
+    policy: Policy | None = None,
+    *,
+    k: int = 2,
+    window_seconds: float = 600.0,
+) -> EnforcementGateway:
+    """A gateway over the default online detectors with k-out-of-4 voting."""
+    detectors = default_online_detectors()
+    engine = StreamEngine(
+        detectors,
+        adjudicator=WindowedAdjudicator(
+            [detector.name for detector in detectors], k=k, window_seconds=window_seconds
+        ),
+    )
+    return EnforcementGateway(engine, policy if policy is not None else standard_policy())
+
+
+def defense_population(
+    *,
+    total_requests: int = 8_000,
+    adaptive: bool = False,
+    seed: int = 314,
+    days: int = 1,
+    identities_per_node: int = 8,
+    site: SiteModel | None = None,
+    ip_space: IPSpace | None = None,
+    agents: UserAgentCatalog | None = None,
+) -> tuple[SteppedPopulation, TimeWindow]:
+    """Build the defense-demo population and its time window.
+
+    The benign background (humans, a crawler, a monitoring probe) is
+    identical in both variants; only the scraping campaign differs:
+    ``adaptive=False`` wraps the classic scripted aggressive botnet,
+    ``adaptive=True`` fields the same budget as feedback-driven
+    :class:`~repro.traffic.adaptive.AdaptiveScraperNode` actors.
+    """
+    site = site or SiteModel()
+    ip_space = ip_space or IPSpace()
+    agents = agents or UserAgentCatalog()
+    rng = random.Random(seed)
+    window = TimeWindow(
+        start=datetime(2018, 3, 14, 0, 0, 0, tzinfo=timezone.utc), days=days
+    )
+    population = SteppedPopulation()
+
+    attacker_budget = int(round(total_requests * DEFENSE_MIX["attacker"]))
+    nodes = max(3, round(attacker_budget / 2_500))
+    if adaptive:
+        campaign = AdaptiveCampaign(
+            name="price-harvest-adaptive",
+            total_requests=attacker_budget,
+            nodes=nodes,
+            identities_per_node=identities_per_node,
+        )
+        population.extend(campaign.build_actors(site, ip_space, agents, rng))
+    else:
+        campaign = BotnetCampaign(
+            name="price-harvest",
+            family="aggressive",
+            total_requests=attacker_budget,
+            nodes=nodes,
+            scripted_agent_fraction=0.5,
+        )
+        population.extend(
+            ScriptedSteppedActor(actor)
+            for actor in campaign.build_actors(site, ip_space, agents, rng)
+        )
+
+    human_budget = int(round(total_requests * DEFENSE_MIX["human"]))
+    visitors = max(5, round(human_budget / 40))
+    for index, budget in enumerate(split_budget(human_budget, visitors, rng, jitter=0.5)):
+        pool = ip_space.mobile if rng.random() < 0.25 else ip_space.residential
+        population.add(
+            ResponsiveSteppedActor(
+                HumanVisitor(
+                    f"human-{index}",
+                    site,
+                    client_ip=pool.random_address(rng),
+                    user_agent=agents.random_browser(rng),
+                    request_budget=budget,
+                    power_user=rng.random() < 0.05,
+                ),
+                challenge_skill=HUMAN_CHALLENGE_SKILL,
+                abandon_when_denied=True,
+            )
+        )
+
+    crawler_budget = int(round(total_requests * DEFENSE_MIX["crawler"]))
+    if crawler_budget > 0:
+        population.add(
+            ResponsiveSteppedActor(
+                SearchEngineCrawler(
+                    "crawler-0",
+                    site,
+                    client_ip=ip_space.crawler.random_address(rng),
+                    user_agent=agents.random_crawler(rng),
+                    request_budget=crawler_budget,
+                ),
+                challenge_skill=0.0,  # crawlers cannot solve challenges
+                abandon_when_denied=False,
+            )
+        )
+
+    monitoring_budget = int(round(total_requests * DEFENSE_MIX["monitoring"]))
+    if monitoring_budget > 0:
+        total_minutes = window.days * 24 * 60
+        population.add(
+            ResponsiveSteppedActor(
+                MonitoringBot(
+                    "monitor-0",
+                    site,
+                    client_ip=ip_space.crawler.random_address(rng),
+                    user_agent=agents.random_crawler(rng),
+                    interval_minutes=max(5, round(total_minutes / max(monitoring_budget, 1))),
+                ),
+                challenge_skill=0.0,
+                abandon_when_denied=False,
+            )
+        )
+    return population, window
+
+
+def run_defense(
+    *,
+    total_requests: int = 8_000,
+    adaptive: bool = False,
+    policy: Policy | None = None,
+    seed: int = 314,
+    k: int = 2,
+    identities_per_node: int = 8,
+) -> SimulationResult:
+    """Build the demo population and gateway, run the closed loop."""
+    population, window = defense_population(
+        total_requests=total_requests,
+        adaptive=adaptive,
+        seed=seed,
+        identities_per_node=identities_per_node,
+    )
+    gateway = build_gateway(policy, k=k)
+    simulator = ClosedLoopSimulator(population, window, gateway, seed=seed)
+    name = "defense_adaptive" if adaptive else "defense_scripted"
+    return simulator.run(dataset_name=name)

@@ -15,6 +15,7 @@ the same kind of detector-coverage asymmetries).
 """
 
 from repro.traffic.actors import Actor, ActorPopulation, RequestEvent
+from repro.traffic.adaptive import AdaptiveCampaign, AdaptiveScraperNode
 from repro.traffic.diurnal import DiurnalProfile
 from repro.traffic.generator import TrafficGenerator, generate_dataset
 from repro.traffic.goodbots import MonitoringBot, SearchEngineCrawler
@@ -31,28 +32,44 @@ from repro.traffic.scenarios import (
 )
 from repro.traffic.scrapers import AggressiveScraper, ProbingScraper, StealthScraper
 from repro.traffic.site import Endpoint, SiteModel
+from repro.traffic.stepping import (
+    Feedback,
+    ResponsiveSteppedActor,
+    ScriptedSteppedActor,
+    SteppedActor,
+    SteppedPopulation,
+    as_stepped,
+)
 from repro.traffic.useragents import UserAgentCatalog
 
 __all__ = [
     "Actor",
     "ActorPopulation",
+    "AdaptiveCampaign",
+    "AdaptiveScraperNode",
     "AggressiveScraper",
     "DiurnalProfile",
     "Endpoint",
+    "Feedback",
     "HumanVisitor",
     "IPPool",
     "IPSpace",
     "MonitoringBot",
     "ProbingScraper",
     "RequestEvent",
+    "ResponsiveSteppedActor",
     "Scenario",
+    "ScriptedSteppedActor",
     "SearchEngineCrawler",
     "SiteModel",
     "StealthScraper",
+    "SteppedActor",
+    "SteppedPopulation",
     "TrafficGenerator",
     "UserAgentCatalog",
     "actor_label",
     "amadeus_march_2018",
+    "as_stepped",
     "balanced_small",
     "generate_dataset",
     "get_scenario",

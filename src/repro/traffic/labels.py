@@ -16,6 +16,7 @@ MALICIOUS_CLASSES: frozenset[str] = frozenset(
         "aggressive_scraper",
         "stealth_scraper",
         "probing_scraper",
+        "adaptive_scraper",
         "botnet_node",
     }
 )

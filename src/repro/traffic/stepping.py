@@ -1,0 +1,211 @@
+"""Step-wise traffic generation with enforcement feedback.
+
+The batch :class:`~repro.traffic.actors.Actor` protocol produces a whole
+window of requests up front, which is perfect for replaying a finished
+access log but cannot model an attacker *reacting* to a defense: by the
+time the first request is judged, the remaining trace is already written.
+
+This module defines the incremental counterpart used by the closed-loop
+simulation in :mod:`repro.mitigation`:
+
+* :class:`SteppedActor` -- emits one request at a time (``peek`` the next
+  timestamp, ``emit`` the request) and receives a :class:`Feedback` for
+  every emitted request, so its *future* behaviour can depend on how the
+  defense treated its past.
+* :class:`ScriptedSteppedActor` -- adapts any batch actor to the stepped
+  protocol by pre-generating its trace and ignoring feedback (the
+  behaviour of today's non-adaptive scrapers, and of the batch pipeline).
+* :class:`ResponsiveSteppedActor` -- a scripted actor that additionally
+  answers challenges with a configurable skill and abandons the site when
+  denied; this is how humans and good bots experience collateral damage.
+
+Truly adaptive attackers live in :mod:`repro.traffic.adaptive`.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Iterable, Iterator
+
+from repro.traffic.actors import Actor, RequestEvent, TimeWindow
+
+#: Enforcement action names a stepped actor can receive as feedback.
+#: (Mirrors :class:`repro.mitigation.actions.Action`; plain strings keep
+#: the traffic layer free of a dependency on the mitigation package.)
+DENYING_ACTIONS = ("block", "tarpit")
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """What the enforcement gateway did with one emitted request."""
+
+    #: Enforcement action name (``"allow"``, ``"throttle"``, ``"challenge"``,
+    #: ``"block"`` or ``"tarpit"``).
+    action: str
+    #: Whether the request was actually served to the client.
+    served: bool
+    #: Enforced delay (throttle pacing / tarpit stall), in seconds.
+    delay_seconds: float = 0.0
+    #: Challenge outcome when ``action == "challenge"`` (else ``None``).
+    challenge_passed: bool | None = None
+
+    @property
+    def denied(self) -> bool:
+        """True when the request was rejected outright or failed a challenge."""
+        return self.action in DENYING_ACTIONS or self.challenge_passed is False
+
+
+#: The feedback every request receives when no gateway is in the loop.
+ALLOW_FEEDBACK = Feedback(action="allow", served=True)
+
+
+class SteppedActor(abc.ABC):
+    """An actor that emits requests one at a time and observes feedback."""
+
+    #: Actor-class label recorded in the ground truth.
+    actor_class: str = "actor"
+
+    def __init__(self, actor_id: str):
+        self.actor_id = actor_id
+
+    @abc.abstractmethod
+    def begin(self, window: TimeWindow, rng: random.Random) -> None:
+        """Start a simulation run over ``window`` (resets all state)."""
+
+    @abc.abstractmethod
+    def peek(self) -> datetime | None:
+        """Timestamp of the next request, or ``None`` when the actor is done."""
+
+    @abc.abstractmethod
+    def emit(self) -> RequestEvent:
+        """Produce the request announced by :meth:`peek` and advance."""
+
+    def feedback(self, event: RequestEvent, feedback: Feedback, rng: random.Random) -> None:
+        """Observe what the defense did with ``event`` (default: ignore it)."""
+
+    def solve_challenge(self, rng: random.Random) -> bool:
+        """Attempt a challenge (CAPTCHA / JS proof).  Scripts fail by default."""
+        return False
+
+
+class ScriptedSteppedActor(SteppedActor):
+    """A batch actor replayed step by step, blind to enforcement feedback.
+
+    This is the bridge between the two generation protocols: wrapping
+    every actor of a population in :class:`ScriptedSteppedActor` and
+    running the closed-loop simulator with a pass-through policy emits
+    exactly the trace the batch generator would have produced.
+    """
+
+    def __init__(self, actor: Actor):
+        super().__init__(actor.actor_id)
+        self.actor = actor
+        self.actor_class = actor.actor_class
+        self._events: list[RequestEvent] = []
+        self._index = 0
+
+    def begin(self, window: TimeWindow, rng: random.Random) -> None:
+        # Batch actors may emit slightly out-of-order events (e.g. asset
+        # fetches timestamped after the next page view was scheduled);
+        # the stepped protocol promises nondecreasing timestamps.
+        self._events = sorted(
+            (event for event in self.actor.generate(window, rng) if window.contains(event.timestamp)),
+            key=lambda event: event.timestamp,
+        )
+        self._index = 0
+
+    def peek(self) -> datetime | None:
+        if self._index >= len(self._events):
+            return None
+        return self._events[self._index].timestamp
+
+    def emit(self) -> RequestEvent:
+        event = self._events[self._index]
+        self._index += 1
+        return event
+
+    def abandon(self) -> None:
+        """Drop all remaining requests (the visitor leaves the site)."""
+        self._index = len(self._events)
+
+    @property
+    def remaining(self) -> int:
+        """Requests the actor still intends to send."""
+        return len(self._events) - self._index
+
+
+class ResponsiveSteppedActor(ScriptedSteppedActor):
+    """A scripted actor that reacts *minimally* to enforcement.
+
+    Humans and good bots do not rotate identities, but they are not
+    oblivious either: a human solves most challenges (and walks away when
+    blocked or when the challenge defeats them), a crawler simply cannot
+    solve challenges at all.  The difference between a visitor's scripted
+    intent and what they actually completed is the defense's collateral
+    damage.
+    """
+
+    def __init__(
+        self,
+        actor: Actor,
+        *,
+        challenge_skill: float = 0.9,
+        abandon_when_denied: bool = True,
+    ):
+        super().__init__(actor)
+        if not 0.0 <= challenge_skill <= 1.0:
+            raise ValueError("challenge_skill must be within [0, 1]")
+        self.challenge_skill = challenge_skill
+        self.abandon_when_denied = abandon_when_denied
+        self.abandoned_requests = 0
+
+    def begin(self, window: TimeWindow, rng: random.Random) -> None:
+        super().begin(window, rng)
+        self.abandoned_requests = 0
+
+    def solve_challenge(self, rng: random.Random) -> bool:
+        return rng.random() < self.challenge_skill
+
+    def feedback(self, event: RequestEvent, feedback: Feedback, rng: random.Random) -> None:
+        if feedback.denied and self.abandon_when_denied:
+            self.abandoned_requests += self.remaining
+            self.abandon()
+
+
+@dataclass
+class SteppedPopulation:
+    """A named collection of stepped actors (closed-loop counterpart of
+    :class:`~repro.traffic.actors.ActorPopulation`)."""
+
+    actors: list[SteppedActor] = field(default_factory=list)
+
+    def add(self, actor: SteppedActor) -> None:
+        """Add one actor to the population."""
+        self.actors.append(actor)
+
+    def extend(self, actors: Iterable[SteppedActor]) -> None:
+        """Add several actors to the population."""
+        self.actors.extend(actors)
+
+    def __len__(self) -> int:
+        return len(self.actors)
+
+    def __iter__(self) -> Iterator[SteppedActor]:
+        return iter(self.actors)
+
+    def class_counts(self) -> dict[str, int]:
+        """Number of actors per actor class."""
+        counts: dict[str, int] = {}
+        for actor in self.actors:
+            counts[actor.actor_class] = counts.get(actor.actor_class, 0) + 1
+        return counts
+
+
+def as_stepped(actors: Iterable[Actor]) -> SteppedPopulation:
+    """Wrap a batch actor collection into a scripted stepped population."""
+    population = SteppedPopulation()
+    population.extend(ScriptedSteppedActor(actor) for actor in actors)
+    return population

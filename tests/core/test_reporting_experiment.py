@@ -105,8 +105,9 @@ class TestPaperExperiment:
         full = experiment_result.render_all()
         assert full.count("Table") >= 2
 
-    def test_timings_recorded_per_tool(self, experiment_result):
-        assert set(experiment_result.timings) == {"commercial", "inhouse"}
+    def test_timings_recorded_per_tool_and_sessionization(self, experiment_result):
+        assert set(experiment_result.timings) == {"commercial", "inhouse", "sessionization"}
+        assert all(value >= 0.0 for value in experiment_result.timings.values())
 
     def test_custom_detectors_can_be_used(self):
         dataset = Dataset(make_records(30, gap_seconds=0.5))

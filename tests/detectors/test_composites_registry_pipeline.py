@@ -140,6 +140,16 @@ class TestDetectionPipeline:
         with pytest.raises(DetectorError):
             pipeline_result.alert_set("nope")
 
+    def test_alert_set_unknown_detector_error_names_the_culprit(self, pipeline_result):
+        with pytest.raises(DetectorError, match="no alert set for detector 'phantom'"):
+            pipeline_result.alert_set("phantom")
+
+    def test_sessionization_time_is_recorded(self, pipeline_result):
+        assert "sessionization" in pipeline_result.timings
+        assert pipeline_result.timings["sessionization"] >= 0
+        # One entry per detector plus the shared sessionization step.
+        assert set(pipeline_result.timings) == {"commercial", "inhouse", "sessionization"}
+
     def test_matrix_columns_match_detector_order(self, pipeline_result):
         assert pipeline_result.matrix.detector_names == ["commercial", "inhouse"]
 

@@ -1,0 +1,118 @@
+"""Tests for the enforcement gateway, including the pass-through
+equivalence guarantee over an existing data set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DetectorError
+from repro.mitigation import (
+    build_gateway,
+    pass_through_policy,
+    standard_policy,
+)
+from repro.mitigation.actions import Action
+from repro.mitigation.gateway import EnforcementGateway
+from repro.stream import StreamEngine, WindowedAdjudicator, default_online_detectors
+from repro.stream.sources import dataset_replay
+from repro.traffic.generator import generate_dataset
+from repro.traffic.scenarios import balanced_small
+
+
+@pytest.fixture(scope="module")
+def replay_dataset():
+    return generate_dataset(balanced_small(total_requests=2500, seed=7))
+
+
+def reference_engine(k: int = 2) -> StreamEngine:
+    detectors = default_online_detectors()
+    return StreamEngine(
+        detectors,
+        adjudicator=WindowedAdjudicator(
+            [d.name for d in detectors], k=k, window_seconds=600.0
+        ),
+    )
+
+
+class TestPassThroughEquivalence:
+    def test_pass_through_reproduces_stream_results_exactly(self, replay_dataset):
+        gateway = build_gateway(pass_through_policy(), k=2)
+        gateway_result = gateway.run(dataset_replay(replay_dataset))
+        stream_result = reference_engine(k=2).run(dataset_replay(replay_dataset))
+
+        assert [s.request_ids() for s in gateway_result.stream_result.alert_sets] == [
+            s.request_ids() for s in stream_result.alert_sets
+        ]
+        assert (
+            gateway_result.stream_result.adjudication.alerted_ids
+            == stream_result.adjudication.alerted_ids
+        )
+        assert gateway_result.stream_result.alert_counts() == stream_result.alert_counts()
+
+    def test_pass_through_allows_every_request(self, replay_dataset):
+        gateway = build_gateway(pass_through_policy(), k=2)
+        result = gateway.run(dataset_replay(replay_dataset))
+        assert len(result.log) == len(replay_dataset)
+        assert result.action_counts()["allow"] == len(replay_dataset)
+        assert result.log.denied_count() == 0
+        assert result.log.bytes_saved() == 0
+
+    def test_enforcing_policy_still_observes_every_request(self, replay_dataset):
+        # Denied requests are logged at the edge, so detection state (and
+        # therefore the final alert sets) must be identical to pass-through.
+        enforcing = build_gateway(standard_policy(), k=2).run(dataset_replay(replay_dataset))
+        observing = build_gateway(pass_through_policy(), k=2).run(dataset_replay(replay_dataset))
+        assert enforcing.stream_result.alert_counts() == observing.stream_result.alert_counts()
+        assert len(enforcing.log) == len(replay_dataset)
+
+
+class TestEnforcement:
+    def test_standard_policy_blocks_scraping_traffic(self, replay_dataset):
+        gateway = build_gateway(standard_policy(), k=2)
+        result = gateway.run(dataset_replay(replay_dataset))
+        counts = result.action_counts()
+        assert counts["block"] > 0
+        assert result.log.denied_count() > 0
+        assert result.log.bytes_saved() > 0
+        # The log and the stream saw the same number of requests.
+        assert len(result.log) == result.stream_result.stats.records
+
+    def test_unanswered_challenges_fail(self, replay_dataset):
+        gateway = build_gateway(standard_policy(), k=2)
+        result = gateway.run(dataset_replay(replay_dataset))
+        passed, failed = result.log.challenge_counts()
+        assert passed == 0  # no solver in the loop: nobody can answer
+        assert failed == result.log.action_counts()["challenge"]
+
+    def test_challenge_solver_is_consulted(self, replay_dataset):
+        gateway = build_gateway(standard_policy(), k=2)
+        gateway.challenge_solver = lambda record: True
+        result = gateway.run(dataset_replay(replay_dataset))
+        passed, failed = result.log.challenge_counts()
+        assert failed == 0
+        assert passed == result.log.action_counts()["challenge"]
+
+    def test_log_records_are_consistent(self, replay_dataset):
+        gateway = build_gateway(standard_policy(), k=2)
+        result = gateway.run(dataset_replay(replay_dataset))
+        for record in result.log:
+            assert record.action in Action
+            assert record.served == (not record.denied)
+            if record.action.denies:
+                assert not record.served
+            if record.challenge_passed is not None:
+                assert record.action is Action.CHALLENGE
+
+    def test_reset_between_runs(self, replay_dataset):
+        gateway = build_gateway(standard_policy(), k=2)
+        first = gateway.run(dataset_replay(replay_dataset))
+        second = gateway.run(dataset_replay(replay_dataset))
+        assert first.action_counts() == second.action_counts()
+        assert len(second.log) == len(replay_dataset)
+
+
+class TestGatewayValidation:
+    def test_rejects_reorder_buffered_engine(self):
+        engine = StreamEngine(default_online_detectors(), max_skew_seconds=30.0)
+        with pytest.raises(DetectorError, match="reorder buffer"):
+            EnforcementGateway(engine, standard_policy())

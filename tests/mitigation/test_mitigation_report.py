@@ -1,0 +1,84 @@
+"""Tests for the Table-5-style mitigation report and its rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mitigation import build_report, render_comparison, render_mitigation_report, run_defense
+from repro.mitigation.metrics import _median
+
+
+@pytest.fixture(scope="module")
+def scripted_report():
+    return build_report(
+        run_defense(total_requests=1600, adaptive=False, seed=314), policy_name="standard"
+    )
+
+
+@pytest.fixture(scope="module")
+def adaptive_report():
+    return build_report(
+        run_defense(total_requests=1600, adaptive=True, seed=314), policy_name="standard"
+    )
+
+
+class TestMedian:
+    def test_empty_is_none(self):
+        assert _median([]) is None
+
+    def test_odd_and_even(self):
+        assert _median([3.0, 1.0, 2.0]) == 2.0
+        assert _median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+
+class TestReportInvariants:
+    def test_request_accounting_adds_up(self, scripted_report):
+        report = scripted_report
+        assert report.served_requests + report.denied_requests == report.total_requests
+        assert sum(report.action_counts.values()) == report.total_requests
+        assert report.attacker_attempted == report.attacker_served + report.attacker_denied
+        assert report.requests_saved == report.denied_requests
+
+    def test_actor_outcomes_cover_all_traffic(self, scripted_report):
+        report = scripted_report
+        assert sum(o.attempted for o in report.actor_outcomes) == report.total_requests
+        malicious = sum(o.attempted for o in report.actor_outcomes if o.malicious)
+        assert malicious == report.attacker_attempted
+        assert report.benign_attempted == report.total_requests - malicious
+
+    def test_rates_are_fractions(self, scripted_report, adaptive_report):
+        for report in (scripted_report, adaptive_report):
+            assert 0.0 <= report.attacker_yield <= 1.0
+            assert 0.0 <= report.false_block_rate <= 1.0
+            assert 0.0 <= report.human_lockout_rate <= 1.0
+
+    def test_bytes_saved_tracks_denials(self, scripted_report):
+        if scripted_report.denied_requests:
+            assert scripted_report.bytes_saved > 0
+        else:
+            assert scripted_report.bytes_saved == 0
+
+
+class TestRendering:
+    def test_report_contains_the_headline_metrics(self, scripted_report):
+        text = render_mitigation_report(scripted_report)
+        assert "Table 5" in text
+        assert "[standard]" in text
+        assert "Requests saved (denied)" in text
+        assert "Median time to first block" in text
+        assert "False-block rate" in text
+        assert "Attacker identity rotations" in text
+
+    def test_comparison_contrasts_the_campaigns(self, scripted_report, adaptive_report):
+        text = render_comparison(scripted_report, adaptive_report)
+        assert "scripted vs adaptive" in text
+        assert "->" in text
+        assert "Identity rotations burned" in text
+
+    def test_duration_formatting(self):
+        from repro.mitigation.metrics import _duration
+
+        assert _duration(None) == "never"
+        assert _duration(12.0) == "12 s"
+        assert _duration(600.0) == "10.0 min"
+        assert _duration(7200.0) == "2.0 h"

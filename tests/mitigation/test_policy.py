@@ -1,0 +1,235 @@
+"""Tests for enforcement actions, policies and the policy engine."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.logs.record import LogRecord, RequestMethod
+from repro.mitigation.actions import Action, PolicyError, most_severe
+from repro.mitigation.policy import (
+    Allowlist,
+    EscalationLadder,
+    Policy,
+    PolicyEngine,
+    PolicyRule,
+    get_policy,
+    good_bot_allowlist,
+    list_policies,
+    pass_through_policy,
+    standard_policy,
+    strict_policy,
+)
+from repro.stream.events import OnlineVerdict, RequestVerdict
+
+START = datetime(2018, 3, 14, 12, 0, 0, tzinfo=timezone.utc)
+DETECTORS = ("rate-limit", "ua-fingerprint", "inhouse", "anomaly")
+
+
+def make_record(seconds: float = 0.0, *, ip: str = "172.20.1.9", ua: str = "Mozilla/5.0", rid: str = "r0") -> LogRecord:
+    return LogRecord(
+        request_id=rid,
+        timestamp=START + timedelta(seconds=seconds),
+        client_ip=ip,
+        method=RequestMethod.GET,
+        path="/search",
+        protocol="HTTP/1.1",
+        status=200,
+        response_size=512,
+        referrer="",
+        user_agent=ua,
+    )
+
+
+def make_verdict(votes: int, *, rid: str = "r0", alerted: bool | None = None) -> RequestVerdict:
+    online = {
+        name: OnlineVerdict(request_id=rid, alerted=index < votes)
+        for index, name in enumerate(DETECTORS)
+    }
+    return RequestVerdict(
+        request_id=rid,
+        timestamp=START,
+        alerted=votes > 0 if alerted is None else alerted,
+        votes=online,
+    )
+
+
+class TestActions:
+    def test_severity_is_strictly_ordered(self):
+        severities = [a.severity for a in (Action.ALLOW, Action.THROTTLE, Action.CHALLENGE, Action.BLOCK, Action.TARPIT)]
+        assert severities == sorted(severities)
+        assert len(set(severities)) == len(severities)
+
+    def test_denying_actions(self):
+        assert Action.BLOCK.denies and Action.TARPIT.denies
+        assert not Action.ALLOW.denies and not Action.CHALLENGE.denies
+
+    def test_from_string_roundtrip_and_error(self):
+        assert Action.from_string("tarpit") is Action.TARPIT
+        with pytest.raises(PolicyError, match="unknown action"):
+            Action.from_string("nuke")
+
+    def test_most_severe(self):
+        assert most_severe([]) is Action.ALLOW
+        assert most_severe([Action.THROTTLE, Action.BLOCK, Action.CHALLENGE]) is Action.BLOCK
+
+
+class TestDeclarativeParts:
+    def test_rule_matching_votes_strikes_and_detectors(self):
+        rule = PolicyRule(name="r", action=Action.BLOCK, min_votes=2, min_strikes=3)
+        assert not rule.matches(make_verdict(2), strikes=2)
+        assert not rule.matches(make_verdict(1), strikes=3)
+        assert rule.matches(make_verdict(2), strikes=3)
+        scoped = PolicyRule(name="s", action=Action.BLOCK, detectors=("inhouse",))
+        # "inhouse" is the third detector; it only votes from 3 votes up.
+        assert not scoped.matches(make_verdict(2), strikes=1)
+        assert scoped.matches(make_verdict(3), strikes=1)
+
+    def test_rule_validation(self):
+        with pytest.raises(PolicyError):
+            PolicyRule(name="bad", action=Action.BLOCK, min_votes=0)
+        with pytest.raises(PolicyError):
+            PolicyRule(name="bad", action=Action.BLOCK, min_strikes=0)
+
+    def test_ladder_climbs_and_saturates(self):
+        ladder = EscalationLadder(strikes_per_step=2)
+        actions = [ladder.action_for(s) for s in range(0, 8)]
+        assert actions[0] is Action.ALLOW
+        assert actions[1:3] == [Action.THROTTLE, Action.THROTTLE]
+        assert actions[3:5] == [Action.CHALLENGE, Action.CHALLENGE]
+        assert actions[5:] == [Action.BLOCK] * 3  # saturates at the top rung
+
+    def test_ladder_validation(self):
+        with pytest.raises(PolicyError):
+            EscalationLadder(steps=())
+        with pytest.raises(PolicyError):
+            EscalationLadder(strikes_per_step=0)
+
+    def test_allowlist_by_agent_and_prefix(self):
+        allowlist = good_bot_allowlist()
+        assert allowlist.permits(make_record(ua="Mozilla/5.0 (compatible; Googlebot/2.1; ...)"))
+        assert allowlist.permits(make_record(ip="192.168.66.12"))
+        assert not allowlist.permits(make_record())
+        assert not Allowlist().permits(make_record(ip="192.168.66.12"))
+
+
+class TestPolicyEngine:
+    def test_pass_through_never_acts(self):
+        engine = PolicyEngine(pass_through_policy())
+        decision = engine.decide(make_record(), make_verdict(4))
+        assert decision.action is Action.ALLOW
+        assert decision.reason == "pass-through"
+        assert engine.tracked_visitors == 0
+
+    def test_allowlisted_good_bot_is_never_escalated(self):
+        engine = PolicyEngine(standard_policy())
+        for second in range(10):
+            decision = engine.decide(
+                make_record(second, ip="192.168.66.5"), make_verdict(4)
+            )
+            assert decision.action is Action.ALLOW
+            assert decision.reason == "allowlist"
+
+    def test_ladder_escalates_repeat_offender_to_block(self):
+        policy = Policy(
+            name="ladder-only",
+            ladder=EscalationLadder(strikes_per_step=2),
+            block_seconds=60.0,
+        )
+        engine = PolicyEngine(policy)
+        actions = [
+            engine.decide(make_record(second, rid=f"r{second}"), make_verdict(1, rid=f"r{second}")).action
+            for second in range(6)
+        ]
+        assert actions[:2] == [Action.THROTTLE, Action.THROTTLE]
+        assert actions[2:4] == [Action.CHALLENGE, Action.CHALLENGE]
+        assert actions[4] is Action.BLOCK
+        # While the block is active it applies regardless of the verdict.
+        decision = engine.decide(make_record(5.5, rid="r9"), make_verdict(0, alerted=False))
+        assert decision.action is Action.BLOCK
+        assert decision.reason == "active-block"
+
+    def test_block_expires_after_block_seconds(self):
+        policy = Policy(
+            name="fast-block",
+            rules=(PolicyRule(name="insta", action=Action.BLOCK),),
+            block_seconds=30.0,
+        )
+        engine = PolicyEngine(policy)
+        assert engine.decide(make_record(0), make_verdict(2)).action is Action.BLOCK
+        assert engine.decide(make_record(10), make_verdict(0, alerted=False)).action is Action.BLOCK
+        after = engine.decide(make_record(45), make_verdict(0, alerted=False))
+        assert after.action is Action.ALLOW
+
+    def test_cooldown_wipes_strikes(self):
+        policy = Policy(
+            name="ladder-only",
+            ladder=EscalationLadder(strikes_per_step=1),
+            cooldown_seconds=100.0,
+            block_seconds=5.0,
+        )
+        engine = PolicyEngine(policy)
+        assert engine.decide(make_record(0), make_verdict(1)).action is Action.THROTTLE
+        # A long quiet period resets the ladder to its first rung.
+        assert engine.decide(make_record(500), make_verdict(1)).action is Action.THROTTLE
+
+    def test_passed_challenge_grants_grace(self):
+        policy = Policy(
+            name="challenge-first",
+            rules=(PolicyRule(name="ch", action=Action.CHALLENGE),),
+            challenge_grace_seconds=600.0,
+        )
+        engine = PolicyEngine(policy)
+        first = engine.decide(make_record(0), make_verdict(2))
+        assert first.action is Action.CHALLENGE
+        engine.record_challenge(first.visitor_key, True, START.timestamp())
+        # Within the grace window the visitor is paced, not re-challenged.
+        second = engine.decide(make_record(60, rid="r1"), make_verdict(2, rid="r1"))
+        assert second.action is Action.THROTTLE
+        assert second.reason == "verified-grace"
+
+    def test_failed_challenge_blocks_immediately(self):
+        engine = PolicyEngine(standard_policy())
+        engine.record_challenge("172.20.1.9", False, START.timestamp())
+        decision = engine.decide(make_record(1), make_verdict(0, alerted=False))
+        assert decision.action is Action.BLOCK
+        state = engine.state_of("172.20.1.9")
+        assert state.challenges_failed == 1
+
+    def test_throttle_and_tarpit_carry_delays(self):
+        policy = Policy(
+            name="delays",
+            rules=(PolicyRule(name="pit", action=Action.TARPIT, min_votes=3),),
+            ladder=EscalationLadder(steps=(Action.THROTTLE,), strikes_per_step=1),
+            throttle_delay_seconds=1.5,
+            tarpit_delay_seconds=9.0,
+        )
+        engine = PolicyEngine(policy)
+        throttled = engine.decide(make_record(0), make_verdict(1))
+        assert throttled.action is Action.THROTTLE and throttled.delay_seconds == 1.5
+        pitted = engine.decide(make_record(1, ip="172.20.9.9"), make_verdict(4))
+        assert pitted.action is Action.TARPIT and pitted.delay_seconds == 9.0
+
+    def test_reset_forgets_visitors(self):
+        engine = PolicyEngine(standard_policy())
+        engine.decide(make_record(0), make_verdict(2))
+        assert engine.tracked_visitors == 1
+        engine.reset()
+        assert engine.tracked_visitors == 0
+
+
+class TestPresets:
+    def test_registry_lists_and_builds(self):
+        assert list_policies() == ["pass-through", "standard", "strict"]
+        assert get_policy("standard").name == "standard"
+        assert not get_policy("pass-through").enforces
+        assert strict_policy().enforces
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(PolicyError, match="unknown policy"):
+            get_policy("draconian")
+
+    def test_policy_validation(self):
+        with pytest.raises(PolicyError):
+            Policy(name="bad", cooldown_seconds=0.0)

@@ -1,0 +1,176 @@
+"""Closed-loop simulator tests: determinism, pass-through equivalence and
+the end-to-end adaptation property of the acceptance criteria."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mitigation import (
+    build_gateway,
+    build_report,
+    pass_through_policy,
+    run_defense,
+    standard_policy,
+)
+from repro.stream import StreamEngine, WindowedAdjudicator, default_online_detectors
+from repro.stream.sources import dataset_replay
+from repro.traffic.labels import is_malicious_class
+
+REQUESTS = 2000
+SEED = 314
+
+
+@pytest.fixture(scope="module")
+def scripted_run():
+    return run_defense(total_requests=REQUESTS, adaptive=False, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def adaptive_run():
+    return run_defense(total_requests=REQUESTS, adaptive=True, seed=SEED)
+
+
+class TestSimulatorBasics:
+    def test_deterministic_given_seed(self, scripted_run):
+        again = run_defense(total_requests=REQUESTS, adaptive=False, seed=SEED)
+        assert again.log.action_counts() == scripted_run.log.action_counts()
+        assert again.stream_result.alert_counts() == scripted_run.stream_result.alert_counts()
+        assert [r.request_id for r in again.dataset.records] == [
+            r.request_id for r in scripted_run.dataset.records
+        ]
+
+    def test_records_arrive_in_time_order(self, scripted_run):
+        timestamps = [record.timestamp for record in scripted_run.dataset.records]
+        assert timestamps == sorted(timestamps)
+
+    def test_dataset_is_fully_labelled(self, scripted_run):
+        truth = scripted_run.dataset.ground_truth
+        classes = set(scripted_run.actor_classes.values())
+        assert any(is_malicious_class(cls) for cls in classes)
+        assert any(not is_malicious_class(cls) for cls in classes)
+        for record in scripted_run.dataset.records:
+            assert truth.label_of(record.request_id)
+            assert record.request_id in scripted_run.actor_ids
+
+    def test_log_covers_every_attempted_request(self, scripted_run):
+        assert len(scripted_run.log) == scripted_run.total_requests
+        assert scripted_run.stream_result.stats.records == scripted_run.total_requests
+
+
+class TestPassThroughEquivalence:
+    def test_pass_through_simulation_reproduces_stream_results(self):
+        # The acceptance property: with a non-enforcing policy, replaying
+        # the simulation's own attempted-request log through a fresh
+        # streaming engine yields exactly the simulation's alert sets.
+        result = run_defense(
+            total_requests=REQUESTS, adaptive=False, policy=pass_through_policy(), seed=SEED
+        )
+        assert result.log.denied_count() == 0
+        detectors = default_online_detectors()
+        engine = StreamEngine(
+            detectors,
+            adjudicator=WindowedAdjudicator(
+                [d.name for d in detectors], k=2, window_seconds=600.0
+            ),
+        )
+        replayed = engine.run(dataset_replay(result.dataset))
+        assert [s.request_ids() for s in result.stream_result.alert_sets] == [
+            s.request_ids() for s in replayed.alert_sets
+        ]
+        assert (
+            result.stream_result.adjudication.alerted_ids
+            == replayed.adjudication.alerted_ids
+        )
+
+
+class TestAdaptationEndToEnd:
+    def test_scripted_campaign_is_neutralized(self, scripted_run):
+        report = build_report(scripted_run)
+        assert report.attacker_actors_blocked == report.attacker_actors
+        assert report.attacker_yield < 0.10
+        assert report.median_time_to_first_block is not None
+        assert report.requests_saved > 0
+
+    def test_adaptive_campaign_measurably_evades_longer(self, scripted_run, adaptive_run):
+        scripted = build_report(scripted_run)
+        adaptive = build_report(adaptive_run)
+        # The adaptive fleet lands a far larger share of its budget ...
+        assert adaptive.attacker_yield > 2 * scripted.attacker_yield
+        # ... takes longer to draw its first block ...
+        assert adaptive.median_time_to_first_block > scripted.median_time_to_first_block
+        # ... and pays for it in burned identities.
+        assert adaptive.attacker_identity_rotations > 0
+        assert scripted.attacker_identity_rotations == 0
+
+    def test_exhausting_identities_forces_give_up(self):
+        result = run_defense(
+            total_requests=REQUESTS, adaptive=True, seed=SEED, identities_per_node=2
+        )
+        report = build_report(result)
+        assert report.attacker_gave_up > 0
+        # Fewer identities -> less evasion than the well-provisioned fleet.
+        rich = build_report(
+            run_defense(total_requests=REQUESTS, adaptive=True, seed=SEED, identities_per_node=8)
+        )
+        assert report.attacker_served <= rich.attacker_served
+
+    def test_good_bots_are_spared_by_the_allowlist(self, scripted_run):
+        report = build_report(scripted_run)
+        crawler_outcomes = [
+            o for o in report.actor_outcomes if o.actor_class in ("search_crawler", "monitoring_bot")
+        ]
+        assert crawler_outcomes
+        assert all(o.denied == 0 for o in crawler_outcomes)
+
+
+class TestCollateralDamage:
+    def test_aggressive_configuration_produces_collateral(self):
+        from repro.mitigation import get_policy
+
+        result = run_defense(
+            total_requests=2500, adaptive=False, policy=get_policy("strict"), seed=11, k=1
+        )
+        report = build_report(result)
+        # With any-detector voting and a strict ladder, some humans get
+        # challenged or blocked: measurable collateral damage.
+        assert report.humans_challenged + report.benign_denied > 0
+        assert 0.0 <= report.false_block_rate < 0.05
+        assert report.human_lockout_rate <= 0.2
+
+    def test_challenge_failures_are_attributed_to_humans(self):
+        population_gateway = build_gateway(standard_policy(), k=1)
+        # Direct unit check on the report plumbing: a simulated human that
+        # cannot solve challenges shows up in the collateral columns.
+        from repro.mitigation.simulator import ClosedLoopSimulator
+        from repro.traffic.humans import HumanVisitor
+        from repro.traffic.ipspace import IPSpace
+        from repro.traffic.site import SiteModel
+        from repro.traffic.stepping import ResponsiveSteppedActor, SteppedPopulation
+        from repro.traffic.actors import TimeWindow
+        from datetime import datetime, timezone
+        import random
+
+        site, ip_space = SiteModel(), IPSpace()
+        rng = random.Random(5)
+        population = SteppedPopulation()
+        for index in range(6):
+            population.add(
+                ResponsiveSteppedActor(
+                    HumanVisitor(
+                        f"power-{index}",
+                        site,
+                        client_ip=ip_space.residential.random_address(rng),
+                        user_agent="Mozilla/5.0 (Windows NT 10.0; Win64; x64)",
+                        request_budget=160,
+                        power_user=True,
+                    ),
+                    challenge_skill=0.0,
+                    abandon_when_denied=True,
+                )
+            )
+        window = TimeWindow(start=datetime(2018, 3, 14, tzinfo=timezone.utc), days=1)
+        simulation = ClosedLoopSimulator(population, window, population_gateway, seed=5).run()
+        report = build_report(simulation)
+        if report.humans_challenged:
+            assert report.humans_challenges_failed == report.humans_challenged
+            assert report.humans_denied_ever > 0

@@ -74,6 +74,13 @@ class TestStreamEngine:
         assert result.adjudication.scheme_name == "2-out-of-4"
         assert result.adjudication.alert_count > 0
 
+    def test_alert_set_unknown_detector_error_names_the_culprit(self):
+        engine = StreamEngine([OnlineRequestRateLimiter()])
+        result = engine.run(make_records(3))
+        assert result.alert_set("streaming-rate").detector_name == "streaming-rate"
+        with pytest.raises(DetectorError, match="no alert set for detector 'phantom'"):
+            result.alert_set("phantom")
+
     def test_invalid_construction(self):
         with pytest.raises(DetectorError):
             StreamEngine([])

@@ -17,13 +17,25 @@ class TestParser:
         assert args.command == "generate"
         assert args.scale == 0.01
 
+    def test_version_flag_prints_version_and_exits(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
 
 class TestCommands:
-    def test_scenarios_lists_presets(self, capsys):
+    def test_scenarios_lists_presets_with_mix_fractions(self, capsys):
         assert main(["scenarios"]) == 0
         out = capsys.readouterr().out
         assert "amadeus_march_2018" in out
         assert "balanced_small" in out
+        # Each preset line carries its traffic mix fractions.
+        for line in out.strip().splitlines():
+            assert "aggressive=" in line and "human=" in line
+        assert "aggressive=0.828" in out
 
     def test_generate_writes_log_and_labels(self, tmp_path, capsys):
         log_path = tmp_path / "access.log"
@@ -123,3 +135,38 @@ class TestStreamCommand:
 
         with pytest.raises(DetectorError):
             main(["stream", "--scenario", "balanced_small", "--shards", "0"])
+
+
+class TestDefendCommand:
+    def test_defend_scripted_campaign_prints_table5(self, capsys):
+        code = main(["defend", "--requests", "1200", "--seed", "3", "--campaign", "scripted"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "Requests saved (denied)" in out
+        assert "Median time to first block" in out
+
+    def test_defend_both_campaigns_prints_comparison(self, capsys):
+        code = main(["defend", "--requests", "1200", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("Table 5") == 2
+        assert "scripted vs adaptive" in out
+
+    def test_defend_pass_through_policy_denies_nothing(self, capsys):
+        code = main(
+            ["defend", "--requests", "800", "--seed", "3", "--campaign", "scripted", "--policy", "pass-through"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        saved_line = next(
+            line for line in out.splitlines() if "Requests saved (denied)" in line
+        )
+        assert saved_line.rstrip().endswith(" 0")
+
+    def test_defend_parser_defaults(self):
+        args = build_parser().parse_args(["defend"])
+        assert args.command == "defend"
+        assert args.campaign == "both"
+        assert args.policy == "standard"
+        assert args.k == 2

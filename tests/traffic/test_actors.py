@@ -58,6 +58,39 @@ class TestHelpers:
     def test_split_budget_zero_total(self):
         assert split_budget(0, 3, _rng()) == [0, 0, 0]
 
+    def test_split_budget_negative_parts(self):
+        assert split_budget(100, -2, _rng()) == []
+
+    def test_split_budget_negative_total(self):
+        assert split_budget(-5, 3, _rng()) == [0, 0, 0]
+
+    def test_split_budget_parts_are_positive_when_budget_allows(self):
+        # Every part is at least 1 whenever total >= parts, so no actor is
+        # ever instantiated with an empty budget.
+        for seed in range(20):
+            for total, parts in ((10, 10), (50, 7), (1000, 13)):
+                shares = split_budget(total, parts, random.Random(seed))
+                assert len(shares) == parts
+                assert all(share >= 1 for share in shares)
+
+    def test_split_budget_sum_preserved_up_to_rounding(self):
+        # The normalised weights keep the total exact up to one rounding
+        # unit per part (plus the >=1 clamp when total >= parts).
+        for seed in range(20):
+            total, parts = 10_000, 11
+            shares = split_budget(total, parts, random.Random(seed))
+            assert abs(sum(shares) - total) <= parts
+
+    def test_split_budget_jitter_bounds_the_largest_share(self):
+        # With multiplicative jitter j the largest normalised weight is at
+        # most (1+j)/(parts*(1-j)), bounding every share accordingly.
+        total, parts, jitter = 12_000, 8, 0.2
+        upper = total * (1 + jitter) / (parts * (1 - jitter)) + 1
+        for seed in range(20):
+            shares = split_budget(total, parts, random.Random(seed), jitter=jitter)
+            assert max(shares) <= upper
+            assert min(shares) >= 1
+
     def test_spread_session_starts_sorted_and_inside_window(self):
         starts = spread_session_starts(WINDOW, 50, _rng())
         assert starts == sorted(starts)

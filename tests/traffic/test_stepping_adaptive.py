@@ -1,0 +1,210 @@
+"""Tests for the step-wise generation protocol and the adaptive actors."""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.traffic.actors import TimeWindow
+from repro.traffic.adaptive import AdaptiveCampaign, AdaptiveScraperNode
+from repro.traffic.humans import HumanVisitor
+from repro.traffic.ipspace import IPSpace
+from repro.traffic.site import SiteModel
+from repro.traffic.stepping import (
+    ALLOW_FEEDBACK,
+    Feedback,
+    ResponsiveSteppedActor,
+    ScriptedSteppedActor,
+    as_stepped,
+)
+from repro.traffic.useragents import UserAgentCatalog
+
+WINDOW = TimeWindow(start=datetime(2018, 3, 14, tzinfo=timezone.utc), days=1)
+
+
+def make_human(budget: int = 60) -> HumanVisitor:
+    return HumanVisitor(
+        "human-0",
+        SiteModel(),
+        client_ip="10.16.0.9",
+        user_agent="Mozilla/5.0 (Windows NT 10.0; Win64; x64)",
+        request_budget=budget,
+    )
+
+
+def drain(actor, rng, feedback=ALLOW_FEEDBACK):
+    events = []
+    while actor.peek() is not None:
+        event = actor.emit()
+        actor.feedback(event, feedback, rng)
+        events.append(event)
+    return events
+
+
+class TestFeedback:
+    def test_denied_covers_blocks_and_failed_challenges(self):
+        assert Feedback(action="block", served=False).denied
+        assert Feedback(action="tarpit", served=False).denied
+        assert Feedback(action="challenge", served=False, challenge_passed=False).denied
+        assert not Feedback(action="challenge", served=True, challenge_passed=True).denied
+        assert not ALLOW_FEEDBACK.denied
+
+
+class TestScriptedSteppedActor:
+    def test_replays_the_batch_trace_in_time_order(self):
+        human = make_human()
+        batch_events = sorted(
+            human.generate(WINDOW, random.Random(3)), key=lambda e: e.timestamp
+        )
+        stepped = ScriptedSteppedActor(make_human())
+        stepped.begin(WINDOW, random.Random(3))
+        replayed = drain(stepped, random.Random(0))
+        assert [e.timestamp for e in replayed] == [e.timestamp for e in batch_events]
+        assert [e.path for e in replayed] == [e.path for e in batch_events]
+        assert stepped.actor_class == "human"
+
+    def test_peek_announces_emit(self):
+        stepped = ScriptedSteppedActor(make_human())
+        stepped.begin(WINDOW, random.Random(3))
+        while stepped.peek() is not None:
+            announced = stepped.peek()
+            assert stepped.emit().timestamp == announced
+
+    def test_scripts_cannot_solve_challenges(self):
+        stepped = ScriptedSteppedActor(make_human())
+        assert stepped.solve_challenge(random.Random(0)) is False
+
+    def test_as_stepped_wraps_a_population(self):
+        population = as_stepped([make_human(), make_human()])
+        assert len(population) == 2
+        assert population.class_counts() == {"human": 2}
+
+
+class TestResponsiveSteppedActor:
+    def test_abandons_after_denial(self):
+        actor = ResponsiveSteppedActor(make_human(120), challenge_skill=0.9)
+        actor.begin(WINDOW, random.Random(3))
+        event = actor.emit()
+        remaining_before = actor.remaining
+        assert remaining_before > 0
+        actor.feedback(event, Feedback(action="block", served=False), random.Random(0))
+        assert actor.peek() is None
+        assert actor.abandoned_requests == remaining_before
+
+    def test_keeps_going_when_served(self):
+        actor = ResponsiveSteppedActor(make_human(120))
+        actor.begin(WINDOW, random.Random(3))
+        event = actor.emit()
+        actor.feedback(event, ALLOW_FEEDBACK, random.Random(0))
+        assert actor.peek() is not None
+        assert actor.abandoned_requests == 0
+
+    def test_challenge_skill_bounds(self):
+        with pytest.raises(ValueError):
+            ResponsiveSteppedActor(make_human(), challenge_skill=1.5)
+        never = ResponsiveSteppedActor(make_human(), challenge_skill=0.0)
+        always = ResponsiveSteppedActor(make_human(), challenge_skill=1.0)
+        rng = random.Random(1)
+        assert not any(never.solve_challenge(rng) for _ in range(20))
+        assert all(always.solve_challenge(rng) for _ in range(20))
+
+
+def make_node(**kwargs) -> AdaptiveScraperNode:
+    defaults = dict(
+        ip_space=IPSpace(),
+        agents=UserAgentCatalog(),
+        request_budget=500,
+        requests_per_minute=90.0,
+        identities=4,
+    )
+    defaults.update(kwargs)
+    return AdaptiveScraperNode("adaptive-0", SiteModel(), **defaults)
+
+
+class TestAdaptiveScraperNode:
+    def test_emits_nondecreasing_timestamps_within_window(self):
+        node = make_node()
+        node.begin(WINDOW, random.Random(9))
+        events = drain(node, random.Random(9))
+        assert events
+        timestamps = [e.timestamp for e in events]
+        assert timestamps == sorted(timestamps)
+        assert all(WINDOW.contains(ts) for ts in timestamps)
+        assert all(e.actor_class == "adaptive_scraper" for e in events)
+
+    def test_rotates_identity_and_lies_low_after_block(self):
+        node = make_node()
+        rng = random.Random(9)
+        node.begin(WINDOW, rng)
+        event = node.emit()
+        old_identity = (event.client_ip, event.user_agent)
+        before = node.peek()
+        node.feedback(event, Feedback(action="block", served=False), rng)
+        assert node.rotations == 1
+        after = node.peek()
+        # Lies low at least long enough for the old session to time out.
+        assert after - before >= timedelta(minutes=30)
+        follow_up = node.emit()
+        assert (follow_up.client_ip, follow_up.user_agent) != old_identity
+
+    def test_gives_up_when_identities_run_out(self):
+        node = make_node(identities=2)
+        rng = random.Random(9)
+        node.begin(WINDOW, rng)
+        node.feedback(node.emit(), Feedback(action="block", served=False), rng)
+        assert node.rotations == 1 and not node.gave_up
+        node.feedback(node.emit(), Feedback(action="block", served=False), rng)
+        assert node.gave_up
+        assert node.peek() is None
+
+    def test_failed_challenge_counts_as_denial(self):
+        node = make_node()
+        rng = random.Random(9)
+        node.begin(WINDOW, rng)
+        node.feedback(
+            node.emit(),
+            Feedback(action="challenge", served=False, challenge_passed=False),
+            rng,
+        )
+        assert node.rotations == 1
+
+    def test_backs_off_on_throttle_and_recovers(self):
+        node = make_node()
+        rng = random.Random(9)
+        node.begin(WINDOW, rng)
+        node.feedback(node.emit(), Feedback(action="throttle", served=True, delay_seconds=2.0), rng)
+        slowed = node._slowdown
+        assert slowed > 1.0
+        node.feedback(node.emit(), ALLOW_FEEDBACK, rng)
+        assert node._slowdown < slowed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_node(identities=0)
+        with pytest.raises(ValueError):
+            make_node(challenge_skill=2.0)
+        with pytest.raises(ValueError):
+            make_node(backoff_factor=0.5)
+
+
+class TestAdaptiveCampaign:
+    def test_builds_budgeted_fleet(self):
+        campaign = AdaptiveCampaign(name="camp", total_requests=5000, nodes=4)
+        rng = random.Random(2)
+        actors = campaign.build_actors(SiteModel(), IPSpace(), UserAgentCatalog(), rng)
+        assert len(actors) == 4
+        assert {actor.actor_id for actor in actors} == {f"camp-node{i}" for i in range(4)}
+        assert sum(actor.request_budget for actor in actors) >= 4000
+
+    def test_population_builder_and_validation(self):
+        campaign = AdaptiveCampaign(name="camp", total_requests=1000, nodes=2)
+        population = campaign.build_population(
+            SiteModel(), IPSpace(), UserAgentCatalog(), random.Random(2)
+        )
+        assert population.class_counts() == {"adaptive_scraper": 2}
+        with pytest.raises(ValueError):
+            AdaptiveCampaign(name="bad", total_requests=-1, nodes=2)
+        with pytest.raises(ValueError):
+            AdaptiveCampaign(name="bad", total_requests=10, nodes=0)
