@@ -1,8 +1,34 @@
 """repro -- diverse detectors for detecting malicious web scraping activity.
 
 A from-scratch reproduction of Marques et al., "Using Diverse Detectors
-for Detecting Malicious Web Scraping Activity" (DSN 2018), together with
-every substrate the study depends on:
+for Detecting Malicious Web Scraping Activity" (DSN 2018), grown into a
+full synthetic deployment: traffic generation, batch and real-time
+detection, diversity analysis, and a closed-loop enforcement gateway.
+
+The front door is :mod:`repro.runspec`: every workload -- the paper's
+batch tables, the labelled evaluation, real-time streaming, the
+closed-loop defense -- is described by one declarative, JSON-serializable
+:class:`RunSpec` and executed by one :func:`execute` call returning a
+uniform :class:`RunResult`::
+
+    from repro import RunSpec, TrafficSpec, execute, load_runspec
+
+    spec = RunSpec(mode="tables", traffic=TrafficSpec(scale=0.02, seed=2018))
+    result = execute(spec)
+    print(result.render())        # the paper's Tables 1-4
+    print(result.alert_counts)    # {'commercial': ..., 'inhouse': ...}
+
+    spec.save("spec.json")        # specs are data: queue, sweep, diff, replay
+    result2 = execute(load_runspec("spec.json"))
+
+Switching workload is a one-field change -- ``mode="stream"`` replays
+the same traffic through the real-time engine, ``mode="defend"`` runs a
+scraping campaign against the enforcement gateway.  Detectors,
+scenarios, policies and adjudication schemes are referenced by
+registry name, so third-party components plug in without touching this
+package (see :mod:`repro.registry`).
+
+The underlying subsystems remain directly usable:
 
 * :mod:`repro.logs` -- Apache access-log parsing, writing, data sets,
   sessionization.
@@ -20,37 +46,21 @@ every substrate the study depends on:
 * :mod:`repro.stream` -- the real-time counterpart of the batch
   pipeline: an event-driven engine with incremental sessionization,
   online ports of the detectors, windowed 1oo2/2oo2 adjudication of live
-  votes, and visitor-sharded multi-worker execution.  Replaying a data
-  set through the engine reproduces the batch alert sets exactly, so
-  streaming runs feed the same Tables 1-4 analysis.
+  votes, and visitor-sharded multi-worker execution.
 * :mod:`repro.mitigation` -- the closed loop on top of the stream: a
-  policy-driven enforcement gateway (allow/throttle/challenge/block/
-  tarpit with escalation ladders, cool-downs and a good-bot allowlist),
-  feedback-driven adaptive attackers, and a Table-5-style report of
-  time-to-block, attacker cost, savings and collateral damage.
-
-Quickstart::
-
-    from repro import PaperExperiment, amadeus_march_2018
-
-    experiment = PaperExperiment()
-    result = experiment.run_scenario(amadeus_march_2018(scale=0.02))
-    print(result.render_all())
-
-Streaming quickstart::
-
-    from repro import StreamEngine, default_online_detectors, generate_dataset, balanced_small
-    from repro.stream import dataset_replay
-
-    dataset = generate_dataset(balanced_small())
-    result = StreamEngine(default_online_detectors()).run(dataset_replay(dataset))
-    print(result.alert_counts())
+  policy-driven enforcement gateway, feedback-driven adaptive attackers,
+  and a Table-5-style report of time-to-block, attacker cost, savings
+  and collateral damage.
 """
 
+from repro.core.adjudication import register_adjudication_scheme
 from repro.core.experiment import ExperimentResult, PaperExperiment
 from repro.detectors.commercial import CommercialBotDefenceDetector
 from repro.detectors.inhouse import InHouseHeuristicDetector
+from repro.detectors.registry import register_detector
 from repro.logs.dataset import Dataset
+from repro.mitigation.policy import register_policy
+from repro.stream.detectors import register_online_detector
 from repro.mitigation import (
     Action,
     ClosedLoopSimulator,
@@ -62,6 +72,17 @@ from repro.mitigation import (
     run_defense,
     standard_policy,
 )
+from repro.runspec import (
+    AdjudicationSpec,
+    DetectorSpec,
+    ExecutionSpec,
+    PolicySpec,
+    RunResult,
+    RunSpec,
+    TrafficSpec,
+    execute,
+    load_runspec,
+)
 from repro.stream import (
     ShardedStreamRunner,
     StreamEngine,
@@ -69,31 +90,51 @@ from repro.stream import (
     default_online_detectors,
 )
 from repro.traffic.generator import generate_dataset
-from repro.traffic.scenarios import amadeus_march_2018, balanced_small, get_scenario, stealth_heavy
+from repro.traffic.scenarios import (
+    amadeus_march_2018,
+    balanced_small,
+    get_scenario,
+    register_scenario,
+    stealth_heavy,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Action",
+    "AdjudicationSpec",
     "ClosedLoopSimulator",
     "CommercialBotDefenceDetector",
     "Dataset",
+    "DetectorSpec",
     "EnforcementGateway",
+    "ExecutionSpec",
     "ExperimentResult",
     "InHouseHeuristicDetector",
     "PaperExperiment",
     "Policy",
+    "PolicySpec",
+    "RunResult",
+    "RunSpec",
     "ShardedStreamRunner",
     "StreamEngine",
+    "TrafficSpec",
     "WindowedAdjudicator",
     "__version__",
     "amadeus_march_2018",
     "balanced_small",
     "build_report",
     "default_online_detectors",
+    "execute",
     "generate_dataset",
     "get_scenario",
+    "load_runspec",
     "pass_through_policy",
+    "register_adjudication_scheme",
+    "register_detector",
+    "register_online_detector",
+    "register_policy",
+    "register_scenario",
     "render_mitigation_report",
     "run_defense",
     "standard_policy",

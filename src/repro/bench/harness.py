@@ -6,6 +6,12 @@ benchmark file would dominate the run.  This module memoises the
 scenario data set and the full experiment result per (scale, seed) so all
 table benchmarks reuse the same run, exactly as the paper's tables are
 all derived from one analysed week of traffic.
+
+Since the :mod:`repro.runspec` redesign the harness is spec-driven: each
+memoised run is described by a declarative
+:class:`~repro.runspec.spec.RunSpec` (see :func:`bench_spec`) and
+executed through :func:`~repro.runspec.execute.execute`, so benchmarks
+exercise exactly the code path the CLI and sweep scripts use.
 """
 
 from __future__ import annotations
@@ -13,10 +19,9 @@ from __future__ import annotations
 import functools
 import os
 
-from repro.core.experiment import ExperimentResult, PaperExperiment
+from repro.core.experiment import ExperimentResult
 from repro.logs.dataset import Dataset
-from repro.traffic.generator import generate_dataset
-from repro.traffic.scenarios import amadeus_march_2018
+from repro.runspec import RunResult, RunSpec, TrafficSpec, build_dataset, execute
 
 #: Default scale of the benchmark data set, overridable via the
 #: ``REPRO_BENCH_SCALE`` environment variable (1.0 regenerates the paper's
@@ -27,13 +32,31 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2018"))
 
 
+def bench_spec(scale: float = BENCH_SCALE, seed: int = BENCH_SEED, *, mode: str = "tables") -> RunSpec:
+    """The declarative spec of the shared benchmark run."""
+    return RunSpec(
+        mode=mode,
+        traffic=TrafficSpec(scenario="amadeus_march_2018", scale=scale, seed=seed),
+        label=f"bench-{mode}",
+    )
+
+
 @functools.lru_cache(maxsize=4)
 def scenario_dataset(scale: float = BENCH_SCALE, seed: int = BENCH_SEED) -> Dataset:
     """The calibrated March-2018 data set at the benchmark scale (memoised)."""
-    return generate_dataset(amadeus_march_2018(scale=scale, seed=seed))
+    return build_dataset(bench_spec(scale, seed).traffic)
 
 
 @functools.lru_cache(maxsize=4)
+def run_result(scale: float = BENCH_SCALE, seed: int = BENCH_SEED) -> RunResult:
+    """The executed benchmark spec's uniform result (memoised).
+
+    Reuses the memoised data set so benchmarks that consume both the
+    raw traffic and the experiment result pay for one generation.
+    """
+    return execute(bench_spec(scale, seed), dataset=scenario_dataset(scale, seed))
+
+
 def experiment_result(scale: float = BENCH_SCALE, seed: int = BENCH_SEED) -> ExperimentResult:
     """The full paper experiment on the benchmark data set (memoised)."""
-    return PaperExperiment().run_on(scenario_dataset(scale, seed))
+    return run_result(scale, seed).raw

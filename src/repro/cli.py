@@ -1,5 +1,11 @@
 """Command-line interface (``repro-scrapeguard``).
 
+Every analysis subcommand is a thin shim over :mod:`repro.runspec`: it
+builds a declarative :class:`~repro.runspec.spec.RunSpec` from its
+arguments, hands it to :func:`~repro.runspec.execute.execute`, and
+prints the uniform :class:`~repro.runspec.result.RunResult` -- rendered
+as plain-text tables by default, or as structured JSON with ``--json``.
+
 Subcommands
 -----------
 ``generate``
@@ -20,9 +26,11 @@ Subcommands
 ``defend``
     Run the closed-loop enforcement simulation (:mod:`repro.mitigation`):
     a scraping campaign against the enforcement gateway, reported as a
-    Table-5-style summary (time-to-block, attacker cost, savings,
-    collateral damage), optionally contrasting the scripted campaign
+    Table-5-style summary, optionally contrasting the scripted campaign
     with its adaptive variant.
+``run``
+    Execute any saved run specification: ``repro run --config spec.json``
+    replays exactly the workload the JSON spec describes.
 ``scenarios``
     List the available preset scenarios with their traffic mix.
 """
@@ -30,28 +38,25 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro import __version__
-from repro.core.configurations import compare_configurations
-from repro.mitigation import (
-    build_report,
-    get_policy,
-    list_policies,
-    render_comparison,
-    render_mitigation_report,
-    run_defense,
-)
-from repro.core.evaluation import per_actor_class_detection
-from repro.core.experiment import PaperExperiment
-from repro.core.reporting import render_evaluation_rows
-from repro.detectors.commercial import CommercialBotDefenceDetector
-from repro.detectors.inhouse import InHouseHeuristicDetector
-from repro.logs.dataset import Dataset
-from repro.logs.parser import LogParser
 from repro.logs.writer import LogWriter
-from repro.traffic.generator import generate_dataset
+from repro.mitigation import list_policies, render_comparison
+from repro.runspec import (
+    DEFAULT_SCENARIO,
+    AdjudicationSpec,
+    ExecutionSpec,
+    PolicySpec,
+    RunSpec,
+    TrafficSpec,
+    build_dataset,
+    execute,
+    load_runspec,
+)
+from repro.stream.engine import StreamEngine
 from repro.traffic.scenarios import get_scenario, list_scenarios
 
 
@@ -66,29 +71,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    generate = subparsers.add_parser("generate", help="generate a synthetic access log")
-    generate.add_argument("--scenario", default="amadeus_march_2018", help="preset scenario name")
-    generate.add_argument("--scale", type=float, default=0.02, help="fraction of the paper's data-set size")
-    generate.add_argument("--seed", type=int, default=2018, help="simulation seed")
+    # Shared argument blocks.  ``json_parent`` gives every subcommand a
+    # structured-output switch; ``scenario_parent`` carries the scenario
+    # selection that generate/tables/evaluate/stream all take.
+    json_parent = argparse.ArgumentParser(add_help=False)
+    json_parent.add_argument(
+        "--json", action="store_true", help="emit the structured result as JSON"
+    )
+    scenario_parent = argparse.ArgumentParser(add_help=False)
+    scenario_parent.add_argument(
+        "--scenario", default=DEFAULT_SCENARIO, help="preset scenario name"
+    )
+    scenario_parent.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=(
+            "fraction of the paper's data-set size, for scenarios that take a "
+            f"scale (default 0.02 for {DEFAULT_SCENARIO})"
+        ),
+    )
+    scenario_parent.add_argument("--seed", type=int, default=2018, help="simulation seed")
+
+    generate = subparsers.add_parser(
+        "generate",
+        parents=[scenario_parent, json_parent],
+        help="generate a synthetic access log",
+    )
     generate.add_argument("--output", required=True, help="path of the access-log file to write")
     generate.add_argument("--labels", default=None, help="optional path for the ground-truth JSON")
 
-    tables = subparsers.add_parser("tables", help="reproduce the paper's tables")
-    tables.add_argument("--scenario", default="amadeus_march_2018", help="preset scenario name")
-    tables.add_argument("--scale", type=float, default=0.02, help="fraction of the paper's data-set size")
-    tables.add_argument("--seed", type=int, default=2018, help="simulation seed")
+    tables = subparsers.add_parser(
+        "tables",
+        parents=[scenario_parent, json_parent],
+        help="reproduce the paper's tables",
+    )
     tables.add_argument("--log-file", default=None, help="analyse an existing access log instead of generating one")
 
-    evaluate = subparsers.add_parser("evaluate", help="labelled extension analyses")
-    evaluate.add_argument("--scenario", default="amadeus_march_2018", help="preset scenario name")
-    evaluate.add_argument("--scale", type=float, default=0.02, help="fraction of the paper's data-set size")
-    evaluate.add_argument("--seed", type=int, default=2018, help="simulation seed")
+    evaluate = subparsers.add_parser(
+        "evaluate",
+        parents=[scenario_parent, json_parent],
+        help="labelled extension analyses",
+    )
     evaluate.add_argument("--configurations", action="store_true", help="also compare parallel vs serial deployments")
 
-    stream = subparsers.add_parser("stream", help="replay traffic through the streaming engine")
-    stream.add_argument("--scenario", default="amadeus_march_2018", help="preset scenario name")
-    stream.add_argument("--scale", type=float, default=0.02, help="fraction of the paper's data-set size")
-    stream.add_argument("--seed", type=int, default=2018, help="simulation seed")
+    stream = subparsers.add_parser(
+        "stream",
+        parents=[scenario_parent, json_parent],
+        help="replay traffic through the streaming engine",
+    )
     stream.add_argument("--log-file", default=None, help="replay an existing access log instead of generating one")
     stream.add_argument("--shards", type=int, default=1, help="number of visitor-sharded engine workers")
     stream.add_argument(
@@ -107,7 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print live alert totals every N requests (single-shard runs only; 0 disables)",
     )
 
-    defend = subparsers.add_parser("defend", help="closed-loop enforcement simulation")
+    defend = subparsers.add_parser(
+        "defend",
+        parents=[json_parent],
+        help="closed-loop enforcement simulation",
+    )
     defend.add_argument("--requests", type=int, default=6000, help="total request budget of the simulation")
     defend.add_argument("--seed", type=int, default=314, help="simulation seed")
     defend.add_argument(
@@ -130,190 +165,197 @@ def build_parser() -> argparse.ArgumentParser:
         help="identity pool size of each adaptive node (an n-identity node can rotate n-1 times before giving up)",
     )
 
-    subparsers.add_parser("scenarios", help="list preset scenarios with their traffic mix")
+    run = subparsers.add_parser(
+        "run",
+        parents=[json_parent],
+        help="execute a saved run specification",
+    )
+    run.add_argument("--config", required=True, help="path of the RunSpec JSON file to execute")
+
+    subparsers.add_parser(
+        "scenarios",
+        parents=[json_parent],
+        help="list preset scenarios with their traffic mix",
+    )
     return parser
 
 
-def _scenario_dataset(args: argparse.Namespace) -> Dataset:
-    scenario_kwargs = {"seed": args.seed}
-    if args.scenario == "amadeus_march_2018":
-        scenario_kwargs["scale"] = args.scale
-    scenario = get_scenario(args.scenario, **scenario_kwargs)
-    return generate_dataset(scenario)
+# ----------------------------------------------------------------------
+# Spec builders (one per argparse namespace shape)
+# ----------------------------------------------------------------------
+def _traffic_spec(args: argparse.Namespace, *, log_file: str | None = None) -> TrafficSpec:
+    """The traffic block shared by the scenario-driven subcommands."""
+    scale = args.scale
+    if scale is None and args.scenario == DEFAULT_SCENARIO:
+        scale = 0.02
+    # An explicit --scale is always forwarded; a scenario whose factory
+    # does not take one rejects it loudly instead of ignoring it.
+    return TrafficSpec(
+        scenario=args.scenario,
+        scale=scale,
+        seed=args.seed,
+        log_file=log_file,
+    )
 
 
+def _print_result(result, args: argparse.Namespace) -> None:
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+
+
+# ----------------------------------------------------------------------
+# Subcommand handlers
+# ----------------------------------------------------------------------
 def _command_generate(args: argparse.Namespace) -> int:
-    dataset = _scenario_dataset(args)
+    dataset = build_dataset(_traffic_spec(args))
     count = LogWriter().write_file(dataset.records, args.output)
-    print(f"wrote {count:,} log lines to {args.output}")
     if args.labels:
         dataset.save_labels(args.labels)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scenario": args.scenario,
+                    "records": count,
+                    "output": args.output,
+                    "labels": args.labels,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"wrote {count:,} log lines to {args.output}")
+    if args.labels:
         print(f"wrote ground-truth labels to {args.labels}")
     return 0
 
 
 def _command_tables(args: argparse.Namespace) -> int:
-    if args.log_file:
-        records = LogParser(skip_malformed=True).parse_file(args.log_file)
-        dataset = Dataset(records)
-    else:
-        dataset = _scenario_dataset(args)
-    result = PaperExperiment().run_on(dataset)
-    print(result.render_all())
+    spec = RunSpec(mode="tables", traffic=_traffic_spec(args, log_file=args.log_file))
+    _print_result(execute(spec), args)
     return 0
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
-    dataset = _scenario_dataset(args)
-    result = PaperExperiment().run_on(dataset)
-
-    rows = [evaluation.as_dict() for evaluation in result.tool_evaluations]
-    print(render_evaluation_rows(rows, title="Per-tool labelled evaluation"))
-    print()
-    rows = [evaluation.as_dict() for evaluation in result.adjudication_evaluations]
-    print(render_evaluation_rows(rows, title="Adjudication schemes (k-out-of-2)"))
-    print()
-    commercial_rates = per_actor_class_detection(dataset, result.matrix.alerted_by(result.matrix.detector_names[0]))
-    inhouse_rates = per_actor_class_detection(dataset, result.matrix.alerted_by(result.matrix.detector_names[1]))
-    rows = [
-        {"actor_class": actor, "commercial": commercial_rates[actor], "inhouse": inhouse_rates[actor]}
-        for actor in commercial_rates
-    ]
-    print(render_evaluation_rows(rows, title="Detection rate per actor class"))
-
-    if args.configurations:
-        print()
-        comparison = compare_configurations(dataset, CommercialBotDefenceDetector(), InHouseHeuristicDetector())
-        rows = []
-        for outcome in comparison.outcomes:
-            row = {
-                "configuration": outcome.name,
-                "alerts": outcome.alert_count,
-                "workload": outcome.total_workload,
-            }
-            if outcome.confusion is not None:
-                row["sensitivity"] = outcome.confusion.sensitivity()
-                row["specificity"] = outcome.confusion.specificity()
-            rows.append(row)
-        print(render_evaluation_rows(rows, title="Parallel vs serial configurations"))
+    spec = RunSpec(
+        mode="evaluate",
+        traffic=_traffic_spec(args),
+        execution=ExecutionSpec(compare_configurations=args.configurations),
+    )
+    _print_result(execute(spec), args)
     return 0
+
+
+def _progress_printer(progress_every: int):
+    def report(engine: StreamEngine) -> None:
+        totals = ", ".join(
+            f"{name}={count:,}" for name, count in engine.stats.online_alerts.items()
+        )
+        print(
+            f"  after {engine.stats.records:,} requests: {totals}, "
+            f"ensemble={engine.stats.ensemble_alerts:,}, "
+            f"window rate {engine.adjudicator.window_alert_rate():.1%}"
+        )
+
+    return report if progress_every else None
 
 
 def _command_stream(args: argparse.Namespace) -> int:
-    from repro.core.reporting import render_table1
-    from repro.stream import (
-        ShardedStreamRunner,
-        StreamEngine,
-        WindowedAdjudicator,
-        dataset_replay,
-        default_online_detectors,
-    )
-
-    if args.shards < 1:
-        from repro.exceptions import DetectorError
-
-        raise DetectorError("--shards must be at least 1")
-    if args.log_file:
-        records = LogParser(skip_malformed=True).parse_file(args.log_file)
-        dataset = Dataset(records)
-    else:
-        dataset = _scenario_dataset(args)
-    source_name = args.log_file or dataset.metadata.name
-
-    detectors = default_online_detectors()
-    names = [detector.name for detector in detectors]
-
-    def engine_factory() -> StreamEngine:
-        return StreamEngine(
-            default_online_detectors(),
-            adjudicator=WindowedAdjudicator(names, k=args.k, window_seconds=args.window),
+    spec = RunSpec(
+        mode="stream",
+        traffic=_traffic_spec(args, log_file=args.log_file),
+        adjudication=AdjudicationSpec(k=args.k, window_seconds=args.window),
+        execution=ExecutionSpec(
+            shards=args.shards,
+            backend=args.backend,
             max_skew_seconds=args.skew,
-        )
-
-    print(f"streaming {len(dataset):,} requests from {source_name} "
-          f"({args.shards} shard{'s' if args.shards != 1 else ''}, k={args.k}-out-of-{len(names)})")
-
-    if args.shards > 1:
-        if args.progress_every:
+            progress_every=args.progress_every,
+        ),
+    )
+    progress = None
+    if not args.json:
+        if args.shards > 1 and args.progress_every:
             print("note: --progress-every applies to single-shard runs only")
-        runner = ShardedStreamRunner(engine_factory, shards=args.shards, backend=args.backend)
-        result = runner.run(dataset_replay(dataset))
-    else:
-        engine = engine_factory()
-        engine.reset()
-        # Milestone-based progress: with a reorder buffer (--skew) one
-        # process() call can release zero or several records, so a plain
-        # modulo check would skip or repeat milestones.
-        next_progress = args.progress_every or float("inf")
-        for record in dataset_replay(dataset):
-            engine.process(record)
-            if engine.stats.records >= next_progress:
-                totals = ", ".join(
-                    f"{name}={count:,}" for name, count in engine.stats.online_alerts.items()
-                )
-                print(
-                    f"  after {engine.stats.records:,} requests: {totals}, "
-                    f"ensemble={engine.stats.ensemble_alerts:,}, "
-                    f"window rate {engine.adjudicator.window_alert_rate():.1%}"
-                )
-                next_progress = (
-                    engine.stats.records // args.progress_every + 1
-                ) * args.progress_every
-        result = engine.finish()
-
-    print()
-    print(
-        render_table1(
-            len(dataset),
-            result.alert_counts(),
-            title="Streaming Table 1 - HTTP requests alerted by the online detectors",
-        )
-    )
-    if result.adjudication is not None:
+        source = args.log_file or args.scenario
         print(
-            f"\nadjudicated ({result.adjudication.scheme_name}): "
-            f"{result.adjudication.alert_count:,} of {len(dataset):,} requests alerted "
-            f"({result.adjudication.alert_rate():.1%})"
+            f"streaming {source} through the engine "
+            f"({args.shards} shard{'s' if args.shards != 1 else ''}, k={args.k}-out-of-4)"
         )
-    print(
-        f"sessions: {result.stats.sessions_closed:,} closed; "
-        f"throughput: {result.stats.records_per_second():,.0f} requests/sec"
-    )
+        progress = _progress_printer(args.progress_every)
+    result = execute(spec, progress=progress)
+    if not args.json:
+        print()
+    _print_result(result, args)
     return 0
+
+
+def _defend_spec(args: argparse.Namespace, campaign: str) -> RunSpec:
+    return RunSpec(
+        mode="defend",
+        traffic=TrafficSpec(
+            campaign=campaign,
+            total_requests=args.requests,
+            seed=args.seed,
+            identities_per_node=args.identities,
+        ),
+        adjudication=AdjudicationSpec(k=args.k, window_seconds=600.0),
+        policy=PolicySpec(name=args.policy),
+    )
 
 
 def _command_defend(args: argparse.Namespace) -> int:
-    policy = get_policy(args.policy)
     campaigns = ["scripted", "adaptive"] if args.campaign == "both" else [args.campaign]
-    reports = {}
+    results = {}
     for campaign in campaigns:
+        if not args.json:
+            print(
+                f"simulating the {campaign} campaign against the {args.policy!r} policy "
+                f"(~{args.requests:,} requests, k={args.k}-out-of-4) ..."
+            )
+        results[campaign] = execute(_defend_spec(args, campaign))
+        if not args.json:
+            print()
+            print(results[campaign].render())
+            print()
+    if args.json:
         print(
-            f"simulating the {campaign} campaign against the {policy.name!r} policy "
-            f"(~{args.requests:,} requests, k={args.k}-out-of-4) ..."
-        )
-        result = run_defense(
-            total_requests=args.requests,
-            adaptive=campaign == "adaptive",
-            policy=policy,
-            seed=args.seed,
-            k=args.k,
-            identities_per_node=args.identities,
-        )
-        reports[campaign] = build_report(result, policy_name=policy.name)
-        print()
-        print(
-            render_mitigation_report(
-                reports[campaign],
-                title=f"Table 5 - Closed-loop enforcement outcomes ({campaign} campaign)",
+            json.dumps(
+                {campaign: result.to_dict() for campaign, result in results.items()},
+                indent=2,
             )
         )
-        print()
-    if len(reports) == 2:
-        print(render_comparison(reports["scripted"], reports["adaptive"]))
+    elif len(results) == 2:
+        print(
+            render_comparison(
+                results["scripted"].raw["report"], results["adaptive"].raw["report"]
+            )
+        )
     return 0
 
 
-def _command_scenarios(_: argparse.Namespace) -> int:
+def _command_run(args: argparse.Namespace) -> int:
+    spec = load_runspec(args.config)
+    _print_result(execute(spec), args)
+    return 0
+
+
+def _command_scenarios(args: argparse.Namespace) -> int:
+    if args.json:
+        listing = []
+        for name in list_scenarios():
+            scenario = get_scenario(name)
+            listing.append(
+                {
+                    "name": name,
+                    "total_requests": scenario.total_requests,
+                    "days": scenario.window.days,
+                    "mix": dict(scenario.mix),
+                }
+            )
+        print(json.dumps(listing, indent=2))
+        return 0
     for name in list_scenarios():
         scenario = get_scenario(name)
         mix = " ".join(
@@ -334,6 +376,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _command_evaluate,
         "stream": _command_stream,
         "defend": _command_defend,
+        "run": _command_run,
         "scenarios": _command_scenarios,
     }
     return handlers[args.command](args)

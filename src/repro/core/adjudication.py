@@ -23,12 +23,13 @@ individual tools.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.alerts import AlertMatrix, AlertSet
 from repro.exceptions import AdjudicationError
+from repro.registry import Registry
 
 
 @dataclass(frozen=True)
@@ -187,3 +188,38 @@ def scheme_comparison(matrix: AlertMatrix, schemes: Sequence[AdjudicationScheme]
         result = scheme.apply(matrix)
         results[result.scheme_name] = result
     return results
+
+
+# ----------------------------------------------------------------------
+# Adjudication-scheme registry
+# ----------------------------------------------------------------------
+_SCHEME_REGISTRY: Registry[AdjudicationScheme] = Registry(
+    "adjudication scheme", AdjudicationError
+)
+
+
+def register_adjudication_scheme(
+    name: str, factory: Callable[..., AdjudicationScheme], *, overwrite: bool = False
+) -> None:
+    """Register an adjudication-scheme factory under ``name``."""
+    _SCHEME_REGISTRY.register(name, factory, overwrite=overwrite)
+
+
+def available_adjudication_schemes() -> list[str]:
+    """Names of all registered adjudication schemes."""
+    return _SCHEME_REGISTRY.names()
+
+
+def create_adjudication_scheme(name: str, **kwargs) -> AdjudicationScheme:
+    """Instantiate a registered adjudication scheme by name.
+
+    Raises :class:`~repro.exceptions.AdjudicationError` -- with a
+    did-you-mean suggestion -- when the name is unknown.
+    """
+    return _SCHEME_REGISTRY.create(name, **kwargs)
+
+
+register_adjudication_scheme("k-out-of-n", KOutOfNScheme)
+register_adjudication_scheme("unanimous", UnanimousScheme)
+register_adjudication_scheme("majority", MajorityScheme)
+register_adjudication_scheme("weighted-vote", WeightedVoteScheme)

@@ -22,33 +22,30 @@ from repro.detectors.naive_bayes import NaiveBayesRobotDetector
 from repro.detectors.ratelimit import RateLimitDetector
 from repro.detectors.reputation import IPReputationDetector
 from repro.exceptions import DetectorError
+from repro.registry import Registry
 
 DetectorFactory = Callable[..., Detector]
 
-_REGISTRY: dict[str, DetectorFactory] = {}
+_REGISTRY: Registry[Detector] = Registry("detector", DetectorError)
 
 
 def register_detector(name: str, factory: DetectorFactory, *, overwrite: bool = False) -> None:
     """Register a detector factory under ``name``."""
-    if not name:
-        raise DetectorError("detector registry names must be non-empty")
-    if name in _REGISTRY and not overwrite:
-        raise DetectorError(f"detector {name!r} is already registered")
-    _REGISTRY[name] = factory
+    _REGISTRY.register(name, factory, overwrite=overwrite)
 
 
 def available_detectors() -> list[str]:
     """Names of all registered detectors."""
-    return sorted(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def create_detector(name: str, **kwargs) -> Detector:
-    """Instantiate a registered detector by name."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError as exc:
-        raise DetectorError(f"unknown detector {name!r}; available: {available_detectors()}") from exc
-    return factory(**kwargs)
+    """Instantiate a registered detector by name.
+
+    Raises :class:`~repro.exceptions.DetectorError` -- with a
+    did-you-mean suggestion -- when the name is unknown.
+    """
+    return _REGISTRY.create(name, **kwargs)
 
 
 # ----------------------------------------------------------------------

@@ -69,3 +69,12 @@ class ScenarioError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised when a diversity analysis cannot be computed."""
+
+
+class SpecError(ReproError):
+    """Raised for invalid, unknown or non-round-trippable run specifications.
+
+    Covers malformed :class:`~repro.runspec.spec.RunSpec` trees (bad
+    mode, unknown keys in serialized specs, out-of-range values) and
+    spec/workload mismatches caught at execution time.
+    """

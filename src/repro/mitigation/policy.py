@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.logs.record import LogRecord
 from repro.mitigation.actions import Action, EnforcementDecision, PolicyError, most_severe
+from repro.registry import Registry
 from repro.stream.events import RequestVerdict
 
 #: User-agent markers of bots the default allowlist trusts.
@@ -302,22 +303,28 @@ def strict_policy() -> Policy:
     )
 
 
-_POLICY_FACTORIES = {
-    "pass-through": pass_through_policy,
-    "standard": standard_policy,
-    "strict": strict_policy,
-}
+_POLICY_REGISTRY: Registry[Policy] = Registry("policy", PolicyError)
+
+
+def register_policy(name: str, factory, *, overwrite: bool = False) -> None:
+    """Register a policy factory so specs and the CLI can build it by name."""
+    _POLICY_REGISTRY.register(name, factory, overwrite=overwrite)
 
 
 def list_policies() -> list[str]:
-    """Names of the preset policies."""
-    return sorted(_POLICY_FACTORIES)
+    """Names of the registered policies."""
+    return _POLICY_REGISTRY.names()
 
 
-def get_policy(name: str) -> Policy:
-    """Build a preset policy by name."""
-    try:
-        factory = _POLICY_FACTORIES[name]
-    except KeyError as exc:
-        raise PolicyError(f"unknown policy {name!r}; available: {list_policies()}") from exc
-    return factory()
+def get_policy(name: str, **kwargs) -> Policy:
+    """Build a registered policy by name (keyword arguments are forwarded).
+
+    Raises :class:`~repro.mitigation.actions.PolicyError` -- with a
+    did-you-mean suggestion -- when the name is unknown.
+    """
+    return _POLICY_REGISTRY.create(name, **kwargs)
+
+
+register_policy("pass-through", pass_through_policy)
+register_policy("standard", standard_policy)
+register_policy("strict", strict_policy)

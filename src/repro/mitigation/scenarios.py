@@ -172,6 +172,7 @@ def run_defense(
     seed: int = 314,
     k: int = 2,
     identities_per_node: int = 8,
+    window_seconds: float = 600.0,
 ) -> SimulationResult:
     """Build the demo population and gateway, run the closed loop."""
     population, window = defense_population(
@@ -180,7 +181,7 @@ def run_defense(
         seed=seed,
         identities_per_node=identities_per_node,
     )
-    gateway = build_gateway(policy, k=k)
+    gateway = build_gateway(policy, k=k, window_seconds=window_seconds)
     simulator = ClosedLoopSimulator(population, window, gateway, seed=seed)
     name = "defense_adaptive" if adaptive else "defense_scripted"
     return simulator.run(dataset_name=name)

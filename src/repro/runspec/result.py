@@ -1,0 +1,120 @@
+"""The uniform result of executing any :class:`~repro.runspec.spec.RunSpec`.
+
+Every workload -- batch tables, labelled evaluation, streaming, closed
+loop -- returns the same :class:`RunResult` shape: flat numeric
+``metrics``, per-detector ``alert_counts``, rendered plain-text
+``tables``, structured ``rows`` (list-of-dict tables), stage ``timings``
+and, for ``defend`` runs, an ``enforcement`` summary.  ``to_dict()``
+makes the whole thing JSON-serializable (the ``--json`` output of every
+CLI subcommand), and ``render()`` reproduces the human-readable report
+the legacy entry points printed.
+
+Because results are uniform, cross-workload identities become one-line
+assertions::
+
+    # batch/stream equivalence of the ported detectors
+    assert execute(stream_spec).alert_counts == execute(batch_spec).alert_counts
+
+    # the pass-through policy enforces nothing
+    assert execute(passthrough_spec).metrics["denied_requests"] == 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import SpecError
+
+
+@dataclass
+class RunResult:
+    """Everything one executed run produced, in a uniform shape."""
+
+    #: The workload that ran (one of :data:`~repro.runspec.spec.RUN_MODES`).
+    mode: str
+    #: Where the traffic came from (scenario name or log-file path).
+    source: str
+    total_requests: int
+    #: Requests alerted per detector (the Table-1 numbers).
+    alert_counts: dict[str, int] = field(default_factory=dict)
+    #: Flat scalar metrics (counts, rates, medians), keyed by name.
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: Rendered plain-text tables, in report order.
+    tables: dict[str, str] = field(default_factory=dict)
+    #: Structured row tables (evaluations, comparisons), keyed by name.
+    rows: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+    #: Stage timings in seconds.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Human-readable summary lines appended after the tables.
+    summary: list[str] = field(default_factory=list)
+    #: Closed-loop enforcement summary (``defend`` runs only).
+    enforcement: dict[str, Any] | None = None
+    #: The spec that produced this result, as a dictionary.
+    spec: dict[str, Any] | None = None
+    #: Free-form label copied from the spec.
+    label: str = ""
+    #: The underlying workload result object (ExperimentResult,
+    #: StreamResult or SimulationResult).  Not serialized.
+    raw: Any = None
+
+    # ------------------------------------------------------------------
+    def metric(self, name: str) -> Any:
+        """One scalar metric by name (raises :class:`SpecError` when absent)."""
+        try:
+            return self.metrics[name]
+        except KeyError as exc:
+            raise SpecError(
+                f"result has no metric {name!r}; available: {sorted(self.metrics)}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The result as a JSON-ready dictionary (``raw`` is excluded)."""
+        return {
+            "mode": self.mode,
+            "source": self.source,
+            "label": self.label,
+            "total_requests": self.total_requests,
+            "alert_counts": dict(self.alert_counts),
+            "metrics": dict(self.metrics),
+            "tables": dict(self.tables),
+            "rows": {name: [dict(row) for row in rows] for name, rows in self.rows.items()},
+            "timings": dict(self.timings),
+            "summary": list(self.summary),
+            "enforcement": dict(self.enforcement) if self.enforcement is not None else None,
+            "spec": self.spec,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a (raw-less) result from :meth:`to_dict` output."""
+        if not isinstance(data, Mapping):
+            raise SpecError(f"a RunResult must be a mapping, got {type(data).__name__}")
+        try:
+            return cls(
+                mode=data["mode"],
+                source=data["source"],
+                total_requests=data["total_requests"],
+                alert_counts=dict(data.get("alert_counts", {})),
+                metrics=dict(data.get("metrics", {})),
+                tables=dict(data.get("tables", {})),
+                rows={name: list(rows) for name, rows in data.get("rows", {}).items()},
+                timings=dict(data.get("timings", {})),
+                summary=list(data.get("summary", [])),
+                enforcement=(
+                    dict(data["enforcement"]) if data.get("enforcement") is not None else None
+                ),
+                spec=data.get("spec"),
+                label=data.get("label", ""),
+            )
+        except KeyError as exc:
+            raise SpecError(f"run-result dictionary is missing key {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The human-readable report (the legacy entry points' output)."""
+        parts = list(self.tables.values())
+        if self.summary:
+            parts.append("\n".join(self.summary))
+        return "\n\n".join(part for part in parts if part)

@@ -52,8 +52,10 @@ from repro.detectors.fingerprint import UserAgentFingerprintDetector
 from repro.detectors.heuristic import HeuristicRuleDetector
 from repro.detectors.inhouse import InHouseHeuristicDetector
 from repro.detectors.ratelimit import RateLimitDetector
+from repro.exceptions import DetectorError
 from repro.logs.record import LogRecord
 from repro.logs.sessionization import Session
+from repro.registry import Registry
 from repro.stream.events import OnlineVerdict
 from repro.traffic.useragents import is_scripted_agent
 
@@ -580,3 +582,41 @@ def default_online_detectors(
         OnlineInHouseDetector(),
         OnlineAnomalyDetector(model_factory, contamination=contamination),
     ]
+
+
+# ----------------------------------------------------------------------
+# Online-detector registry
+# ----------------------------------------------------------------------
+_ONLINE_REGISTRY: Registry[OnlineDetector] = Registry("online detector", DetectorError)
+
+
+def register_online_detector(
+    name: str, factory: Callable[..., OnlineDetector], *, overwrite: bool = False
+) -> None:
+    """Register an online-detector factory under ``name``."""
+    _ONLINE_REGISTRY.register(name, factory, overwrite=overwrite)
+
+
+def available_online_detectors() -> list[str]:
+    """Names of all registered online detectors."""
+    return _ONLINE_REGISTRY.names()
+
+
+def create_online_detector(name: str, **kwargs) -> OnlineDetector:
+    """Instantiate a registered online detector by name.
+
+    Raises :class:`~repro.exceptions.DetectorError` -- with a
+    did-you-mean suggestion -- when the name is unknown.
+    """
+    return _ONLINE_REGISTRY.create(name, **kwargs)
+
+
+def _online_anomaly_factory(*, contamination: float = 0.3) -> OnlineDetector:
+    return OnlineAnomalyDetector(RobustZScoreModel, contamination=contamination)
+
+
+register_online_detector("rate-limit", OnlineRateLimitDetector)
+register_online_detector("ua-fingerprint", OnlineFingerprintDetector)
+register_online_detector("inhouse", OnlineInHouseDetector)
+register_online_detector("anomaly", _online_anomaly_factory)
+register_online_detector("request-rate", OnlineRequestRateLimiter)

@@ -21,6 +21,7 @@ from datetime import datetime, timezone
 from typing import Callable, Mapping
 
 from repro.exceptions import ScenarioError
+from repro.registry import Registry
 from repro.traffic.actors import ActorPopulation, TimeWindow, split_budget
 from repro.traffic.botnet import BotnetCampaign
 from repro.traffic.goodbots import MonitoringBot, SearchEngineCrawler
@@ -251,22 +252,30 @@ def stealth_heavy(*, total_requests: int = 20_000, seed: int = 23) -> Scenario:
     )
 
 
-_SCENARIO_FACTORIES: dict[str, Callable[..., Scenario]] = {
-    "amadeus_march_2018": amadeus_march_2018,
-    "balanced_small": balanced_small,
-    "stealth_heavy": stealth_heavy,
-}
+_SCENARIO_REGISTRY: Registry[Scenario] = Registry("scenario", ScenarioError)
+
+
+def register_scenario(
+    name: str, factory: Callable[..., Scenario], *, overwrite: bool = False
+) -> None:
+    """Register a scenario factory so specs and the CLI can build it by name."""
+    _SCENARIO_REGISTRY.register(name, factory, overwrite=overwrite)
 
 
 def list_scenarios() -> list[str]:
-    """Names of the preset scenarios."""
-    return sorted(_SCENARIO_FACTORIES)
+    """Names of the registered scenarios."""
+    return _SCENARIO_REGISTRY.names()
 
 
 def get_scenario(name: str, **kwargs) -> Scenario:
-    """Build a preset scenario by name (keyword arguments are forwarded)."""
-    try:
-        factory = _SCENARIO_FACTORIES[name]
-    except KeyError as exc:
-        raise ScenarioError(f"unknown scenario {name!r}; available: {list_scenarios()}") from exc
-    return factory(**kwargs)
+    """Build a registered scenario by name (keyword arguments are forwarded).
+
+    Raises :class:`~repro.exceptions.ScenarioError` -- with a
+    did-you-mean suggestion -- when the name is unknown.
+    """
+    return _SCENARIO_REGISTRY.create(name, **kwargs)
+
+
+register_scenario("amadeus_march_2018", amadeus_march_2018)
+register_scenario("balanced_small", balanced_small)
+register_scenario("stealth_heavy", stealth_heavy)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -131,9 +133,9 @@ class TestStreamCommand:
         assert args.k == 1
 
     def test_stream_rejects_non_positive_shards(self):
-        from repro.exceptions import DetectorError
+        from repro.exceptions import SpecError
 
-        with pytest.raises(DetectorError):
+        with pytest.raises(SpecError):
             main(["stream", "--scenario", "balanced_small", "--shards", "0"])
 
 
@@ -170,3 +172,125 @@ class TestDefendCommand:
         assert args.campaign == "both"
         assert args.policy == "standard"
         assert args.k == 2
+
+
+#: Keys every serialized RunResult carries, whatever the workload.
+RUN_RESULT_KEYS = {
+    "mode",
+    "source",
+    "label",
+    "total_requests",
+    "alert_counts",
+    "metrics",
+    "tables",
+    "rows",
+    "timings",
+    "summary",
+    "enforcement",
+    "spec",
+}
+
+
+def _json_out(capsys) -> dict:
+    return json.loads(capsys.readouterr().out)
+
+
+class TestJsonOutput:
+    """``--json`` on every subcommand emits the structured RunResult."""
+
+    def test_tables_json_schema(self, capsys):
+        assert main(["tables", "--scenario", "balanced_small", "--seed", "3", "--json"]) == 0
+        data = _json_out(capsys)
+        assert set(data) == RUN_RESULT_KEYS
+        assert data["mode"] == "tables"
+        assert set(data["tables"]) == {"table1", "table2", "table3", "table4"}
+        assert set(data["alert_counts"]) == {"commercial", "inhouse"}
+        assert data["spec"]["traffic"]["scenario"] == "balanced_small"
+
+    def test_evaluate_json_schema(self, capsys):
+        assert main(["evaluate", "--scenario", "balanced_small", "--seed", "3", "--json"]) == 0
+        data = _json_out(capsys)
+        assert set(data) == RUN_RESULT_KEYS
+        assert data["mode"] == "evaluate"
+        assert {"tool_evaluation", "adjudication_evaluation"} <= set(data["rows"])
+
+    def test_stream_json_schema(self, capsys):
+        assert main(["stream", "--scenario", "balanced_small", "--seed", "3", "--k", "2", "--json"]) == 0
+        data = _json_out(capsys)
+        assert set(data) == RUN_RESULT_KEYS
+        assert data["mode"] == "stream"
+        assert data["metrics"]["adjudication_scheme"] == "2-out-of-4"
+        assert data["metrics"]["adjudicated_alerts"] <= data["total_requests"]
+
+    def test_defend_json_schema(self, capsys):
+        assert main(
+            ["defend", "--requests", "800", "--seed", "3", "--campaign", "scripted", "--json"]
+        ) == 0
+        data = _json_out(capsys)
+        assert set(data) == {"scripted"}
+        assert set(data["scripted"]) == RUN_RESULT_KEYS
+        assert data["scripted"]["enforcement"]["policy"] == "standard"
+
+    def test_generate_json_schema(self, tmp_path, capsys):
+        log_path = tmp_path / "access.log"
+        assert main(
+            [
+                "generate", "--scenario", "balanced_small", "--seed", "3",
+                "--output", str(log_path), "--json",
+            ]
+        ) == 0
+        data = _json_out(capsys)
+        assert set(data) == {"scenario", "records", "output", "labels"}
+        assert data["records"] > 0 and log_path.exists()
+
+    def test_scenarios_json_is_machine_readable(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        listing = _json_out(capsys)
+        names = {entry["name"] for entry in listing}
+        assert {"amadeus_march_2018", "balanced_small", "stealth_heavy"} <= names
+        for entry in listing:
+            assert set(entry) == {"name", "total_requests", "days", "mix"}
+            assert abs(sum(entry["mix"].values()) - 1.0) < 0.03
+
+
+class TestRunCommand:
+    """``repro run --config spec.json`` executes any saved spec."""
+
+    def _write_spec(self, tmp_path, payload: dict) -> str:
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_run_config_drives_tables(self, tmp_path, capsys):
+        config = self._write_spec(
+            tmp_path,
+            {"mode": "tables", "traffic": {"scenario": "balanced_small", "seed": 3}},
+        )
+        assert main(["run", "--config", config]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+
+    def test_run_config_json_matches_subcommand(self, tmp_path, capsys):
+        config = self._write_spec(
+            tmp_path,
+            {"mode": "tables", "traffic": {"scenario": "balanced_small", "seed": 3}},
+        )
+        assert main(["run", "--config", config, "--json"]) == 0
+        from_config = _json_out(capsys)
+        assert main(["tables", "--scenario", "balanced_small", "--seed", "3", "--json"]) == 0
+        from_subcommand = _json_out(capsys)
+        assert from_config["alert_counts"] == from_subcommand["alert_counts"]
+        assert from_config["metrics"] == from_subcommand["metrics"]
+
+    def test_run_rejects_unknown_spec_key(self, tmp_path):
+        from repro.exceptions import SpecError
+
+        config = self._write_spec(tmp_path, {"mode": "tables", "detektors": []})
+        with pytest.raises(SpecError, match="did you mean"):
+            main(["run", "--config", config])
+
+    def test_run_rejects_missing_config(self, tmp_path):
+        from repro.exceptions import SpecError
+
+        with pytest.raises(SpecError, match="cannot read spec file"):
+            main(["run", "--config", str(tmp_path / "absent.json")])
