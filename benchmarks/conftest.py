@@ -6,10 +6,17 @@ tables from a single analysed week of traffic.  The benchmarked portion
 of each module is the analysis step that produces the table; the
 generation/detection cost is measured separately by the ``perf_*``
 benchmarks.
+
+Machine-readable results: any benchmark can take the ``record_bench``
+fixture and call ``record_bench(group, name, **values)``; at session end
+each group is written to ``BENCH_<group>.json`` in the working
+directory, so CI jobs and tooling consume benchmark numbers without
+scraping stdout.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 
@@ -32,3 +39,37 @@ def bench_dataset():
 def bench_experiment():
     """Both stand-in tools run over the benchmark data set."""
     return experiment_result(BENCH_SCALE, BENCH_SEED)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable benchmark output (BENCH_<group>.json)
+# ----------------------------------------------------------------------
+_BENCH_RESULTS: dict[str, dict[str, dict]] = {}
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """Record one named measurement into a benchmark group.
+
+    Usage: ``record_bench("trace", "replay_vs_regenerate", seconds=...,
+    speedup=...)``.  Values must be JSON-serializable; the session hook
+    below writes each group to ``BENCH_<group>.json``.
+    """
+
+    def record(group: str, name: str, **values) -> None:
+        _BENCH_RESULTS.setdefault(group, {})[name] = values
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for group, results in _BENCH_RESULTS.items():
+        payload = {
+            "group": group,
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "results": results,
+        }
+        with open(f"BENCH_{group}.json", "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")

@@ -51,6 +51,12 @@ The underlying subsystems remain directly usable:
   policy-driven enforcement gateway, feedback-driven adaptive attackers,
   and a Table-5-style report of time-to-block, attacker cost, savings
   and collateral damage.
+* :mod:`repro.trace` -- the persistence layer: a chunked columnar trace
+  format that records any traffic stream once and replays it at I/O
+  speed (out-of-core, labels included), the content-addressed
+  generation cache behind ``TrafficSpec(cache=True)``, trace
+  composition operators, and an importer for real (gzipped, rotated)
+  Apache access logs.
 """
 
 from repro.core.adjudication import register_adjudication_scheme
@@ -89,6 +95,14 @@ from repro.stream import (
     WindowedAdjudicator,
     default_online_detectors,
 )
+from repro.trace import (
+    GenerationCache,
+    TraceReader,
+    TraceWriter,
+    read_trace,
+    trace_info,
+    write_trace,
+)
 from repro.traffic.generator import generate_dataset
 from repro.traffic.scenarios import (
     amadeus_march_2018,
@@ -98,7 +112,7 @@ from repro.traffic.scenarios import (
     stealth_heavy,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Action",
@@ -110,6 +124,7 @@ __all__ = [
     "EnforcementGateway",
     "ExecutionSpec",
     "ExperimentResult",
+    "GenerationCache",
     "InHouseHeuristicDetector",
     "PaperExperiment",
     "Policy",
@@ -118,6 +133,8 @@ __all__ = [
     "RunSpec",
     "ShardedStreamRunner",
     "StreamEngine",
+    "TraceReader",
+    "TraceWriter",
     "TrafficSpec",
     "WindowedAdjudicator",
     "__version__",
@@ -130,6 +147,7 @@ __all__ = [
     "get_scenario",
     "load_runspec",
     "pass_through_policy",
+    "read_trace",
     "register_adjudication_scheme",
     "register_detector",
     "register_online_detector",
@@ -139,4 +157,6 @@ __all__ = [
     "run_defense",
     "standard_policy",
     "stealth_heavy",
+    "trace_info",
+    "write_trace",
 ]

@@ -33,6 +33,15 @@ Subcommands
     replays exactly the workload the JSON spec describes.
 ``scenarios``
     List the available preset scenarios with their traffic mix.
+``trace``
+    The persistent trace store (:mod:`repro.trace`): ``trace record``
+    generates a scenario once and records it as a replayable columnar
+    trace file, ``trace info`` prints a trace's footer summary in O(1),
+    ``trace import`` ingests real Apache access logs (gzipped and
+    rotated sets included) into a trace, and ``trace mix`` interleaves a
+    recorded attack onto a recorded background.  Recorded traces replay
+    through every analysis subcommand via
+    ``--config`` specs with ``traffic.source = "trace"``.
 """
 
 from __future__ import annotations
@@ -57,6 +66,13 @@ from repro.runspec import (
     load_runspec,
 )
 from repro.stream.engine import StreamEngine
+from repro.trace import (
+    DEFAULT_BLOCK_SIZE,
+    import_clf,
+    interleave_traces,
+    trace_info,
+    write_trace,
+)
 from repro.traffic.scenarios import get_scenario, list_scenarios
 
 
@@ -177,6 +193,72 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[json_parent],
         help="list preset scenarios with their traffic mix",
     )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="record, inspect, import and compose persistent trace files",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_commands.add_parser(
+        "record",
+        parents=[scenario_parent, json_parent],
+        help="generate a scenario once and record it as a replayable trace",
+    )
+    record.add_argument("--output", required=True, help="path of the trace file to write")
+    record.add_argument(
+        "--block-size",
+        type=int,
+        default=DEFAULT_BLOCK_SIZE,
+        help="records per columnar block (the unit of out-of-core replay)",
+    )
+
+    info = trace_commands.add_parser(
+        "info",
+        parents=[json_parent],
+        help="print a trace's footer summary (O(1), no block is read)",
+    )
+    info.add_argument("trace", help="trace file to inspect")
+
+    importer = trace_commands.add_parser(
+        "import",
+        parents=[json_parent],
+        help="import Apache access logs (plain or .gz) into a trace",
+    )
+    importer.add_argument("logs", nargs="+", help="access-log files, oldest first")
+    importer.add_argument("--output", required=True, help="path of the trace file to write")
+    importer.add_argument(
+        "--rotated",
+        action="store_true",
+        help="expand each input into its rotation set (access.log.N[.gz], oldest first)",
+    )
+    importer.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on the first malformed line instead of counting and skipping it",
+    )
+
+    mix = trace_commands.add_parser(
+        "mix",
+        parents=[json_parent],
+        help="interleave a recorded overlay (e.g. an attack) onto a recorded background",
+    )
+    mix.add_argument("--base", required=True, help="background trace")
+    mix.add_argument("--overlay", required=True, help="overlay trace merged on top")
+    mix.add_argument("--output", required=True, help="path of the mixed trace to write")
+    mix.add_argument(
+        "--shift",
+        type=float,
+        default=0.0,
+        help="time-shift the overlay by this many seconds before merging",
+    )
+    mix.add_argument(
+        "--sample",
+        type=float,
+        default=None,
+        help="keep only this fraction of overlay records (0 < f <= 1)",
+    )
+    mix.add_argument("--seed", type=int, default=0, help="seed of the overlay sampling draw")
     return parser
 
 
@@ -335,6 +417,71 @@ def _command_defend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "record": _trace_record,
+        "info": _trace_info,
+        "import": _trace_import,
+        "mix": _trace_mix,
+    }
+    return handlers[args.trace_command](args)
+
+
+def _print_trace_info(info, args: argparse.Namespace) -> None:
+    if args.json:
+        print(json.dumps(info.to_dict(), indent=2))
+    else:
+        print(info.render())
+
+
+def _trace_record(args: argparse.Namespace) -> int:
+    dataset = build_dataset(_traffic_spec(args))
+    info = write_trace(dataset, args.output, block_size=args.block_size)
+    if not args.json:
+        print(f"recorded {info.records:,} requests to {args.output}")
+    _print_trace_info(info, args)
+    return 0
+
+
+def _trace_info(args: argparse.Namespace) -> int:
+    _print_trace_info(trace_info(args.trace), args)
+    return 0
+
+
+def _trace_import(args: argparse.Namespace) -> int:
+    report = import_clf(
+        args.logs,
+        args.output,
+        rotated=args.rotated,
+        skip_malformed=not args.strict,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(
+        f"imported {report.parsed:,} of {report.total_lines:,} log lines "
+        f"from {len(report.files)} file(s) ({report.skipped:,} skipped)"
+    )
+    assert report.trace is not None
+    print(report.trace.render())
+    return 0
+
+
+def _trace_mix(args: argparse.Namespace) -> int:
+    info = interleave_traces(
+        args.base,
+        args.overlay,
+        args.output,
+        shift_overlay_seconds=args.shift,
+        sample_overlay=args.sample,
+        seed=args.seed,
+    )
+    if not args.json:
+        print(f"mixed {args.overlay} onto {args.base} -> {args.output}")
+    _print_trace_info(info, args)
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
     spec = load_runspec(args.config)
     _print_result(execute(spec), args)
@@ -378,6 +525,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "defend": _command_defend,
         "run": _command_run,
         "scenarios": _command_scenarios,
+        "trace": _command_trace,
     }
     return handlers[args.command](args)
 

@@ -71,6 +71,15 @@ class AnalysisError(ReproError):
     """Raised when a diversity analysis cannot be computed."""
 
 
+class TraceError(ReproError):
+    """Raised for invalid, corrupt or unreadable trace files.
+
+    Covers malformed trace headers/footers, version mismatches,
+    truncated blocks and misuse of the trace store API (e.g. writing to
+    a closed :class:`~repro.trace.store.TraceWriter`).
+    """
+
+
 class SpecError(ReproError):
     """Raised for invalid, unknown or non-round-trippable run specifications.
 

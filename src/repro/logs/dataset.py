@@ -113,6 +113,37 @@ class GroundTruth:
             truth.set(rid, entry["label"], entry.get("actor_class", ""))
         return truth
 
+    @classmethod
+    def from_columns(
+        cls,
+        request_ids: Sequence[str],
+        labels: Sequence[str],
+        actor_classes: Sequence[str],
+    ) -> "GroundTruth":
+        """Build ground truth from parallel columns in one pass.
+
+        This is the bulk counterpart of :meth:`set` used by the trace
+        reader: label values are validated once per *distinct* value
+        instead of once per request, and the stores are built with dict
+        constructors rather than per-record method calls.
+        """
+        if not (len(request_ids) == len(labels) == len(actor_classes)):
+            raise LabelError(
+                "ground-truth columns must have equal lengths "
+                f"(got {len(request_ids)}, {len(labels)}, {len(actor_classes)})"
+            )
+        unknown = set(labels) - {MALICIOUS, BENIGN}
+        if unknown:
+            raise LabelError(
+                f"unknown labels {sorted(unknown)}; expected {MALICIOUS!r} or {BENIGN!r}"
+            )
+        truth = cls()
+        truth._labels = dict(zip(request_ids, labels))
+        truth._actor_classes = {
+            rid: actor for rid, actor in zip(request_ids, actor_classes) if actor
+        }
+        return truth
+
 
 class Dataset:
     """An ordered collection of log records with optional ground truth."""
@@ -122,15 +153,28 @@ class Dataset:
         records: Sequence[LogRecord] | Iterable[LogRecord],
         ground_truth: GroundTruth | None = None,
         metadata: DatasetMetadata | None = None,
+        *,
+        time_ordered: bool | None = None,
     ) -> None:
         self._records: list[LogRecord] = list(records)
-        self._by_id: dict[str, LogRecord] = {}
-        for record in self._records:
-            if record.request_id in self._by_id:
-                raise DatasetError(f"duplicate request id: {record.request_id!r}")
-            self._by_id[record.request_id] = record
+        self._by_id: dict[str, LogRecord] = {
+            record.request_id: record for record in self._records
+        }
+        if len(self._by_id) != len(self._records):
+            # Only walk again (to name the culprit) once the cheap
+            # cardinality check has already proven there is one.
+            seen: set[str] = set()
+            for record in self._records:
+                if record.request_id in seen:
+                    raise DatasetError(f"duplicate request id: {record.request_id!r}")
+                seen.add(record.request_id)
         self.ground_truth = ground_truth
         self.metadata = metadata or DatasetMetadata()
+        # ``None`` means "unknown": :attr:`is_time_ordered` checks (and
+        # caches) lazily.  Producers that build records in timestamp
+        # order -- the traffic generator, the trace reader -- pass
+        # ``True`` so replay never needs a sorted copy.
+        self._time_ordered = time_ordered
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -211,7 +255,14 @@ class Dataset:
                 scale=self.metadata.scale,
                 seed=self.metadata.seed,
             )
-        return Dataset(filtered, ground_truth=self.ground_truth, metadata=metadata)
+        return Dataset(
+            filtered,
+            ground_truth=self.ground_truth,
+            metadata=metadata,
+            # A subsequence of an ordered sequence stays ordered; an
+            # unknown parent stays unknown rather than paying a scan here.
+            time_ordered=True if self._time_ordered else None,
+        )
 
     def status_counts(self) -> Counter[int]:
         """Number of requests per HTTP status code."""
@@ -240,10 +291,27 @@ class Dataset:
         timestamps = [record.timestamp for record in self._records]
         return min(timestamps), max(timestamps)
 
+    @property
+    def is_time_ordered(self) -> bool:
+        """True when the records are already in timestamp order.
+
+        The answer is cached: producers that emit records in order mark
+        the data set at construction time, and otherwise a single O(n)
+        scan (no copy) settles it the first time replay code asks.
+        """
+        if self._time_ordered is None:
+            records = self._records
+            self._time_ordered = all(
+                records[i - 1].timestamp <= records[i].timestamp for i in range(1, len(records))
+            )
+        return self._time_ordered
+
     def sorted_by_time(self) -> "Dataset":
         """Return a copy with the records sorted by timestamp (stable)."""
         ordered = sorted(self._records, key=lambda record: record.timestamp)
-        return Dataset(ordered, ground_truth=self.ground_truth, metadata=self.metadata)
+        return Dataset(
+            ordered, ground_truth=self.ground_truth, metadata=self.metadata, time_ordered=True
+        )
 
     # ------------------------------------------------------------------
     # Persistence

@@ -16,13 +16,28 @@ also supported because real log collections frequently mix both.
 
 from __future__ import annotations
 
+import gzip
 import re
 from dataclasses import dataclass
 from datetime import datetime
-from typing import Iterable, Iterator, Sequence
+from typing import IO, Iterable, Iterator, Sequence
 
 from repro.exceptions import LogParseError
 from repro.logs.record import LogRecord, RequestMethod
+
+
+def open_log(path: str) -> IO[str]:
+    """Open an access-log file for reading, transparently handling gzip.
+
+    Rotated production logs are customarily compressed in place
+    (``access.log.2.gz``); every file-reading entry point in the library
+    (:meth:`LogParser.parse_file`, :func:`repro.stream.sources.tail_log_file`,
+    the trace importer) goes through this helper so ``.gz`` files work
+    wherever a plain log does.
+    """
+    if path.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8", errors="replace")
+    return open(path, "r", encoding="utf-8", errors="replace")
 
 #: Apache's ``%t`` timestamp format, e.g. ``11/Mar/2018:06:25:31 +0000``.
 APACHE_TIMESTAMP_FORMAT = "%d/%b/%Y:%H:%M:%S %z"
@@ -191,8 +206,8 @@ class LogParser:
         )
 
     def parse_file(self, path: str) -> list[LogRecord]:
-        """Parse an access-log file from disk."""
-        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        """Parse an access-log file from disk (``.gz`` files are decompressed)."""
+        with open_log(path) as handle:
             return self.parse(handle)
 
     def parse_report(self, lines: Sequence[str]) -> tuple[list[LogRecord], ParseReport]:

@@ -34,6 +34,7 @@ from repro.runspec.spec import (
     CAMPAIGNS,
     DEFAULT_SCENARIO,
     RUN_MODES,
+    TRAFFIC_SOURCES,
     AdjudicationSpec,
     DetectorSpec,
     ExecutionSpec,
@@ -55,6 +56,7 @@ __all__ = [
     "RUN_MODES",
     "RunResult",
     "RunSpec",
+    "TRAFFIC_SOURCES",
     "TrafficSpec",
     "build_dataset",
     "execute",

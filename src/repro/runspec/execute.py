@@ -20,7 +20,7 @@ third-party component works as soon as that component is registered.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.core.configurations import compare_configurations
 from repro.core.evaluation import per_actor_class_detection
@@ -30,6 +30,7 @@ from repro.detectors.registry import create_detector
 from repro.exceptions import SpecError
 from repro.logs.dataset import Dataset
 from repro.logs.parser import LogParser
+from repro.logs.record import LogRecord
 from repro.mitigation.metrics import MitigationReport, build_report, render_mitigation_report
 from repro.mitigation.policy import get_policy
 from repro.mitigation.scenarios import run_defense
@@ -45,7 +46,9 @@ from repro.stream.adjudicator import WindowedAdjudicator
 from repro.stream.detectors import create_online_detector, default_online_detectors
 from repro.stream.engine import StreamEngine, StreamResult
 from repro.stream.runner import ShardedStreamRunner
-from repro.stream.sources import dataset_replay
+from repro.stream.sources import dataset_replay, trace_replay
+from repro.trace.cache import default_cache, traffic_fingerprint
+from repro.trace.store import TraceReader, read_trace
 from repro.traffic.generator import generate_dataset
 from repro.traffic.scenarios import get_scenario
 
@@ -55,20 +58,40 @@ ProgressHook = Callable[[StreamEngine], None]
 
 
 def build_dataset(traffic: TrafficSpec) -> Dataset:
-    """Materialize the traffic a spec describes (generate or parse)."""
-    if traffic.log_file is not None:
+    """Materialize the traffic a spec describes (replay, parse or generate).
+
+    Dispatches on the spec's resolved source: ``trace`` replays a
+    recorded trace file, ``log`` parses an access log (gzipped or
+    plain), and ``scenario`` generates synthetic traffic -- through the
+    content-addressed generation cache when the spec sets ``cache=True``,
+    so the simulation runs once and later calls replay its recording.
+    """
+    source = traffic.resolved_source()
+    if source == "trace":
+        assert traffic.path is not None  # TrafficSpec validates this
+        return read_trace(traffic.path)
+    if source == "log":
         records = LogParser(skip_malformed=True).parse_file(traffic.log_file)
         return Dataset(records)
     name = traffic.scenario or DEFAULT_SCENARIO
     kwargs = traffic.scenario_kwargs()
-    try:
-        scenario = get_scenario(name, **kwargs)
-    except TypeError as exc:
-        raise SpecError(
-            f"scenario {name!r} does not accept the given parameters "
-            f"{sorted(kwargs)}: {exc}"
-        ) from exc
-    return generate_dataset(scenario)
+
+    def generate() -> Dataset:
+        try:
+            scenario = get_scenario(name, **kwargs)
+        except TypeError as exc:
+            raise SpecError(
+                f"scenario {name!r} does not accept the given parameters "
+                f"{sorted(kwargs)}: {exc}"
+            ) from exc
+        return generate_dataset(scenario)
+
+    if traffic.cache:
+        fingerprint = traffic_fingerprint(
+            scenario=name, scale=traffic.scale, seed=traffic.seed, params=traffic.params
+        )
+        return default_cache().get_or_generate(fingerprint, generate)
+    return generate()
 
 
 def _validate_for_mode(spec: RunSpec) -> None:
@@ -89,6 +112,9 @@ def _validate_for_mode(spec: RunSpec) -> None:
     if spec.mode == "defend":
         reject(traffic.scenario is not None, "generates its own closed-loop traffic; remove traffic.scenario")
         reject(traffic.log_file is not None, "generates its own closed-loop traffic; remove traffic.log_file")
+        reject(traffic.path is not None, "generates its own closed-loop traffic; remove traffic.path")
+        reject(traffic.source is not None, "generates its own closed-loop traffic; remove traffic.source")
+        reject(traffic.cache, "generates its own closed-loop traffic; caching applies to scenario traffic")
         reject(traffic.scale is not None, "has no scenario scale; use traffic.total_requests")
         reject(bool(traffic.params), "takes no scenario params; use the defend-specific traffic fields")
         reject(
@@ -284,11 +310,31 @@ def _online_detectors(spec: RunSpec):
     return [create_online_detector(d.name, **d.params) for d in spec.detectors]
 
 
+def _stream_source(
+    spec: RunSpec, dataset: Dataset | None
+) -> tuple[Iterable[LogRecord], int, str]:
+    """The record feed of a stream run, plus its size and display name.
+
+    Trace-backed specs feed the engine straight from
+    :func:`~repro.stream.sources.trace_replay` -- block by block, never
+    materialising the whole data set -- which is what lets the stream
+    workload replay traces far larger than memory.  Every other source
+    materialises a :class:`Dataset` as before.
+    """
+    if dataset is None and spec.traffic.resolved_source() == "trace":
+        path = spec.traffic.path
+        assert path is not None  # TrafficSpec validates this
+        reader = TraceReader(path)
+        return trace_replay(path), reader.info.records, reader.read_metadata().name
+    if dataset is None:
+        dataset = build_dataset(spec.traffic)
+    return dataset_replay(dataset), len(dataset), _source_of(spec, dataset)
+
+
 def _run_stream(
     spec: RunSpec, progress: ProgressHook | None, dataset: Dataset | None = None
 ) -> RunResult:
-    if dataset is None:
-        dataset = build_dataset(spec.traffic)
+    records, total_requests, source = _stream_source(spec, dataset)
     adjudication = spec.adjudication or AdjudicationSpec()
     execution = spec.execution
 
@@ -311,7 +357,7 @@ def _run_stream(
         runner = ShardedStreamRunner(
             engine_factory, shards=execution.shards, backend=execution.backend
         )
-        result = runner.run(dataset_replay(dataset))
+        result = runner.run(records)
     else:
         engine = engine_factory()
         engine.reset()
@@ -319,7 +365,7 @@ def _run_stream(
         # call can release zero or several records, so a plain modulo
         # check would skip or repeat milestones.
         next_progress = execution.progress_every or float("inf")
-        for record in dataset_replay(dataset):
+        for record in records:
             engine.process(record)
             if engine.stats.records >= next_progress:
                 if progress is not None:
@@ -330,11 +376,11 @@ def _run_stream(
         result = engine.finish()
     wall_seconds = time.perf_counter() - started
 
-    return _stream_result(spec, dataset, result, wall_seconds)
+    return _stream_result(spec, source, total_requests, result, wall_seconds)
 
 
 def _stream_result(
-    spec: RunSpec, dataset: Dataset, result: StreamResult, wall_seconds: float
+    spec: RunSpec, source: str, total_requests: int, result: StreamResult, wall_seconds: float
 ) -> RunResult:
     metrics: dict = {
         "records": result.stats.records,
@@ -353,7 +399,7 @@ def _stream_result(
         metrics["adjudicated_rate"] = result.adjudication.alert_rate()
         summary.append(
             f"adjudicated ({result.adjudication.scheme_name}): "
-            f"{result.adjudication.alert_count:,} of {len(dataset):,} requests alerted "
+            f"{result.adjudication.alert_count:,} of {total_requests:,} requests alerted "
             f"({result.adjudication.alert_rate():.1%})"
         )
     summary.append(
@@ -362,14 +408,14 @@ def _stream_result(
     )
     return RunResult(
         mode=spec.mode,
-        source=_source_of(spec, dataset),
+        source=source,
         label=spec.label,
-        total_requests=len(dataset),
+        total_requests=total_requests,
         alert_counts=result.alert_counts(),
         metrics=metrics,
         tables={
             "table1": render_table1(
-                len(dataset),
+                total_requests,
                 result.alert_counts(),
                 title="Streaming Table 1 - HTTP requests alerted by the online detectors",
             )

@@ -53,6 +53,10 @@ BACKENDS = ("serial", "thread", "process")
 #: Vote-combination modes of the windowed adjudicator.
 ADJUDICATION_MODES = ("parallel", "serial-confirm", "serial-escalate")
 
+#: Where a run's traffic comes from: generated from a scenario, parsed
+#: from an access log, or replayed from a recorded trace file.
+TRAFFIC_SOURCES = ("scenario", "log", "trace")
+
 
 def _check_choice(kind: str, value: str, choices: tuple[str, ...]) -> None:
     if value not in choices:
@@ -114,6 +118,16 @@ class TrafficSpec(_SpecBase):
     params: Mapping[str, Any] = field(default_factory=dict)
     #: Replay an existing access log instead of generating the scenario.
     log_file: str | None = None
+    #: Where the traffic comes from (:data:`TRAFFIC_SOURCES`); ``None``
+    #: infers it: ``"trace"`` when :attr:`path` is set, ``"log"`` when
+    #: :attr:`log_file` is set, ``"scenario"`` otherwise.
+    source: str | None = None
+    #: Trace file to replay (``source="trace"``).
+    path: str | None = None
+    #: Record generated scenario traffic in the content-addressed
+    #: generation cache (``.repro-cache/``) on first run and replay it
+    #: from there on every later run.  Scenario source only.
+    cache: bool = False
     #: Closed-loop campaign variant (``defend`` mode).
     campaign: str = "scripted"
     #: Closed-loop request budget (``defend`` mode; ``None`` = default).
@@ -124,12 +138,55 @@ class TrafficSpec(_SpecBase):
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", _as_plain_dict(self.params))
         _check_choice("campaign", self.campaign, CAMPAIGNS)
+        if self.source is not None:
+            _check_choice("traffic source", self.source, TRAFFIC_SOURCES)
+        if self.path is not None and self.log_file is not None:
+            raise SpecError("traffic.path (a trace) and traffic.log_file are mutually exclusive")
+        if self.source == "trace" and self.path is None:
+            raise SpecError("traffic source 'trace' needs traffic.path")
+        if self.source == "log" and self.log_file is None:
+            raise SpecError("traffic source 'log' needs traffic.log_file")
+        if self.path is not None and self.source not in (None, "trace"):
+            raise SpecError(
+                f"traffic.path names a trace file; remove it or set source='trace' "
+                f"(source is {self.source!r})"
+            )
+        if self.log_file is not None and self.source == "scenario":
+            raise SpecError("traffic source 'scenario' generates traffic; remove traffic.log_file")
+        resolved = self.resolved_source()
+        if resolved == "trace":
+            for name, value in (
+                ("scenario", self.scenario),
+                ("scale", self.scale),
+                ("seed", self.seed),
+            ):
+                if value is not None:
+                    raise SpecError(
+                        f"a trace replays exactly what was recorded; remove traffic.{name}"
+                    )
+            if self.params:
+                raise SpecError("a trace replays exactly what was recorded; remove traffic.params")
+        if self.cache and resolved != "scenario":
+            raise SpecError(
+                "traffic.cache records *generated* traffic; it does not apply to "
+                f"source {resolved!r}"
+            )
         if self.scale is not None and self.scale <= 0:
             raise SpecError("traffic scale must be positive")
         if self.total_requests is not None and self.total_requests <= 0:
             raise SpecError("total_requests must be positive")
         if self.identities_per_node < 1:
             raise SpecError("identities_per_node must be at least 1")
+
+    def resolved_source(self) -> str:
+        """The effective traffic source (explicit or inferred)."""
+        if self.source is not None:
+            return self.source
+        if self.path is not None:
+            return "trace"
+        if self.log_file is not None:
+            return "log"
+        return "scenario"
 
     def scenario_kwargs(self) -> dict[str, Any]:
         """Keyword arguments for the scenario factory."""

@@ -57,7 +57,7 @@ from repro.stream.engine import StreamEngine, StreamResult
 from repro.stream.events import EngineStats, OnlineVerdict, RequestVerdict
 from repro.stream.runner import ShardedStreamRunner, shard_of
 from repro.stream.sessionizer import IncrementalSessionizer, SessionUpdate
-from repro.stream.sources import dataset_replay, generator_feed, tail_log_file
+from repro.stream.sources import dataset_replay, generator_feed, tail_log_file, trace_replay
 
 __all__ = [
     "AdjudicatedVerdict",
@@ -85,5 +85,6 @@ __all__ = [
     "replay",
     "shard_of",
     "tail_log_file",
+    "trace_replay",
     "verify_equivalence",
 ]

@@ -1,0 +1,295 @@
+"""The binary layout of a trace file (version 1).
+
+A trace is a write-once, replay-many container for a stream of
+:class:`~repro.logs.record.LogRecord` objects (optionally with their
+ground-truth labels).  The layout is chunked and columnar::
+
+    +--------------------------------------------------------------+
+    | MAGIC  b"RTRC\\x01"                                          |
+    +--------------------------------------------------------------+
+    | block 0:  b"B" + uint32 length + zlib(columnar block body)   |
+    | block 1:  ...                                                |
+    +--------------------------------------------------------------+
+    | strings:  b"D" + uint32 length + zlib(JSON string tables)    |
+    +--------------------------------------------------------------+
+    | meta:     b"M" + uint32 length + JSON metadata               |
+    +--------------------------------------------------------------+
+    | trailer:  uint64 strings offset, uint64 meta offset, MAGIC   |
+    +--------------------------------------------------------------+
+
+Each block holds up to ``block_size`` records, stored as columns:
+timestamps are delta-encoded microseconds (plus a per-record UTC-offset
+column, so exotic timezones survive the round trip), numeric columns are
+packed 64-bit arrays, and every string column (client IP, method, path,
+protocol, referrer, user agent, ident, auth user, actor class) is
+dictionary-encoded against trace-global string tables written once in
+the strings section.  Request ids are stored verbatim (as a JSON list
+per block) because they are unique by construction and would defeat a
+dictionary.  The whole block body is zlib-compressed.
+
+The meta section is deliberately tiny and *uncompressed*: record count,
+time range, label presence, the per-block index (offset, count, time
+range) and the originating dataset metadata.  A reader seeks to the
+fixed-size trailer, jumps to the meta section and has everything
+``repro trace info`` needs without touching a single block -- O(1) in
+the trace length.
+
+This module is the pure byte-level layer: it converts between
+:class:`BlockColumns` (plain Python lists) and bytes.  Record-object
+conversion lives in :mod:`repro.trace.store`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+import zlib
+from array import array
+from dataclasses import dataclass, field
+
+from repro.exceptions import TraceError
+
+#: File magic, doubling as the format version stamp.
+MAGIC = b"RTRC\x01"
+
+#: Version recorded in the meta section (bump together with :data:`MAGIC`).
+FORMAT_VERSION = 1
+
+#: Section tags.
+BLOCK_TAG = b"B"
+STRINGS_TAG = b"D"
+META_TAG = b"M"
+
+#: The dictionary-encoded string columns, in on-disk order.
+DICT_COLUMNS = (
+    "client_ip",
+    "method",
+    "path",
+    "protocol",
+    "referrer",
+    "user_agent",
+    "ident",
+    "auth_user",
+)
+
+#: Fixed label table (index 0 / 1 in the label column).
+LABEL_NAMES = ("benign", "malicious")
+
+#: Default number of records per block.
+DEFAULT_BLOCK_SIZE = 8192
+
+_SECTION_HEADER = struct.Struct("<cI")
+_TRAILER = struct.Struct("<QQ5s")
+TRAILER_SIZE = _TRAILER.size
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def _pack_ints(values: list[int]) -> bytes:
+    arr = array("q", values)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _unpack_ints(buf: bytes) -> list[int]:
+    arr = array("q")
+    arr.frombytes(buf)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        arr.byteswap()
+    return arr.tolist()
+
+
+@dataclass
+class BlockColumns:
+    """One block of records, as parallel plain-Python columns.
+
+    All lists have one entry per record.  ``dict_indices`` maps each
+    :data:`DICT_COLUMNS` name to a list of indices into the trace-global
+    string table for that column; ``labels`` / ``actor_indices`` are
+    ``None`` for unlabelled traces; ``extras`` is ``None`` when every
+    record's ``extra`` mapping is empty (the overwhelmingly common case).
+    """
+
+    request_ids: list[str] = field(default_factory=list)
+    timestamps_us: list[int] = field(default_factory=list)
+    tz_offsets_s: list[int] = field(default_factory=list)
+    statuses: list[int] = field(default_factory=list)
+    sizes: list[int] = field(default_factory=list)
+    dict_indices: dict[str, list[int]] = field(
+        default_factory=lambda: {name: [] for name in DICT_COLUMNS}
+    )
+    labels: list[int] | None = None
+    actor_indices: list[int] | None = None
+    extras: list[dict] | None = None
+
+    def __len__(self) -> int:
+        return len(self.timestamps_us)
+
+
+def _delta_encode(values: list[int]) -> list[int]:
+    if not values:
+        return []
+    deltas = [0] * len(values)
+    previous = values[0]
+    for index in range(1, len(values)):
+        current = values[index]
+        deltas[index] = current - previous
+        previous = current
+    return deltas
+
+
+def _delta_decode(first: int, deltas: list[int]) -> list[int]:
+    out = [0] * len(deltas)
+    running = first
+    for index, delta in enumerate(deltas):
+        running += delta
+        out[index] = running
+    return out
+
+
+def encode_block(columns: BlockColumns) -> bytes:
+    """Encode one block of columns as a compressed body (no section header)."""
+    count = len(columns)
+    if count == 0:
+        raise TraceError("cannot encode an empty block")
+    first_ts = columns.timestamps_us[0]
+    parts: list[bytes] = [struct.pack("<Iq", count, first_ts)]
+
+    def add(payload: bytes) -> None:
+        parts.append(struct.pack("<I", len(payload)))
+        parts.append(payload)
+
+    add(_pack_ints(_delta_encode(columns.timestamps_us)))
+    # UTC offsets are near-constant; stored plain, zlib erases the runs.
+    add(_pack_ints(columns.tz_offsets_s))
+    add(_pack_ints(columns.statuses))
+    add(_pack_ints(columns.sizes))
+    for name in DICT_COLUMNS:
+        add(_pack_ints(columns.dict_indices[name]))
+    add(json.dumps(columns.request_ids, separators=(",", ":")).encode("utf-8"))
+    add(_pack_ints(columns.labels) if columns.labels is not None else b"")
+    add(_pack_ints(columns.actor_indices) if columns.actor_indices is not None else b"")
+    add(
+        json.dumps(columns.extras, separators=(",", ":")).encode("utf-8")
+        if columns.extras is not None
+        else b""
+    )
+    return zlib.compress(b"".join(parts))
+
+
+def decode_block(body: bytes) -> BlockColumns:
+    """Decode a compressed block body back into :class:`BlockColumns`."""
+    try:
+        raw = zlib.decompress(body)
+    except zlib.error as exc:
+        raise TraceError(f"corrupt trace block: {exc}") from exc
+    view = memoryview(raw)
+    try:
+        count, first_ts = struct.unpack_from("<Iq", view, 0)
+        offset = 12
+
+        def take() -> bytes:
+            nonlocal offset
+            (length,) = struct.unpack_from("<I", view, offset)
+            offset += 4
+            payload = bytes(view[offset : offset + length])
+            if len(payload) != length:
+                raise TraceError("truncated trace block")
+            offset += length
+            return payload
+
+        timestamps = _delta_decode(first_ts, _unpack_ints(take()))
+        tz_offsets = _unpack_ints(take())
+        statuses = _unpack_ints(take())
+        sizes = _unpack_ints(take())
+        dict_indices = {name: _unpack_ints(take()) for name in DICT_COLUMNS}
+        request_ids = json.loads(take().decode("utf-8"))
+        labels_buf = take()
+        actors_buf = take()
+        extras_buf = take()
+    except (struct.error, ValueError) as exc:
+        raise TraceError(f"corrupt trace block: {exc}") from exc
+
+    columns = BlockColumns(
+        request_ids=request_ids,
+        timestamps_us=timestamps,
+        tz_offsets_s=tz_offsets,
+        statuses=statuses,
+        sizes=sizes,
+        dict_indices=dict_indices,
+        labels=_unpack_ints(labels_buf) if labels_buf else None,
+        actor_indices=_unpack_ints(actors_buf) if actors_buf else None,
+        extras=json.loads(extras_buf.decode("utf-8")) if extras_buf else None,
+    )
+    lengths = {
+        len(columns.request_ids),
+        len(columns.timestamps_us),
+        len(columns.tz_offsets_s),
+        len(columns.statuses),
+        len(columns.sizes),
+        *(len(indices) for indices in columns.dict_indices.values()),
+    }
+    if lengths != {count}:
+        raise TraceError(f"inconsistent column lengths in trace block (expected {count})")
+    return columns
+
+
+def encode_section(tag: bytes, payload: bytes) -> bytes:
+    """Frame a section payload with its tag and length."""
+    return _SECTION_HEADER.pack(tag, len(payload)) + payload
+
+
+def read_section(handle, expected_tag: bytes) -> bytes:
+    """Read one framed section from ``handle``, checking its tag."""
+    header = handle.read(_SECTION_HEADER.size)
+    if len(header) != _SECTION_HEADER.size:
+        raise TraceError("truncated trace file (section header)")
+    tag, length = _SECTION_HEADER.unpack(header)
+    if tag != expected_tag:
+        raise TraceError(f"unexpected trace section {tag!r} (wanted {expected_tag!r})")
+    payload = handle.read(length)
+    if len(payload) != length:
+        raise TraceError("truncated trace file (section payload)")
+    return payload
+
+
+def encode_trailer(strings_offset: int, meta_offset: int) -> bytes:
+    """The fixed-size trailer pointing at the strings and meta sections."""
+    return _TRAILER.pack(strings_offset, meta_offset, MAGIC)
+
+
+def decode_trailer(buf: bytes) -> tuple[int, int]:
+    """Parse the trailer, returning (strings offset, meta offset)."""
+    if len(buf) != TRAILER_SIZE:
+        raise TraceError("truncated trace file (trailer)")
+    strings_offset, meta_offset, magic = _TRAILER.unpack(buf)
+    if magic != MAGIC:
+        raise TraceError(
+            "not a repro trace file (bad trailer magic); "
+            "was it written by a different format version?"
+        )
+    return strings_offset, meta_offset
+
+
+def encode_strings_section(tables: dict[str, list[str]], actors: list[str]) -> bytes:
+    """Encode the trace-global string tables (dictionary values)."""
+    payload = json.dumps(
+        {"columns": tables, "actors": actors}, separators=(",", ":")
+    ).encode("utf-8")
+    return zlib.compress(payload)
+
+
+def decode_strings_section(payload: bytes) -> tuple[dict[str, list[str]], list[str]]:
+    """Inverse of :func:`encode_strings_section`."""
+    try:
+        data = json.loads(zlib.decompress(payload).decode("utf-8"))
+        tables = data["columns"]
+        actors = data["actors"]
+    except (zlib.error, ValueError, KeyError) as exc:
+        raise TraceError(f"corrupt trace string tables: {exc}") from exc
+    missing = set(DICT_COLUMNS) - set(tables)
+    if missing:
+        raise TraceError(f"trace string tables missing columns: {sorted(missing)}")
+    return tables, actors

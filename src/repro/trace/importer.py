@@ -1,0 +1,149 @@
+"""Import real Apache access logs into the trace format.
+
+The paper's data modality is eight days of rotated production access
+logs.  This importer turns exactly that into a trace: one or more
+combined/common-log-format files -- plain or gzipped, individually named
+or discovered as a rotation set (``access.log``, ``access.log.1``,
+``access.log.2.gz``, ...) -- are parsed line by line through
+:mod:`repro.logs.parser` and streamed straight into a
+:class:`~repro.trace.store.TraceWriter`.  Nothing is ever fully
+materialised, so multi-gigabyte log collections import in bounded
+memory, and the resulting trace replays through every workload the same
+way generated traffic does.
+
+Imported traces are unlabelled (production logs carry no ground truth);
+``tables`` and ``stream`` runs accept them directly.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import LogParseError, TraceError
+from repro.logs.dataset import DatasetMetadata
+from repro.logs.parser import open_log, parse_line
+from repro.trace.store import TraceInfo, TraceWriter
+
+_ROTATION_SUFFIX = re.compile(r"^\.(\d+)(\.gz)?$")
+
+
+def expand_rotated(path: str) -> list[str]:
+    """Discover the rotation set of a base log file, oldest first.
+
+    Given ``access.log``, finds sibling ``access.log.<N>`` and
+    ``access.log.<N>.gz`` files and returns them ordered oldest to
+    newest (highest rotation number first, the base file last) -- the
+    chronological order in which the traffic was served, so the imported
+    trace comes out time-ordered when the individual files are.
+    """
+    directory = os.path.dirname(path) or "."
+    base = os.path.basename(path)
+    rotated: list[tuple[int, str]] = []
+    try:
+        siblings = os.listdir(directory)
+    except OSError as exc:
+        raise TraceError(f"cannot list rotation set of {path!r}: {exc}") from exc
+    for name in siblings:
+        if not name.startswith(base):
+            continue
+        match = _ROTATION_SUFFIX.match(name[len(base):])
+        if match:
+            rotated.append((int(match.group(1)), os.path.join(directory, name)))
+    ordered = [p for _number, p in sorted(rotated, key=lambda item: -item[0])]
+    if os.path.exists(path):
+        ordered.append(path)
+    if not ordered:
+        raise TraceError(f"no log files found for rotation set {path!r}")
+    return ordered
+
+
+@dataclass
+class ImportReport:
+    """Outcome of one import run."""
+
+    files: list[str] = field(default_factory=list)
+    total_lines: int = 0
+    parsed: int = 0
+    skipped: int = 0
+    trace: TraceInfo | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the CLI's ``trace import --json``)."""
+        return {
+            "files": list(self.files),
+            "total_lines": self.total_lines,
+            "parsed": self.parsed,
+            "skipped": self.skipped,
+            "trace": None if self.trace is None else self.trace.to_dict(),
+        }
+
+
+def import_clf(
+    inputs: Sequence[str],
+    output: str,
+    *,
+    rotated: bool = False,
+    skip_malformed: bool = True,
+    request_id_prefix: str = "r",
+) -> ImportReport:
+    """Import access-log files into a trace at ``output``.
+
+    Parameters
+    ----------
+    inputs:
+        Log files to import, in chronological order.  ``.gz`` files are
+        decompressed transparently.
+    rotated:
+        Expand each input into its rotation set first (see
+        :func:`expand_rotated`).
+    skip_malformed:
+        Count-and-skip lines that do not parse (real logs always contain
+        a little garbage); when false the first bad line raises
+        :class:`~repro.exceptions.LogParseError`.
+    request_id_prefix:
+        Ids are assigned ``r0, r1, ...`` across the whole import, the
+        same numbering a batch parse of the concatenated files produces.
+    """
+    files: list[str] = []
+    for path in inputs:
+        files.extend(expand_rotated(path) if rotated else [path])
+    if not files:
+        raise TraceError("no input log files to import")
+
+    report = ImportReport(files=list(files))
+    metadata = DatasetMetadata(
+        name=os.path.basename(files[-1]),
+        description=f"imported from {len(files)} access-log file(s)",
+        source="apache-clf",
+    )
+    with TraceWriter(output, metadata=metadata) as writer:
+        for path in files:
+            line_number = 0
+            try:
+                handle = open_log(path)
+            except OSError as exc:
+                raise TraceError(f"cannot read log file {path!r}: {exc}") from exc
+            with handle:
+                for line in handle:
+                    line_number += 1
+                    if not line.strip():
+                        continue
+                    report.total_lines += 1
+                    try:
+                        record = parse_line(
+                            line,
+                            request_id=f"{request_id_prefix}{report.parsed}",
+                            line_number=line_number,
+                        )
+                    except LogParseError:
+                        if not skip_malformed:
+                            raise
+                        report.skipped += 1
+                        continue
+                    writer.write(record)
+                    report.parsed += 1
+        report.trace = writer.close()
+    return report

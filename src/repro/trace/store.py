@@ -1,0 +1,638 @@
+"""The trace store: :class:`TraceWriter`, :class:`TraceReader`, :class:`TraceInfo`.
+
+The writer turns a stream of validated
+:class:`~repro.logs.record.LogRecord` objects (optionally with labels)
+into the chunked columnar file described in :mod:`repro.trace.format`;
+the reader walks it back block by block, so traces far larger than
+memory replay in bounded space.  Because every record admitted by the
+writer was a fully validated ``LogRecord``, the reader trusts the
+columns and rebuilds records through a fast slot-filling path instead of
+re-running constructor validation -- replaying a trace is several times
+cheaper than regenerating the traffic it recorded.
+
+Module-level helpers cover the common whole-dataset cases::
+
+    info = write_trace(dataset, "march.trace")   # record once
+    dataset = read_trace("march.trace")          # replay many
+    trace_info("march.trace").records            # O(1), footer only
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+from typing import IO, Iterator
+
+from repro.exceptions import TraceError
+from repro.logs.dataset import BENIGN, MALICIOUS, Dataset, DatasetMetadata, GroundTruth
+from repro.logs.record import LogRecord, RequestMethod
+from repro.trace.format import (
+    BLOCK_TAG,
+    DEFAULT_BLOCK_SIZE,
+    DICT_COLUMNS,
+    FORMAT_VERSION,
+    LABEL_NAMES,
+    MAGIC,
+    META_TAG,
+    STRINGS_TAG,
+    TRAILER_SIZE,
+    BlockColumns,
+    decode_block,
+    decode_strings_section,
+    decode_trailer,
+    encode_block,
+    encode_section,
+    encode_strings_section,
+    encode_trailer,
+    read_section,
+)
+
+_EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
+_ONE_US = timedelta(microseconds=1)
+_ONE_S = timedelta(seconds=1)
+_LABEL_INDEX = {name: index for index, name in enumerate(LABEL_NAMES)}
+
+
+def _timestamp_us(moment: datetime) -> int:
+    """Exact integer microseconds since the epoch (no float rounding)."""
+    return (moment - _EPOCH) // _ONE_US
+
+
+def _utc_offset_s(moment: datetime) -> int:
+    offset = moment.utcoffset()
+    if offset is None:  # pragma: no cover - LogRecord normalizes to aware
+        return 0
+    seconds = offset // _ONE_S
+    if offset != timedelta(seconds=seconds):
+        raise TraceError(
+            f"cannot store sub-second UTC offset {offset!r}; "
+            "trace timestamps carry whole-second offsets"
+        )
+    return seconds
+
+
+# ----------------------------------------------------------------------
+# Info
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceInfo:
+    """Everything the footer knows about a trace -- read in O(1)."""
+
+    path: str
+    records: int
+    labelled: bool
+    time_ordered: bool
+    block_count: int
+    block_size: int
+    time_range: tuple[datetime, datetime] | None
+    dataset: dict
+    version: int
+    file_size: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the CLI's ``trace info --json``)."""
+        first, last = (None, None) if self.time_range is None else self.time_range
+        return {
+            "path": self.path,
+            "records": self.records,
+            "labelled": self.labelled,
+            "time_ordered": self.time_ordered,
+            "blocks": self.block_count,
+            "block_size": self.block_size,
+            "time_range": None if first is None else [first.isoformat(), last.isoformat()],
+            "dataset": dict(self.dataset),
+            "version": self.version,
+            "file_size": self.file_size,
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (the CLI's ``trace info``)."""
+        lines = [
+            f"trace:        {self.path}",
+            f"records:      {self.records:,}",
+            f"blocks:       {self.block_count} (block size {self.block_size:,})",
+            f"file size:    {self.file_size:,} bytes",
+            f"labelled:     {'yes' if self.labelled else 'no'}",
+            f"time ordered: {'yes' if self.time_ordered else 'no'}",
+        ]
+        if self.time_range is not None:
+            first, last = self.time_range
+            lines.append(f"time range:   {first.isoformat()} .. {last.isoformat()}")
+        name = self.dataset.get("name", "")
+        scenario = self.dataset.get("scenario", "")
+        if name:
+            origin = name if not scenario or scenario == name else f"{name} ({scenario})"
+            lines.append(f"dataset:      {origin}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+class TraceWriter:
+    """Stream records into a trace file.
+
+    Use as a context manager; the footer (string tables, meta section,
+    trailer) is written by :meth:`close`.  Labels are all-or-nothing: the
+    first :meth:`write` decides whether the trace is labelled, and later
+    writes must agree, so a trace can always answer "is this labelled?"
+    from its footer alone.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        metadata: DatasetMetadata | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if block_size < 1:
+            raise TraceError("block_size must be at least 1")
+        self.path = path
+        self.block_size = block_size
+        self.metadata = metadata or DatasetMetadata()
+        self._handle: IO[bytes] | None = open(path, "wb")
+        self._handle.write(MAGIC)
+        self._tables: dict[str, dict[str, int]] = {name: {} for name in DICT_COLUMNS}
+        self._actors: dict[str, int] = {}
+        self._pending = BlockColumns()
+        self._pending_labels: list[int] = []
+        self._pending_actors: list[int] = []
+        self._pending_extras: list[dict] = []
+        self._pending_has_extra = False
+        self._blocks: list[list[int]] = []  # [offset, count, min_us, max_us]
+        self._records = 0
+        self._labelled: bool | None = None
+        self._time_ordered = True
+        self._last_us: int | None = None
+        self._min_us: int | None = None
+        self._max_us: int | None = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            if self._handle is not None:
+                self.close()
+        else:
+            # Do not write a footer over a failed run -- close the raw
+            # handle and leave the (invalid, footer-less) file behind for
+            # the caller to discard.
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # ------------------------------------------------------------------
+    def _intern(self, column: str, value: str) -> int:
+        table = self._tables[column]
+        index = table.get(value)
+        if index is None:
+            index = len(table)
+            table[value] = index
+        return index
+
+    def _intern_actor(self, value: str) -> int:
+        index = self._actors.get(value)
+        if index is None:
+            index = len(self._actors)
+            self._actors[value] = index
+        return index
+
+    def write(self, record: LogRecord, *, label: str | None = None, actor_class: str = "") -> None:
+        """Append one record (with its ground-truth label, if any)."""
+        if self._handle is None:
+            raise TraceError(f"trace writer for {self.path!r} is closed")
+        has_label = label is not None
+        if self._labelled is None:
+            self._labelled = has_label
+        elif self._labelled != has_label:
+            raise TraceError(
+                "a trace is labelled all-or-nothing: "
+                f"record {record.request_id!r} {'has' if has_label else 'lacks'} a label "
+                f"but the trace is {'labelled' if self._labelled else 'unlabelled'}"
+            )
+        if has_label:
+            if label not in _LABEL_INDEX:
+                raise TraceError(
+                    f"unknown label {label!r}; expected {BENIGN!r} or {MALICIOUS!r}"
+                )
+            self._pending_labels.append(_LABEL_INDEX[label])
+            self._pending_actors.append(self._intern_actor(actor_class))
+
+        us = _timestamp_us(record.timestamp)
+        if self._last_us is not None and us < self._last_us:
+            self._time_ordered = False
+        self._last_us = us
+        self._min_us = us if self._min_us is None else min(self._min_us, us)
+        self._max_us = us if self._max_us is None else max(self._max_us, us)
+
+        pending = self._pending
+        pending.request_ids.append(record.request_id)
+        pending.timestamps_us.append(us)
+        pending.tz_offsets_s.append(_utc_offset_s(record.timestamp))
+        pending.statuses.append(record.status)
+        pending.sizes.append(record.response_size)
+        indices = pending.dict_indices
+        indices["client_ip"].append(self._intern("client_ip", record.client_ip))
+        indices["method"].append(self._intern("method", record.method.value))
+        indices["path"].append(self._intern("path", record.path))
+        indices["protocol"].append(self._intern("protocol", record.protocol))
+        indices["referrer"].append(self._intern("referrer", record.referrer))
+        indices["user_agent"].append(self._intern("user_agent", record.user_agent))
+        indices["ident"].append(self._intern("ident", record.ident))
+        indices["auth_user"].append(self._intern("auth_user", record.auth_user))
+        extra = dict(record.extra) if record.extra else {}
+        if extra:
+            self._pending_has_extra = True
+        self._pending_extras.append(extra)
+
+        self._records += 1
+        if len(pending) >= self.block_size:
+            self._flush_block()
+
+    def write_dataset(self, dataset: Dataset) -> None:
+        """Append every record of a data set (labels included when complete)."""
+        truth = dataset.ground_truth if dataset.is_labelled else None
+        if truth is None:
+            for record in dataset:
+                self.write(record)
+        else:
+            for record in dataset:
+                request_id = record.request_id
+                self.write(
+                    record,
+                    label=truth.label_of(request_id),
+                    actor_class=truth.actor_class_of(request_id),
+                )
+
+    # ------------------------------------------------------------------
+    def _flush_block(self) -> None:
+        pending = self._pending
+        if not len(pending):
+            return
+        assert self._handle is not None
+        if self._labelled:
+            pending.labels = self._pending_labels
+            pending.actor_indices = self._pending_actors
+        if self._pending_has_extra:
+            pending.extras = self._pending_extras
+        offset = self._handle.tell()
+        body = encode_block(pending)
+        self._handle.write(encode_section(BLOCK_TAG, body))
+        self._blocks.append(
+            [offset, len(pending), min(pending.timestamps_us), max(pending.timestamps_us)]
+        )
+        self._pending = BlockColumns()
+        self._pending_labels = []
+        self._pending_actors = []
+        self._pending_extras = []
+        self._pending_has_extra = False
+
+    def _metadata_dict(self) -> dict:
+        meta = self.metadata
+        try:
+            extra = json.loads(json.dumps(dict(meta.extra)))
+        except (TypeError, ValueError):
+            extra = {}
+        return {
+            "name": meta.name,
+            "description": meta.description,
+            "source": meta.source,
+            "scenario": meta.scenario,
+            "scale": meta.scale,
+            "seed": meta.seed,
+            "extra": extra,
+        }
+
+    def close(self) -> TraceInfo:
+        """Flush pending records, write the footer and return the info."""
+        if self._handle is None:
+            raise TraceError(f"trace writer for {self.path!r} is already closed")
+        # Imported here, not at module level: repro.trace is reachable
+        # from the package __init__, which defines __version__ last.
+        from repro import __version__ as library_version
+
+        self._flush_block()
+        handle = self._handle
+        strings_offset = handle.tell()
+        tables = {name: list(table) for name, table in self._tables.items()}
+        handle.write(
+            encode_section(STRINGS_TAG, encode_strings_section(tables, list(self._actors)))
+        )
+        meta_offset = handle.tell()
+        meta = {
+            "format": "repro-trace",
+            "version": FORMAT_VERSION,
+            "library_version": library_version,
+            "records": self._records,
+            "labelled": bool(self._labelled),
+            "time_ordered": self._time_ordered,
+            "block_size": self.block_size,
+            "blocks": self._blocks,
+            "time_range_us": (
+                None if self._min_us is None else [self._min_us, self._max_us]
+            ),
+            "dataset": self._metadata_dict(),
+        }
+        handle.write(encode_section(META_TAG, json.dumps(meta, separators=(",", ":")).encode("utf-8")))
+        handle.write(encode_trailer(strings_offset, meta_offset))
+        handle.close()
+        self._handle = None
+        return _info_from_meta(self.path, meta, os.path.getsize(self.path))
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+def _info_from_meta(path: str, meta: dict, file_size: int) -> TraceInfo:
+    time_range_us = meta.get("time_range_us")
+    time_range = None
+    if time_range_us is not None:
+        first = _EPOCH + timedelta(microseconds=time_range_us[0])
+        last = _EPOCH + timedelta(microseconds=time_range_us[1])
+        time_range = (first, last)
+    return TraceInfo(
+        path=path,
+        records=meta["records"],
+        labelled=meta["labelled"],
+        time_ordered=meta["time_ordered"],
+        block_count=len(meta["blocks"]),
+        block_size=meta["block_size"],
+        time_range=time_range,
+        dataset=dict(meta.get("dataset", {})),
+        version=meta["version"],
+        file_size=file_size,
+    )
+
+
+class TraceReader:
+    """Read a trace file written by :class:`TraceWriter`.
+
+    Construction reads only the fixed-size trailer and the small meta
+    section, so :attr:`info` is O(1) in the trace length.  Iteration
+    decodes one block at a time (out-of-core); :meth:`read_dataset`
+    materialises everything into a :class:`~repro.logs.dataset.Dataset`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            size = os.path.getsize(path)
+        except OSError as exc:
+            raise TraceError(f"cannot read trace {path!r}: {exc}") from exc
+        if size < len(MAGIC) + TRAILER_SIZE:
+            raise TraceError(f"{path!r} is too small to be a trace file")
+        with open(path, "rb") as handle:
+            if handle.read(len(MAGIC)) != MAGIC:
+                raise TraceError(f"{path!r} is not a repro trace file (bad magic)")
+            handle.seek(size - TRAILER_SIZE)
+            strings_offset, meta_offset = decode_trailer(handle.read(TRAILER_SIZE))
+            if not len(MAGIC) <= strings_offset <= meta_offset < size:
+                raise TraceError(f"{path!r} has an out-of-range trace footer")
+            handle.seek(meta_offset)
+            try:
+                meta = json.loads(read_section(handle, META_TAG).decode("utf-8"))
+            except ValueError as exc:
+                raise TraceError(f"corrupt trace metadata in {path!r}: {exc}") from exc
+        if meta.get("format") != "repro-trace":
+            raise TraceError(f"{path!r} metadata does not describe a repro trace")
+        if meta.get("version") != FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace version {meta.get('version')!r} in {path!r} "
+                f"(this library reads version {FORMAT_VERSION})"
+            )
+        self._meta = meta
+        self._strings_offset = strings_offset
+        self._file_size = size
+        self.info = _info_from_meta(path, meta, size)
+        self._resolved: tuple[dict[str, list], list[str]] | None = None
+
+    def __len__(self) -> int:
+        return self.info.records
+
+    # ------------------------------------------------------------------
+    def _load_strings(self) -> tuple[dict[str, list], list[str]]:
+        """The resolved string tables (methods as enum members), cached."""
+        if self._resolved is None:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._strings_offset)
+                tables, actors = decode_strings_section(read_section(handle, STRINGS_TAG))
+            resolved: dict[str, list] = dict(tables)
+            resolved["method"] = [RequestMethod(value) for value in tables["method"]]
+            self._resolved = (resolved, actors)
+        return self._resolved
+
+    # ------------------------------------------------------------------
+    def iter_blocks(
+        self, *, start: datetime | None = None, end: datetime | None = None
+    ) -> Iterator[tuple[list[LogRecord], BlockColumns]]:
+        """Yield ``(records, raw columns)`` one block at a time.
+
+        ``start``/``end`` (inclusive/exclusive) prune whole blocks via
+        the footer index before any decompression happens; records inside
+        boundary blocks are filtered individually.
+        """
+        tables, _ = self._load_strings()
+        start_us = None if start is None else _timestamp_us(start)
+        end_us = None if end is None else _timestamp_us(end)
+        with open(self.path, "rb") as handle:
+            for offset, _count, min_us, max_us in self._meta["blocks"]:
+                if start_us is not None and max_us < start_us:
+                    continue
+                if end_us is not None and min_us >= end_us:
+                    continue
+                handle.seek(offset)
+                columns = decode_block(read_section(handle, BLOCK_TAG))
+                records = _records_from_columns(columns, tables)
+                if start_us is not None or end_us is not None:
+                    keep = [
+                        index
+                        for index, us in enumerate(columns.timestamps_us)
+                        if (start_us is None or us >= start_us)
+                        and (end_us is None or us < end_us)
+                    ]
+                    if len(keep) != len(records):
+                        columns = _select_columns(columns, keep)
+                        records = [records[index] for index in keep]
+                if records:
+                    yield records, columns
+
+    def iter_records(
+        self, *, start: datetime | None = None, end: datetime | None = None
+    ) -> Iterator[LogRecord]:
+        """Yield records block by block (out-of-core replay)."""
+        for records, _columns in self.iter_blocks(start=start, end=end):
+            yield from records
+
+    def iter_labelled(
+        self, *, start: datetime | None = None, end: datetime | None = None
+    ) -> Iterator[tuple[LogRecord, str | None, str]]:
+        """Yield ``(record, label, actor_class)``; label is ``None`` when unlabelled."""
+        _, actors = self._load_strings()
+        for records, columns in self.iter_blocks(start=start, end=end):
+            if columns.labels is None:
+                for record in records:
+                    yield record, None, ""
+            else:
+                for record, label_index, actor_index in zip(
+                    records, columns.labels, columns.actor_indices
+                ):
+                    yield record, LABEL_NAMES[label_index], actors[actor_index]
+
+    # ------------------------------------------------------------------
+    def read_metadata(self) -> DatasetMetadata:
+        """The originating dataset's metadata, rebuilt from the footer."""
+        data = dict(self._meta.get("dataset", {}))
+        return DatasetMetadata(
+            name=data.get("name", "unnamed"),
+            description=data.get("description", ""),
+            source=data.get("source", "trace"),
+            scenario=data.get("scenario", ""),
+            scale=data.get("scale", 1.0),
+            seed=data.get("seed"),
+            extra=data.get("extra", {}),
+        )
+
+    def read_dataset(self) -> Dataset:
+        """Materialise the whole trace as a :class:`Dataset` (with labels)."""
+        _, actors = self._load_strings()
+        records: list[LogRecord] = []
+        ids: list[str] = []
+        labels: list[str] = []
+        actor_classes: list[str] = []
+        labelled = self.info.labelled
+        for block_records, columns in self.iter_blocks():
+            records.extend(block_records)
+            if labelled:
+                ids.extend(columns.request_ids)
+                labels.extend(LABEL_NAMES[index] for index in columns.labels)
+                actor_classes.extend(actors[index] for index in columns.actor_indices)
+        truth = GroundTruth.from_columns(ids, labels, actor_classes) if labelled else None
+        return Dataset(
+            records,
+            ground_truth=truth,
+            metadata=self.read_metadata(),
+            time_ordered=self.info.time_ordered,
+        )
+
+
+def _select_columns(columns: BlockColumns, keep: list[int]) -> BlockColumns:
+    """Project a block onto a subset of its record indices."""
+    return BlockColumns(
+        request_ids=[columns.request_ids[i] for i in keep],
+        timestamps_us=[columns.timestamps_us[i] for i in keep],
+        tz_offsets_s=[columns.tz_offsets_s[i] for i in keep],
+        statuses=[columns.statuses[i] for i in keep],
+        sizes=[columns.sizes[i] for i in keep],
+        dict_indices={
+            name: [indices[i] for i in keep] for name, indices in columns.dict_indices.items()
+        },
+        labels=None if columns.labels is None else [columns.labels[i] for i in keep],
+        actor_indices=(
+            None if columns.actor_indices is None else [columns.actor_indices[i] for i in keep]
+        ),
+        extras=None if columns.extras is None else [columns.extras[i] for i in keep],
+    )
+
+
+def _records_from_columns(columns: BlockColumns, tables: dict[str, list]) -> list[LogRecord]:
+    """Rebuild the block's records through the fast slot-filling path.
+
+    Every record admitted into a trace was a validated ``LogRecord``, so
+    the constructor's ``__post_init__`` checks are skipped here; the
+    hypothesis round-trip suite pins the equivalence of the two paths.
+    """
+    # Resolve every column to a list of final values first: index lookups
+    # in list comprehensions run close to C speed, which keeps the
+    # record-assembly loop below as narrow as possible.
+    delta = timedelta
+    epoch_for: dict[int, datetime] = {
+        offset: _EPOCH.astimezone(timezone(delta(seconds=offset)))
+        for offset in set(columns.tz_offsets_s)
+    }
+    if len(epoch_for) == 1:
+        (epoch,) = epoch_for.values()
+        timestamps = [epoch + delta(microseconds=us) for us in columns.timestamps_us]
+    else:
+        timestamps = [
+            epoch_for[off] + delta(microseconds=us)
+            for us, off in zip(columns.timestamps_us, columns.tz_offsets_s)
+        ]
+    indices = columns.dict_indices
+    ips = tables["client_ip"]
+    methods = tables["method"]
+    paths = tables["path"]
+    protocols = tables["protocol"]
+    referrers = tables["referrer"]
+    agents = tables["user_agent"]
+    idents = tables["ident"]
+    auth_users = tables["auth_user"]
+    extras = columns.extras
+
+    new = object.__new__
+    fill = object.__setattr__
+    cls = LogRecord
+    records: list[LogRecord] = []
+    append = records.append
+    for rid, ts, ip, method, path, protocol, referrer, agent, ident, auth_user, status, size in zip(
+        columns.request_ids,
+        timestamps,
+        [ips[i] for i in indices["client_ip"]],
+        [methods[i] for i in indices["method"]],
+        [paths[i] for i in indices["path"]],
+        [protocols[i] for i in indices["protocol"]],
+        [referrers[i] for i in indices["referrer"]],
+        [agents[i] for i in indices["user_agent"]],
+        [idents[i] for i in indices["ident"]],
+        [auth_users[i] for i in indices["auth_user"]],
+        columns.statuses,
+        columns.sizes,
+    ):
+        record = new(cls)
+        fill(record, "request_id", rid)
+        fill(record, "timestamp", ts)
+        fill(record, "client_ip", ip)
+        fill(record, "method", method)
+        fill(record, "path", path)
+        fill(record, "protocol", protocol)
+        fill(record, "status", status)
+        fill(record, "response_size", size)
+        fill(record, "referrer", referrer)
+        fill(record, "user_agent", agent)
+        fill(record, "ident", ident)
+        fill(record, "auth_user", auth_user)
+        fill(record, "extra", {})
+        append(record)
+    if extras is not None:
+        # Non-empty ``extra`` mappings are rare; patch them in afterwards
+        # rather than widening the hot loop above.
+        for record, extra in zip(records, extras):
+            if extra:
+                fill(record, "extra", dict(extra))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Whole-file helpers
+# ----------------------------------------------------------------------
+def write_trace(
+    dataset: Dataset, path: str, *, block_size: int = DEFAULT_BLOCK_SIZE
+) -> TraceInfo:
+    """Record a data set (records, labels, metadata) as a trace file."""
+    with TraceWriter(path, metadata=dataset.metadata, block_size=block_size) as writer:
+        writer.write_dataset(dataset)
+        return writer.close()
+
+
+def read_trace(path: str) -> Dataset:
+    """Replay a trace file into a fully materialised :class:`Dataset`."""
+    return TraceReader(path).read_dataset()
+
+
+def trace_info(path: str) -> TraceInfo:
+    """The footer summary of a trace -- O(1), no block is ever read."""
+    return TraceReader(path).info

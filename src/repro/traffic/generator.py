@@ -76,7 +76,9 @@ class TrafficGenerator:
             scale=scale,
             seed=self.seed,
         )
-        dataset = Dataset(records, ground_truth=truth, metadata=metadata)
+        # Events were just sorted, so the records are born in timestamp
+        # order; marking that here lets replay skip a full sorted copy.
+        dataset = Dataset(records, ground_truth=truth, metadata=metadata, time_ordered=True)
         return GenerationResult(dataset=dataset, events_per_class=events_per_class)
 
 

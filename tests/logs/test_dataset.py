@@ -189,3 +189,53 @@ class TestDatasetMetadata:
         metadata = DatasetMetadata(name="demo", scenario="balanced_small", seed=7)
         dataset = Dataset(make_records(1), metadata=metadata)
         assert dataset.metadata.scenario == "balanced_small"
+
+
+class TestTimeOrdering:
+    def test_unknown_ordering_is_settled_by_a_scan(self):
+        ordered = Dataset(make_records(5))
+        assert ordered._time_ordered is None
+        assert ordered.is_time_ordered
+        assert ordered._time_ordered is True  # cached
+
+    def test_unordered_dataset_is_detected(self):
+        assert not Dataset(list(reversed(make_records(5)))).is_time_ordered
+
+    def test_constructor_mark_is_trusted(self):
+        dataset = Dataset(make_records(3), time_ordered=True)
+        assert dataset._time_ordered is True
+
+    def test_sorted_by_time_marks_the_copy(self):
+        dataset = Dataset(list(reversed(make_records(4)))).sorted_by_time()
+        assert dataset._time_ordered is True
+
+    def test_filter_preserves_a_known_ordering(self):
+        dataset = Dataset(make_records(6), time_ordered=True)
+        view = dataset.filter(lambda record: record.status == 200)
+        assert view._time_ordered is True
+
+    def test_empty_and_single_record_datasets_are_ordered(self):
+        assert Dataset([]).is_time_ordered
+        assert Dataset([make_record("r0")]).is_time_ordered
+
+
+class TestGroundTruthFromColumns:
+    def test_matches_per_record_set(self):
+        bulk = GroundTruth.from_columns(
+            ["r0", "r1", "r2"], [MALICIOUS, BENIGN, BENIGN], ["scraper", "human", ""]
+        )
+        loop = GroundTruth()
+        loop.set("r0", MALICIOUS, "scraper")
+        loop.set("r1", BENIGN, "human")
+        loop.set("r2", BENIGN, "")
+        for request_id in ("r0", "r1", "r2"):
+            assert bulk.label_of(request_id) == loop.label_of(request_id)
+            assert bulk.actor_class_of(request_id) == loop.actor_class_of(request_id)
+
+    def test_rejects_unknown_labels(self):
+        with pytest.raises(LabelError, match="unknown labels"):
+            GroundTruth.from_columns(["r0"], ["suspicious"], [""])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(LabelError, match="equal lengths"):
+            GroundTruth.from_columns(["r0", "r1"], [BENIGN], ["", ""])

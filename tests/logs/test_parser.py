@@ -145,3 +145,28 @@ class TestLogParser:
         _, report = parser.parse_report(["garbage"] * 3)
         assert report.parsed == 0
         assert report.skipped == 3
+
+
+class TestGzipParsing:
+    def test_parse_file_reads_gzip_transparently(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "access.log.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(COMBINED_LINE + "\n" + COMMON_LINE + "\n")
+        records = LogParser().parse_file(str(path))
+        assert len(records) == 2
+        assert records[0].client_ip == "203.0.113.9"
+
+    def test_open_log_plain_and_gz_agree(self, tmp_path):
+        import gzip
+
+        from repro.logs.parser import open_log
+
+        plain = tmp_path / "a.log"
+        packed = tmp_path / "a.log.gz"
+        plain.write_text(COMBINED_LINE + "\n", encoding="utf-8")
+        with gzip.open(packed, "wt", encoding="utf-8") as handle:
+            handle.write(COMBINED_LINE + "\n")
+        with open_log(str(plain)) as first, open_log(str(packed)) as second:
+            assert first.read() == second.read()

@@ -1,0 +1,206 @@
+"""Property-based round-trip tests for the persistence layers.
+
+Two encoders must be lossless for the replay guarantees to hold:
+
+* the trace store -- ``write -> read`` of arbitrary ``LogRecord``
+  streams (exotic timezones, microsecond timestamps, unicode paths,
+  labels) must reproduce every field exactly, including through the
+  reader's fast slot-filling construction path; and
+* the CLF writer/parser pair -- ``parse(format(record))`` and the
+  idempotence of ``format(parse(line))`` over CLF-representable records.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs.dataset import BENIGN, MALICIOUS, Dataset, GroundTruth
+from repro.logs.parser import parse_line
+from repro.logs.record import LogRecord, RequestMethod
+from repro.logs.writer import format_record
+from repro.trace import TraceReader, read_trace, write_trace
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_timezones = st.one_of(
+    st.just(timezone.utc),
+    st.integers(-14 * 60, 14 * 60).map(lambda minutes: timezone(timedelta(minutes=minutes))),
+)
+
+_timestamps = st.builds(
+    lambda seconds, us, tz: datetime(2000, 1, 1, tzinfo=timezone.utc).astimezone(tz)
+    + timedelta(seconds=seconds, microseconds=us),
+    st.integers(0, 40 * 365 * 86_400),
+    st.integers(0, 999_999),
+    _timezones,
+)
+
+# Field values are free-form text for the trace round trip (the columnar
+# store must preserve anything a parsed or generated record can hold).
+_text = st.text(min_size=0, max_size=40)
+_token = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Zs", "Cc")), min_size=1, max_size=30
+)
+
+
+@st.composite
+def trace_records(draw, index: int = 0):
+    return LogRecord(
+        request_id=f"r{index}",
+        timestamp=draw(_timestamps),
+        client_ip=draw(_token),
+        method=draw(st.sampled_from(list(RequestMethod))),
+        path=draw(_token),
+        protocol=draw(st.sampled_from(["HTTP/1.0", "HTTP/1.1", "HTTP/2.0"])),
+        status=draw(st.integers(100, 599)),
+        response_size=draw(st.integers(0, 2**48)),
+        referrer=draw(_text),
+        user_agent=draw(_text),
+        ident=draw(st.sampled_from(["-", "ident0"])),
+        auth_user=draw(st.sampled_from(["-", "alice", "bob"])),
+        extra=draw(
+            st.one_of(
+                st.just({}),
+                st.dictionaries(st.sampled_from(["a", "b"]), st.integers(0, 9), max_size=2),
+            )
+        ),
+    )
+
+
+@st.composite
+def record_lists(draw):
+    count = draw(st.integers(1, 25))
+    return [draw(trace_records(index=i)) for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Trace encode -> decode
+# ----------------------------------------------------------------------
+@given(record_lists(), st.integers(1, 7))
+@settings(max_examples=60, deadline=None)
+def test_trace_roundtrip_is_exact(tmp_path_factory, records, block_size):
+    path = str(tmp_path_factory.mktemp("prop") / "t.trace")
+    write_trace(Dataset(records), path, block_size=block_size)
+    replayed = read_trace(path).records
+    assert replayed == records
+    for before, after in zip(records, replayed):
+        # Dataclass equality treats equal-instant datetimes in different
+        # timezones as equal; the offset itself must survive too.
+        assert after.timestamp.utcoffset() == before.timestamp.utcoffset()
+        assert after.extra == before.extra
+
+
+@given(record_lists(), st.integers(1, 7))
+@settings(max_examples=30, deadline=None)
+def test_trace_block_iteration_equals_bulk_read(tmp_path_factory, records, block_size):
+    path = str(tmp_path_factory.mktemp("prop") / "t.trace")
+    write_trace(Dataset(records), path, block_size=block_size)
+    reader = TraceReader(path)
+    assert list(reader.iter_records()) == read_trace(path).records
+    assert reader.info.records == len(records)
+
+
+@given(record_lists())
+@settings(max_examples=30, deadline=None)
+def test_trace_labels_roundtrip(tmp_path_factory, records):
+    truth = GroundTruth()
+    for index, record in enumerate(records):
+        label = MALICIOUS if index % 2 else BENIGN
+        truth.set(record.request_id, label, f"actor_{index % 3}")
+    path = str(tmp_path_factory.mktemp("prop") / "t.trace")
+    write_trace(Dataset(records, ground_truth=truth), path, block_size=4)
+    replayed = read_trace(path)
+    assert replayed.is_labelled
+    for record in records:
+        assert replayed.ground_truth.label_of(record.request_id) == truth.label_of(
+            record.request_id
+        )
+        assert replayed.ground_truth.actor_class_of(record.request_id) == truth.actor_class_of(
+            record.request_id
+        )
+
+
+# ----------------------------------------------------------------------
+# CLF parse -> write -> parse
+# ----------------------------------------------------------------------
+# CLF-representable values: no whitespace/quotes in tokens, second
+# timestamp precision, whole-minute offsets (Apache's %z is +-HHMM).
+_clf_timestamps = st.builds(
+    lambda seconds, minutes: datetime(2018, 3, 11, tzinfo=timezone.utc).astimezone(
+        timezone(timedelta(minutes=minutes))
+    )
+    + timedelta(seconds=seconds),
+    st.integers(0, 8 * 86_400),
+    st.integers(-14 * 60, 14 * 60),
+)
+_clf_token = st.text(
+    alphabet=st.characters(
+        # A CLF token must match \S+ and survive line.strip(): exclude
+        # every Unicode whitespace class, not just ASCII space.
+        blacklist_categories=("Cs", "Zs", "Zl", "Zp", "Cc"),
+        blacklist_characters='"\\',
+    ),
+    min_size=1,
+    max_size=25,
+)
+_clf_header = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc"), blacklist_characters='"\\'),
+    min_size=0,
+    max_size=40,
+)
+
+
+@st.composite
+def clf_records(draw):
+    return LogRecord(
+        request_id="r0",
+        timestamp=draw(_clf_timestamps),
+        client_ip=draw(_clf_token),
+        method=draw(st.sampled_from(list(RequestMethod))),
+        path=draw(_clf_token),
+        protocol=draw(st.sampled_from(["HTTP/1.0", "HTTP/1.1", "HTTP/2.0"])),
+        status=draw(st.integers(100, 599)),
+        response_size=draw(st.integers(0, 10**12)),
+        referrer=draw(_clf_header.filter(lambda s: s.strip() != "-")),
+        user_agent=draw(_clf_header.filter(lambda s: s.strip() != "-")),
+    )
+
+
+@given(clf_records())
+@settings(max_examples=150, deadline=None)
+def test_clf_parse_write_parse_preserves_every_field(record):
+    reparsed = parse_line(format_record(record), request_id=record.request_id)
+    assert reparsed.timestamp == record.timestamp
+    assert reparsed.timestamp.utcoffset() == record.timestamp.utcoffset()
+    assert reparsed.client_ip == record.client_ip
+    assert reparsed.method == record.method
+    assert reparsed.path == record.path
+    assert reparsed.protocol == record.protocol
+    assert reparsed.status == record.status
+    assert reparsed.response_size == record.response_size
+    assert reparsed.referrer == record.referrer
+    assert reparsed.user_agent == record.user_agent
+
+
+@given(clf_records())
+@settings(max_examples=100, deadline=None)
+def test_clf_format_is_idempotent_after_one_parse(record):
+    """format -> parse -> format is a fixed point (canonical form)."""
+    line = format_record(record)
+    assert format_record(parse_line(line, request_id="r0")) == line
+
+
+@given(clf_records())
+@settings(max_examples=60, deadline=None)
+def test_clf_then_trace_roundtrip_composes(tmp_path_factory, record):
+    """A parsed CLF record survives the trace store unchanged."""
+    parsed = parse_line(format_record(record), request_id="r0")
+    path = str(tmp_path_factory.mktemp("prop") / "t.trace")
+    write_trace(Dataset([parsed]), path)
+    (replayed,) = read_trace(path).records
+    assert replayed == parsed
+    assert format_record(replayed) == format_record(parsed)

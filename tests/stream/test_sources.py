@@ -105,3 +105,83 @@ class TestTailLogFile:
         path.write_text("")
         with pytest.raises(ValueError):
             list(tail_log_file(str(path), poll_interval=0))
+
+
+class TestGzipSources:
+    def test_tail_reads_a_gzipped_log(self, tmp_path):
+        import gzip
+
+        from repro.logs.writer import format_record
+
+        path = tmp_path / "access.log.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            for record in make_records(12, gap_seconds=3):
+                handle.write(format_record(record) + "\n")
+        records = list(tail_log_file(str(path)))
+        assert len(records) == 12
+        assert records[0].request_id == "r0"
+
+
+class TestDatasetReplayOrdering:
+    def test_time_ordered_dataset_is_not_copied(self):
+        records = make_records(10)
+        dataset = Dataset(records, time_ordered=True)
+        replayed = list(dataset_replay(dataset))
+        assert replayed == records
+        # The marked fast path hands back the records themselves.
+        assert replayed[0] is records[0]
+
+    def test_generated_datasets_are_marked_ordered(self):
+        from repro.traffic.generator import generate_dataset
+        from repro.traffic.scenarios import balanced_small
+
+        dataset = generate_dataset(balanced_small(total_requests=500, seed=5))
+        assert dataset._time_ordered is True  # marked at creation, no scan
+        assert dataset.is_time_ordered
+
+    def test_unordered_dataset_still_sorts(self):
+        records = list(reversed(make_records(5)))
+        dataset = Dataset(records)
+        replayed = list(dataset_replay(dataset))
+        timestamps = [record.timestamp for record in replayed]
+        assert timestamps == sorted(timestamps)
+
+
+class TestTraceReplay:
+    def test_replays_a_recorded_trace_in_order(self, tmp_path):
+        from repro.stream.sources import trace_replay
+        from repro.trace import write_trace
+
+        records = make_records(20, gap_seconds=2)
+        path = str(tmp_path / "t.trace")
+        write_trace(Dataset(records, time_ordered=True), path)
+        assert list(trace_replay(path)) == records
+
+    def test_unordered_trace_is_sorted_before_replay(self, tmp_path):
+        from repro.stream.sources import trace_replay
+        from repro.trace import write_trace
+
+        records = [make_record("r0", seconds=50), make_record("r1", seconds=0)]
+        path = str(tmp_path / "t.trace")
+        write_trace(Dataset(records), path)
+        replayed = list(trace_replay(path))
+        assert [record.request_id for record in replayed] == ["r1", "r0"]
+
+    def test_time_window_replay(self, tmp_path):
+        from datetime import timedelta
+
+        from repro.stream.sources import trace_replay
+        from repro.trace import write_trace
+        from tests.helpers import BASE_TIME
+
+        records = make_records(30, gap_seconds=60)
+        path = str(tmp_path / "t.trace")
+        write_trace(Dataset(records, time_ordered=True), path)
+        window = list(
+            trace_replay(
+                path,
+                start=BASE_TIME + timedelta(minutes=5),
+                end=BASE_TIME + timedelta(minutes=10),
+            )
+        )
+        assert [record.request_id for record in window] == [f"r{i}" for i in range(5, 10)]

@@ -294,3 +294,100 @@ class TestRunCommand:
 
         with pytest.raises(SpecError, match="cannot read spec file"):
             main(["run", "--config", str(tmp_path / "absent.json")])
+
+
+class TestTraceCommands:
+    def _record(self, tmp_path, name="rec.trace", seed="3"):
+        path = tmp_path / name
+        code = main(
+            [
+                "trace",
+                "record",
+                "--scenario",
+                "balanced_small",
+                "--seed",
+                seed,
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_record_writes_a_trace_and_prints_its_info(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        out = capsys.readouterr().out
+        assert path.exists() and path.stat().st_size > 0
+        assert "recorded" in out and "labelled:     yes" in out
+
+    def test_info_is_machine_readable(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "info", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] > 0
+        assert payload["labelled"] is True
+        assert payload["time_ordered"] is True
+        assert payload["dataset"]["name"] == "balanced_small"
+
+    def test_recorded_trace_drives_a_run_config(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        config = tmp_path / "spec.json"
+        config.write_text(
+            json.dumps(
+                {"mode": "tables", "traffic": {"source": "trace", "path": str(path)}}
+            )
+        )
+        assert main(["run", "--config", str(config), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "balanced_small"
+        assert payload["alert_counts"]
+
+    def test_import_gzipped_log(self, tmp_path, capsys):
+        import gzip
+
+        from repro.logs.writer import format_record
+        from tests.helpers import make_records
+
+        log = tmp_path / "access.log.gz"
+        with gzip.open(log, "wt", encoding="utf-8") as handle:
+            for record in make_records(8, gap_seconds=2):
+                handle.write(format_record(record) + "\n")
+        out_path = tmp_path / "imported.trace"
+        assert main(["trace", "import", str(log), "--output", str(out_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parsed"] == 8
+        assert payload["trace"]["records"] == 8
+        assert payload["trace"]["labelled"] is False
+
+    def test_mix_interleaves_two_recordings(self, tmp_path, capsys):
+        base = self._record(tmp_path, "base.trace", seed="3")
+        overlay = self._record(tmp_path, "overlay.trace", seed="4")
+        capsys.readouterr()
+        mixed = tmp_path / "mixed.trace"
+        code = main(
+            [
+                "trace",
+                "mix",
+                "--base",
+                str(base),
+                "--overlay",
+                str(overlay),
+                "--output",
+                str(mixed),
+                "--shift",
+                "600",
+                "--sample",
+                "0.5",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["time_ordered"] is True
+        assert payload["records"] > 0
+
+    def test_trace_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])

@@ -1,0 +1,114 @@
+"""Tests for the byte-level trace format (:mod:`repro.trace.format`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.trace.format import (
+    DICT_COLUMNS,
+    BlockColumns,
+    decode_block,
+    decode_strings_section,
+    decode_trailer,
+    encode_block,
+    encode_strings_section,
+    encode_trailer,
+)
+
+
+def _columns(count: int, *, labelled: bool = False, extras: bool = False) -> BlockColumns:
+    return BlockColumns(
+        request_ids=[f"r{i}" for i in range(count)],
+        timestamps_us=[1_520_000_000_000_000 + i * 997 for i in range(count)],
+        tz_offsets_s=[0] * count,
+        statuses=[200 + (i % 3) for i in range(count)],
+        sizes=[1024 * i for i in range(count)],
+        dict_indices={name: [i % 2 for i in range(count)] for name in DICT_COLUMNS},
+        labels=[i % 2 for i in range(count)] if labelled else None,
+        actor_indices=[0] * count if labelled else None,
+        extras=[{"k": i} for i in range(count)] if extras else None,
+    )
+
+
+class TestBlockRoundTrip:
+    def test_plain_block_round_trips(self):
+        columns = _columns(10)
+        decoded = decode_block(encode_block(columns))
+        assert decoded.request_ids == columns.request_ids
+        assert decoded.timestamps_us == columns.timestamps_us
+        assert decoded.tz_offsets_s == columns.tz_offsets_s
+        assert decoded.statuses == columns.statuses
+        assert decoded.sizes == columns.sizes
+        assert decoded.dict_indices == columns.dict_indices
+        assert decoded.labels is None
+        assert decoded.actor_indices is None
+        assert decoded.extras is None
+
+    def test_labelled_block_round_trips(self):
+        columns = _columns(7, labelled=True)
+        decoded = decode_block(encode_block(columns))
+        assert decoded.labels == columns.labels
+        assert decoded.actor_indices == columns.actor_indices
+
+    def test_extras_round_trip(self):
+        columns = _columns(4, extras=True)
+        decoded = decode_block(encode_block(columns))
+        assert decoded.extras == [{"k": 0}, {"k": 1}, {"k": 2}, {"k": 3}]
+
+    def test_single_record_block(self):
+        decoded = decode_block(encode_block(_columns(1)))
+        assert len(decoded) == 1
+
+    def test_negative_and_huge_timestamps_survive(self):
+        columns = _columns(3)
+        columns.timestamps_us = [-62_000_000_000_000_000, 0, 4_102_444_800_000_000]
+        decoded = decode_block(encode_block(columns))
+        assert decoded.timestamps_us == columns.timestamps_us
+
+    def test_non_utc_offsets_survive(self):
+        columns = _columns(3)
+        columns.tz_offsets_s = [3600, -18_000, 0]
+        decoded = decode_block(encode_block(columns))
+        assert decoded.tz_offsets_s == columns.tz_offsets_s
+
+    def test_empty_block_is_rejected(self):
+        with pytest.raises(TraceError, match="empty block"):
+            encode_block(BlockColumns())
+
+    def test_corrupt_block_raises(self):
+        with pytest.raises(TraceError, match="corrupt"):
+            decode_block(b"definitely not zlib data")
+
+    def test_truncated_block_raises(self):
+        body = encode_block(_columns(5))
+        import zlib
+
+        truncated = zlib.compress(zlib.decompress(body)[:-40])
+        with pytest.raises(TraceError):
+            decode_block(truncated)
+
+
+class TestSections:
+    def test_trailer_round_trips(self):
+        assert decode_trailer(encode_trailer(123, 456_789)) == (123, 456_789)
+
+    def test_bad_trailer_magic_raises(self):
+        buf = bytearray(encode_trailer(1, 2))
+        buf[-1] ^= 0xFF
+        with pytest.raises(TraceError, match="magic"):
+            decode_trailer(bytes(buf))
+
+    def test_strings_section_round_trips(self):
+        tables = {name: [f"{name}-{i}" for i in range(3)] for name in DICT_COLUMNS}
+        actors = ["human", "aggressive_scraper"]
+        decoded_tables, decoded_actors = decode_strings_section(
+            encode_strings_section(tables, actors)
+        )
+        assert decoded_tables == tables
+        assert decoded_actors == actors
+
+    def test_strings_section_missing_column_raises(self):
+        tables = {name: [] for name in DICT_COLUMNS if name != "path"}
+        with pytest.raises(TraceError, match="missing columns"):
+            decode_strings_section(encode_strings_section(tables, []))

@@ -1,0 +1,117 @@
+"""Tests for the Apache CLF importer (:mod:`repro.trace.importer`)."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.exceptions import LogParseError, TraceError
+from repro.logs.writer import LogWriter, format_record
+from repro.trace import expand_rotated, import_clf, read_trace
+from tests.helpers import make_record, make_records
+
+
+def _write_log(path, records):
+    LogWriter().write_file(records, str(path))
+
+
+def _write_gz(path, records):
+    with gzip.open(str(path), "wt", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(format_record(record) + "\n")
+
+
+class TestImport:
+    def test_plain_file_imports_exactly(self, tmp_path):
+        records = make_records(30, gap_seconds=3.0)
+        log = tmp_path / "access.log"
+        _write_log(log, records)
+        out = str(tmp_path / "t.trace")
+        report = import_clf([str(log)], out)
+        assert report.parsed == 30 and report.skipped == 0
+        replayed = read_trace(out)
+        assert len(replayed) == 30
+        assert [r.client_ip for r in replayed] == [r.client_ip for r in records]
+        assert replayed.is_time_ordered
+        assert not replayed.is_labelled
+
+    def test_gzipped_file_imports(self, tmp_path):
+        records = make_records(10)
+        log = tmp_path / "access.log.gz"
+        _write_gz(log, records)
+        out = str(tmp_path / "t.trace")
+        report = import_clf([str(log)], out)
+        assert report.parsed == 10
+        assert report.trace is not None and report.trace.records == 10
+
+    def test_malformed_lines_are_counted_and_skipped(self, tmp_path):
+        log = tmp_path / "access.log"
+        _write_log(log, make_records(3))
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write("not a log line\n\n")
+            handle.write(format_record(make_record("r3", seconds=30)) + "\n")
+        report = import_clf([str(log)], str(tmp_path / "t.trace"))
+        assert report.parsed == 4
+        assert report.skipped == 1
+        assert report.total_lines == 5
+
+    def test_strict_mode_raises_on_malformed_lines(self, tmp_path):
+        log = tmp_path / "access.log"
+        log.write_text("garbage\n")
+        with pytest.raises(LogParseError):
+            import_clf([str(log)], str(tmp_path / "t.trace"), skip_malformed=False)
+
+    def test_request_ids_continue_across_files(self, tmp_path):
+        first = tmp_path / "a.log"
+        second = tmp_path / "b.log"
+        _write_log(first, make_records(3))
+        _write_log(second, [make_record("x", seconds=100 + i) for i in range(2)])
+        out = str(tmp_path / "t.trace")
+        import_clf([str(first), str(second)], out)
+        assert [r.request_id for r in read_trace(out)] == ["r0", "r1", "r2", "r3", "r4"]
+
+    def test_no_inputs_is_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="no input"):
+            import_clf([], str(tmp_path / "t.trace"))
+
+
+class TestRotation:
+    def _rotation_set(self, tmp_path):
+        # Oldest traffic in access.log.2.gz, newest in the live file.
+        _write_gz(tmp_path / "access.log.2.gz", make_records(3, gap_seconds=1.0))
+        _write_log(
+            tmp_path / "access.log.1",
+            [make_record(f"m{i}", seconds=100 + i) for i in range(3)],
+        )
+        _write_log(
+            tmp_path / "access.log",
+            [make_record(f"n{i}", seconds=200 + i) for i in range(3)],
+        )
+        return str(tmp_path / "access.log")
+
+    def test_expand_rotated_orders_oldest_first(self, tmp_path):
+        base = self._rotation_set(tmp_path)
+        names = [path.rsplit("/", 1)[-1] for path in expand_rotated(base)]
+        assert names == ["access.log.2.gz", "access.log.1", "access.log"]
+
+    def test_rotated_import_is_chronological(self, tmp_path):
+        base = self._rotation_set(tmp_path)
+        out = str(tmp_path / "t.trace")
+        report = import_clf([base], out, rotated=True)
+        assert report.parsed == 9
+        assert len(report.files) == 3
+        replayed = read_trace(out)
+        assert replayed.is_time_ordered
+        timestamps = [r.timestamp for r in replayed]
+        assert timestamps == sorted(timestamps)
+
+    def test_expand_rotated_without_any_files_raises(self, tmp_path):
+        with pytest.raises(TraceError, match="no log files"):
+            expand_rotated(str(tmp_path / "missing.log"))
+
+    def test_unrelated_siblings_are_ignored(self, tmp_path):
+        base = self._rotation_set(tmp_path)
+        (tmp_path / "access.log.bak").write_text("junk\n")
+        (tmp_path / "other.log.1").write_text("junk\n")
+        assert len(expand_rotated(base)) == 3

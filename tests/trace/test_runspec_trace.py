@@ -1,0 +1,180 @@
+"""Trace-backed run specifications: validation, execution, caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SpecError
+from repro.runspec import RunSpec, TrafficSpec, build_dataset, execute
+from repro.trace import write_trace
+from repro.trace.cache import CACHE_DIR_ENV
+
+
+def _normalized(result) -> dict:
+    """A result's ``to_dict()`` minus the fields that legitimately vary.
+
+    Wall-clock timings (and the metrics derived from them) differ run to
+    run, and the spec block differs between a live-generation spec and
+    the trace-replay spec of the same traffic; everything else must be
+    identical.
+    """
+    payload = result.to_dict()
+    payload.pop("timings")
+    payload.pop("spec")
+    payload["metrics"].pop("records_per_second", None)
+    for name in [key for key in payload["metrics"] if key.startswith("latency_")]:
+        payload["metrics"].pop(name)
+    payload["summary"] = [line for line in payload["summary"] if "requests/sec" not in line]
+    return payload
+
+
+@pytest.fixture(scope="module")
+def small_traffic() -> TrafficSpec:
+    return TrafficSpec(scenario="balanced_small", seed=3, params={"total_requests": 2500})
+
+
+@pytest.fixture(scope="module")
+def recorded_trace(small_traffic, tmp_path_factory) -> str:
+    path = str(tmp_path_factory.mktemp("traces") / "small.trace")
+    write_trace(build_dataset(small_traffic), path)
+    return path
+
+
+class TestTrafficSpecValidation:
+    def test_trace_source_needs_a_path(self):
+        with pytest.raises(SpecError, match="needs traffic.path"):
+            TrafficSpec(source="trace")
+
+    def test_log_source_needs_a_log_file(self):
+        with pytest.raises(SpecError, match="needs traffic.log_file"):
+            TrafficSpec(source="log")
+
+    def test_unknown_source_gets_a_did_you_mean(self):
+        with pytest.raises(SpecError, match="did you mean"):
+            TrafficSpec(source="trcae", path="x.trace")
+
+    def test_path_with_non_trace_source_is_rejected(self):
+        with pytest.raises(SpecError, match="source='trace'"):
+            TrafficSpec(source="scenario", path="x.trace")
+
+    def test_path_and_log_file_are_mutually_exclusive(self):
+        with pytest.raises(SpecError, match="mutually exclusive"):
+            TrafficSpec(path="x.trace", log_file="x.log")
+
+    def test_trace_replay_rejects_scenario_fields(self):
+        for kwargs in ({"scenario": "balanced_small"}, {"scale": 0.1}, {"seed": 1}, {"params": {"x": 1}}):
+            with pytest.raises(SpecError, match="replays exactly"):
+                TrafficSpec(source="trace", path="x.trace", **kwargs)
+
+    def test_cache_applies_to_scenario_traffic_only(self):
+        with pytest.raises(SpecError, match="cache"):
+            TrafficSpec(source="trace", path="x.trace", cache=True)
+        with pytest.raises(SpecError, match="cache"):
+            TrafficSpec(log_file="x.log", cache=True)
+
+    def test_source_is_inferred(self):
+        assert TrafficSpec().resolved_source() == "scenario"
+        assert TrafficSpec(log_file="x.log").resolved_source() == "log"
+        assert TrafficSpec(path="x.trace").resolved_source() == "trace"
+
+    def test_trace_spec_round_trips_through_dict(self):
+        spec = RunSpec(mode="stream", traffic=TrafficSpec(source="trace", path="x.trace"))
+        rebuilt = RunSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.traffic.resolved_source() == "trace"
+
+    def test_cache_flag_round_trips_through_dict(self):
+        spec = RunSpec(traffic=TrafficSpec(scale=0.01, cache=True))
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defend_mode_rejects_trace_traffic(self):
+        spec = RunSpec(mode="defend", traffic=TrafficSpec(path="x.trace"))
+        with pytest.raises(SpecError, match="closed-loop"):
+            execute(spec)
+
+
+class TestTraceExecution:
+    @pytest.mark.parametrize("mode", ["tables", "evaluate", "stream"])
+    def test_trace_replay_matches_live_generation(self, mode, small_traffic, recorded_trace):
+        live = execute(RunSpec(mode=mode, traffic=small_traffic))
+        replayed = execute(
+            RunSpec(mode=mode, traffic=TrafficSpec(source="trace", path=recorded_trace))
+        )
+        assert _normalized(live) == _normalized(replayed)
+
+    def test_trace_replay_keeps_the_source_name(self, recorded_trace):
+        result = execute(RunSpec(traffic=TrafficSpec(path=recorded_trace)))
+        assert result.source == "balanced_small"
+
+    def test_missing_trace_fails_loudly(self, tmp_path):
+        from repro.exceptions import TraceError
+
+        spec = RunSpec(traffic=TrafficSpec(path=str(tmp_path / "missing.trace")))
+        with pytest.raises(TraceError, match="cannot read"):
+            execute(spec)
+
+
+class TestCachedExecution:
+    def test_cached_runs_are_identical_and_recorded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        spec = RunSpec(
+            mode="tables",
+            traffic=TrafficSpec(
+                scenario="balanced_small", seed=5, params={"total_requests": 2000}, cache=True
+            ),
+        )
+        first = execute(spec)
+        entries = list((tmp_path / "cache").glob("*.trace"))
+        assert len(entries) == 1
+        second = execute(spec)
+        assert _normalized(first) == _normalized(second)
+
+    def test_cache_serves_across_cache_objects(self, tmp_path, monkeypatch):
+        from repro.trace import GenerationCache, traffic_fingerprint
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        traffic = TrafficSpec(
+            scenario="balanced_small", seed=6, params={"total_requests": 1500}, cache=True
+        )
+        live = build_dataset(traffic)
+        # A brand-new cache object (fresh process simulation) must replay
+        # the recording rather than regenerate.
+        cache = GenerationCache(str(tmp_path / "cache"))
+        fingerprint = traffic_fingerprint(
+            scenario="balanced_small", seed=6, params={"total_requests": 1500}
+        )
+        replayed = cache.get_or_generate(
+            fingerprint, lambda: pytest.fail("expected a disk hit")
+        )
+        assert replayed.records == live.records
+        assert replayed.is_labelled == live.is_labelled
+
+
+class TestStreamIsOutOfCore:
+    def test_stream_mode_never_materialises_the_trace(self, recorded_trace, monkeypatch):
+        """Trace-backed stream runs must feed from trace_replay, not read_trace."""
+        import importlib
+
+        # ``repro.runspec.execute`` the *attribute* is the function; go
+        # through importlib to reach the module of the same name.
+        execute_module = importlib.import_module("repro.runspec.execute")
+
+        def fail(*_args, **_kwargs):  # pragma: no cover - called means regression
+            raise AssertionError("stream mode materialised the whole trace")
+
+        monkeypatch.setattr(execute_module, "read_trace", fail)
+        result = execute(
+            RunSpec(mode="stream", traffic=TrafficSpec(source="trace", path=recorded_trace))
+        )
+        assert result.total_requests > 0
+        assert result.source == "balanced_small"
+
+
+class TestFingerprintVersioning:
+    def test_fingerprint_changes_with_the_library_version(self, monkeypatch):
+        from repro.trace import traffic_fingerprint
+
+        before = traffic_fingerprint(scenario="s", scale=0.1, seed=7)
+        monkeypatch.setattr("repro.__version__", "0.0.0-test")
+        after = traffic_fingerprint(scenario="s", scale=0.1, seed=7)
+        assert before != after
