@@ -1,0 +1,73 @@
+"""Merge ``BENCH_<group>.json`` files into one benchmark trajectory file.
+
+The benchmark conftest hook (``benchmarks/conftest.py``) writes one
+machine-readable JSON file per benchmark group.  CI uploads those as
+artifacts; this script merges every ``BENCH_*.json`` it finds into a
+single ``BENCH_SUMMARY.json`` so one download (and one diff against the
+previous run) covers the whole benchmark trajectory::
+
+    python scripts/bench_summary.py                  # merge ./BENCH_*.json
+    python scripts/bench_summary.py --dir results/   # merge another directory
+    python scripts/bench_summary.py --output traj.json
+
+The summary nests each group under its name and carries the per-group
+scale/seed, so groups measured at different scales stay distinguishable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def merge_bench_files(paths: list[str]) -> dict:
+    """Merge benchmark group payloads into one summary dictionary."""
+    groups: dict[str, dict] = {}
+    for path in sorted(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        name = payload.get("group") or os.path.basename(path)[len("BENCH_") : -len(".json")]
+        groups[name] = {
+            "scale": payload.get("scale"),
+            "seed": payload.get("seed"),
+            "results": payload.get("results", {}),
+            "source_file": os.path.basename(path),
+        }
+    return {"format": "repro-bench-summary", "version": 1, "groups": groups}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir", default=".", help="directory to scan for BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_SUMMARY.json",
+        help="path of the merged trajectory file to write",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [
+        path
+        for path in glob.glob(os.path.join(args.dir, "BENCH_*.json"))
+        if os.path.basename(path) != os.path.basename(args.output)
+    ]
+    if not paths:
+        print(f"no BENCH_*.json files found under {args.dir!r}", file=sys.stderr)
+        return 1
+
+    summary = merge_bench_files(paths)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    names = ", ".join(sorted(summary["groups"]))
+    print(f"merged {len(paths)} group file(s) ({names}) into {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

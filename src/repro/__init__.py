@@ -32,6 +32,10 @@ The underlying subsystems remain directly usable:
 
 * :mod:`repro.logs` -- Apache access-log parsing, writing, data sets,
   sessionization.
+* :mod:`repro.columns` -- the columnar in-memory substrate the batch
+  pipeline runs on by default: numpy record frames with
+  dictionary-encoded strings, vectorized sessionization and batched
+  feature extraction, bit-identical to the record-object path.
 * :mod:`repro.traffic` -- a synthetic e-commerce traffic generator with
   human visitors, legitimate crawlers and several scraper families,
   calibrated to the structure of the paper's data set.
@@ -59,6 +63,7 @@ The underlying subsystems remain directly usable:
   Apache access logs.
 """
 
+from repro.columns import FeatureMatrix, FrameSessions, RecordFrame, sessionize_frame
 from repro.core.adjudication import register_adjudication_scheme
 from repro.core.experiment import ExperimentResult, PaperExperiment
 from repro.detectors.commercial import CommercialBotDefenceDetector
@@ -112,7 +117,7 @@ from repro.traffic.scenarios import (
     stealth_heavy,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Action",
@@ -124,11 +129,14 @@ __all__ = [
     "EnforcementGateway",
     "ExecutionSpec",
     "ExperimentResult",
+    "FeatureMatrix",
+    "FrameSessions",
     "GenerationCache",
     "InHouseHeuristicDetector",
     "PaperExperiment",
     "Policy",
     "PolicySpec",
+    "RecordFrame",
     "RunResult",
     "RunSpec",
     "ShardedStreamRunner",
@@ -155,6 +163,7 @@ __all__ = [
     "register_scenario",
     "render_mitigation_report",
     "run_defense",
+    "sessionize_frame",
     "standard_policy",
     "stealth_heavy",
     "trace_info",

@@ -52,6 +52,7 @@ import sys
 from typing import Sequence
 
 from repro import __version__
+from repro.detectors.pipeline import ENGINES
 from repro.logs.writer import LogWriter
 from repro.mitigation import list_policies, render_comparison
 from repro.runspec import (
@@ -123,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="reproduce the paper's tables",
     )
     tables.add_argument("--log-file", default=None, help="analyse an existing access log instead of generating one")
+    tables.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="columnar",
+        help="batch pipeline engine (vectorized columnar substrate or legacy record path)",
+    )
 
     evaluate = subparsers.add_parser(
         "evaluate",
@@ -130,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="labelled extension analyses",
     )
     evaluate.add_argument("--configurations", action="store_true", help="also compare parallel vs serial deployments")
+    evaluate.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="columnar",
+        help="batch pipeline engine (vectorized columnar substrate or legacy record path)",
+    )
 
     stream = subparsers.add_parser(
         "stream",
@@ -315,7 +328,11 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_tables(args: argparse.Namespace) -> int:
-    spec = RunSpec(mode="tables", traffic=_traffic_spec(args, log_file=args.log_file))
+    spec = RunSpec(
+        mode="tables",
+        traffic=_traffic_spec(args, log_file=args.log_file),
+        execution=ExecutionSpec(engine=args.engine),
+    )
     _print_result(execute(spec), args)
     return 0
 
@@ -324,7 +341,7 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     spec = RunSpec(
         mode="evaluate",
         traffic=_traffic_spec(args),
-        execution=ExecutionSpec(compare_configurations=args.configurations),
+        execution=ExecutionSpec(compare_configurations=args.configurations, engine=args.engine),
     )
     _print_result(execute(spec), args)
     return 0

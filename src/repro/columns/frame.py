@@ -1,0 +1,440 @@
+"""The :class:`RecordFrame`: a data set as numpy column arrays.
+
+A frame holds the same information as a list of
+:class:`~repro.logs.record.LogRecord` objects, laid out for vector
+processing instead of object traversal:
+
+* timestamps as int64 microseconds since the epoch (plus a per-record
+  UTC-offset column in microseconds, so wall-clock features such as the
+  night fraction survive exotic timezones),
+* statuses and response sizes as packed int64 columns,
+* every string column (client IP, method, path, protocol, referrer,
+  user agent, ident, auth user) dictionary-encoded: an integer *code*
+  per record into a frame-global *table* of distinct values.
+
+Dictionary encoding is what makes the batch hot path cheap: predicates
+that depend only on the string value -- "is this path a static asset?",
+"is this user agent a scripted client?" -- are evaluated once per
+*distinct* value and gathered through the code arrays, instead of once
+per record.  Those derived columns are cached on the frame.
+
+Frames are immutable by convention: nothing in the library mutates a
+frame after construction, so derived columns and views can be shared
+freely.
+
+The record-object API remains available as a thin compatibility layer:
+:meth:`RecordFrame.iter_records` rebuilds validated ``LogRecord``
+objects through the same fast slot-filling path the trace reader uses,
+and :meth:`RecordFrame.to_dataset` materialises a full
+:class:`~repro.logs.dataset.Dataset` (ground truth included).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+from typing import Iterator, Mapping, Sequence
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.exceptions import ColumnsError, LabelError
+from repro.logs.dataset import MALICIOUS, Dataset, DatasetMetadata, GroundTruth
+from repro.logs.record import ASSET_SUFFIXES, LogRecord, RequestMethod
+
+#: The dictionary-encoded string columns, in canonical order (matches
+#: the trace format's on-disk order).
+STRING_COLUMNS = (
+    "client_ip",
+    "method",
+    "path",
+    "protocol",
+    "referrer",
+    "user_agent",
+    "ident",
+    "auth_user",
+)
+
+#: Fixed label table (code 0 / 1 in the label column); mirrors
+#: :data:`repro.trace.format.LABEL_NAMES`.
+LABEL_NAMES = ("benign", "malicious")
+
+_EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
+_ONE_US = timedelta(microseconds=1)
+
+def encode_column(values) -> tuple[np.ndarray, list]:
+    """Dictionary-encode a value column: ``(codes, table)``.
+
+    ``dict.fromkeys`` deduplicates at C speed in first-appearance order;
+    the per-record pass is then a C-level ``map`` through the finished
+    dictionary.  The single encoding helper -- every dictionary column
+    in the library (frame strings, URL-path factorization, reputation
+    prefixes) goes through here.
+    """
+    table = dict.fromkeys(values)
+    for code, key in enumerate(table):
+        table[key] = code
+    codes = np.fromiter(map(table.__getitem__, values), np.int64, len(values))
+    return codes, list(table)
+
+def _split_path(path: str) -> str:
+    """The path component of a request line, without the query string.
+
+    Exactly :attr:`repro.logs.record.LogRecord.url_path`, evaluated once
+    per distinct path-table entry instead of once per record.  Origin-form
+    targets (a single leading ``/``, the overwhelming majority in access
+    logs) take a fast path; anything that could carry a scheme or netloc
+    falls back to ``urlsplit``.
+    """
+    if path.startswith("/") and not path.startswith("//"):
+        cut = path.find("?")
+        if cut == -1:
+            cut = len(path)
+        fragment = path.find("#", 0, cut)
+        if fragment != -1:
+            cut = fragment
+        return path[:cut]
+    return urlsplit(path).path
+
+
+class RecordFrame:
+    """An immutable columnar view of a sequence of log records."""
+
+    def __init__(
+        self,
+        *,
+        request_ids: Sequence[str],
+        timestamps_us: np.ndarray,
+        tz_offsets_us: np.ndarray,
+        statuses: np.ndarray,
+        sizes: np.ndarray,
+        codes: Mapping[str, np.ndarray],
+        tables: Mapping[str, Sequence[str]],
+        labels: np.ndarray | None = None,
+        actor_codes: np.ndarray | None = None,
+        actor_table: Sequence[str] = (),
+        extras: Sequence[Mapping] | None = None,
+        metadata: DatasetMetadata | None = None,
+        time_ordered: bool | None = None,
+    ) -> None:
+        self.request_ids = list(request_ids)
+        n = len(self.request_ids)
+        self.timestamps_us = np.asarray(timestamps_us, dtype=np.int64)
+        self.tz_offsets_us = np.asarray(tz_offsets_us, dtype=np.int64)
+        self.statuses = np.asarray(statuses, dtype=np.int64)
+        self.sizes = np.asarray(sizes, dtype=np.int64)
+        self.codes = {name: np.asarray(codes[name], dtype=np.int64) for name in STRING_COLUMNS}
+        self.tables = {name: list(tables[name]) for name in STRING_COLUMNS}
+        self.labels = None if labels is None else np.asarray(labels, dtype=np.int64)
+        self.actor_codes = (
+            None if actor_codes is None else np.asarray(actor_codes, dtype=np.int64)
+        )
+        self.actor_table = list(actor_table)
+        self.extras = None if extras is None else list(extras)
+        self.metadata = metadata or DatasetMetadata()
+        self._time_ordered = time_ordered
+        self._derived: dict[str, np.ndarray] = {}
+        self._url_paths: list[str] | None = None
+
+        lengths = {
+            len(self.timestamps_us),
+            len(self.tz_offsets_us),
+            len(self.statuses),
+            len(self.sizes),
+            *(len(self.codes[name]) for name in STRING_COLUMNS),
+        }
+        if lengths != {n}:
+            raise ColumnsError(f"inconsistent column lengths in frame (expected {n})")
+        if self.labels is not None and len(self.labels) != n:
+            raise ColumnsError("label column length does not match the frame")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.request_ids)
+
+    @property
+    def is_labelled(self) -> bool:
+        """True when the frame carries a ground-truth label per record."""
+        return self.labels is not None
+
+    def string(self, column: str, code: int) -> str:
+        """The string value behind one dictionary code."""
+        return self.tables[column][code]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "RecordFrame":
+        """Columnarise a materialised data set (labels carried when complete)."""
+        return cls.from_records(
+            dataset.records,
+            ground_truth=dataset.ground_truth,
+            metadata=dataset.metadata,
+            time_ordered=True if dataset.is_time_ordered else None,
+        )
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[LogRecord],
+        *,
+        ground_truth: GroundTruth | None = None,
+        metadata: DatasetMetadata | None = None,
+        time_ordered: bool | None = None,
+    ) -> "RecordFrame":
+        """Columnarise a sequence of records.
+
+        One list comprehension per column (slot access runs close to C
+        speed) followed by per-column dictionary encoding -- dictionary
+        code order is an implementation detail, only the decoded strings
+        are contractual.  When ``ground_truth`` does not cover every
+        record (``Dataset.is_labelled`` false) the frame is unlabelled,
+        like every other label consumer in the library.
+        """
+        n = len(records)
+        request_ids = [record.request_id for record in records]
+        moments = [record.timestamp for record in records]
+
+        epoch = _EPOCH
+        one_us = _ONE_US
+        tz_cache: dict[object, int] = {}
+        timestamps = np.fromiter(
+            ((moment - epoch) // one_us for moment in moments), np.int64, n
+        )
+
+        def offset_of(moment: datetime) -> int:
+            tzinfo = moment.tzinfo
+            # Only datetime.timezone is fixed-offset by construction; a
+            # zoneinfo/pytz zone answers utcoffset() per moment (DST), so
+            # it must never be cached per tzinfo object.
+            if type(tzinfo) is timezone:
+                cached = tz_cache.get(tzinfo)
+                if cached is None:
+                    cached = moment.utcoffset() // one_us
+                    tz_cache[tzinfo] = cached
+                return cached
+            offset = moment.utcoffset()
+            return 0 if offset is None else offset // one_us
+
+        tz_offsets = np.fromiter((offset_of(moment) for moment in moments), np.int64, n)
+
+        code_arrays: dict[str, np.ndarray] = {}
+        tables: dict[str, list[str]] = {}
+        code_arrays["client_ip"], tables["client_ip"] = encode_column(
+            [record.client_ip for record in records]
+        )
+        code_arrays["path"], tables["path"] = encode_column([record.path for record in records])
+        code_arrays["protocol"], tables["protocol"] = encode_column(
+            [record.protocol for record in records]
+        )
+        code_arrays["referrer"], tables["referrer"] = encode_column(
+            [record.referrer for record in records]
+        )
+        code_arrays["user_agent"], tables["user_agent"] = encode_column(
+            [record.user_agent for record in records]
+        )
+        code_arrays["ident"], tables["ident"] = encode_column([record.ident for record in records])
+        code_arrays["auth_user"], tables["auth_user"] = encode_column(
+            [record.auth_user for record in records]
+        )
+        # Methods are dictionary-encoded as enum members (hashable), so
+        # ``.value`` runs once per distinct method, not once per record.
+        code_arrays["method"], method_members = encode_column(
+            [record.method for record in records]
+        )
+        tables["method"] = [member.value for member in method_members]
+
+        extras: list[Mapping] | None = None
+        if any(record.extra for record in records):
+            extras = [dict(record.extra) if record.extra else {} for record in records]
+
+        labels: np.ndarray | None = None
+        actor_codes: np.ndarray | None = None
+        actor_table: list[str] = []
+        if ground_truth is not None:
+            try:
+                label_values, actor_values = ground_truth.label_columns(request_ids)
+            except LabelError:
+                pass  # incomplete ground truth: the frame is unlabelled
+            else:
+                labels = np.fromiter(
+                    (value == MALICIOUS for value in label_values), np.int64, n
+                )
+                actor_codes, actor_table = encode_column(actor_values)
+
+        return cls(
+            request_ids=request_ids,
+            timestamps_us=timestamps,
+            tz_offsets_us=tz_offsets,
+            statuses=np.fromiter((record.status for record in records), np.int64, n),
+            sizes=np.fromiter((record.response_size for record in records), np.int64, n),
+            codes=code_arrays,
+            tables=tables,
+            labels=labels,
+            actor_codes=actor_codes,
+            actor_table=actor_table,
+            extras=extras,
+            metadata=metadata,
+            time_ordered=time_ordered,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived columns (computed once per distinct value, then gathered)
+    # ------------------------------------------------------------------
+    def _table_flags(self, key: str, column: str, predicate) -> np.ndarray:
+        """Per-table boolean flags for ``predicate``, cached under ``key``."""
+        cached = self._derived.get(key)
+        if cached is None:
+            cached = np.fromiter(
+                (predicate(value) for value in self.tables[column]),
+                dtype=bool,
+                count=len(self.tables[column]),
+            )
+            self._derived[key] = cached
+        return cached
+
+    def url_paths(self) -> list[str]:
+        """The query-stripped URL path behind each entry of the path table."""
+        if self._url_paths is None:
+            self._url_paths = [_split_path(value) for value in self.tables["path"]]
+        return self._url_paths
+
+    def url_path_codes(self) -> np.ndarray:
+        """Per-record integer codes where equal codes mean equal URL paths."""
+        cached = self._derived.get("url_path_codes")
+        if cached is None:
+            table_codes, url_path_table = encode_column(self.url_paths())
+            self._derived["n_url_paths"] = np.int64(len(url_path_table))
+            cached = table_codes[self.codes["path"]]
+            self._derived["url_path_codes"] = cached
+        return cached
+
+    @property
+    def n_url_paths(self) -> int:
+        """Number of distinct query-stripped URL paths in the frame."""
+        self.url_path_codes()
+        return int(self._derived["n_url_paths"])
+
+    def path_is_asset(self) -> np.ndarray:
+        """Per-record flags: does the path look like a static asset?"""
+        flags = self._derived.get("asset")
+        if flags is None:
+            flags = np.array(
+                [path.lower().endswith(ASSET_SUFFIXES) for path in self.url_paths()],
+                dtype=bool,
+            )
+            self._derived["asset"] = flags
+        return flags[self.codes["path"]]
+
+    def path_is_robots(self) -> np.ndarray:
+        """Per-record flags: is the URL path exactly ``/robots.txt``?"""
+        flags = self._derived.get("robots")
+        if flags is None:
+            flags = np.array(
+                [path == "/robots.txt" for path in self.url_paths()], dtype=bool
+            )
+            self._derived["robots"] = flags
+        return flags[self.codes["path"]]
+
+    def has_referrer(self) -> np.ndarray:
+        """Per-record flags: a non-empty, non-``-`` Referer header."""
+        flags = self._table_flags(
+            "referrer_present", "referrer", lambda value: bool(value) and value != "-"
+        )
+        return flags[self.codes["referrer"]]
+
+    def method_is(self, method: str) -> np.ndarray:
+        """Per-record flags: method equals ``method`` (e.g. ``"HEAD"``)."""
+        flags = self._table_flags(f"method_{method}", "method", lambda value: value == method)
+        return flags[self.codes["method"]]
+
+    def night_flags(self) -> np.ndarray:
+        """Per-record flags: local wall-clock hour before 06:00."""
+        cached = self._derived.get("night")
+        if cached is None:
+            local_us = self.timestamps_us + self.tz_offsets_us
+            hours = (local_us // 3_600_000_000) % 24
+            cached = hours < 6
+            self._derived["night"] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Compatibility layer: back to record objects
+    # ------------------------------------------------------------------
+    def iter_records(self) -> Iterator[LogRecord]:
+        """Yield the frame's records as validated :class:`LogRecord` objects.
+
+        Every record admitted into a frame came from a validated
+        ``LogRecord`` (or a trace of them), so the constructor checks are
+        skipped via the same slot-filling path the trace reader uses.
+        """
+        delta = timedelta
+        epoch_for: dict[int, datetime] = {
+            int(offset): _EPOCH.astimezone(timezone(delta(microseconds=int(offset))))
+            for offset in np.unique(self.tz_offsets_us)
+        } or {0: _EPOCH}
+        tables = self.tables
+        methods = [RequestMethod(value) for value in tables["method"]]
+        ips = tables["client_ip"]
+        paths = tables["path"]
+        protocols = tables["protocol"]
+        referrers = tables["referrer"]
+        agents = tables["user_agent"]
+        idents = tables["ident"]
+        auth_users = tables["auth_user"]
+        codes = self.codes
+        extras = self.extras
+        timestamps_us = self.timestamps_us.tolist()
+        tz_offsets = self.tz_offsets_us.tolist()
+        statuses = self.statuses.tolist()
+        sizes = self.sizes.tolist()
+
+        new = object.__new__
+        fill = object.__setattr__
+        cls = LogRecord
+        for index, request_id in enumerate(self.request_ids):
+            record = new(cls)
+            fill(record, "request_id", request_id)
+            fill(
+                record,
+                "timestamp",
+                epoch_for[tz_offsets[index]] + delta(microseconds=timestamps_us[index]),
+            )
+            fill(record, "client_ip", ips[codes["client_ip"][index]])
+            fill(record, "method", methods[codes["method"][index]])
+            fill(record, "path", paths[codes["path"][index]])
+            fill(record, "protocol", protocols[codes["protocol"][index]])
+            fill(record, "status", statuses[index])
+            fill(record, "response_size", sizes[index])
+            fill(record, "referrer", referrers[codes["referrer"][index]])
+            fill(record, "user_agent", agents[codes["user_agent"][index]])
+            fill(record, "ident", idents[codes["ident"][index]])
+            fill(record, "auth_user", auth_users[codes["auth_user"][index]])
+            fill(record, "extra", dict(extras[index]) if extras is not None else {})
+            yield record
+
+    def ground_truth(self) -> GroundTruth | None:
+        """The frame's labels as a :class:`GroundTruth` (``None`` if unlabelled)."""
+        if self.labels is None:
+            return None
+        label_values = [LABEL_NAMES[code] for code in self.labels.tolist()]
+        if self.actor_codes is not None and self.actor_table:
+            actors = [self.actor_table[code] for code in self.actor_codes.tolist()]
+        else:
+            actors = [""] * len(self)
+        return GroundTruth.from_columns(self.request_ids, label_values, actors)
+
+    def to_dataset(self) -> Dataset:
+        """Materialise the frame as a full :class:`Dataset` (labels included)."""
+        return Dataset(
+            list(self.iter_records()),
+            ground_truth=self.ground_truth(),
+            metadata=self.metadata,
+            time_ordered=self._time_ordered,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RecordFrame(records={len(self)}, labelled={self.is_labelled}, "
+            f"distinct_paths={len(self.tables['path'])})"
+        )

@@ -9,7 +9,7 @@ data set, score every session and alert on the most anomalous fraction
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from repro.detectors.base import Detector
 from repro.detectors.features import feature_matrix
 from repro.logs.dataset import Dataset
 from repro.logs.sessionization import Session, Sessionizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
 
 
 def alert_anomalous_groups(
@@ -83,6 +86,23 @@ class AnomalySessionDetector(Detector):
             self.model,
             matrix,
             [session.request_ids() for session in sessions],
+            self.contamination,
+        )
+        return alert_set
+
+    def analyze_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> AlertSet:
+        alert_set = AlertSet(self.name)
+        if len(features) < 2:
+            return alert_set
+        # Copy so a model that standardises in place can never corrupt
+        # the shared matrix for later detectors.
+        alert_anomalous_groups(
+            alert_set,
+            self.model,
+            features.values.copy(),
+            sessions.request_id_groups(),
             self.contamination,
         )
         return alert_set

@@ -15,11 +15,14 @@ only -- never the ground truth) and produces an
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.alerts import AlertSet
 from repro.logs.dataset import Dataset
 from repro.logs.sessionization import Session, Sessionizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
 
 
 class Detector(abc.ABC):
@@ -42,6 +45,24 @@ class Detector(abc.ABC):
             detectors can share the sessionization work.  Detectors that
             do not need sessions ignore the argument.
         """
+
+    def analyze_columns(
+        self,
+        frame: "RecordFrame",
+        sessions: "FrameSessions",
+        features: "FeatureMatrix",
+    ) -> AlertSet | None:
+        """Analyse a columnar frame directly (the vectorized batch path).
+
+        Returns the detector's alert set, or ``None`` when this detector
+        has no columnar implementation -- the pipeline then falls back to
+        :meth:`analyze` over materialised
+        :class:`~repro.logs.sessionization.Session` objects.  A columnar
+        implementation must produce exactly the alerts :meth:`analyze`
+        would (ids, scores and reasons); the equivalence suite pins this
+        for every built-in detector.
+        """
+        return None
 
     def describe(self) -> str:
         """A one-line description (defaults to the class docstring's first line)."""

@@ -17,12 +17,18 @@ extension experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
+from repro.core.alerts import AlertSet
 from repro.detectors.base import SessionDetector
 from repro.detectors.features import SessionFeatures, extract_features
 from repro.detectors.fingerprint import UserAgentFingerprintDetector
 from repro.logs.sessionization import Session, Sessionizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
 
 
 @dataclass(frozen=True)
@@ -119,3 +125,96 @@ class BehavioralSessionDetector(SessionDetector):
             return None
         normalised = min(1.0, score / (2 * self.config.alert_threshold))
         return normalised, tuple(signals)
+
+    # ------------------------------------------------------------------
+    def scored_columns(
+        self,
+        frame: "RecordFrame",
+        sessions: "FrameSessions",
+        features: "FeatureMatrix",
+        fingerprint_verdicts: "dict | None" = None,
+    ) -> dict[str, tuple[float, tuple[str, ...]]]:
+        """Per-record ``{request_id: (score, reasons)}`` over a frame.
+
+        ``fingerprint_verdicts`` shares an already-computed
+        :meth:`~repro.detectors.fingerprint.UserAgentFingerprintDetector.pair_verdicts`
+        result (the commercial composite judges each pair once for all
+        its layers).
+        """
+        config = self.config
+        counts = features.counts
+        cv = features.column("interarrival_cv")
+
+        verdicts = (
+            fingerprint_verdicts
+            if fingerprint_verdicts is not None
+            else self.fingerprint.pair_verdicts(frame)
+        )
+        fingerprinted = np.fromiter(
+            (
+                (int(agent), int(ip)) in verdicts
+                for agent, ip in zip(sessions.agent_codes, sessions.ip_codes)
+            ),
+            bool,
+            len(features),
+        )
+        # The same evidence signals as score_session, evaluated for every
+        # session at once; the weight additions run in the same order, so
+        # the accumulated scores are bit-identical (adding 0.0 is exact).
+        signals = (
+            (
+                features.column("asset_fraction") < config.no_assets_threshold,
+                config.no_assets_weight,
+            ),
+            (
+                features.column("referrer_fraction") < config.no_referrer_threshold,
+                config.no_referrer_weight,
+            ),
+            (
+                (counts >= config.machine_timing_min_requests)
+                & (cv < config.machine_timing_cv),
+                config.machine_timing_weight,
+            ),
+            (counts >= config.high_volume_requests, config.high_volume_weight),
+            (
+                (counts >= config.coverage_min_requests)
+                & (features.column("unique_path_ratio") > config.coverage_ratio),
+                config.coverage_weight,
+            ),
+            (features.column("night_fraction") > config.night_fraction, config.night_weight),
+            (fingerprinted, config.fingerprint_weight),
+        )
+        scores = np.zeros(len(features))
+        for fired, weight in signals:
+            scores = scores + np.where(fired, weight, 0.0)
+
+        alerted = scores >= config.alert_threshold
+        normalised = np.minimum(1.0, scores / (2 * config.alert_threshold))
+        request_ids = frame.request_ids
+        order, starts = sessions.order, sessions.starts
+        scored: dict[str, tuple[float, tuple[str, ...]]] = {}
+        for index in np.flatnonzero(alerted).tolist():
+            reasons: list[str] = []
+            if signals[0][0][index]:
+                reasons.append("no static assets loaded")
+            if signals[1][0][index]:
+                reasons.append("no referrer headers")
+            if signals[2][0][index]:
+                reasons.append(f"machine-regular timing (cv={float(cv[index]):.2f})")
+            if signals[3][0][index]:
+                reasons.append(f"high volume ({int(counts[index])} requests)")
+            if signals[4][0][index]:
+                reasons.append("exhaustive URL coverage")
+            if signals[5][0][index]:
+                reasons.append("night-time activity")
+            if signals[6][0][index]:
+                reasons.append("non-browser client fingerprint")
+            verdict = (float(normalised[index]), tuple(reasons))
+            for row in order[starts[index] : starts[index + 1]].tolist():
+                scored[request_ids[row]] = verdict
+        return scored
+
+    def analyze_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> AlertSet:
+        return AlertSet.from_scored(self.name, self.scored_columns(frame, sessions, features))

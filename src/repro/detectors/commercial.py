@@ -19,7 +19,7 @@ alerts, with the triggering layer(s) recorded as alert reasons.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.alerts import AlertSet
 from repro.detectors.base import Detector
@@ -29,6 +29,9 @@ from repro.detectors.ratelimit import RateLimitDetector
 from repro.detectors.reputation import IPReputationDetector
 from repro.logs.dataset import Dataset
 from repro.logs.sessionization import Session, Sessionizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
 
 
 class CommercialBotDefenceDetector(Detector):
@@ -60,6 +63,53 @@ class CommercialBotDefenceDetector(Detector):
         )
 
     # ------------------------------------------------------------------
+    def _combine(
+        self, layer_alerts: Sequence[tuple[str, AlertSet]], whitelisted: set[str]
+    ) -> AlertSet:
+        """Union the layers' alerts (layer names become reason prefixes).
+
+        Scores merge by maximum and reasons concatenate in layer order
+        with order-preserving dedup -- exactly the
+        :meth:`~repro.core.alerts.AlertSet.add` merge semantics, computed
+        in plain dictionaries and materialised once at the end.
+        """
+        layer_scored = [
+            (
+                layer_name,
+                {alert.request_id: (alert.score, alert.reasons) for alert in alerts.alerts()},
+            )
+            for layer_name, alerts in layer_alerts
+        ]
+        return self._merge_scored(layer_scored, whitelisted)
+
+    def _merge_scored(
+        self,
+        layer_scored: Sequence[tuple[str, dict[str, tuple[float, tuple[str, ...]]]]],
+        whitelisted: set[str],
+    ) -> AlertSet:
+        merged: dict[str, list] = {}
+        for layer_name, scored in layer_scored:
+            for request_id, (score, raw_reasons) in scored.items():
+                if request_id in whitelisted:
+                    continue
+                reasons = tuple(
+                    f"{layer_name}: {reason}" for reason in raw_reasons
+                ) or (layer_name,)
+                entry = merged.get(request_id)
+                if entry is None:
+                    merged[request_id] = [score, reasons]
+                else:
+                    if score > entry[0]:
+                        entry[0] = score
+                    entry[1] = entry[1] + reasons
+        return AlertSet.from_scored(
+            self.name,
+            {
+                request_id: (score, tuple(dict.fromkeys(reasons)))
+                for request_id, (score, reasons) in merged.items()
+            },
+        )
+
     def analyze(self, dataset: Dataset, *, sessions: Sequence[Session] | None = None) -> AlertSet:
         if sessions is None:
             sessions = self.sessionizer.sessionize(dataset.records)
@@ -70,20 +120,46 @@ class CommercialBotDefenceDetector(Detector):
             ("rate", self.ratelimit.analyze(dataset, sessions=sessions)),
             ("behavioral", self.behavioral.analyze(dataset, sessions=sessions)),
         ]
+        return self._combine(layer_alerts, self._whitelisted_request_ids(sessions))
 
-        whitelisted = self._whitelisted_request_ids(sessions)
-
-        combined = AlertSet(self.name)
-        for layer_name, alerts in layer_alerts:
-            for alert in alerts.alerts():
-                if alert.request_id in whitelisted:
-                    continue
-                combined.add(
-                    alert.request_id,
-                    score=alert.score,
-                    reasons=tuple(f"{layer_name}: {reason}" for reason in alert.reasons) or (layer_name,),
+    def analyze_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> AlertSet:
+        # The layers hand over plain scored dictionaries: the composite
+        # merges those directly and materialises alert objects exactly
+        # once, for the combined set.  The fingerprint pair verdicts are
+        # judged once and shared between the two layers that need them.
+        verdicts = self.fingerprint.pair_verdicts(frame)
+        layer_scored = [
+            ("fingerprint", self.fingerprint.scored_columns(frame, verdicts)),
+            ("reputation", self.reputation.scored_columns(frame)),
+            ("rate", self.ratelimit.scored_columns(frame, sessions, features)),
+            (
+                "behavioral",
+                self.behavioral.scored_columns(
+                    frame, sessions, features, fingerprint_verdicts=verdicts
+                ),
+            ),
+        ]
+        # Verified-crawler whitelist, per (agent, IP) pair instead of per
+        # session: a pair's verdict covers all its sessions at once.
+        whitelisted: set[str] = set()
+        agents = frame.tables["user_agent"]
+        ips = frame.tables["client_ip"]
+        pair_cache: dict[tuple[int, int], bool] = {}
+        request_ids = frame.request_ids
+        order, starts = sessions.order, sessions.starts
+        for index in range(len(sessions)):
+            pair = (int(sessions.agent_codes[index]), int(sessions.ip_codes[index]))
+            verified = pair_cache.get(pair)
+            if verified is None:
+                verified = self.fingerprint.is_verified_crawler(agents[pair[0]], ips[pair[1]])
+                pair_cache[pair] = verified
+            if verified:
+                whitelisted.update(
+                    request_ids[row] for row in order[starts[index] : starts[index + 1]]
                 )
-        return combined
+        return self._merge_scored(layer_scored, whitelisted)
 
     # ------------------------------------------------------------------
     def _whitelisted_request_ids(self, sessions: Sequence[Session]) -> set[str]:

@@ -14,17 +14,24 @@ used in two modes:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.alerts import AlertSet
 from repro.detectors.base import Detector
 from repro.detectors.features import extract_features, feature_matrix
-from repro.detectors.pseudolabels import PseudoLabelConfig, pseudo_label_sessions
+from repro.detectors.pseudolabels import (
+    PseudoLabelConfig,
+    pseudo_label_matrix,
+    pseudo_label_sessions,
+)
 from repro.logs.dataset import Dataset
 from repro.logs.sessionization import Session, Sessionizer
 from repro.ml.decision_tree import DecisionTreeClassifier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
 
 
 class CrawlerDecisionTreeDetector(Detector):
@@ -92,4 +99,36 @@ class CrawlerDecisionTreeDetector(Detector):
                     score=float(probability),
                     reasons=(f"decision tree bot probability {probability:.2f}",),
                 )
+        return alert_set
+
+    # ------------------------------------------------------------------
+    def analyze_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> AlertSet:
+        alert_set = AlertSet(self.name)
+        if len(features) == 0:
+            return alert_set
+
+        matrix = features.values
+
+        if not self._externally_trained:
+            indices, labels = pseudo_label_matrix(features, self.pseudo_label_config)
+            if indices.size == 0 or np.unique(labels).size < 2:
+                # Nothing confident to train on; stay silent rather than guess.
+                return alert_set
+            effective_min_leaf = max(1, min(self.min_leaf, int(indices.size) // 4))
+            self.model = DecisionTreeClassifier(max_depth=self.max_depth, min_leaf=effective_min_leaf)
+            self.model.fit(matrix[indices], labels)
+
+        assert self.model is not None
+        probabilities = self.model.predict_proba(matrix)
+        request_ids = frame.request_ids
+        order, starts = sessions.order, sessions.starts
+        for index in np.flatnonzero(probabilities >= self.alert_probability).tolist():
+            probability = float(probabilities[index])
+            alert_set.add_many(
+                (request_ids[row] for row in order[starts[index] : starts[index + 1]]),
+                score=probability,
+                reasons=(f"decision tree bot probability {probability:.2f}",),
+            )
         return alert_set

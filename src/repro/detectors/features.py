@@ -1,4 +1,4 @@
-"""Session feature extraction.
+"""Session feature extraction (record-object path).
 
 Behavioural, probabilistic and anomaly-based detectors all work on the
 same numeric description of a session.  The feature set follows the web
@@ -6,139 +6,39 @@ robot detection literature (Stevanovic et al. 2012; Stassopoulou &
 Dikaiakos 2009): request volume and rate, timing regularity, asset and
 referrer behaviour, URL-space coverage, error/probe behaviour and
 user-agent class indicators.
+
+The schema (:data:`FEATURE_NAMES`, :class:`SessionFeatures`) and the
+numeric kernels live in :mod:`repro.columns.features`; this module is
+the per-:class:`~repro.logs.sessionization.Session` convenience layer on
+top of them.  Because :func:`extract_features` runs the *same* kernels
+as the batched :class:`~repro.columns.features.FeatureMatrix`, the two
+paths produce bit-identical values -- the property and equivalence
+suites pin this.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.logs.sessionization import Session
-from repro.traffic.useragents import is_headless_agent, is_known_crawler_agent, is_scripted_agent
-
-#: Order of the numeric feature vector produced by :meth:`SessionFeatures.vector`.
-FEATURE_NAMES: tuple[str, ...] = (
-    "request_count",
-    "requests_per_minute",
-    "mean_interarrival",
-    "interarrival_cv",
-    "error_rate",
-    "no_content_fraction",
-    "not_modified_fraction",
-    "asset_fraction",
-    "referrer_fraction",
-    "unique_path_ratio",
-    "head_fraction",
-    "robots_hits",
-    "night_fraction",
-    "scripted_agent",
-    "headless_agent",
-    "crawler_claim",
+# Re-exported for backward compatibility: the schema's single source of
+# truth is repro.columns.features.
+from repro.columns.features import (  # noqa: F401
+    FEATURE_NAMES,
+    FeatureMatrix,
+    SessionArrays,
+    SessionFeatures,
 )
-
-
-@dataclass(frozen=True)
-class SessionFeatures:
-    """Numeric description of one session."""
-
-    session_id: str
-    request_count: int
-    requests_per_minute: float
-    mean_interarrival: float
-    interarrival_cv: float
-    error_rate: float
-    no_content_fraction: float
-    not_modified_fraction: float
-    asset_fraction: float
-    referrer_fraction: float
-    unique_path_ratio: float
-    head_fraction: float
-    robots_hits: int
-    night_fraction: float
-    scripted_agent: bool
-    headless_agent: bool
-    crawler_claim: bool
-
-    def vector(self) -> np.ndarray:
-        """The features as a float vector in :data:`FEATURE_NAMES` order."""
-        return np.array(
-            [
-                float(self.request_count),
-                self.requests_per_minute,
-                self.mean_interarrival,
-                self.interarrival_cv,
-                self.error_rate,
-                self.no_content_fraction,
-                self.not_modified_fraction,
-                self.asset_fraction,
-                self.referrer_fraction,
-                self.unique_path_ratio,
-                self.head_fraction,
-                float(self.robots_hits),
-                self.night_fraction,
-                float(self.scripted_agent),
-                float(self.headless_agent),
-                float(self.crawler_claim),
-            ],
-            dtype=float,
-        )
-
-    def as_dict(self) -> dict[str, float]:
-        """The features keyed by name."""
-        return dict(zip(FEATURE_NAMES, self.vector().tolist()))
-
-
-def _interarrival_cv(session: Session) -> float:
-    """Coefficient of variation of the inter-arrival times.
-
-    Low values mean machine-regular pacing; humans produce highly variable
-    think times.  Sessions with fewer than three requests return a neutral
-    value of 1.0 (no evidence either way).
-    """
-    gaps = session.interarrival_seconds()
-    if len(gaps) < 2:
-        return 1.0
-    mean = sum(gaps) / len(gaps)
-    if mean <= 0:
-        return 0.0
-    variance = sum((gap - mean) ** 2 for gap in gaps) / len(gaps)
-    return math.sqrt(variance) / mean
-
-
-def _night_fraction(session: Session) -> float:
-    """Fraction of requests between 00:00 and 05:59 local (server) time."""
-    if not session.records:
-        return 0.0
-    night = sum(1 for record in session.records if record.timestamp.hour < 6)
-    return night / len(session.records)
+from repro.logs.sessionization import Session
 
 
 def extract_features(session: Session) -> SessionFeatures:
     """Compute the :class:`SessionFeatures` of one session."""
-    count = session.request_count
-    unique_ratio = session.unique_paths() / count if count else 0.0
-    return SessionFeatures(
-        session_id=session.session_id,
-        request_count=count,
-        requests_per_minute=session.requests_per_minute(),
-        mean_interarrival=session.mean_interarrival_seconds(),
-        interarrival_cv=_interarrival_cv(session),
-        error_rate=session.error_rate(),
-        no_content_fraction=session.status_fraction(204),
-        not_modified_fraction=session.status_fraction(304),
-        asset_fraction=session.asset_fraction(),
-        referrer_fraction=session.referrer_fraction(),
-        unique_path_ratio=unique_ratio,
-        head_fraction=session.head_fraction(),
-        robots_hits=session.robots_txt_hits(),
-        night_fraction=_night_fraction(session),
-        scripted_agent=is_scripted_agent(session.user_agent),
-        headless_agent=is_headless_agent(session.user_agent),
-        crawler_claim=is_known_crawler_agent(session.user_agent),
+    arrays = SessionArrays.from_session_records(
+        session.records, user_agent=session.user_agent, session_id=session.session_id
     )
+    return FeatureMatrix.from_arrays(arrays).row(0)
 
 
 def feature_matrix(sessions: Sequence[Session]) -> np.ndarray:

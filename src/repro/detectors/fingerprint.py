@@ -9,7 +9,9 @@ published IP ranges (fake Googlebots are a scraping staple).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from repro.core.alerts import AlertSet
 from repro.detectors.base import Detector
@@ -17,6 +19,9 @@ from repro.logs.dataset import Dataset
 from repro.logs.sessionization import Session
 from repro.traffic.ipspace import IPPool, IPSpace
 from repro.traffic.useragents import is_headless_agent, is_known_crawler_agent, is_scripted_agent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
 
 
 class UserAgentFingerprintDetector(Detector):
@@ -72,3 +77,65 @@ class UserAgentFingerprintDetector(Detector):
             score, reason = verdict
             alert_set.add(record.request_id, score=score, reasons=(reason,))
         return alert_set
+
+    # ------------------------------------------------------------------
+    def pair_verdicts(
+        self, frame: "RecordFrame"
+    ) -> dict[tuple[int, int], tuple[float, str]]:
+        """Suspicious verdicts per distinct (agent code, IP code) pair."""
+        agent_codes = frame.codes["user_agent"]
+        ip_codes = frame.codes["client_ip"]
+        agents = frame.tables["user_agent"]
+        ips = frame.tables["client_ip"]
+        pair_key = agent_codes * np.int64(len(ips) + 1) + ip_codes
+        verdicts: dict[tuple[int, int], tuple[float, str]] = {}
+        for key in np.unique(pair_key):
+            agent_code = int(key) // (len(ips) + 1)
+            ip_code = int(key) % (len(ips) + 1)
+            verdict = self.judge_request(agents[agent_code], ips[ip_code])
+            if verdict is not None:
+                verdicts[(agent_code, ip_code)] = verdict
+        return verdicts
+
+    def scored_columns(
+        self,
+        frame: "RecordFrame",
+        verdicts: dict[tuple[int, int], tuple[float, str]] | None = None,
+    ) -> dict[str, tuple[float, tuple[str, ...]]]:
+        """Per-record ``{request_id: (score, reasons)}`` over a frame.
+
+        The columnar scoring core shared by :meth:`analyze_columns` and
+        the commercial composite (which merges layer dictionaries
+        directly instead of paying for intermediate alert objects).
+        ``verdicts`` lets a caller that already ran :meth:`pair_verdicts`
+        share the result instead of judging every pair again.
+        """
+        if verdicts is None:
+            verdicts = self.pair_verdicts(frame)
+        if not verdicts:
+            return {}
+        agent_codes = frame.codes["user_agent"]
+        ip_codes = frame.codes["client_ip"]
+        request_ids = frame.request_ids
+        # One boolean gather marks the suspicious records; alerts are
+        # then assembled in frame (= data set) order like the record path.
+        suspicious_agents = np.zeros(len(frame.tables["user_agent"]) + 1, dtype=bool)
+        for agent_code, _ in verdicts:
+            suspicious_agents[agent_code] = True
+        candidates = np.flatnonzero(suspicious_agents[agent_codes])
+        scored: dict[str, tuple[float, tuple[str, ...]]] = {}
+        get_verdict = verdicts.get
+        agent_list = agent_codes.tolist()
+        ip_list = ip_codes.tolist()
+        for row in candidates.tolist():
+            verdict = get_verdict((agent_list[row], ip_list[row]))
+            if verdict is None:
+                continue
+            score, reason = verdict
+            scored[request_ids[row]] = (score, (reason,))
+        return scored
+
+    def analyze_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> AlertSet:
+        return AlertSet.from_scored(self.name, self.scored_columns(frame))

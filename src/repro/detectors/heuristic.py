@@ -12,12 +12,18 @@ configuration of it.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
+from repro.core.alerts import AlertSet
 from repro.detectors.base import SessionDetector
 from repro.logs.sessionization import Session, Sessionizer
 from repro.traffic.ipspace import IPPool, IPSpace
 from repro.traffic.useragents import is_known_crawler_agent, is_scripted_agent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
 
 
 class Rule(abc.ABC):
@@ -29,6 +35,19 @@ class Rule(abc.ABC):
     @abc.abstractmethod
     def matches(self, session: Session) -> str | None:
         """Return a human-readable reason when the rule fires, else ``None``."""
+
+    def matches_frame(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> list[str | None] | None:
+        """Evaluate the rule for every session of a frame at once.
+
+        Returns one entry per session (the reason string, or ``None``
+        when the rule does not fire), or ``None`` when the rule has no
+        vectorized implementation -- the detector then falls back to the
+        record path for the whole rule set.  Implementations must return
+        exactly what :meth:`matches` would per session.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{self.__class__.__name__}()"
@@ -61,6 +80,26 @@ class RateRule(Rule):
             return f"{self.name}: peak {peak:.0f} req/min > {self.threshold_rpm:.0f}"
         return None
 
+    def matches_frame(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> list[str | None]:
+        counts = features.counts
+        rates = features.column("requests_per_minute")
+        eligible = counts >= self.min_requests
+        average_fired = eligible & (rates > self.threshold_rpm)
+        peaks = features.peak_rpm()
+        peak_fired = eligible & ~average_fired & (peaks > self.threshold_rpm)
+        out: list[str | None] = [None] * len(features)
+        for index in np.flatnonzero(average_fired).tolist():
+            out[index] = (
+                f"{self.name}: {float(rates[index]):.0f} req/min > {self.threshold_rpm:.0f}"
+            )
+        for index in np.flatnonzero(peak_fired).tolist():
+            out[index] = (
+                f"{self.name}: peak {float(peaks[index]):.0f} req/min > {self.threshold_rpm:.0f}"
+            )
+        return out
+
 
 class ScriptedAgentRule(Rule):
     """Obvious scripted-client user agents (requests/curl/Scrapy/...)."""
@@ -73,6 +112,21 @@ class ScriptedAgentRule(Rule):
         if not session.user_agent.strip():
             return f"{self.name}: empty user agent"
         return None
+
+    def matches_frame(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> list[str | None]:
+        # The verdict depends only on the user-agent string: evaluate it
+        # once per distinct agent and gather per session.
+        per_agent: list[str | None] = []
+        for agent in frame.tables["user_agent"]:
+            if is_scripted_agent(agent):
+                per_agent.append(f"{self.name}: {agent.split('/')[0]}")
+            elif not agent.strip():
+                per_agent.append(f"{self.name}: empty user agent")
+            else:
+                per_agent.append(None)
+        return [per_agent[code] for code in sessions.agent_codes.tolist()]
 
 
 class ErrorProbeRule(Rule):
@@ -128,6 +182,45 @@ class ErrorProbeRule(Rule):
             return f"{self.name}: HEAD fraction {head_fraction:.1%}"
         return None
 
+    def matches_frame(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> list[str | None]:
+        n = len(features)
+        counts = features.counts
+        eligible = counts >= self.min_requests
+        error_rate = features.column("error_rate")
+        head_fraction = features.column("head_fraction")
+
+        # 204 fraction over non-tracking paths: tracking status is a
+        # property of the (distinct) URL path, counted per session.
+        url_paths = frame.url_paths()
+        tracking_table = np.fromiter(
+            (self._is_tracking_path(path) for path in url_paths), bool, len(url_paths)
+        )
+        relevant = ~tracking_table[frame.codes["path"]]
+        session_of = sessions.record_session_index()
+        relevant_counts = np.bincount(session_of[relevant].astype(np.intp), minlength=n)
+        no_content_counts = np.bincount(
+            session_of[relevant & (frame.statuses == 204)].astype(np.intp), minlength=n
+        )
+        no_content = np.where(
+            relevant_counts > 0, no_content_counts / np.maximum(relevant_counts, 1), 0.0
+        )
+
+        error_fired = eligible & (error_rate >= self.error_rate_threshold)
+        no_content_fired = eligible & ~error_fired & (no_content >= self.no_content_threshold)
+        head_fired = (
+            eligible & ~error_fired & ~no_content_fired & (head_fraction >= self.head_threshold)
+        )
+        out: list[str | None] = [None] * n
+        for index in np.flatnonzero(error_fired).tolist():
+            out[index] = f"{self.name}: error rate {float(error_rate[index]):.1%}"
+        for index in np.flatnonzero(no_content_fired).tolist():
+            out[index] = f"{self.name}: 204 fraction {float(no_content[index]):.1%}"
+        for index in np.flatnonzero(head_fired).tolist():
+            out[index] = f"{self.name}: HEAD fraction {float(head_fraction[index]):.1%}"
+        return out
+
 
 class RobotsNoAssetRule(Rule):
     """Crawler-shaped sessions that are not verified crawlers.
@@ -152,6 +245,22 @@ class RobotsNoAssetRule(Rule):
             return f"{self.name}: robots.txt fetched, {session.asset_fraction():.1%} assets"
         return None
 
+    def matches_frame(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> list[str | None]:
+        asset_fraction = features.column("asset_fraction")
+        fired = (
+            (features.counts >= self.min_requests)
+            & (features.column("robots_hits") > 0)
+            & (asset_fraction <= self.asset_threshold)
+        )
+        out: list[str | None] = [None] * len(features)
+        for index in np.flatnonzero(fired).tolist():
+            out[index] = (
+                f"{self.name}: robots.txt fetched, {float(asset_fraction[index]):.1%} assets"
+            )
+        return out
+
 
 class PathRepetitionRule(Rule):
     """The same resource hammered repeatedly within one session."""
@@ -169,6 +278,21 @@ class PathRepetitionRule(Rule):
         if repetition >= self.repetition_threshold:
             return f"{self.name}: {repetition:.1f} requests per distinct path"
         return None
+
+    def matches_frame(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> list[str | None]:
+        unique = features.unique_paths
+        repetition = np.where(
+            unique > 0, features.counts / np.maximum(unique, 1), 0.0
+        )
+        fired = (features.counts >= self.min_requests) & (
+            repetition >= self.repetition_threshold
+        )
+        out: list[str | None] = [None] * len(features)
+        for index in np.flatnonzero(fired).tolist():
+            out[index] = f"{self.name}: {float(repetition[index]):.1f} requests per distinct path"
+        return out
 
 
 class HeuristicRuleDetector(SessionDetector):
@@ -215,3 +339,53 @@ class HeuristicRuleDetector(SessionDetector):
         # More independent rules firing means higher confidence.
         score = min(1.0, 0.6 + 0.2 * (len(reasons) - 1))
         return score, tuple(reasons)
+
+    # ------------------------------------------------------------------
+    def whitelisted_sessions(
+        self, frame: "RecordFrame", sessions: "FrameSessions"
+    ) -> np.ndarray:
+        """Per-session flags: verified, well-known crawler sessions."""
+        n = len(sessions)
+        flags = np.zeros(n, dtype=bool)
+        if not self.whitelist_verified_crawlers:
+            return flags
+        agents = frame.tables["user_agent"]
+        ips = frame.tables["client_ip"]
+        crawler_table = np.fromiter(
+            (is_known_crawler_agent(agent) for agent in agents), bool, len(agents)
+        )
+        pool_cache: dict[int, bool] = {}
+        for index in np.flatnonzero(crawler_table[sessions.agent_codes]).tolist():
+            ip_code = int(sessions.ip_codes[index])
+            verified = pool_cache.get(ip_code)
+            if verified is None:
+                verified = self.crawler_pool.contains(ips[ip_code])
+                pool_cache[ip_code] = verified
+            flags[index] = verified
+        return flags
+
+    def analyze_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> AlertSet | None:
+        per_rule: list[list[str | None]] = []
+        for rule in self.rules:
+            reasons = rule.matches_frame(frame, sessions, features)
+            if reasons is None:
+                # A custom rule without a vectorized implementation sends
+                # the whole detector down the record path.
+                return None
+            per_rule.append(reasons)
+        whitelisted = self.whitelisted_sessions(frame, sessions)
+        request_ids = frame.request_ids
+        order, starts = sessions.order, sessions.starts
+        scored: dict[str, tuple[float, tuple[str, ...]]] = {}
+        for index in range(len(sessions)):
+            if whitelisted[index]:
+                continue
+            reasons = [rule[index] for rule in per_rule if rule[index] is not None]
+            if not reasons:
+                continue
+            verdict = (min(1.0, 0.6 + 0.2 * (len(reasons) - 1)), tuple(reasons))
+            for row in order[starts[index] : starts[index + 1]].tolist():
+                scored[request_ids[row]] = verdict
+        return AlertSet.from_scored(self.name, scored)

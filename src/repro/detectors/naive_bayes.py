@@ -13,17 +13,24 @@ the confidently automated sessions.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.alerts import AlertSet
 from repro.detectors.base import Detector
 from repro.detectors.features import SessionFeatures, extract_features
-from repro.detectors.pseudolabels import PseudoLabelConfig, pseudo_label_sessions
+from repro.detectors.pseudolabels import (
+    PseudoLabelConfig,
+    pseudo_label_matrix,
+    pseudo_label_sessions,
+)
 from repro.logs.dataset import Dataset
 from repro.logs.sessionization import Session, Sessionizer
 from repro.ml.naive_bayes import BernoulliNaiveBayes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
 
 #: Names of the binary indicators, in vector order.
 INDICATOR_NAMES: tuple[str, ...] = (
@@ -53,6 +60,30 @@ def binarize_features(features: SessionFeatures) -> np.ndarray:
         ],
         dtype=float,
     )
+
+
+def binarize_matrix(features: "FeatureMatrix") -> np.ndarray:
+    """All sessions' binary indicator vectors at once.
+
+    The batched counterpart of :func:`binarize_features`: same columns
+    in :data:`INDICATOR_NAMES` order, bit-identical values.
+    """
+    counts = features.counts
+    return np.column_stack(
+        [
+            features.column("requests_per_minute") > 30.0,
+            features.column("asset_fraction") < 0.05,
+            features.column("referrer_fraction") < 0.2,
+            (features.column("unique_path_ratio") > 0.85) & (counts >= 15),
+            (features.column("error_rate") > 0.04)
+            | (features.column("no_content_fraction") > 0.06)
+            | (features.column("head_fraction") > 0.08),
+            features.column("night_fraction") > 0.4,
+            (features.column("scripted_agent") != 0.0)
+            | (features.column("headless_agent") != 0.0),
+            counts >= 30,
+        ]
+    ).astype(float)
 
 
 class NaiveBayesRobotDetector(Detector):
@@ -108,4 +139,37 @@ class NaiveBayesRobotDetector(Detector):
                     score=float(probability),
                     reasons=(f"naive Bayes bot posterior {probability:.2f}",),
                 )
+        return alert_set
+
+    # ------------------------------------------------------------------
+    def analyze_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> AlertSet:
+        alert_set = AlertSet(self.name)
+        if len(features) == 0:
+            return alert_set
+
+        indicator_matrix = binarize_matrix(features)
+        indices, labels = pseudo_label_matrix(features, self.pseudo_label_config)
+
+        if indices.size and np.unique(labels).size == 2:
+            self.model = BernoulliNaiveBayes()
+            self.model.fit(indicator_matrix[indices], labels)
+            probabilities = self.model.predict_proba(indicator_matrix)
+            bot_column = int(np.where(self.model.classes_ == 1)[0][0])
+            bot_probability = probabilities[:, bot_column]
+        else:
+            self.model = None
+            bot_probability = np.zeros(len(features))
+            bot_probability[indices[labels == 1]] = 1.0 if indices.size else 0.0
+
+        request_ids = frame.request_ids
+        order, starts = sessions.order, sessions.starts
+        for index in np.flatnonzero(bot_probability >= self.alert_probability).tolist():
+            probability = float(bot_probability[index])
+            alert_set.add_many(
+                (request_ids[row] for row in order[starts[index] : starts[index + 1]]),
+                score=probability,
+                reasons=(f"naive Bayes bot posterior {probability:.2f}",),
+            )
         return alert_set

@@ -13,10 +13,14 @@ both detectors share it and tests can exercise it directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.detectors.features import SessionFeatures
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FeatureMatrix
 
 
 @dataclass(frozen=True)
@@ -72,3 +76,31 @@ def pseudo_label_sessions(
             indices.append(position)
             labels.append(label)
     return np.array(indices, dtype=int), np.array(labels, dtype=int)
+
+
+def pseudo_label_matrix(
+    features: "FeatureMatrix", config: PseudoLabelConfig | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pseudo-label every session of a :class:`~repro.columns.FeatureMatrix`.
+
+    The batched counterpart of :func:`pseudo_label_sessions`: same
+    ``(indices, labels)`` contract, same decision logic, evaluated as
+    vector comparisons over the matrix columns.
+    """
+    config = config or PseudoLabelConfig()
+    rate = features.column("requests_per_minute")
+    counts = features.counts
+    bot = (
+        (features.column("scripted_agent") != 0.0)
+        | (features.column("headless_agent") != 0.0)
+        | ((rate > config.bot_rate_rpm) & (counts >= config.bot_min_requests))
+    )
+    human = (
+        ~bot
+        & (features.column("asset_fraction") >= config.human_asset_fraction)
+        & (features.column("referrer_fraction") >= config.human_referrer_fraction)
+        & (counts <= config.human_max_requests)
+        & (rate <= config.human_max_rate_rpm)
+    )
+    indices = np.flatnonzero(bot | human)
+    return indices.astype(int), bot[indices].astype(int)

@@ -8,10 +8,16 @@ stand-alone detector for the multi-detector extension experiments.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
+from repro.core.alerts import AlertSet
 from repro.detectors.base import SessionDetector
 from repro.logs.sessionization import Session, Sessionizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
 
 
 class RateLimitDetector(SessionDetector):
@@ -51,3 +57,33 @@ class RateLimitDetector(SessionDetector):
         # Score grows with how far above the threshold the session is.
         score = min(1.0, 0.5 + 0.5 * (rate - self.threshold_rpm) / self.threshold_rpm)
         return score, (f"rate {rate:.0f} req/min exceeds {self.threshold_rpm:.0f}",)
+
+    # ------------------------------------------------------------------
+    def scored_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> dict[str, tuple[float, tuple[str, ...]]]:
+        """Per-record ``{request_id: (score, reasons)}`` over a frame."""
+        rates = features.column("requests_per_minute")
+        if self.use_peak_rate:
+            rates = np.maximum(rates, features.peak_rpm())
+        eligible = (features.counts >= self.min_requests) & (rates > self.threshold_rpm)
+        scores = np.minimum(
+            1.0, 0.5 + 0.5 * (rates - self.threshold_rpm) / self.threshold_rpm
+        )
+        request_ids = frame.request_ids
+        order, starts = sessions.order, sessions.starts
+        scored: dict[str, tuple[float, tuple[str, ...]]] = {}
+        for index in np.flatnonzero(eligible).tolist():
+            rate = float(rates[index])
+            verdict = (
+                float(scores[index]),
+                (f"rate {rate:.0f} req/min exceeds {self.threshold_rpm:.0f}",),
+            )
+            for row in order[starts[index] : starts[index + 1]].tolist():
+                scored[request_ids[row]] = verdict
+        return scored
+
+    def analyze_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> AlertSet:
+        return AlertSet.from_scored(self.name, self.scored_columns(frame, sessions, features))

@@ -80,6 +80,15 @@ class TraceError(ReproError):
     """
 
 
+class ColumnsError(ReproError):
+    """Raised for invalid columnar-frame operations.
+
+    Covers inconsistent column lengths in a
+    :class:`~repro.columns.frame.RecordFrame` and misuse of the
+    session-span / feature-matrix APIs built on top of it.
+    """
+
+
 class SpecError(ReproError):
     """Raised for invalid, unknown or non-round-trippable run specifications.
 

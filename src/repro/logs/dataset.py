@@ -94,6 +94,22 @@ class GroundTruth:
         """The set of request ids labelled benign."""
         return {rid for rid, label in self._labels.items() if label == BENIGN}
 
+    def label_columns(self, request_ids: Sequence[str]) -> tuple[list[str], list[str]]:
+        """Bulk ``(labels, actor_classes)`` for the given request ids.
+
+        The read counterpart of :meth:`from_columns`: two aligned value
+        lists in one pass over the internal stores (no per-request method
+        dispatch).  Raises :class:`LabelError` when any id lacks a label.
+        """
+        labels = self._labels
+        actors = self._actor_classes
+        try:
+            label_values = [labels[request_id] for request_id in request_ids]
+        except KeyError as exc:
+            raise LabelError(f"no ground truth for request {exc.args[0]!r}") from exc
+        actor_get = actors.get
+        return label_values, [actor_get(request_id, "") for request_id in request_ids]
+
     def actor_class_counts(self) -> Counter[str]:
         """Number of requests per actor class."""
         return Counter(self._actor_classes.values())

@@ -16,6 +16,25 @@ from typing import Any, Mapping
 from urllib.parse import parse_qsl, urlsplit
 
 
+#: File extensions that mark a request as a static-asset fetch; shared
+#: with :mod:`repro.columns` so the record and columnar paths can never
+#: disagree about what an asset is.
+ASSET_SUFFIXES: tuple[str, ...] = (
+    ".css",
+    ".js",
+    ".png",
+    ".jpg",
+    ".jpeg",
+    ".gif",
+    ".svg",
+    ".ico",
+    ".woff",
+    ".woff2",
+    ".ttf",
+    ".map",
+)
+
+
 class RequestMethod(str, enum.Enum):
     """HTTP request methods that appear in the access logs."""
 
@@ -129,23 +148,7 @@ class LogRecord:
     @property
     def is_asset_request(self) -> bool:
         """True when the path looks like a static asset (css/js/image/font)."""
-        path = self.url_path.lower()
-        return path.endswith(
-            (
-                ".css",
-                ".js",
-                ".png",
-                ".jpg",
-                ".jpeg",
-                ".gif",
-                ".svg",
-                ".ico",
-                ".woff",
-                ".woff2",
-                ".ttf",
-                ".map",
-            )
-        )
+        return self.url_path.lower().endswith(ASSET_SUFFIXES)
 
     @property
     def has_referrer(self) -> bool:

@@ -204,6 +204,19 @@ class Sessionizer:
         finished.sort(key=lambda session: session.start)
         return finished
 
+    def sessionize_frame(self, frame):
+        """Vectorized sessionization of a :class:`~repro.columns.RecordFrame`.
+
+        Returns a :class:`~repro.columns.FrameSessions` index (session
+        spans over the frame's rows) equivalent record for record and id
+        for id to :meth:`sessionize` over the same data -- see
+        :func:`repro.columns.sessions.sessionize_frame`.
+        """
+        # Imported lazily: repro.columns builds on this module.
+        from repro.columns import sessionize_frame
+
+        return sessionize_frame(frame, timeout=self.timeout)
+
     def sessionize_by_ip(self, records: Iterable[LogRecord]) -> dict[str, list[Session]]:
         """Group sessions by client IP (used by IP-centric detectors)."""
         by_ip: dict[str, list[Session]] = {}

@@ -143,6 +143,11 @@ def _validate_for_mode(spec: RunSpec) -> None:
             execution.compare_configurations,
             "has no configuration comparison; compare_configurations is evaluate-only",
         )
+    if spec.mode in ("stream", "defend"):
+        reject(
+            execution.engine != "columnar",
+            "processes records one at a time; execution.engine is batch-only",
+        )
     if spec.mode == "defend":
         reject(execution.shards != 1, "runs a single closed loop; shards are stream-only")
         reject(execution.max_skew_seconds != 0.0, "replays in order; max_skew_seconds is stream-only")
@@ -205,7 +210,7 @@ def _paper_experiment(
         experiment = PaperExperiment(first, second)
     else:
         experiment = PaperExperiment()
-    return dataset, experiment.run_on(dataset)
+    return dataset, experiment.run_on(dataset, engine=spec.execution.engine)
 
 
 def _source_of(spec: RunSpec, dataset: Dataset) -> str:

@@ -38,6 +38,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.detectors.pipeline import ENGINES
 from repro.exceptions import SpecError
 from repro.registry import unknown_name_message
 
@@ -49,6 +50,10 @@ CAMPAIGNS = ("scripted", "adaptive")
 
 #: Sharded-execution backends (``stream`` mode with ``shards > 1``).
 BACKENDS = ("serial", "thread", "process")
+
+# Batch pipeline engines (``tables`` / ``evaluate`` modes) are imported
+# from repro.detectors.pipeline above: the pipeline that implements them
+# is their single source of truth.
 
 #: Vote-combination modes of the windowed adjudicator.
 ADJUDICATION_MODES = ("parallel", "serial-confirm", "serial-escalate")
@@ -247,11 +252,16 @@ class ExecutionSpec(_SpecBase):
     progress_every: int = 0
     #: Also compare parallel vs serial deployments (``evaluate`` mode).
     compare_configurations: bool = False
+    #: Batch pipeline engine (``tables`` / ``evaluate`` modes):
+    #: ``"columnar"`` (vectorized, default) or ``"records"`` (legacy
+    #: record-object path).  Both produce identical results.
+    engine: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise SpecError("shards must be at least 1")
         _check_choice("backend", self.backend, BACKENDS)
+        _check_choice("engine", self.engine, ENGINES)
         if self.max_skew_seconds < 0:
             raise SpecError("max_skew_seconds must be non-negative")
         if self.progress_every < 0:

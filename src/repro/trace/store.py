@@ -25,6 +25,8 @@ from dataclasses import dataclass
 from datetime import datetime, timedelta, timezone
 from typing import IO, Iterator
 
+import numpy as np
+
 from repro.exceptions import TraceError
 from repro.logs.dataset import BENIGN, MALICIOUS, Dataset, DatasetMetadata, GroundTruth
 from repro.logs.record import LogRecord, RequestMethod
@@ -495,6 +497,72 @@ class TraceReader:
             scale=data.get("scale", 1.0),
             seed=data.get("seed"),
             extra=data.get("extra", {}),
+        )
+
+    def read_frame(self):
+        """Map the trace straight into a :class:`~repro.columns.RecordFrame`.
+
+        The zero-decode path of the columnar batch pipeline: block
+        columns are concatenated into numpy arrays and the trace-global
+        string tables become the frame's dictionaries as-is -- no
+        ``LogRecord`` object is ever built.  Replaying a trace into the
+        columnar pipeline therefore skips per-record decoding entirely.
+        """
+        # Imported lazily: repro.columns is a consumer of this module.
+        from repro.columns import RecordFrame
+
+        with open(self.path, "rb") as handle:
+            handle.seek(self._strings_offset)
+            tables, actors = decode_strings_section(read_section(handle, STRINGS_TAG))
+
+        request_ids: list[str] = []
+        timestamps: list[int] = []
+        tz_offsets: list[int] = []
+        statuses: list[int] = []
+        sizes: list[int] = []
+        codes: dict[str, list[int]] = {name: [] for name in DICT_COLUMNS}
+        labels: list[int] | None = [] if self.info.labelled else None
+        actor_codes: list[int] | None = [] if self.info.labelled else None
+        extras: list[dict] | None = None
+
+        with open(self.path, "rb") as handle:
+            for offset, _count, _min_us, _max_us in self._meta["blocks"]:
+                handle.seek(offset)
+                columns = decode_block(read_section(handle, BLOCK_TAG))
+                block_start = len(request_ids)
+                request_ids.extend(columns.request_ids)
+                timestamps.extend(columns.timestamps_us)
+                tz_offsets.extend(columns.tz_offsets_s)
+                statuses.extend(columns.statuses)
+                sizes.extend(columns.sizes)
+                for name in DICT_COLUMNS:
+                    codes[name].extend(columns.dict_indices[name])
+                if labels is not None and columns.labels is not None:
+                    labels.extend(columns.labels)
+                    assert actor_codes is not None and columns.actor_indices is not None
+                    actor_codes.extend(columns.actor_indices)
+                if columns.extras is not None:
+                    if extras is None:
+                        extras = [{} for _ in range(block_start)]
+                    extras.extend(columns.extras)
+                elif extras is not None:
+                    extras.extend({} for _ in range(len(columns)))
+
+        tz_offsets_us = np.asarray(tz_offsets, dtype=np.int64) * 1_000_000
+        return RecordFrame(
+            request_ids=request_ids,
+            timestamps_us=np.asarray(timestamps, dtype=np.int64),
+            tz_offsets_us=tz_offsets_us,
+            statuses=np.asarray(statuses, dtype=np.int64),
+            sizes=np.asarray(sizes, dtype=np.int64),
+            codes={name: np.asarray(values, dtype=np.int64) for name, values in codes.items()},
+            tables=dict(tables),
+            labels=None if labels is None else np.asarray(labels, dtype=np.int64),
+            actor_codes=None if actor_codes is None else np.asarray(actor_codes, dtype=np.int64),
+            actor_table=list(actors),
+            extras=extras,
+            metadata=self.read_metadata(),
+            time_ordered=True if self.info.time_ordered else None,
         )
 
     def read_dataset(self) -> Dataset:

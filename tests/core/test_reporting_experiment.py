@@ -106,7 +106,14 @@ class TestPaperExperiment:
         assert full.count("Table") >= 2
 
     def test_timings_recorded_per_tool_and_sessionization(self, experiment_result):
-        assert set(experiment_result.timings) == {"commercial", "inhouse", "sessionization"}
+        # The columnar engine reports the batched feature extraction as
+        # its own shared step next to sessionization.
+        assert set(experiment_result.timings) == {
+            "commercial",
+            "inhouse",
+            "sessionization",
+            "features",
+        }
         assert all(value >= 0.0 for value in experiment_result.timings.values())
 
     def test_custom_detectors_can_be_used(self):

@@ -147,8 +147,14 @@ class TestDetectionPipeline:
     def test_sessionization_time_is_recorded(self, pipeline_result):
         assert "sessionization" in pipeline_result.timings
         assert pipeline_result.timings["sessionization"] >= 0
-        # One entry per detector plus the shared sessionization step.
-        assert set(pipeline_result.timings) == {"commercial", "inhouse", "sessionization"}
+        # One entry per detector plus the shared sessionization and
+        # batched feature-extraction steps of the columnar engine.
+        assert set(pipeline_result.timings) == {
+            "commercial",
+            "inhouse",
+            "sessionization",
+            "features",
+        }
 
     def test_matrix_columns_match_detector_order(self, pipeline_result):
         assert pipeline_result.matrix.detector_names == ["commercial", "inhouse"]
