@@ -53,10 +53,18 @@ def record_bench():
 
     Usage: ``record_bench("trace", "replay_vs_regenerate", seconds=...,
     speedup=...)``.  Values must be JSON-serializable; the session hook
-    below writes each group to ``BENCH_<group>.json``.
+    below writes each group to ``BENCH_<group>.json``.  Pass
+    ``metrics=<MetricsRegistry or snapshot dict>`` to embed the run's
+    telemetry snapshot alongside the numbers.
     """
 
-    def record(group: str, name: str, **values) -> None:
+    def record(group: str, name: str, *, metrics=None, **values) -> None:
+        if metrics is not None:
+            # Accept either a MetricsRegistry or an already-exported
+            # snapshot dict; the JSON file embeds the snapshot so tooling
+            # (scripts/bench_summary.py) can lift throughput counters.
+            to_dict = getattr(metrics, "to_dict", None)
+            values["metrics"] = to_dict() if callable(to_dict) else metrics
         _BENCH_RESULTS.setdefault(group, {})[name] = values
 
     return record

@@ -12,6 +12,11 @@ previous run) covers the whole benchmark trajectory::
 
 The summary nests each group under its name and carries the per-group
 scale/seed, so groups measured at different scales stay distinguishable.
+Benchmarks that embed a ``repro.obs`` telemetry snapshot (the
+``metrics=`` kwarg of ``record_bench``) additionally contribute a
+``key_counters`` section per group: the throughput counters below,
+summed across label sets, so the trajectory file carries work-done
+alongside wall-clock without anyone re-opening the raw snapshots.
 """
 
 from __future__ import annotations
@@ -22,6 +27,33 @@ import json
 import os
 import sys
 
+#: Throughput counters lifted out of embedded telemetry snapshots.
+#: Values mirror :mod:`repro.obs.names`; kept literal so this script
+#: stays stdlib-only and runnable without ``PYTHONPATH=src``.
+KEY_COUNTERS = (
+    "repro_records_ingested_total",
+    "repro_sessions_closed_total",
+    "repro_detector_runs_total",
+    "repro_detector_alerts_total",
+    "repro_enforcement_actions_total",
+)
+
+
+def extract_key_counters(results: dict) -> dict[str, float]:
+    """Sum the :data:`KEY_COUNTERS` found in embedded metrics snapshots."""
+    totals: dict[str, float] = {}
+    for values in results.values():
+        snapshot = values.get("metrics") if isinstance(values, dict) else None
+        if not isinstance(snapshot, dict) or snapshot.get("format") != "repro-obs":
+            continue
+        for counter_name in KEY_COUNTERS:
+            entry = snapshot.get("metrics", {}).get(counter_name)
+            if not entry or entry.get("kind") != "counter":
+                continue
+            total = sum(series.get("value", 0) for series in entry.get("series", []))
+            totals[counter_name] = totals.get(counter_name, 0) + total
+    return totals
+
 
 def merge_bench_files(paths: list[str]) -> dict:
     """Merge benchmark group payloads into one summary dictionary."""
@@ -30,12 +62,17 @@ def merge_bench_files(paths: list[str]) -> dict:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
         name = payload.get("group") or os.path.basename(path)[len("BENCH_") : -len(".json")]
-        groups[name] = {
+        results = payload.get("results", {})
+        group = {
             "scale": payload.get("scale"),
             "seed": payload.get("seed"),
-            "results": payload.get("results", {}),
+            "results": results,
             "source_file": os.path.basename(path),
         }
+        key_counters = extract_key_counters(results)
+        if key_counters:
+            group["key_counters"] = key_counters
+        groups[name] = group
     return {"format": "repro-bench-summary", "version": 1, "groups": groups}
 
 

@@ -61,6 +61,12 @@ The underlying subsystems remain directly usable:
   generation cache behind ``TrafficSpec(cache=True)``, trace
   composition operators, and an importer for real (gzipped, rotated)
   Apache access logs.
+* :mod:`repro.obs` -- unified observability: the injectable
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  histograms with quantile estimates), nested tracing spans, the
+  Prometheus text exposition and ``/metrics`` server, and structured
+  key=value logging.  Every workload takes ``execute(spec,
+  registry=...)``; with no registry the instrumentation is a no-op.
 """
 
 from repro.columns import FeatureMatrix, FrameSessions, RecordFrame, sessionize_frame
@@ -71,6 +77,7 @@ from repro.detectors.inhouse import InHouseHeuristicDetector
 from repro.detectors.registry import register_detector
 from repro.logs.dataset import Dataset
 from repro.mitigation.policy import register_policy
+from repro.obs import MetricsRegistry, logging_setup, serve_metrics, trace_span
 from repro.stream.detectors import register_online_detector
 from repro.mitigation import (
     Action,
@@ -117,7 +124,7 @@ from repro.traffic.scenarios import (
     stealth_heavy,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Action",
@@ -133,6 +140,7 @@ __all__ = [
     "FrameSessions",
     "GenerationCache",
     "InHouseHeuristicDetector",
+    "MetricsRegistry",
     "PaperExperiment",
     "Policy",
     "PolicySpec",
@@ -154,6 +162,7 @@ __all__ = [
     "generate_dataset",
     "get_scenario",
     "load_runspec",
+    "logging_setup",
     "pass_through_policy",
     "read_trace",
     "register_adjudication_scheme",
@@ -163,9 +172,11 @@ __all__ = [
     "register_scenario",
     "render_mitigation_report",
     "run_defense",
+    "serve_metrics",
     "sessionize_frame",
     "standard_policy",
     "stealth_heavy",
     "trace_info",
+    "trace_span",
     "write_trace",
 ]

@@ -33,6 +33,15 @@ Subcommands
     replays exactly the workload the JSON spec describes.
 ``scenarios``
     List the available preset scenarios with their traffic mix.
+``obs``
+    Observability (:mod:`repro.obs`): ``obs dump`` prints the metric
+    reference catalog, or -- given ``--config`` -- executes a saved run
+    spec with a live metrics registry and dumps the resulting telemetry
+    snapshot as JSON or Prometheus exposition text.  Every executing
+    subcommand additionally takes ``--log-level`` (structured key=value
+    logging) and ``--metrics-port`` (a live Prometheus ``/metrics``
+    endpoint served for the duration of the run), and its ``--json``
+    output carries the full telemetry snapshot.
 ``trace``
     The persistent trace store (:mod:`repro.trace`): ``trace record``
     generates a scenario once and records it as a replayable columnar
@@ -47,14 +56,20 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro import __version__
 from repro.detectors.pipeline import ENGINES
 from repro.logs.writer import LogWriter
 from repro.mitigation import list_policies, render_comparison
+from repro.obs import logging_setup
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.names import METRIC_REFERENCE
+from repro.obs.prometheus import render as render_prometheus
+from repro.obs.prometheus import serve_metrics
 from repro.runspec import (
     DEFAULT_SCENARIO,
     AdjudicationSpec,
@@ -95,6 +110,22 @@ def build_parser() -> argparse.ArgumentParser:
     json_parent.add_argument(
         "--json", action="store_true", help="emit the structured result as JSON"
     )
+    # ``obs_parent`` gives every executing subcommand the observability
+    # switches: structured logging verbosity and a live Prometheus
+    # endpoint served for the duration of the run.
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_parent.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="enable structured key=value logging at this level",
+    )
+    obs_parent.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve a Prometheus /metrics endpoint on this port while the run executes (0 picks a free port)",
+    )
     scenario_parent = argparse.ArgumentParser(add_help=False)
     scenario_parent.add_argument(
         "--scenario", default=DEFAULT_SCENARIO, help="preset scenario name"
@@ -120,7 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     tables = subparsers.add_parser(
         "tables",
-        parents=[scenario_parent, json_parent],
+        parents=[scenario_parent, json_parent, obs_parent],
         help="reproduce the paper's tables",
     )
     tables.add_argument("--log-file", default=None, help="analyse an existing access log instead of generating one")
@@ -133,7 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = subparsers.add_parser(
         "evaluate",
-        parents=[scenario_parent, json_parent],
+        parents=[scenario_parent, json_parent, obs_parent],
         help="labelled extension analyses",
     )
     evaluate.add_argument("--configurations", action="store_true", help="also compare parallel vs serial deployments")
@@ -146,7 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     stream = subparsers.add_parser(
         "stream",
-        parents=[scenario_parent, json_parent],
+        parents=[scenario_parent, json_parent, obs_parent],
         help="replay traffic through the streaming engine",
     )
     stream.add_argument("--log-file", default=None, help="replay an existing access log instead of generating one")
@@ -169,7 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     defend = subparsers.add_parser(
         "defend",
-        parents=[json_parent],
+        parents=[json_parent, obs_parent],
         help="closed-loop enforcement simulation",
     )
     defend.add_argument("--requests", type=int, default=6000, help="total request budget of the simulation")
@@ -196,7 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser(
         "run",
-        parents=[json_parent],
+        parents=[json_parent, obs_parent],
         help="execute a saved run specification",
     )
     run.add_argument("--config", required=True, help="path of the RunSpec JSON file to execute")
@@ -205,6 +236,28 @@ def build_parser() -> argparse.ArgumentParser:
         "scenarios",
         parents=[json_parent],
         help="list preset scenarios with their traffic mix",
+    )
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="observability: metric reference catalog and telemetry dumps",
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    dump = obs_commands.add_parser(
+        "dump",
+        parents=[json_parent],
+        help="print the metric reference, or a run's full telemetry snapshot",
+    )
+    dump.add_argument(
+        "--config",
+        default=None,
+        help="RunSpec JSON file to execute with a live registry (omit to print the metric reference)",
+    )
+    dump.add_argument(
+        "--format",
+        choices=["json", "prometheus"],
+        default="json",
+        help="telemetry output format (with --config)",
     )
 
     trace = subparsers.add_parser(
@@ -300,6 +353,29 @@ def _print_result(result, args: argparse.Namespace) -> None:
         print(result.render())
 
 
+@contextlib.contextmanager
+def _obs_session(args: argparse.Namespace) -> Iterator[MetricsRegistry]:
+    """A live metrics registry for one CLI run.
+
+    Every executing subcommand collects telemetry into a fresh registry
+    (the snapshot rides along in the ``--json`` output as ``telemetry``);
+    with ``--metrics-port`` the registry is additionally served as a
+    Prometheus ``/metrics`` endpoint for the duration of the run.
+    """
+    registry = MetricsRegistry()
+    server = None
+    port = getattr(args, "metrics_port", None)
+    if port is not None:
+        server = serve_metrics(registry, port=port)
+        if not getattr(args, "json", False):
+            print(f"serving metrics at {server.url}")
+    try:
+        yield registry
+    finally:
+        if server is not None:
+            server.close()
+
+
 # ----------------------------------------------------------------------
 # Subcommand handlers
 # ----------------------------------------------------------------------
@@ -333,7 +409,9 @@ def _command_tables(args: argparse.Namespace) -> int:
         traffic=_traffic_spec(args, log_file=args.log_file),
         execution=ExecutionSpec(engine=args.engine),
     )
-    _print_result(execute(spec), args)
+    with _obs_session(args) as registry:
+        result = execute(spec, registry=registry)
+    _print_result(result, args)
     return 0
 
 
@@ -343,7 +421,9 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         traffic=_traffic_spec(args),
         execution=ExecutionSpec(compare_configurations=args.configurations, engine=args.engine),
     )
-    _print_result(execute(spec), args)
+    with _obs_session(args) as registry:
+        result = execute(spec, registry=registry)
+    _print_result(result, args)
     return 0
 
 
@@ -383,7 +463,8 @@ def _command_stream(args: argparse.Namespace) -> int:
             f"({args.shards} shard{'s' if args.shards != 1 else ''}, k={args.k}-out-of-4)"
         )
         progress = _progress_printer(args.progress_every)
-    result = execute(spec, progress=progress)
+    with _obs_session(args) as registry:
+        result = execute(spec, progress=progress, registry=registry)
     if not args.json:
         print()
     _print_result(result, args)
@@ -407,17 +488,20 @@ def _defend_spec(args: argparse.Namespace, campaign: str) -> RunSpec:
 def _command_defend(args: argparse.Namespace) -> int:
     campaigns = ["scripted", "adaptive"] if args.campaign == "both" else [args.campaign]
     results = {}
-    for campaign in campaigns:
-        if not args.json:
-            print(
-                f"simulating the {campaign} campaign against the {args.policy!r} policy "
-                f"(~{args.requests:,} requests, k={args.k}-out-of-4) ..."
-            )
-        results[campaign] = execute(_defend_spec(args, campaign))
-        if not args.json:
-            print()
-            print(results[campaign].render())
-            print()
+    # One registry for the whole command: with --campaign both the
+    # counters are cumulative across campaigns, the Prometheus way.
+    with _obs_session(args) as registry:
+        for campaign in campaigns:
+            if not args.json:
+                print(
+                    f"simulating the {campaign} campaign against the {args.policy!r} policy "
+                    f"(~{args.requests:,} requests, k={args.k}-out-of-4) ..."
+                )
+            results[campaign] = execute(_defend_spec(args, campaign), registry=registry)
+            if not args.json:
+                print()
+                print(results[campaign].render())
+                print()
     if args.json:
         print(
             json.dumps(
@@ -501,7 +585,40 @@ def _trace_mix(args: argparse.Namespace) -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     spec = load_runspec(args.config)
-    _print_result(execute(spec), args)
+    with _obs_session(args) as registry:
+        result = execute(spec, registry=registry)
+    _print_result(result, args)
+    return 0
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    return {"dump": _obs_dump}[args.obs_command](args)
+
+
+def _obs_dump(args: argparse.Namespace) -> int:
+    if args.config is None:
+        # No run to instrument: print the metric reference catalog.
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {"name": name, "kind": kind, "labels": labels, "help": help_text}
+                        for name, kind, labels, help_text in METRIC_REFERENCE
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        for name, kind, labels, help_text in METRIC_REFERENCE:
+            print(f"{name} ({kind}; labels: {labels}): {help_text}")
+        return 0
+    spec = load_runspec(args.config)
+    registry = MetricsRegistry()
+    execute(spec, registry=registry)
+    if args.format == "prometheus":
+        print(render_prometheus(registry), end="")
+    else:
+        print(json.dumps(registry.to_dict(), indent=2))
     return 0
 
 
@@ -534,6 +651,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "log_level", None):
+        logging_setup(args.log_level)
     handlers = {
         "generate": _command_generate,
         "tables": _command_tables,
@@ -542,6 +661,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "defend": _command_defend,
         "run": _command_run,
         "scenarios": _command_scenarios,
+        "obs": _command_obs,
         "trace": _command_trace,
     }
     return handlers[args.command](args)

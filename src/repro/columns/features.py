@@ -327,9 +327,18 @@ class FeatureMatrix:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_frame(cls, frame: "RecordFrame", sessions: "FrameSessions") -> "FeatureMatrix":
+    def from_frame(
+        cls, frame: "RecordFrame", sessions: "FrameSessions", *, registry=None
+    ) -> "FeatureMatrix":
         """Compute the whole data set's feature matrix in one batch."""
-        return cls.from_arrays(SessionArrays.from_frame(frame, sessions))
+        matrix = cls.from_arrays(SessionArrays.from_frame(frame, sessions))
+        if registry is not None:
+            from repro.obs.names import FEATURE_ROWS
+
+            registry.counter(
+                FEATURE_ROWS, "Feature-matrix rows (sessions) computed."
+            ).inc(len(matrix))
+        return matrix
 
     @classmethod
     def from_arrays(cls, arrays: SessionArrays) -> "FeatureMatrix":

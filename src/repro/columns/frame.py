@@ -40,6 +40,7 @@ import numpy as np
 from repro.exceptions import ColumnsError, LabelError
 from repro.logs.dataset import MALICIOUS, Dataset, DatasetMetadata, GroundTruth
 from repro.logs.record import ASSET_SUFFIXES, LogRecord, RequestMethod
+from repro.obs.names import FRAME_ROWS
 
 #: The dictionary-encoded string columns, in canonical order (matches
 #: the trace format's on-disk order).
@@ -164,13 +165,15 @@ class RecordFrame:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_dataset(cls, dataset: Dataset) -> "RecordFrame":
+    def from_dataset(cls, dataset: Dataset, *, registry=None) -> "RecordFrame":
         """Columnarise a materialised data set (labels carried when complete)."""
         return cls.from_records(
             dataset.records,
             ground_truth=dataset.ground_truth,
             metadata=dataset.metadata,
             time_ordered=True if dataset.is_time_ordered else None,
+            registry=registry,
+            source="dataset",
         )
 
     @classmethod
@@ -181,6 +184,8 @@ class RecordFrame:
         ground_truth: GroundTruth | None = None,
         metadata: DatasetMetadata | None = None,
         time_ordered: bool | None = None,
+        registry=None,
+        source: str = "records",
     ) -> "RecordFrame":
         """Columnarise a sequence of records.
 
@@ -262,6 +267,10 @@ class RecordFrame:
                 )
                 actor_codes, actor_table = encode_column(actor_values)
 
+        if registry is not None:
+            registry.counter(FRAME_ROWS, "Rows loaded into a RecordFrame.").inc(
+                n, source=source
+            )
         return cls(
             request_ids=request_ids,
             timestamps_us=timestamps,

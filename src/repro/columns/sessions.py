@@ -28,6 +28,7 @@ import numpy as np
 from repro.columns.frame import RecordFrame
 from repro.logs.record import LogRecord
 from repro.logs.sessionization import DEFAULT_TIMEOUT, Session
+from repro.obs.names import FRAME_SESSIONS
 
 _ONE_US = timedelta(microseconds=1)
 
@@ -119,7 +120,7 @@ def timeout_microseconds(timeout: timedelta = DEFAULT_TIMEOUT) -> int:
 
 
 def sessionize_frame(
-    frame: RecordFrame, *, timeout: timedelta = DEFAULT_TIMEOUT
+    frame: RecordFrame, *, timeout: timedelta = DEFAULT_TIMEOUT, registry=None
 ) -> FrameSessions:
     """Group a frame's rows into visitor sessions (vectorized).
 
@@ -132,6 +133,10 @@ def sessionize_frame(
     timeout_us = timeout_microseconds(timeout)
     n = len(frame)
     if n == 0:
+        if registry is not None:
+            registry.counter(
+                FRAME_SESSIONS, "Session spans produced by vectorized sessionization."
+            ).inc(0)
         return FrameSessions(
             frame=frame,
             order=np.empty(0, dtype=np.int64),
@@ -218,6 +223,10 @@ def sessionize_frame(
     creation_final = creation_rank[final_order]
     session_ids = [f"s{int(rank)}" for rank in creation_final]
 
+    if registry is not None:
+        registry.counter(
+            FRAME_SESSIONS, "Session spans produced by vectorized sessionization."
+        ).inc(n_sessions)
     return FrameSessions(
         frame=frame,
         order=order,

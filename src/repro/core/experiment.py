@@ -106,15 +106,21 @@ class PaperExperiment:
         self.second_detector = second_detector or InHouseHeuristicDetector()
 
     # ------------------------------------------------------------------
-    def run_on(self, dataset: Dataset, *, engine: str = "columnar") -> ExperimentResult:
+    def run_on(
+        self, dataset: Dataset, *, engine: str = "columnar", registry=None
+    ) -> ExperimentResult:
         """Run both tools on an existing data set and compute every table.
 
         ``engine`` selects the batch pipeline implementation:
         ``"columnar"`` (default) runs the detectors over the vectorized
         :mod:`repro.columns` substrate, ``"records"`` over the legacy
         record-object path.  The two produce identical results.
+        ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+        collects the pipeline's counters and stage timings when given.
         """
-        pipeline = DetectionPipeline([self.first_detector, self.second_detector])
+        pipeline = DetectionPipeline(
+            [self.first_detector, self.second_detector], registry=registry
+        )
         pipeline_result = pipeline.run(dataset, engine=engine)
         matrix = pipeline_result.matrix
         first = self.first_detector.name

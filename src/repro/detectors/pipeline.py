@@ -16,6 +16,12 @@ path over sessions materialised once from the same spans.  The
 identical results -- the equivalence suite pins alert sets, scores and
 reasons against each other -- the columnar engine is simply several
 times faster.
+
+Both engines report the same logical telemetry through an optional
+:class:`~repro.obs.metrics.MetricsRegistry` (records ingested, sessions
+opened/closed, per-detector alerts) so the metrics-equivalence suite can
+hold them to identical counts, plus per-detector duration histograms and
+spans for the shared stages.
 """
 
 from __future__ import annotations
@@ -29,6 +35,9 @@ from repro.detectors.base import Detector
 from repro.exceptions import DetectorError
 from repro.logs.dataset import Dataset
 from repro.logs.sessionization import Sessionizer
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry, resolve_registry
+from repro.obs.spans import trace_span
 
 #: The batch execution engines of the pipeline.
 ENGINES = ("columnar", "records")
@@ -54,7 +63,13 @@ class PipelineResult:
 class DetectionPipeline:
     """Run a list of detectors over a data set with shared sessionization."""
 
-    def __init__(self, detectors: Sequence[Detector], *, sessionizer: Sessionizer | None = None):
+    def __init__(
+        self,
+        detectors: Sequence[Detector],
+        *,
+        sessionizer: Sessionizer | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         if not detectors:
             raise DetectorError("a detection pipeline needs at least one detector")
         names = [detector.name for detector in detectors]
@@ -62,6 +77,7 @@ class DetectionPipeline:
             raise DetectorError(f"detector names must be unique, got {names}")
         self.detectors = list(detectors)
         self.sessionizer = sessionizer or Sessionizer()
+        self.registry = resolve_registry(registry)
 
     def run(self, dataset: Dataset, *, engine: str = "columnar") -> PipelineResult:
         """Run every detector and assemble the alert matrix.
@@ -82,52 +98,116 @@ class DetectionPipeline:
         return self._run_records(dataset)
 
     # ------------------------------------------------------------------
+    def _account_shared(self, dataset: Dataset, session_count: int) -> None:
+        """The logical events both engines must count identically."""
+        registry = self.registry
+        registry.counter(
+            metric_names.RECORDS_INGESTED, "Records fed into a detection engine."
+        ).inc(len(dataset.records))
+        registry.counter(metric_names.SESSIONS_OPENED, "Visitor sessions opened.").inc(
+            session_count
+        )
+        # Batch sessionization closes every session it opens.
+        registry.counter(metric_names.SESSIONS_CLOSED, "Visitor sessions closed.").inc(
+            session_count
+        )
+
+    def _account_detector(
+        self, detector_name: str, path: str, alerts: AlertSet, elapsed: float
+    ) -> None:
+        registry = self.registry
+        registry.counter(
+            metric_names.DETECTOR_RUNS, "Batch detector executions by code path."
+        ).inc(detector=detector_name, path=path)
+        registry.counter(
+            metric_names.DETECTOR_ALERTS, "Requests alerted per detector."
+        ).inc(len(alerts), detector=detector_name)
+        registry.histogram(
+            metric_names.DETECTOR_SECONDS, "Batch per-detector analysis duration."
+        ).observe(elapsed, detector=detector_name)
+
+    def _account_matrix(self, alert_sets: Sequence[AlertSet]) -> None:
+        alerted = set()
+        for alert_set in alert_sets:
+            alerted |= alert_set.request_ids()
+        self.registry.counter(
+            metric_names.ALERTED_REQUESTS,
+            "Requests alerted by at least one detector (batch).",
+        ).inc(len(alerted))
+
+    # ------------------------------------------------------------------
     def _run_records(self, dataset: Dataset) -> PipelineResult:
         timings: dict[str, float] = {}
-        started = time.perf_counter()
-        sessions = self.sessionizer.sessionize(dataset.records)
-        timings["sessionization"] = time.perf_counter() - started
-        alert_sets: list[AlertSet] = []
-        for detector in self.detectors:
+        with trace_span("sessionize", self.registry, engine="records") as span:
             started = time.perf_counter()
-            alert_sets.append(detector.analyze(dataset, sessions=sessions))
-            timings[detector.name] = time.perf_counter() - started
+            sessions = self.sessionizer.sessionize(dataset.records)
+            timings["sessionization"] = time.perf_counter() - started
+            span.set_attribute(records=len(dataset.records), sessions=len(sessions))
+        self._account_shared(dataset, len(sessions))
+        alert_sets: list[AlertSet] = []
+        with trace_span("detectors", self.registry, engine="records"):
+            for detector in self.detectors:
+                with trace_span("detector", self.registry, detector=detector.name):
+                    started = time.perf_counter()
+                    alerts = detector.analyze(dataset, sessions=sessions)
+                    elapsed = time.perf_counter() - started
+                alert_sets.append(alerts)
+                timings[detector.name] = elapsed
+                self._account_detector(detector.name, "records", alerts, elapsed)
         matrix = AlertMatrix.from_alert_sets(dataset, alert_sets)
+        self._account_matrix(alert_sets)
         return PipelineResult(dataset=dataset, alert_sets=alert_sets, matrix=matrix, timings=timings)
 
     def _run_columnar(self, dataset: Dataset) -> PipelineResult:
         from repro.columns import FeatureMatrix, RecordFrame, sessionize_frame
 
         timings: dict[str, float] = {}
-        started = time.perf_counter()
-        frame = RecordFrame.from_dataset(dataset)
-        sessions = sessionize_frame(frame, timeout=self.sessionizer.timeout)
-        timings["sessionization"] = time.perf_counter() - started
+        with trace_span("sessionize", self.registry, engine="columnar") as span:
+            started = time.perf_counter()
+            frame = RecordFrame.from_dataset(dataset, registry=self.registry)
+            sessions = sessionize_frame(
+                frame, timeout=self.sessionizer.timeout, registry=self.registry
+            )
+            timings["sessionization"] = time.perf_counter() - started
+            span.set_attribute(records=len(frame), sessions=len(sessions))
+        self._account_shared(dataset, len(sessions))
 
-        started = time.perf_counter()
-        features = FeatureMatrix.from_frame(frame, sessions)
-        timings["features"] = time.perf_counter() - started
+        with trace_span("features", self.registry):
+            started = time.perf_counter()
+            features = FeatureMatrix.from_frame(frame, sessions, registry=self.registry)
+            timings["features"] = time.perf_counter() - started
 
         legacy_sessions = None
         alert_sets: list[AlertSet] = []
-        for detector in self.detectors:
-            started = time.perf_counter()
-            alerts = detector.analyze_columns(frame, sessions, features)
-            if alerts is None:
-                # Compatibility fallback: materialise Session objects once
-                # (from the already-computed spans) for detectors that
-                # only implement the record path.
-                if legacy_sessions is None:
-                    legacy_sessions = sessions.to_sessions(dataset.records)
-                alerts = detector.analyze(dataset, sessions=legacy_sessions)
-            alert_sets.append(alerts)
-            timings[detector.name] = time.perf_counter() - started
+        with trace_span("detectors", self.registry, engine="columnar"):
+            for detector in self.detectors:
+                with trace_span("detector", self.registry, detector=detector.name):
+                    started = time.perf_counter()
+                    alerts = detector.analyze_columns(frame, sessions, features)
+                    path = "columnar"
+                    if alerts is None:
+                        # Compatibility fallback: materialise Session objects once
+                        # (from the already-computed spans) for detectors that
+                        # only implement the record path.
+                        if legacy_sessions is None:
+                            legacy_sessions = sessions.to_sessions(dataset.records)
+                        alerts = detector.analyze(dataset, sessions=legacy_sessions)
+                        path = "fallback"
+                    elapsed = time.perf_counter() - started
+                alert_sets.append(alerts)
+                timings[detector.name] = elapsed
+                self._account_detector(detector.name, path, alerts, elapsed)
         matrix = AlertMatrix.from_alert_sets(dataset, alert_sets)
+        self._account_matrix(alert_sets)
         return PipelineResult(dataset=dataset, alert_sets=alert_sets, matrix=matrix, timings=timings)
 
 
 def run_detectors(
-    dataset: Dataset, detectors: Sequence[Detector], *, engine: str = "columnar"
+    dataset: Dataset,
+    detectors: Sequence[Detector],
+    *,
+    engine: str = "columnar",
+    registry: MetricsRegistry | None = None,
 ) -> PipelineResult:
     """Convenience wrapper: ``DetectionPipeline(detectors).run(dataset)``."""
-    return DetectionPipeline(detectors).run(dataset, engine=engine)
+    return DetectionPipeline(detectors, registry=registry).run(dataset, engine=engine)

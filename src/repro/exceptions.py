@@ -96,3 +96,13 @@ class SpecError(ReproError):
     mode, unknown keys in serialized specs, out-of-range values) and
     spec/workload mismatches caught at execution time.
     """
+
+
+class ObsError(ReproError):
+    """Raised for invalid observability operations.
+
+    Covers metric kind/name collisions in a
+    :class:`~repro.obs.metrics.MetricsRegistry`, negative counter
+    increments, malformed metric snapshots and histogram bound
+    mismatches during snapshot merging.
+    """

@@ -26,6 +26,8 @@ from repro.logs.record import LogRecord
 from repro.mitigation.actions import Action, EnforcementDecision, is_served
 from repro.mitigation.log import EnforcementLog, EnforcementRecord
 from repro.mitigation.policy import Policy, PolicyEngine
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.stream.engine import StreamEngine, StreamResult
 from repro.stream.events import RequestVerdict
 
@@ -86,6 +88,7 @@ class EnforcementGateway:
         policy: Policy,
         *,
         challenge_solver: ChallengeSolver | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if engine.max_skew_seconds != 0.0:
             raise DetectorError(
@@ -93,9 +96,20 @@ class EnforcementGateway:
                 "(max_skew_seconds must be 0): actions cannot be applied retroactively"
             )
         self.engine = engine
-        self.policy_engine = PolicyEngine(policy)
+        self.registry = resolve_registry(registry)
+        self.policy_engine = PolicyEngine(policy, registry=self.registry)
         self.challenge_solver = challenge_solver
         self.log = EnforcementLog()
+        self._instrumented = self.registry.enabled
+        self._actions = self.registry.counter(
+            metric_names.ENFORCEMENT_ACTIONS, "Gateway decisions by enforcement action."
+        )
+        self._escalations = self.registry.counter(
+            metric_names.ESCALATIONS, "Decisions driven by the escalation ladder."
+        )
+        self._challenges = self.registry.counter(
+            metric_names.CHALLENGES, "Challenges issued, by passed/failed outcome."
+        )
 
     @property
     def policy(self) -> Policy:
@@ -122,6 +136,12 @@ class EnforcementGateway:
             self.policy_engine.record_challenge(
                 decision.visitor_key, challenge_passed, record.timestamp.timestamp()
             )
+        if self._instrumented:
+            self._actions.inc(action=decision.action.value)
+            if decision.reason == "escalation-ladder":
+                self._escalations.inc()
+            if challenge_passed is not None:
+                self._challenges.inc(outcome="passed" if challenge_passed else "failed")
         outcome = EnforcementOutcome(record, verdict, decision, challenge_passed)
         self.log.append(
             EnforcementRecord(

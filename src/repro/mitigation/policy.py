@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 
 from repro.logs.record import LogRecord
 from repro.mitigation.actions import Action, EnforcementDecision, PolicyError, most_severe
+from repro.obs import names as metric_names
+from repro.obs.metrics import resolve_registry
 from repro.registry import Registry
 from repro.stream.events import RequestVerdict
 
@@ -163,9 +165,16 @@ class VisitorState:
 class PolicyEngine:
     """Apply a :class:`Policy` to a stream of adjudicated verdicts."""
 
-    def __init__(self, policy: Policy):
+    def __init__(self, policy: Policy, *, registry=None):
         self.policy = policy
         self._states: dict[str, VisitorState] = {}
+        self._registry = resolve_registry(registry)
+        self._cooldown_resets = self._registry.counter(
+            metric_names.COOLDOWN_RESETS, "Visitor strike states decayed by cool-down."
+        )
+        self._blocks_expired = self._registry.counter(
+            metric_names.BLOCKS_EXPIRED, "Expired blocks lifted by the policy engine."
+        )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -196,6 +205,7 @@ class PolicyEngine:
         if state.last_offense is not None and now - state.last_offense > policy.cooldown_seconds:
             state.strikes = 0
             state.last_offense = None
+            self._cooldown_resets.inc()
 
         # An active block applies regardless of what the detectors say now.
         if now < state.denied_until:
@@ -203,6 +213,10 @@ class PolicyEngine:
                 policy.tarpit_delay_seconds if state.denied_action is Action.TARPIT else 0.0
             )
             return EnforcementDecision(state.denied_action, key, "active-block", delay)
+        if state.denied_until:
+            # The block ran out before this request: lift it.
+            state.denied_until = 0.0
+            self._blocks_expired.inc()
 
         if not verdict.alerted:
             return EnforcementDecision(Action.ALLOW, key, "no-alert")

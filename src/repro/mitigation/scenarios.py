@@ -47,6 +47,7 @@ def build_gateway(
     *,
     k: int = 2,
     window_seconds: float = 600.0,
+    registry=None,
 ) -> EnforcementGateway:
     """A gateway over the default online detectors with k-out-of-4 voting."""
     detectors = default_online_detectors()
@@ -55,8 +56,11 @@ def build_gateway(
         adjudicator=WindowedAdjudicator(
             [detector.name for detector in detectors], k=k, window_seconds=window_seconds
         ),
+        registry=registry,
     )
-    return EnforcementGateway(engine, policy if policy is not None else standard_policy())
+    return EnforcementGateway(
+        engine, policy if policy is not None else standard_policy(), registry=registry
+    )
 
 
 def defense_population(
@@ -173,6 +177,7 @@ def run_defense(
     k: int = 2,
     identities_per_node: int = 8,
     window_seconds: float = 600.0,
+    registry=None,
 ) -> SimulationResult:
     """Build the demo population and gateway, run the closed loop."""
     population, window = defense_population(
@@ -181,7 +186,7 @@ def run_defense(
         seed=seed,
         identities_per_node=identities_per_node,
     )
-    gateway = build_gateway(policy, k=k, window_seconds=window_seconds)
+    gateway = build_gateway(policy, k=k, window_seconds=window_seconds, registry=registry)
     simulator = ClosedLoopSimulator(population, window, gateway, seed=seed)
     name = "defense_adaptive" if adaptive else "defense_scripted"
     return simulator.run(dataset_name=name)

@@ -1,0 +1,57 @@
+"""Unified observability: metrics, tracing spans, Prometheus/JSON export.
+
+The package has four small pieces:
+
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry` with
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram`, JSON snapshot
+  round-trip and merge, plus the no-op :data:`NULL_REGISTRY`.
+* :mod:`repro.obs.spans` -- :func:`trace_span`, nested stage timings
+  exported as a span tree and the uniform per-stage ``timings`` view.
+* :mod:`repro.obs.prometheus` -- text exposition :func:`render` and the
+  background :func:`serve_metrics` endpoint.
+* :mod:`repro.obs.names` -- the shared metric-name vocabulary every
+  instrumentation point references.
+
+Typical use::
+
+    from repro import obs
+
+    registry = obs.MetricsRegistry()
+    result = execute(spec, registry=registry)
+    print(obs.render(registry))          # Prometheus exposition
+    snapshot = registry.to_dict()        # JSON round-tripping snapshot
+"""
+
+from repro.obs import names
+from repro.obs.logsetup import KeyValueFormatter, logging_setup
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    resolve_registry,
+)
+from repro.obs.prometheus import MetricsServer, render, serve_metrics
+from repro.obs.spans import Span, trace_span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BOUNDS",
+    "Gauge",
+    "Histogram",
+    "KeyValueFormatter",
+    "MetricsRegistry",
+    "MetricsServer",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Span",
+    "logging_setup",
+    "names",
+    "render",
+    "resolve_registry",
+    "serve_metrics",
+    "trace_span",
+]

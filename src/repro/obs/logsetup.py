@@ -1,0 +1,76 @@
+"""Structured stdlib logging for the CLI: ``logging_setup()``.
+
+Library modules log through plain ``logging.getLogger(__name__)``
+loggers and never configure handlers themselves; the CLI (or an
+embedding application) calls :func:`logging_setup` once to attach a
+stderr handler with a structured ``key=value`` formatter::
+
+    ts=2026-08-08T12:00:00 level=info logger=repro.trace.cache event="disk hit" fingerprint=ab12cd
+
+Messages are emitted as ``event="..."`` followed by any ``extra``
+fields, so the output stays grep- and machine-friendly without pulling
+in a logging framework.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Any
+
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def _format_value(value: Any) -> str:
+    text = str(value)
+    if text == "" or any(ch in text for ch in ' "=\n'):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Render records as ``ts=... level=... logger=... event="..." k=v``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(record.created))
+        parts = [
+            f"ts={timestamp}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"event={_format_value(record.getMessage())}",
+        ]
+        for key in sorted(record.__dict__):
+            if key not in _RESERVED and not key.startswith("_"):
+                parts.append(f"{key}={_format_value(record.__dict__[key])}")
+        if record.exc_info:
+            parts.append(f"exc={_format_value(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+def logging_setup(level: int | str = "warning", *, logger: str = "repro") -> logging.Logger:
+    """Attach a ``key=value``-formatted stderr handler to the repro logger.
+
+    ``level`` accepts a name (``"debug"``, ``"info"``, ...) or a numeric
+    level.  Calling it again replaces the previously attached handler
+    rather than stacking duplicates, so it is safe to call per CLI
+    invocation (and per test).
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = resolved
+    root = logging.getLogger(logger)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(KeyValueFormatter())
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

@@ -1,0 +1,137 @@
+"""Prometheus text exposition (format 0.0.4) for a metrics registry.
+
+Two entry points:
+
+* :func:`render` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+  into the plain-text exposition format Prometheus scrapes -- ``# HELP``
+  / ``# TYPE`` headers, one sample line per labelled series, cumulative
+  ``_bucket{le=...}`` lines plus ``_sum`` / ``_count`` for histograms.
+* :func:`serve_metrics` starts a stdlib :class:`ThreadingHTTPServer` in
+  a daemon thread serving ``/metrics`` from a live registry, so a
+  long-running ``repro stream`` can be scraped (or curled) mid-run.
+
+No third-party client library involved; the format is simple enough to
+emit (and to validate line-by-line in the test-suite) directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_string(labels: Mapping[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (trailing newline)."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if len(metric) == 0:
+            continue
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for labels, series in metric.series():
+                cumulative = 0
+                for index, bound in enumerate(metric.bounds):
+                    cumulative += series.buckets[index]
+                    le = _label_string(labels, (("le", _format_value(bound)),))
+                    lines.append(f"{metric.name}_bucket{le} {cumulative}")
+                cumulative += series.buckets[-1]
+                le = _label_string(labels, (("le", "+Inf"),))
+                lines.append(f"{metric.name}_bucket{le} {cumulative}")
+                lines.append(f"{metric.name}_sum{_label_string(labels)} {_format_value(series.sum)}")
+                lines.append(f"{metric.name}_count{_label_string(labels)} {series.count}")
+        elif isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.series():
+                lines.append(f"{metric.name}{_label_string(labels)} {_format_value(float(value))}")
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+class MetricsServer:
+    """A background ``/metrics`` endpoint over a live registry.
+
+    Create via :func:`serve_metrics`; the server thread is a daemon, so
+    it never blocks interpreter exit, but call :meth:`close` for a
+    deterministic shutdown (the CLI does, in a ``finally``).
+    """
+
+    def __init__(self, registry: MetricsRegistry, host: str, port: int):
+        server_registry = registry
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                body = render(server_registry).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args) -> None:  # noqa: A002
+                pass  # scrapes should not spam the CLI's stderr
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self.url = f"http://{self.host}:{self.port}/metrics"
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop serving and release the port."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_metrics(
+    registry: MetricsRegistry, port: int = 0, host: str = "127.0.0.1"
+) -> MetricsServer:
+    """Serve ``registry`` on ``http://host:port/metrics`` in a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read it back from the returned
+    server's ``.port`` / ``.url``.
+    """
+    return MetricsServer(registry, host, port)

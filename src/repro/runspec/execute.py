@@ -34,6 +34,9 @@ from repro.logs.record import LogRecord
 from repro.mitigation.metrics import MitigationReport, build_report, render_mitigation_report
 from repro.mitigation.policy import get_policy
 from repro.mitigation.scenarios import run_defense
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry, resolve_registry
+from repro.obs.spans import trace_span
 from repro.runspec.result import RunResult
 from repro.runspec.spec import (
     DEFAULT_SCENARIO,
@@ -57,7 +60,9 @@ from repro.traffic.scenarios import get_scenario
 ProgressHook = Callable[[StreamEngine], None]
 
 
-def build_dataset(traffic: TrafficSpec) -> Dataset:
+def build_dataset(
+    traffic: TrafficSpec, *, registry: MetricsRegistry | None = None
+) -> Dataset:
     """Materialize the traffic a spec describes (replay, parse or generate).
 
     Dispatches on the spec's resolved source: ``trace`` replays a
@@ -65,11 +70,28 @@ def build_dataset(traffic: TrafficSpec) -> Dataset:
     plain), and ``scenario`` generates synthetic traffic -- through the
     content-addressed generation cache when the spec sets ``cache=True``,
     so the simulation runs once and later calls replay its recording.
+    ``registry`` collects dataset counters (and the trace/cache layers'
+    own metrics) when given.
     """
+    registry = resolve_registry(registry)
     source = traffic.resolved_source()
+    with trace_span("dataset", registry=registry, source=source):
+        dataset = _build_dataset(traffic, source, registry)
+    if registry.enabled:
+        registry.counter(
+            metric_names.DATASETS_BUILT, "Data sets materialized, by traffic source."
+        ).inc(source=source)
+        if dataset.is_labelled:
+            registry.counter(
+                metric_names.LABELLED_RECORDS, "Records carrying ground-truth labels."
+            ).inc(len(dataset))
+    return dataset
+
+
+def _build_dataset(traffic: TrafficSpec, source: str, registry: MetricsRegistry) -> Dataset:
     if source == "trace":
         assert traffic.path is not None  # TrafficSpec validates this
-        return read_trace(traffic.path)
+        return read_trace(traffic.path, registry=registry)
     if source == "log":
         records = LogParser(skip_malformed=True).parse_file(traffic.log_file)
         return Dataset(records)
@@ -90,7 +112,7 @@ def build_dataset(traffic: TrafficSpec) -> Dataset:
         fingerprint = traffic_fingerprint(
             scenario=name, scale=traffic.scale, seed=traffic.seed, params=traffic.params
         )
-        return default_cache().get_or_generate(fingerprint, generate)
+        return default_cache().get_or_generate(fingerprint, generate, registry=registry)
     return generate()
 
 
@@ -160,6 +182,7 @@ def execute(
     *,
     progress: ProgressHook | None = None,
     dataset: Dataset | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> RunResult:
     """Run the workload a spec describes and return its uniform result.
 
@@ -174,35 +197,58 @@ def execute(
         and benchmarks that run many specs over the same traffic pass it
         to skip regeneration; the spec remains the source of truth for
         what the traffic *is*.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+        given, every layer the run touches records counters, duration
+        histograms and tracing spans into it; the result carries the
+        full snapshot as ``RunResult.telemetry`` and the span-derived
+        per-stage durations are folded into ``RunResult.timings``
+        (legacy timing keys are preserved).  ``None`` keeps the run
+        uninstrumented at near-zero overhead.
     """
+    registry = resolve_registry(registry)
     _validate_for_mode(spec)
+    if registry.enabled:
+        registry.counter(metric_names.RUNS, "RunSpec executions, by mode.").inc(
+            mode=spec.mode
+        )
     if spec.mode == "defend":
         if dataset is not None:
             raise SpecError("defend mode generates its own closed-loop traffic")
-        return _run_defend(spec)
-    if spec.mode == "stream":
-        return _run_stream(spec, progress, dataset)
-    runners = {"tables": _run_tables, "evaluate": _run_evaluate}
-    try:
-        runner = runners[spec.mode]
-    except KeyError as exc:  # pragma: no cover - RunSpec validates mode
-        raise SpecError(f"unknown run mode {spec.mode!r}") from exc
-    return runner(spec, dataset)
+        result = _run_defend(spec, registry)
+    elif spec.mode == "stream":
+        result = _run_stream(spec, progress, dataset, registry)
+    else:
+        runners = {"tables": _run_tables, "evaluate": _run_evaluate}
+        try:
+            runner = runners[spec.mode]
+        except KeyError as exc:  # pragma: no cover - RunSpec validates mode
+            raise SpecError(f"unknown run mode {spec.mode!r}") from exc
+        result = runner(spec, dataset, registry)
+    if registry.enabled:
+        # Span-derived per-stage durations, with the legacy keys kept
+        # verbatim on top (they win any name collision).
+        result.timings = {**registry.stage_timings(), **result.timings}
+        result.telemetry = registry.to_dict()
+    return result
 
 
 # ----------------------------------------------------------------------
 # Batch modes (tables / evaluate)
 # ----------------------------------------------------------------------
 def _paper_experiment(
-    spec: RunSpec, dataset: Dataset | None = None
+    spec: RunSpec,
+    dataset: Dataset | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> tuple[Dataset, ExperimentResult]:
+    registry = resolve_registry(registry)
     if spec.detectors and len(spec.detectors) != 2:
         raise SpecError(
             f"the paper experiment is pairwise: {spec.mode!r} mode needs exactly "
             f"two detectors, got {len(spec.detectors)}"
         )
     if dataset is None:
-        dataset = build_dataset(spec.traffic)
+        dataset = build_dataset(spec.traffic, registry=registry)
     if spec.detectors:
         first, second = (
             create_detector(detector.name, **detector.params) for detector in spec.detectors
@@ -210,7 +256,9 @@ def _paper_experiment(
         experiment = PaperExperiment(first, second)
     else:
         experiment = PaperExperiment()
-    return dataset, experiment.run_on(dataset, engine=spec.execution.engine)
+    with trace_span("experiment", registry=registry, engine=spec.execution.engine):
+        result = experiment.run_on(dataset, engine=spec.execution.engine, registry=registry)
+    return dataset, result
 
 
 def _source_of(spec: RunSpec, dataset: Dataset) -> str:
@@ -239,8 +287,12 @@ def _batch_result(spec: RunSpec, dataset: Dataset, result: ExperimentResult) -> 
     )
 
 
-def _run_tables(spec: RunSpec, dataset: Dataset | None = None) -> RunResult:
-    dataset, result = _paper_experiment(spec, dataset)
+def _run_tables(
+    spec: RunSpec,
+    dataset: Dataset | None = None,
+    registry: MetricsRegistry | None = None,
+) -> RunResult:
+    dataset, result = _paper_experiment(spec, dataset, registry)
     run_result = _batch_result(spec, dataset, result)
     run_result.tables = {
         "table1": result.render_table1(),
@@ -251,8 +303,12 @@ def _run_tables(spec: RunSpec, dataset: Dataset | None = None) -> RunResult:
     return run_result
 
 
-def _run_evaluate(spec: RunSpec, dataset: Dataset | None = None) -> RunResult:
-    dataset, result = _paper_experiment(spec, dataset)
+def _run_evaluate(
+    spec: RunSpec,
+    dataset: Dataset | None = None,
+    registry: MetricsRegistry | None = None,
+) -> RunResult:
+    dataset, result = _paper_experiment(spec, dataset, registry)
     run_result = _batch_result(spec, dataset, result)
 
     tool_rows = [evaluation.as_dict() for evaluation in result.tool_evaluations]
@@ -316,7 +372,7 @@ def _online_detectors(spec: RunSpec):
 
 
 def _stream_source(
-    spec: RunSpec, dataset: Dataset | None
+    spec: RunSpec, dataset: Dataset | None, registry: MetricsRegistry
 ) -> tuple[Iterable[LogRecord], int, str]:
     """The record feed of a stream run, plus its size and display name.
 
@@ -330,20 +386,29 @@ def _stream_source(
         path = spec.traffic.path
         assert path is not None  # TrafficSpec validates this
         reader = TraceReader(path)
-        return trace_replay(path), reader.info.records, reader.read_metadata().name
+        return (
+            trace_replay(path, registry=registry),
+            reader.info.records,
+            reader.read_metadata().name,
+        )
     if dataset is None:
-        dataset = build_dataset(spec.traffic)
+        dataset = build_dataset(spec.traffic, registry=registry)
     return dataset_replay(dataset), len(dataset), _source_of(spec, dataset)
 
 
 def _run_stream(
-    spec: RunSpec, progress: ProgressHook | None, dataset: Dataset | None = None
+    spec: RunSpec,
+    progress: ProgressHook | None,
+    dataset: Dataset | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> RunResult:
-    records, total_requests, source = _stream_source(spec, dataset)
+    registry = resolve_registry(registry)
+    with trace_span("source", registry=registry):
+        records, total_requests, source = _stream_source(spec, dataset, registry)
     adjudication = spec.adjudication or AdjudicationSpec()
     execution = spec.execution
 
-    def engine_factory() -> StreamEngine:
+    def engine_factory(engine_registry: MetricsRegistry | None = None) -> StreamEngine:
         detectors = _online_detectors(spec)
         return StreamEngine(
             detectors,
@@ -355,30 +420,38 @@ def _run_stream(
             ),
             max_skew_seconds=execution.max_skew_seconds,
             track_latency=execution.track_latency,
+            registry=engine_registry,
         )
 
     started = time.perf_counter()
-    if execution.shards > 1:
-        runner = ShardedStreamRunner(
-            engine_factory, shards=execution.shards, backend=execution.backend
-        )
-        result = runner.run(records)
-    else:
-        engine = engine_factory()
-        engine.reset()
-        # Milestone-based progress: with a reorder buffer one process()
-        # call can release zero or several records, so a plain modulo
-        # check would skip or repeat milestones.
-        next_progress = execution.progress_every or float("inf")
-        for record in records:
-            engine.process(record)
-            if engine.stats.records >= next_progress:
-                if progress is not None:
-                    progress(engine)
-                next_progress = (
-                    engine.stats.records // execution.progress_every + 1
-                ) * execution.progress_every
-        result = engine.finish()
+    with trace_span("stream", registry=registry, shards=execution.shards):
+        if execution.shards > 1:
+            # Worker engines stay uninstrumented (they may live in other
+            # processes); the runner folds their merged counts into the
+            # registry at the join.
+            runner = ShardedStreamRunner(
+                engine_factory,
+                shards=execution.shards,
+                backend=execution.backend,
+                registry=registry,
+            )
+            result = runner.run(records)
+        else:
+            engine = engine_factory(registry)
+            engine.reset()
+            # Milestone-based progress: with a reorder buffer one process()
+            # call can release zero or several records, so a plain modulo
+            # check would skip or repeat milestones.
+            next_progress = execution.progress_every or float("inf")
+            for record in records:
+                engine.process(record)
+                if engine.stats.records >= next_progress:
+                    if progress is not None:
+                        progress(engine)
+                    next_progress = (
+                        engine.stats.records // execution.progress_every + 1
+                    ) * execution.progress_every
+            result = engine.finish()
     wall_seconds = time.perf_counter() - started
 
     return _stream_result(spec, source, total_requests, result, wall_seconds)
@@ -435,29 +508,33 @@ def _stream_result(
 # ----------------------------------------------------------------------
 # Defend mode
 # ----------------------------------------------------------------------
-def _run_defend(spec: RunSpec) -> RunResult:
+def _run_defend(spec: RunSpec, registry: MetricsRegistry | None = None) -> RunResult:
     if spec.detectors:
         raise SpecError(
             "defend mode fields the standard online ensemble; "
             "custom detector lists are not supported"
         )
+    registry = resolve_registry(registry)
     policy_spec = spec.policy or PolicySpec()
     policy = get_policy(policy_spec.name, **policy_spec.params)
     adjudication = spec.adjudication or AdjudicationSpec(k=2, window_seconds=600.0)
     traffic = spec.traffic
 
     started = time.perf_counter()
-    result = run_defense(
-        total_requests=traffic.total_requests if traffic.total_requests is not None else 8_000,
-        adaptive=traffic.campaign == "adaptive",
-        policy=policy,
-        seed=traffic.seed if traffic.seed is not None else 314,
-        k=adjudication.k,
-        identities_per_node=traffic.identities_per_node,
-        window_seconds=adjudication.window_seconds,
-    )
+    with trace_span("simulate", registry=registry, campaign=traffic.campaign):
+        result = run_defense(
+            total_requests=traffic.total_requests if traffic.total_requests is not None else 8_000,
+            adaptive=traffic.campaign == "adaptive",
+            policy=policy,
+            seed=traffic.seed if traffic.seed is not None else 314,
+            k=adjudication.k,
+            identities_per_node=traffic.identities_per_node,
+            window_seconds=adjudication.window_seconds,
+            registry=registry,
+        )
     wall_seconds = time.perf_counter() - started
-    report = build_report(result, policy_name=policy.name)
+    with trace_span("report", registry=registry):
+        report = build_report(result, policy_name=policy.name)
 
     return RunResult(
         mode=spec.mode,

@@ -46,6 +46,10 @@ class RunResult:
     rows: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
     #: Stage timings in seconds.
     timings: dict[str, float] = field(default_factory=dict)
+    #: Metrics-registry snapshot (counters, histograms, span tree) when
+    #: the run was executed with a registry; ``None`` otherwise.  The
+    #: schema is :meth:`repro.obs.metrics.MetricsRegistry.to_dict`.
+    telemetry: dict[str, Any] | None = None
     #: Human-readable summary lines appended after the tables.
     summary: list[str] = field(default_factory=list)
     #: Closed-loop enforcement summary (``defend`` runs only).
@@ -81,6 +85,7 @@ class RunResult:
             "tables": dict(self.tables),
             "rows": {name: [dict(row) for row in rows] for name, rows in self.rows.items()},
             "timings": dict(self.timings),
+            "telemetry": dict(self.telemetry) if self.telemetry is not None else None,
             "summary": list(self.summary),
             "enforcement": dict(self.enforcement) if self.enforcement is not None else None,
             "spec": self.spec,
@@ -101,6 +106,9 @@ class RunResult:
                 tables=dict(data.get("tables", {})),
                 rows={name: list(rows) for name, rows in data.get("rows", {}).items()},
                 timings=dict(data.get("timings", {})),
+                telemetry=(
+                    dict(data["telemetry"]) if data.get("telemetry") is not None else None
+                ),
                 summary=list(data.get("summary", [])),
                 enforcement=(
                     dict(data["enforcement"]) if data.get("enforcement") is not None else None

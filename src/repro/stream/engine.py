@@ -39,6 +39,8 @@ from repro.core.alerts import AlertMatrix, AlertSet
 from repro.exceptions import DetectorError
 from repro.logs.record import LogRecord
 from repro.logs.sessionization import DEFAULT_TIMEOUT, Session
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.stream.adjudicator import WindowedAdjudicator
 from repro.stream.detectors import OnlineDetector
 from repro.stream.events import EngineStats, OnlineVerdict, RequestVerdict
@@ -111,6 +113,12 @@ class StreamEngine:
     track_latency:
         Record the wall-clock processing time of every request (used by
         the latency benchmark; off by default to keep the hot path lean).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When set,
+        every request feeds per-request (and per-detector) verdict
+        latency histograms, and :meth:`finish` exports the engine's
+        counters (records, sessions opened/closed/evicted, alerts) into
+        the registry.  ``None`` keeps the hot path uninstrumented.
     """
 
     def __init__(
@@ -121,6 +129,7 @@ class StreamEngine:
         adjudicator: WindowedAdjudicator | None = None,
         max_skew_seconds: float = 0.0,
         track_latency: bool = False,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if not detectors:
             raise DetectorError("a stream engine needs at least one online detector")
@@ -139,6 +148,17 @@ class StreamEngine:
         self._sequence = 0
         self._latencies: list[float] = []
         self._finished = False
+        self.registry = resolve_registry(registry)
+        # Per-record instrumentation is gated on one cached bool and uses
+        # cached instrument handles, so the disabled path stays lean.
+        self._timed = self.registry.enabled
+        self._verdict_hist = self.registry.histogram(
+            metric_names.VERDICT_SECONDS, "Per-request ensemble decision latency."
+        )
+        self._detector_hist = self.registry.histogram(
+            metric_names.DETECTOR_VERDICT_SECONDS,
+            "Per-request detector decision latency.",
+        )
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -198,12 +218,15 @@ class StreamEngine:
         adjudication = (
             self.adjudicator.to_result(self.stats.records) if self.adjudicator else None
         )
-        return StreamResult(
+        result = StreamResult(
             alert_sets=[detector.final_alert_set() for detector in self.detectors],
             stats=self.stats,
             adjudication=adjudication,
             latencies=self._latencies,
         )
+        if self._timed:
+            self.export_metrics(alert_sets=result.alert_sets)
+        return result
 
     def finish_shard(self) -> dict:
         """Flush and export state for a sharded runner (no global finalize).
@@ -228,7 +251,62 @@ class StreamEngine:
                 sorted(self.adjudicator.alerted_ids) if self.adjudicator is not None else None
             ),
             "latencies": self._latencies,
+            "sessions_evicted": self.sessionizer.sessions_evicted,
+            "open_sessions": self.sessionizer.open_sessions,
         }
+
+    # ------------------------------------------------------------------
+    def export_metrics(
+        self,
+        *,
+        alert_sets: Sequence[AlertSet] = (),
+        stats: EngineStats | None = None,
+        registry: MetricsRegistry | None = None,
+        sessions_evicted: int | None = None,
+        open_sessions: int | None = None,
+    ) -> None:
+        """Bulk-add the engine's counters into a registry.
+
+        Called automatically by :meth:`finish`; the sharded runner calls
+        it with each worker's merged ``stats`` instead (worker engines
+        run unregistered, so per-shard counts aggregate here).  The
+        counter names are the shared logical vocabulary of
+        :mod:`repro.obs.names`, identical to the batch pipeline's.
+        """
+        registry = self.registry if registry is None else registry
+        stats = self.stats if stats is None else stats
+        registry.counter(
+            metric_names.RECORDS_INGESTED, "Records fed into a detection engine."
+        ).inc(stats.records)
+        registry.counter(metric_names.SESSIONS_OPENED, "Visitor sessions opened.").inc(
+            stats.sessions_opened
+        )
+        registry.counter(metric_names.SESSIONS_CLOSED, "Visitor sessions closed.").inc(
+            stats.sessions_closed
+        )
+        if sessions_evicted is None:
+            sessions_evicted = self.sessionizer.sessions_evicted
+        registry.counter(
+            metric_names.SESSIONS_EVICTED, "Idle sessions closed by the stream evictor."
+        ).inc(sessions_evicted)
+        if open_sessions is None:
+            open_sessions = self.sessionizer.open_sessions
+        registry.gauge(
+            metric_names.SESSIONS_OPEN, "Sessions still open (sampled at finish)."
+        ).set(open_sessions)
+        registry.counter(
+            metric_names.ENSEMBLE_ALERTS, "Requests alerted by the adjudicated ensemble."
+        ).inc(stats.ensemble_alerts)
+        verdicts = registry.counter(
+            metric_names.DETECTOR_VERDICTS, "Online verdicts emitted per detector."
+        )
+        for name in stats.online_alerts:
+            verdicts.inc(stats.records, detector=name)
+        alerts = registry.counter(
+            metric_names.DETECTOR_ALERTS, "Requests alerted per detector."
+        )
+        for alert_set in alert_sets:
+            alerts.inc(len(alert_set), detector=alert_set.detector_name)
 
     # ------------------------------------------------------------------
     def _ingest(self, record: LogRecord) -> RequestVerdict:
@@ -240,8 +318,16 @@ class StreamEngine:
             self._close_session(session)
 
         votes: dict[str, OnlineVerdict] = {}
+        timed = self._timed
         for detector in self.detectors:
-            verdict = detector.observe(record, update.session)
+            if timed:
+                detector_started = time.perf_counter()
+                verdict = detector.observe(record, update.session)
+                self._detector_hist.observe(
+                    time.perf_counter() - detector_started, detector=detector.name
+                )
+            else:
+                verdict = detector.observe(record, update.session)
             votes[detector.name] = verdict
             if verdict.alerted:
                 self.stats.online_alerts[detector.name] += 1
@@ -256,6 +342,8 @@ class StreamEngine:
 
         elapsed = time.perf_counter() - started
         self.stats.busy_seconds += elapsed
+        if timed:
+            self._verdict_hist.observe(elapsed)
         if self.track_latency:
             self._latencies.append(elapsed)
         return RequestVerdict(

@@ -29,6 +29,7 @@ Backends
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue
 import threading
@@ -38,8 +39,12 @@ from typing import Callable, Iterable, Sequence
 from repro.core.adjudication import AdjudicationResult
 from repro.exceptions import DetectorError
 from repro.logs.record import LogRecord
+from repro.obs import names as metric_names
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.stream.engine import StreamEngine, StreamResult
 from repro.stream.events import EngineStats
+
+logger = logging.getLogger(__name__)
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -95,6 +100,13 @@ class ShardedStreamRunner:
         unbounded buffering.
     batch_size:
         Records per queue element (thread backend).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` owned by the
+        *runner* (worker engines run unregistered; per-shard counts are
+        bulk-added here at merge time, which is also why per-request
+        latency histograms are only available on the single-engine path).
+        The thread backend additionally samples each shard's queue depth
+        and counts feeder blocks on a full queue (backpressure).
     """
 
     def __init__(
@@ -105,6 +117,7 @@ class ShardedStreamRunner:
         backend: str = "thread",
         queue_size: int = 8192,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if shards < 1:
             raise DetectorError("shards must be at least 1")
@@ -117,12 +130,17 @@ class ShardedStreamRunner:
         self.backend = backend
         self.queue_size = queue_size
         self.batch_size = batch_size
+        self.registry = resolve_registry(registry)
 
     # ------------------------------------------------------------------
     def run(self, records: Iterable[LogRecord]) -> StreamResult:
         """Consume the stream across all shards and merge the results."""
         backend = self.backend
         if backend == "process" and "fork" not in multiprocessing.get_all_start_methods():
+            logger.warning(
+                "process backend unavailable, falling back",
+                extra={"requested": "process", "fallback": "thread"},
+            )
             backend = "thread"
         if backend == "process":
             exports = self._run_process(records)
@@ -177,17 +195,36 @@ class ShardedStreamRunner:
         for thread in threads:
             thread.start()
 
+        instrumented = self.registry.enabled
+        depth_gauge = self.registry.gauge(
+            metric_names.QUEUE_DEPTH, "Inbound queue depth per stream shard (batches)."
+        )
+        backpressure = self.registry.counter(
+            metric_names.BACKPRESSURE_WAITS, "Feeder blocks on a full shard queue."
+        )
+
+        def feed(index: int, batch: list[LogRecord] | None) -> None:
+            if instrumented:
+                # full() is a racy hint, which is fine for a counter of
+                # "times the feeder (probably) had to wait".
+                if queues[index].full():
+                    backpressure.inc(shard=str(index))
+                queues[index].put(batch)
+                depth_gauge.set(queues[index].qsize(), shard=str(index))
+            else:
+                queues[index].put(batch)
+
         pending: list[list[LogRecord]] = [[] for _ in range(self.shards)]
         for record in records:
             index = shard_of(record.client_ip, self.shards)
             pending[index].append(record)
             if len(pending[index]) >= self.batch_size:
-                queues[index].put(pending[index])
+                feed(index, pending[index])
                 pending[index] = []
         for index in range(self.shards):
             if pending[index]:
-                queues[index].put(pending[index])
-            queues[index].put(None)
+                feed(index, pending[index])
+            feed(index, None)
         for thread in threads:
             thread.join()
 
@@ -221,8 +258,16 @@ class ShardedStreamRunner:
 
         stats = EngineStats(online_alerts={d.name: 0 for d in reference.detectors})
         latencies: list[float] = []
-        for export in exports:
+        sessions_evicted = 0
+        open_sessions = 0
+        shard_records = self.registry.counter(
+            metric_names.SHARD_RECORDS, "Records processed per stream shard."
+        )
+        for shard, export in enumerate(exports):
             shard_stats: EngineStats = export["stats"]
+            shard_records.inc(shard_stats.records, shard=str(shard))
+            sessions_evicted += export.get("sessions_evicted", 0)
+            open_sessions += export.get("open_sessions", 0)
             stats.records += shard_stats.records
             stats.sessions_opened += shard_stats.sessions_opened
             stats.sessions_closed += shard_stats.sessions_closed
@@ -250,9 +295,18 @@ class ShardedStreamRunner:
                 alerted_ids=frozenset(alerted),
                 total_requests=stats.records,
             )
-        return StreamResult(
+        result = StreamResult(
             alert_sets=alert_sets,
             stats=stats,
             adjudication=adjudication,
             latencies=latencies,
         )
+        if self.registry.enabled:
+            reference.export_metrics(
+                alert_sets=alert_sets,
+                stats=stats,
+                registry=self.registry,
+                sessions_evicted=sessions_evicted,
+                open_sessions=open_sessions,
+            )
+        return result

@@ -78,6 +78,9 @@ class IncrementalSessionizer:
         self._counter = 0
         self._observed = 0
         self._watermark: datetime | None = None
+        #: Total sessions closed by idle eviction (vs. gap close); read
+        #: by the stream engine's telemetry export.
+        self.sessions_evicted = 0
 
     # ------------------------------------------------------------------
     @property
@@ -145,6 +148,7 @@ class IncrementalSessionizer:
         ]
         for session in evicted:
             del self._open[(session.client_ip, session.user_agent)]
+        self.sessions_evicted += len(evicted)
         return evicted
 
     def flush(self) -> list[Session]:
@@ -159,3 +163,4 @@ class IncrementalSessionizer:
         self._counter = 0
         self._observed = 0
         self._watermark = None
+        self.sessions_evicted = 0

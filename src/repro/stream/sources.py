@@ -48,7 +48,11 @@ def dataset_replay(dataset: Dataset) -> Iterator[LogRecord]:
 
 
 def trace_replay(
-    path: str, *, start: datetime | None = None, end: datetime | None = None
+    path: str,
+    *,
+    start: datetime | None = None,
+    end: datetime | None = None,
+    registry=None,
 ) -> Iterator[LogRecord]:
     """Replay a recorded trace file in timestamp order, out-of-core.
 
@@ -61,7 +65,7 @@ def trace_replay(
     """
     from repro.trace.store import TraceReader
 
-    reader = TraceReader(path)
+    reader = TraceReader(path, registry=registry)
     if reader.info.time_ordered:
         yield from reader.iter_records(start=start, end=end)
     else:

@@ -28,14 +28,19 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from collections import OrderedDict
 from typing import Any, Callable, Mapping
 
 from repro.exceptions import TraceError
 from repro.logs.dataset import Dataset
+from repro.obs import names as metric_names
+from repro.obs.metrics import resolve_registry
 from repro.trace.format import FORMAT_VERSION
 from repro.trace.store import TraceInfo, read_trace, trace_info, write_trace
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -116,40 +121,52 @@ class GenerationCache:
             self._memory.popitem(last=False)
 
     # ------------------------------------------------------------------
-    def load(self, fingerprint: str) -> Dataset | None:
+    def load(self, fingerprint: str, *, registry=None) -> Dataset | None:
         """The cached data set for a fingerprint, or ``None`` on a miss.
 
         A corrupt or unreadable cache entry (e.g. a run killed mid-write
         before the atomic rename, or a stale format) is treated as a
         miss and removed, so the caller simply regenerates.
         """
+        registry = resolve_registry(registry)
         cached = self._memory.get(fingerprint)
         if cached is not None:
             self._memory.move_to_end(fingerprint)
             self.memory_hits += 1
+            registry.counter(
+                metric_names.CACHE_HITS, "Generation-cache hits by tier."
+            ).inc(tier="memory")
+            logger.debug("cache hit", extra={"tier": "memory", "fingerprint": fingerprint})
             return cached
         path = self.path_for(fingerprint)
         if not os.path.exists(path):
             return None
         try:
-            dataset = read_trace(path)
+            dataset = read_trace(path, registry=registry)
         except TraceError:
+            logger.warning(
+                "corrupt cache entry removed", extra={"fingerprint": fingerprint, "path": path}
+            )
             try:
                 os.remove(path)
             except OSError:
                 pass
             return None
         self.disk_hits += 1
+        registry.counter(
+            metric_names.CACHE_HITS, "Generation-cache hits by tier."
+        ).inc(tier="disk")
+        logger.debug("cache hit", extra={"tier": "disk", "fingerprint": fingerprint})
         self._remember(fingerprint, dataset)
         return dataset
 
-    def store(self, fingerprint: str, dataset: Dataset) -> str:
+    def store(self, fingerprint: str, dataset: Dataset, *, registry=None) -> str:
         """Record a data set under its fingerprint (atomic rename)."""
         os.makedirs(self.root, exist_ok=True)
         path = self.path_for(fingerprint)
         temp_path = f"{path}.tmp.{os.getpid()}"
         try:
-            write_trace(dataset, temp_path)
+            write_trace(dataset, temp_path, registry=registry)
             os.replace(temp_path, path)
         finally:
             if os.path.exists(temp_path):
@@ -160,14 +177,20 @@ class GenerationCache:
         self._remember(fingerprint, dataset)
         return path
 
-    def get_or_generate(self, fingerprint: str, builder: Callable[[], Dataset]) -> Dataset:
+    def get_or_generate(
+        self, fingerprint: str, builder: Callable[[], Dataset], *, registry=None
+    ) -> Dataset:
         """Replay the cached traffic, or generate-and-record on first use."""
-        cached = self.load(fingerprint)
+        cached = self.load(fingerprint, registry=registry)
         if cached is not None:
             return cached
         self.misses += 1
+        resolve_registry(registry).counter(
+            metric_names.CACHE_MISSES, "Generation-cache misses (traffic regenerated)."
+        ).inc()
+        logger.debug("cache miss", extra={"fingerprint": fingerprint})
         dataset = builder()
-        self.store(fingerprint, dataset)
+        self.store(fingerprint, dataset, registry=registry)
         return dataset
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ Imported traces are unlabelled (production logs carry no ground truth);
 
 from __future__ import annotations
 
+import logging
 import os
 import re
 from dataclasses import dataclass, field
@@ -26,6 +27,8 @@ from repro.exceptions import LogParseError, TraceError
 from repro.logs.dataset import DatasetMetadata
 from repro.logs.parser import open_log, parse_line
 from repro.trace.store import TraceInfo, TraceWriter
+
+logger = logging.getLogger(__name__)
 
 _ROTATION_SUFFIX = re.compile(r"^\.(\d+)(\.gz)?$")
 
@@ -138,10 +141,14 @@ def import_clf(
                             request_id=f"{request_id_prefix}{report.parsed}",
                             line_number=line_number,
                         )
-                    except LogParseError:
+                    except LogParseError as exc:
                         if not skip_malformed:
                             raise
                         report.skipped += 1
+                        logger.debug(
+                            "skipped malformed log line",
+                            extra={"file": path, "line": line_number, "error": str(exc)},
+                        )
                         continue
                     writer.write(record)
                     report.parsed += 1

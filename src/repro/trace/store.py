@@ -30,6 +30,8 @@ import numpy as np
 from repro.exceptions import TraceError
 from repro.logs.dataset import BENIGN, MALICIOUS, Dataset, DatasetMetadata, GroundTruth
 from repro.logs.record import LogRecord, RequestMethod
+from repro.obs import names as metric_names
+from repro.obs.metrics import resolve_registry
 from repro.trace.format import (
     BLOCK_TAG,
     DEFAULT_BLOCK_SIZE,
@@ -149,11 +151,13 @@ class TraceWriter:
         *,
         metadata: DatasetMetadata | None = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        registry=None,
     ) -> None:
         if block_size < 1:
             raise TraceError("block_size must be at least 1")
         self.path = path
         self.block_size = block_size
+        self._registry = resolve_registry(registry)
         self.metadata = metadata or DatasetMetadata()
         self._handle: IO[bytes] | None = open(path, "wb")
         self._handle.write(MAGIC)
@@ -284,7 +288,19 @@ class TraceWriter:
             pending.extras = self._pending_extras
         offset = self._handle.tell()
         body = encode_block(pending)
-        self._handle.write(encode_section(BLOCK_TAG, body))
+        section = encode_section(BLOCK_TAG, body)
+        self._handle.write(section)
+        registry = self._registry
+        if registry.enabled:
+            registry.counter(
+                metric_names.TRACE_BLOCKS_WRITTEN, "Trace blocks encoded and written."
+            ).inc()
+            registry.counter(
+                metric_names.TRACE_WRITTEN_BYTES, "Compressed trace bytes written."
+            ).inc(len(section))
+            registry.counter(
+                metric_names.TRACE_RECORDS_WRITTEN, "Records appended to trace files."
+            ).inc(len(pending))
         self._blocks.append(
             [offset, len(pending), min(pending.timestamps_us), max(pending.timestamps_us)]
         )
@@ -380,8 +396,9 @@ class TraceReader:
     materialises everything into a :class:`~repro.logs.dataset.Dataset`.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, registry=None) -> None:
         self.path = path
+        self._registry = resolve_registry(registry)
         try:
             size = os.path.getsize(path)
         except OSError as exc:
@@ -416,6 +433,16 @@ class TraceReader:
     def __len__(self) -> int:
         return self.info.records
 
+    def _account_block_read(self, compressed_bytes: int) -> None:
+        registry = self._registry
+        if registry.enabled:
+            registry.counter(
+                metric_names.TRACE_BLOCKS_READ, "Trace blocks decoded."
+            ).inc()
+            registry.counter(
+                metric_names.TRACE_READ_BYTES, "Compressed trace bytes read."
+            ).inc(compressed_bytes)
+
     # ------------------------------------------------------------------
     def _load_strings(self) -> tuple[dict[str, list], list[str]]:
         """The resolved string tables (methods as enum members), cached."""
@@ -449,6 +476,7 @@ class TraceReader:
                     continue
                 handle.seek(offset)
                 columns = decode_block(read_section(handle, BLOCK_TAG))
+                self._account_block_read(handle.tell() - offset)
                 records = _records_from_columns(columns, tables)
                 if start_us is not None or end_us is not None:
                     keep = [
@@ -529,6 +557,7 @@ class TraceReader:
             for offset, _count, _min_us, _max_us in self._meta["blocks"]:
                 handle.seek(offset)
                 columns = decode_block(read_section(handle, BLOCK_TAG))
+                self._account_block_read(handle.tell() - offset)
                 block_start = len(request_ids)
                 request_ids.extend(columns.request_ids)
                 timestamps.extend(columns.timestamps_us)
@@ -549,6 +578,10 @@ class TraceReader:
                     extras.extend({} for _ in range(len(columns)))
 
         tz_offsets_us = np.asarray(tz_offsets, dtype=np.int64) * 1_000_000
+        if self._registry.enabled:
+            self._registry.counter(
+                metric_names.FRAME_ROWS, "Rows loaded into a RecordFrame."
+            ).inc(len(request_ids), source="trace")
         return RecordFrame(
             request_ids=request_ids,
             timestamps_us=np.asarray(timestamps, dtype=np.int64),
@@ -688,17 +721,19 @@ def _records_from_columns(columns: BlockColumns, tables: dict[str, list]) -> lis
 # Whole-file helpers
 # ----------------------------------------------------------------------
 def write_trace(
-    dataset: Dataset, path: str, *, block_size: int = DEFAULT_BLOCK_SIZE
+    dataset: Dataset, path: str, *, block_size: int = DEFAULT_BLOCK_SIZE, registry=None
 ) -> TraceInfo:
     """Record a data set (records, labels, metadata) as a trace file."""
-    with TraceWriter(path, metadata=dataset.metadata, block_size=block_size) as writer:
+    with TraceWriter(
+        path, metadata=dataset.metadata, block_size=block_size, registry=registry
+    ) as writer:
         writer.write_dataset(dataset)
         return writer.close()
 
 
-def read_trace(path: str) -> Dataset:
+def read_trace(path: str, *, registry=None) -> Dataset:
     """Replay a trace file into a fully materialised :class:`Dataset`."""
-    return TraceReader(path).read_dataset()
+    return TraceReader(path, registry=registry).read_dataset()
 
 
 def trace_info(path: str) -> TraceInfo:

@@ -50,6 +50,7 @@ def _comparable(result):
     """
     payload = result.to_dict()
     payload.pop("timings", None)
+    payload.pop("telemetry", None)
     payload.pop("spec", None)
     return payload
 

@@ -1,0 +1,92 @@
+"""Structured logging: the key=value formatter and ``logging_setup``."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs.logsetup import KeyValueFormatter, logging_setup
+
+
+def _format(record: logging.LogRecord) -> str:
+    return KeyValueFormatter().format(record)
+
+
+def _record(message: str, *, extra: dict | None = None, level=logging.INFO) -> logging.LogRecord:
+    record = logging.LogRecord("repro.test", level, __file__, 1, message, (), None)
+    if extra:
+        record.__dict__.update(extra)
+    return record
+
+
+class TestFormatter:
+    def test_core_fields_in_order(self):
+        line = _format(_record("disk hit"))
+        parts = line.split(" ")
+        assert parts[0].startswith("ts=")
+        assert parts[1] == "level=info"
+        assert parts[2] == "logger=repro.test"
+        assert 'event="disk hit"' in line
+
+    def test_extra_fields_are_appended_sorted(self):
+        line = _format(_record("evt", extra={"zeta": 1, "alpha": "x"}))
+        assert line.endswith("alpha=x zeta=1")
+
+    def test_values_with_spaces_quotes_or_equals_are_quoted(self):
+        line = _format(_record("evt", extra={"path": "a b", "expr": "k=v", "q": 'say "hi"'}))
+        assert 'path="a b"' in line
+        assert 'expr="k=v"' in line
+        assert 'q="say \\"hi\\""' in line
+
+    def test_plain_values_stay_bare(self):
+        line = _format(_record("evt", extra={"count": 42, "tier": "plain"}))
+        assert "count=42" in line
+        assert "tier=plain" in line
+
+    def test_exceptions_are_folded_into_one_line(self):
+        try:
+            raise ValueError("bad")
+        except ValueError:
+            import sys
+
+            record = _record("failed")
+            record.exc_info = sys.exc_info()
+        line = _format(record)
+        assert "\n" not in line
+        assert "exc=" in line
+        assert "ValueError" in line
+
+
+class TestLoggingSetup:
+    def test_attaches_one_tagged_handler(self):
+        logger = logging_setup("info", logger="repro-test-obs")
+        tagged = [h for h in logger.handlers if getattr(h, "_repro_obs", False)]
+        assert len(tagged) == 1
+        assert logger.level == logging.INFO
+        assert logger.propagate is False
+        assert isinstance(tagged[0].formatter, KeyValueFormatter)
+
+    def test_repeated_setup_replaces_instead_of_stacking(self):
+        logging_setup("info", logger="repro-test-obs")
+        logger = logging_setup("debug", logger="repro-test-obs")
+        tagged = [h for h in logger.handlers if getattr(h, "_repro_obs", False)]
+        assert len(tagged) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_numeric_level_accepted(self):
+        logger = logging_setup(logging.ERROR, logger="repro-test-obs")
+        assert logger.level == logging.ERROR
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            logging_setup("loud", logger="repro-test-obs")
+
+    def test_library_messages_flow_through(self, capsys):
+        logging_setup("debug", logger="repro-test-obs")
+        child = logging.getLogger("repro-test-obs.cache")
+        child.debug("cache miss", extra={"fingerprint": "ab12"})
+        err = capsys.readouterr().err
+        assert 'event="cache miss"' in err
+        assert "fingerprint=ab12" in err
+        assert "logger=repro-test-obs.cache" in err

@@ -1,0 +1,277 @@
+"""The metrics core: instruments, registry semantics, snapshots.
+
+Covers the bucket/quantile arithmetic of the histogram against known
+distributions, the get-or-create registry contract (including kind and
+bounds collisions), the null-registry no-op guarantees, and the
+snapshot round trip / merge algebra -- the latter property-based, since
+shard merging relies on snapshot addition being exact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ObsError
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    resolve_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+        assert counter.total() == 5
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("c_total")
+        counter.inc(2, detector="inhouse")
+        counter.inc(3, detector="commercial")
+        assert counter.value(detector="inhouse") == 2
+        assert counter.value(detector="commercial") == 3
+        assert counter.value(detector="absent") == 0
+        assert counter.total() == 5
+
+    def test_label_order_is_canonical(self):
+        counter = Counter("c_total")
+        counter.inc(1, a="1", b="2")
+        counter.inc(1, b="2", a="1")
+        assert counter.value(a="1", b="2") == 2
+        assert len(counter) == 1
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total")
+        with pytest.raises(ObsError, match="cannot decrease"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+    def test_gauge_may_go_negative(self):
+        gauge = Gauge("g")
+        gauge.dec(2)
+        assert gauge.value() == -2
+
+
+class TestHistogramBuckets:
+    def test_default_bounds_are_strictly_increasing(self):
+        assert all(b > a for a, b in zip(DEFAULT_BOUNDS, DEFAULT_BOUNDS[1:]))
+        assert DEFAULT_BOUNDS[0] == pytest.approx(1e-6)
+        assert len(DEFAULT_BOUNDS) == 28
+
+    def test_bucket_assignment_is_le_semantics(self):
+        hist = Histogram("h_seconds", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 99.0):
+            hist.observe(value)
+        ((_labels, series),) = list(hist.series())
+        # <=1: {0.5, 1.0}; <=2: {1.5, 2.0}; <=4: {3.0, 4.0}; overflow: {99.0}
+        assert series.buckets == [2, 2, 2, 1]
+        assert series.count == 7
+        assert series.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 99.0)
+        assert series.min == 0.5
+        assert series.max == 99.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ObsError, match="strictly increasing"):
+            Histogram("h", bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ObsError, match="strictly increasing"):
+            Histogram("h", bounds=())
+
+
+class TestHistogramQuantiles:
+    def test_empty_series_reports_zero(self):
+        hist = Histogram("h_seconds")
+        assert hist.quantile(0.5) == 0.0
+        assert hist.count() == 0
+
+    def test_single_observation_is_every_quantile(self):
+        hist = Histogram("h_seconds")
+        hist.observe(0.125)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.125)
+
+    def test_quantiles_of_a_uniform_grid(self):
+        hist = Histogram("h_seconds")
+        values = [i / 1000 for i in range(1, 1001)]  # uniform on (0, 1]
+        for value in values:
+            hist.observe(value)
+        # Exponential buckets are coarse near 1, so allow a loose band.
+        assert hist.quantile(0.5) == pytest.approx(0.5, abs=0.15)
+        assert hist.quantile(0.95) == pytest.approx(0.95, abs=0.10)
+        assert hist.quantile(0.99) == pytest.approx(0.99, abs=0.05)
+        assert set(hist.percentiles()) == {"p50", "p95", "p99"}
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = Histogram("h_seconds")
+        for value in (0.2, 0.3, 0.4):
+            hist.observe(value)
+        assert 0.2 <= hist.quantile(0.0) <= 0.4
+        assert hist.quantile(1.0) == pytest.approx(0.4)
+
+    def test_quantiles_are_monotone(self):
+        hist = Histogram("h_seconds")
+        for value in (1e-5, 3e-4, 0.002, 0.002, 0.7, 12.0):
+            hist.observe(value)
+        qs = [hist.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_out_of_range_quantile_rejected(self):
+        hist = Histogram("h_seconds")
+        with pytest.raises(ObsError, match="within"):
+            hist.quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+        assert registry.histogram("h_seconds") is registry.histogram("h_seconds")
+
+    def test_kind_collision_fails_loudly(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(ObsError, match="already registered"):
+            registry.gauge("a_total")
+        with pytest.raises(ObsError, match="already registered"):
+            registry.histogram("a_total")
+
+    def test_histogram_bounds_collision_fails_loudly(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", bounds=(1.0, 2.0))
+        registry.histogram("h_seconds", bounds=(1.0, 2.0))  # same bounds: fine
+        with pytest.raises(ObsError, match="other bounds"):
+            registry.histogram("h_seconds", bounds=(1.0, 3.0))
+
+    def test_metrics_listing_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.gauge("a")
+        assert [metric.name for metric in registry.metrics()] == ["a", "b_total"]
+        assert registry.get("a").kind == "gauge"
+        assert registry.get("missing") is None
+
+
+class TestNullRegistry:
+    def test_disabled_and_shared(self):
+        assert NULL_REGISTRY.enabled is False
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        assert resolve_registry(None) is NULL_REGISTRY
+        live = MetricsRegistry()
+        assert resolve_registry(live) is live
+        assert live.enabled is True
+
+    def test_instruments_are_inert(self):
+        counter = NULL_REGISTRY.counter("a_total")
+        counter.inc(5, detector="x")
+        assert counter.total() == 0
+        hist = NULL_REGISTRY.histogram("h_seconds")
+        hist.observe(1.0)
+        assert hist.count() == 0
+        assert hist.percentiles() == {}
+        gauge = NULL_REGISTRY.gauge("g")
+        gauge.set(3)
+        assert gauge.value() == 0
+        assert NULL_REGISTRY.to_dict()["metrics"] == {}
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("a_total", "events").inc(3, detector="x")
+        registry.counter("a_total").inc(2, detector="y")
+        registry.gauge("g", "depth").set(7, shard="0")
+        hist = registry.histogram("h_seconds", "durations")
+        for value in (1e-5, 0.004, 0.25, 3.0):
+            hist.observe(value, stage="demo")
+        return registry
+
+    def test_snapshot_shape(self):
+        snap = self._populated().to_dict()
+        assert snap["format"] == "repro-obs"
+        assert snap["version"] == 1
+        assert set(snap["metrics"]) == {"a_total", "g", "h_seconds"}
+        entry = snap["metrics"]["h_seconds"]
+        assert len(entry["series"][0]["buckets"]) == len(entry["bounds"]) + 1
+
+    def test_json_round_trip(self):
+        registry = self._populated()
+        snap = json.loads(json.dumps(registry.to_dict()))
+        rebuilt = MetricsRegistry.from_dict(snap)
+        assert rebuilt.to_dict() == registry.to_dict()
+        assert rebuilt.counter("a_total").value(detector="x") == 3
+        assert rebuilt.histogram("h_seconds").count(stage="demo") == 4
+
+    def test_from_dict_rejects_foreign_payloads(self):
+        with pytest.raises(ObsError, match="format marker"):
+            MetricsRegistry.from_dict({"metrics": {}})
+        with pytest.raises(ObsError, match="mapping"):
+            MetricsRegistry.from_dict([1, 2])
+
+    def test_merge_adds_counters_and_buckets(self):
+        registry = self._populated()
+        snap = registry.to_dict()
+        registry.merge(snap)
+        assert registry.counter("a_total").value(detector="x") == 6
+        assert registry.histogram("h_seconds").count(stage="demo") == 8
+        # Gauges are last-write-wins, not additive.
+        assert registry.gauge("g").value(shard="0") == 7
+
+    def test_merge_rejects_mismatched_bounds(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", bounds=(1.0, 2.0)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h_seconds", bounds=(1.0, 4.0)).observe(0.5)
+        with pytest.raises(ObsError):
+            registry.merge(other.to_dict())
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    counts=st.dictionaries(
+        st.sampled_from(["a_total", "b_total", "c_total"]), st.integers(0, 10_000), max_size=3
+    ),
+    gauge_value=st.floats(-1e6, 1e6, allow_nan=False),
+    observations=st.lists(
+        st.floats(min_value=1e-7, max_value=120.0, allow_nan=False, allow_infinity=False),
+        max_size=60,
+    ),
+)
+def test_snapshot_round_trip_property(counts, gauge_value, observations):
+    """to_dict -> json -> from_dict -> to_dict is the identity."""
+    registry = MetricsRegistry()
+    for name, amount in counts.items():
+        registry.counter(name).inc(amount, kind="generated")
+    registry.gauge("depth").set(gauge_value)
+    hist = registry.histogram("h_seconds")
+    for value in observations:
+        hist.observe(value)
+    snap = json.loads(json.dumps(registry.to_dict()))
+    assert MetricsRegistry.from_dict(snap).to_dict() == registry.to_dict()
+
+    # Merging the snapshot into a fresh registry twice doubles every
+    # counter and histogram count (the shard-aggregation algebra).
+    doubled = MetricsRegistry()
+    doubled.merge(snap)
+    doubled.merge(snap)
+    for name, amount in counts.items():
+        assert doubled.counter(name).value(kind="generated") == 2 * amount
+    assert doubled.histogram("h_seconds").count() == 2 * len(observations)

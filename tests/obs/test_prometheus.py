@@ -1,0 +1,140 @@
+"""Prometheus exposition: rendered text validated line by line, plus the
+live ``/metrics`` endpoint."""
+
+from __future__ import annotations
+
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import CONTENT_TYPE, render, serve_metrics
+
+#: ``name{labels} value`` -- the exposition sample-line grammar we emit.
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[0-9eE.+-]+|\+Inf|-Inf|NaN)$"
+)
+LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_demo_total", "Demo events.").inc(3, detector="inhouse")
+    registry.counter("repro_demo_total").inc(4, detector="commercial")
+    registry.gauge("repro_depth", "Queue depth.").set(2, shard="0")
+    hist = registry.histogram("repro_demo_seconds", "Demo durations.", bounds=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        hist.observe(value)
+    return registry
+
+
+def _parse(text: str) -> list[dict]:
+    """Parse exposition text into sample dicts, asserting the grammar."""
+    samples = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            assert len(line.split(" ", 3)) >= 3
+            continue
+        match = SAMPLE_LINE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        labels = {}
+        body = match.group("labels")
+        if body:
+            for pair in body[1:-1].split(","):
+                assert LABEL_PAIR.match(pair), f"bad label pair: {pair!r} in {line!r}"
+                key, value = pair.split("=", 1)
+                labels[key] = value[1:-1]
+        samples.append(
+            {"name": match.group("name"), "labels": labels, "value": match.group("value")}
+        )
+    return samples
+
+
+class TestRender:
+    def test_every_line_parses(self):
+        samples = _parse(render(_populated_registry()))
+        assert samples  # non-empty
+
+    def test_counter_and_gauge_samples(self):
+        samples = _parse(render(_populated_registry()))
+        by_name = {}
+        for sample in samples:
+            by_name.setdefault(sample["name"], []).append(sample)
+        counter_values = {
+            sample["labels"]["detector"]: sample["value"]
+            for sample in by_name["repro_demo_total"]
+        }
+        assert counter_values == {"inhouse": "3", "commercial": "4"}
+        (gauge,) = by_name["repro_depth"]
+        assert gauge["labels"] == {"shard": "0"}
+        assert gauge["value"] == "2"
+
+    def test_histogram_buckets_are_cumulative_and_end_at_count(self):
+        samples = _parse(render(_populated_registry()))
+        buckets = [s for s in samples if s["name"] == "repro_demo_seconds_bucket"]
+        les = [s["labels"]["le"] for s in buckets]
+        assert les == ["0.1", "1", "10", "+Inf"]
+        counts = [int(s["value"]) for s in buckets]
+        assert counts == sorted(counts)  # cumulative => non-decreasing
+        assert counts == [1, 3, 4, 5]
+        (count_sample,) = [s for s in samples if s["name"] == "repro_demo_seconds_count"]
+        assert int(count_sample["value"]) == counts[-1] == 5
+        (sum_sample,) = [s for s in samples if s["name"] == "repro_demo_seconds_sum"]
+        assert float(sum_sample["value"]) == pytest.approx(56.05)
+
+    def test_type_and_help_headers(self):
+        text = render(_populated_registry())
+        assert "# TYPE repro_demo_total counter" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "# TYPE repro_demo_seconds histogram" in text
+        assert "# HELP repro_demo_total Demo events." in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_tricky_total").inc(1, path='a"b\\c\nd')
+        text = render(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        _parse(text)  # still line-parseable
+
+    def test_empty_registry_renders_a_newline(self):
+        assert render(MetricsRegistry()) == "\n"
+
+    def test_untouched_metrics_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_never_hit_total", "Zero series.")
+        assert "repro_never_hit_total" not in render(registry)
+
+
+class TestServer:
+    def test_scrape_matches_render(self):
+        registry = _populated_registry()
+        with serve_metrics(registry, port=0) as server:
+            with urllib.request.urlopen(server.url, timeout=5) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                body = response.read().decode("utf-8")
+        assert body == render(registry)
+        _parse(body)
+
+    def test_root_path_is_served_and_others_404(self):
+        with serve_metrics(MetricsRegistry(), port=0) as server:
+            base = f"http://{server.host}:{server.port}"
+            with urllib.request.urlopen(f"{base}/", timeout=5) as response:
+                assert response.status == 200
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/other", timeout=5)
+            assert excinfo.value.code == 404
+
+    def test_scrape_sees_live_updates(self):
+        registry = MetricsRegistry()
+        with serve_metrics(registry, port=0) as server:
+            registry.counter("repro_live_total").inc(7)
+            with urllib.request.urlopen(server.url, timeout=5) as response:
+                body = response.read().decode("utf-8")
+        assert "repro_live_total 7" in body

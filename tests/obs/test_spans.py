@@ -1,0 +1,107 @@
+"""Tracing spans: nesting, the stage-seconds feed, and serialization."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.names import STAGE_SECONDS
+from repro.obs.spans import Span, trace_span
+
+
+def test_nested_spans_build_a_tree():
+    registry = MetricsRegistry()
+    with trace_span("outer", registry, records=10) as outer:
+        with trace_span("inner-a", registry):
+            time.sleep(0.001)
+        with trace_span("inner-b", registry) as inner:
+            inner.set_attribute(sessions=3)
+    assert [span.name for span in registry.spans] == ["outer"]
+    assert [child.name for child in outer.children] == ["inner-a", "inner-b"]
+    assert outer.attributes == {"records": 10}
+    assert outer.children[1].attributes == {"sessions": 3}
+    assert outer.duration >= sum(child.duration for child in outer.children)
+
+
+def test_every_span_exit_feeds_the_stage_histogram():
+    registry = MetricsRegistry()
+    with trace_span("stage-x", registry):
+        pass
+    with trace_span("stage-x", registry):
+        pass
+    with trace_span("stage-y", registry):
+        pass
+    hist = registry.get(STAGE_SECONDS)
+    assert hist.count(stage="stage-x") == 2
+    assert hist.count(stage="stage-y") == 1
+    timings = registry.stage_timings()
+    assert set(timings) == {"stage-x", "stage-y"}
+    assert timings["stage-x"] >= 0.0
+
+
+def test_stage_timings_sum_repeated_stages():
+    registry = MetricsRegistry()
+    hist = registry.histogram(STAGE_SECONDS)
+    hist.observe(1.0, stage="detect")
+    hist.observe(2.0, stage="detect")
+    assert registry.stage_timings() == {"detect": 3.0}
+
+
+def test_disabled_registry_records_nothing():
+    with trace_span("stage", NULL_REGISTRY, records=1) as span:
+        span.set_attribute(more=2)  # must be a silent no-op
+    assert NULL_REGISTRY.spans == []
+    with trace_span("stage") as span:  # None registry resolves to null
+        pass
+    assert span.duration == 0.0
+
+
+def test_span_exits_on_exception():
+    registry = MetricsRegistry()
+    try:
+        with trace_span("failing", registry):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert [span.name for span in registry.spans] == ["failing"]
+    assert registry.get(STAGE_SECONDS).count(stage="failing") == 1
+
+
+def test_span_stacks_are_per_thread():
+    registry = MetricsRegistry()
+
+    def work(name: str) -> None:
+        with trace_span(name, registry):
+            time.sleep(0.002)
+
+    threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # Concurrent spans never nest across threads: four roots, no children.
+    assert sorted(span.name for span in registry.spans) == ["t0", "t1", "t2", "t3"]
+    assert all(span.children == [] for span in registry.spans)
+
+
+def test_span_serialization_round_trip():
+    registry = MetricsRegistry()
+    with trace_span("outer", registry, engine="columnar"):
+        with trace_span("inner", registry):
+            pass
+    snapshot = registry.to_dict()
+    rebuilt = MetricsRegistry.from_dict(snapshot)
+    assert [span.name for span in rebuilt.spans] == ["outer"]
+    assert rebuilt.spans[0].children[0].name == "inner"
+    assert rebuilt.to_dict()["spans"] == snapshot["spans"]
+
+
+def test_span_render_is_an_indented_tree():
+    span = Span(name="outer", duration=1.5, attributes={"records": 2})
+    span.children.append(Span(name="inner", duration=0.5))
+    rendered = span.render()
+    lines = rendered.splitlines()
+    assert lines[0].startswith("outer: 1.5000s")
+    assert "records=2" in lines[0]
+    assert lines[1].startswith("  inner:")

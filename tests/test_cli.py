@@ -185,6 +185,7 @@ RUN_RESULT_KEYS = {
     "tables",
     "rows",
     "timings",
+    "telemetry",
     "summary",
     "enforcement",
     "spec",
@@ -294,6 +295,85 @@ class TestRunCommand:
 
         with pytest.raises(SpecError, match="cannot read spec file"):
             main(["run", "--config", str(tmp_path / "absent.json")])
+
+
+class TestObservability:
+    """The obs surface: ``obs dump``, --metrics-port, --log-level, telemetry."""
+
+    def _write_spec(self, tmp_path) -> str:
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps({"mode": "tables", "traffic": {"scenario": "balanced_small", "seed": 3}})
+        )
+        return str(path)
+
+    def test_obs_dump_prints_the_metric_reference(self, capsys):
+        assert main(["obs", "dump"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_stage_seconds (histogram" in out
+        assert "repro_records_ingested_total (counter" in out
+
+    def test_obs_dump_reference_json(self, capsys):
+        assert main(["obs", "dump", "--json"]) == 0
+        reference = _json_out(capsys)
+        names = {entry["name"] for entry in reference}
+        assert "repro_stage_seconds" in names
+        assert all({"name", "kind", "labels", "help"} <= set(entry) for entry in reference)
+
+    def test_obs_dump_config_emits_a_snapshot(self, tmp_path, capsys):
+        assert main(["obs", "dump", "--config", self._write_spec(tmp_path)]) == 0
+        snapshot = _json_out(capsys)
+        assert snapshot["format"] == "repro-obs"
+        assert "repro_records_ingested_total" in snapshot["metrics"]
+        assert snapshot["spans"]
+
+    def test_obs_dump_config_prometheus_format(self, tmp_path, capsys):
+        assert main(
+            ["obs", "dump", "--config", self._write_spec(tmp_path), "--format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_stage_seconds histogram" in out
+        assert "repro_records_ingested_total" in out
+
+    def test_tables_json_carries_the_telemetry_snapshot(self, capsys):
+        assert main(["tables", "--scenario", "balanced_small", "--seed", "3", "--json"]) == 0
+        data = _json_out(capsys)
+        telemetry = data["telemetry"]
+        assert telemetry["format"] == "repro-obs"
+        counters = [
+            name for name, entry in telemetry["metrics"].items() if entry["kind"] == "counter"
+        ]
+        assert len(counters) >= 10
+        assert telemetry["metrics"]["repro_stage_seconds"]["kind"] == "histogram"
+
+    def test_stream_json_carries_the_telemetry_snapshot(self, capsys):
+        assert main(["stream", "--scenario", "balanced_small", "--seed", "3", "--json"]) == 0
+        data = _json_out(capsys)
+        counters = [
+            name
+            for name, entry in data["telemetry"]["metrics"].items()
+            if entry["kind"] == "counter"
+        ]
+        assert len(counters) >= 10
+        assert "repro_stage_seconds" in data["telemetry"]["metrics"]
+
+    def test_metrics_port_serves_for_the_duration_of_the_run(self, capsys):
+        assert main(
+            ["tables", "--scenario", "balanced_small", "--seed", "3", "--metrics-port", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving metrics at http://" in out
+        assert "Table 1" in out
+
+    def test_log_level_installs_the_structured_handler(self):
+        import logging
+
+        assert main(
+            ["tables", "--scenario", "balanced_small", "--seed", "3", "--log-level", "debug"]
+        ) == 0
+        logger = logging.getLogger("repro")
+        assert any(getattr(h, "_repro_obs", False) for h in logger.handlers)
+        assert logger.level == logging.DEBUG
 
 
 class TestTraceCommands:

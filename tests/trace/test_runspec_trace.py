@@ -20,6 +20,7 @@ def _normalized(result) -> dict:
     """
     payload = result.to_dict()
     payload.pop("timings")
+    payload.pop("telemetry")
     payload.pop("spec")
     payload["metrics"].pop("records_per_second", None)
     for name in [key for key in payload["metrics"] if key.startswith("latency_")]:
