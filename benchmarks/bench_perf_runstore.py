@@ -1,0 +1,150 @@
+"""Experiment ``perf_runstore``: recording overhead of the run store.
+
+:mod:`repro.runstore` claims recording is effectively free next to the
+workload it records: one ``to_dict()``, one content hash and a couple of
+SQLite inserts against a multi-second experiment.  This module measures
+that claim at the runstore benchmark scale (``REPRO_RUNSTORE_BENCH_SCALE``,
+default 0.1 -- about 144k requests, the ISSUE's acceptance bar) with a
+< 2% overhead ceiling on the tables run.
+
+The asserted number is the *marginal* cost of the store path -- the
+trace fingerprint plus ``RunStore.record`` on the actual executed
+result, which is exactly the extra work ``execute(spec, store=...)``
+performs -- divided by the plain run's wall clock.  Timing two full
+end-to-end runs and subtracting cannot resolve a 2% bound here: on a
+shared CI worker the scale-0.1 run fluctuates by 10-30% between rounds,
+two orders of magnitude above the real recording cost (interleaved
+measurement shows +-0.4-1.5s of noise against ~3ms of recording).  The
+end-to-end pair is still measured and recorded alongside, unasserted,
+so the artifact keeps the raw evidence.
+
+All numbers land in ``BENCH_perf_runstore.json`` via the shared conftest
+hook -- and, when ``REPRO_RUN_STORE`` is set, in the run store itself as
+a ``bench``-mode series.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.runspec import RunSpec, TrafficSpec, execute
+from repro.runspec.execute import _spec_trace_fingerprint
+from repro.runstore import RunStore
+
+#: Scale of the runstore benchmarks (fraction of the paper's 1.47M requests).
+RUNSTORE_SCALE = float(os.environ.get("REPRO_RUNSTORE_BENCH_SCALE", "0.1"))
+
+#: Acceptance ceiling on recording overhead for the tables run.
+OVERHEAD_CEILING = 0.02
+
+BENCH_SPEC_SEED = 2018
+
+
+def _best_of(callable_, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_spec() -> RunSpec:
+    return RunSpec(
+        mode="tables",
+        traffic=TrafficSpec(scale=RUNSTORE_SCALE, seed=BENCH_SPEC_SEED),
+    )
+
+
+def test_perf_record_overhead(tmp_path, record_bench, monkeypatch):
+    """Recording to a store must cost < 2% on the scale-0.1 tables run."""
+    # The plain runs must really be plain: a REPRO_RUN_STORE default
+    # (set e.g. by CI's benchmark job) would make them record too.
+    monkeypatch.delenv("REPRO_RUN_STORE", raising=False)
+    spec = _bench_spec()
+    store = RunStore(tmp_path / "bench_runs.db")
+
+    def plain_run():
+        execute(spec)
+
+    def recorded_run():
+        execute(spec, store=store)
+
+    # One warm-up apiece so caches and allocators settle before timing.
+    plain_run()
+    recorded_run()
+    plain_seconds = _best_of(plain_run, rounds=3)
+    recorded_seconds = _best_of(recorded_run, rounds=3)
+
+    # The marginal store path, on a real executed result: exactly what
+    # execute(spec, store=...) adds over execute(spec).
+    result = execute(spec)
+
+    def store_path():
+        fingerprint = _spec_trace_fingerprint(spec)
+        store.record(result, wall_seconds=plain_seconds, trace_fingerprint=fingerprint)
+
+    store_path()  # warm-up
+    record_seconds = _best_of(store_path, rounds=5)
+    store.close()
+
+    overhead = record_seconds / plain_seconds
+    end_to_end = recorded_seconds / plain_seconds - 1.0
+    print(
+        f"\nscale {RUNSTORE_SCALE}: plain {plain_seconds:.3f}s, "
+        f"record step {record_seconds * 1e3:.1f}ms "
+        f"(overhead {overhead * 100:+.3f}%; "
+        f"end-to-end delta {end_to_end * 100:+.2f}%, noise-dominated)"
+    )
+    record_bench(
+        "perf_runstore",
+        "record_overhead",
+        scale=RUNSTORE_SCALE,
+        plain_seconds=plain_seconds,
+        recorded_seconds=recorded_seconds,
+        record_step_seconds=record_seconds,
+        overhead_fraction=overhead,
+        end_to_end_fraction=end_to_end,
+    )
+    assert overhead < OVERHEAD_CEILING, (
+        f"run-store recording overhead {overhead * 100:.2f}% exceeds the "
+        f"{OVERHEAD_CEILING * 100:.0f}% ceiling on the tables run"
+    )
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    """One executed small run, reused for the isolated store benchmark."""
+    spec = RunSpec(
+        mode="tables",
+        traffic=TrafficSpec(
+            scenario="balanced_small", seed=3, params={"total_requests": 3000}
+        ),
+    )
+    with pytest.MonkeyPatch.context() as patch:
+        patch.delenv("REPRO_RUN_STORE", raising=False)
+        yield execute(spec)
+
+
+def test_perf_store_roundtrip(tmp_path, small_result, record_bench):
+    """The isolated record+export round trip stays in the milliseconds."""
+    rounds = 50
+    with RunStore(tmp_path / "roundtrip.db") as store:
+        started = time.perf_counter()
+        for _ in range(rounds):
+            recorded = store.record(small_result)
+            store.export(recorded.run_id)
+        seconds_per_roundtrip = (time.perf_counter() - started) / rounds
+    print(f"\nrecord+export round trip: {seconds_per_roundtrip * 1e3:.2f} ms")
+    record_bench(
+        "perf_runstore",
+        "store_roundtrip",
+        rounds=rounds,
+        seconds_per_roundtrip=seconds_per_roundtrip,
+    )
+    # Generous ceiling: a small-run round trip should never take a
+    # meaningful fraction of even the smallest workload.
+    assert seconds_per_roundtrip < 0.25

@@ -70,6 +70,38 @@ def record_bench():
     return record
 
 
+def _store_bench_runs(store_path: str) -> None:
+    """Land each benchmark group in a run store as a ``bench``-mode run.
+
+    The pseudo-spec is the group's identity (group/scale/seed), so
+    repeated benchmark sessions at the same scale append to one series
+    and ``repro runs diff`` / ``scripts/bench_summary.py --store`` can
+    track performance longitudinally.
+    """
+    from repro.runspec.result import RunResult
+    from repro.runstore import RunStore
+
+    with RunStore(store_path) as store:
+        for group, results in _BENCH_RESULTS.items():
+            metrics: dict[str, float] = {}
+            telemetry = None
+            for name, values in results.items():
+                for key, value in values.items():
+                    if key == "metrics":
+                        telemetry = value
+                    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                        metrics[f"{name}.{key}"] = value
+            result = RunResult(
+                mode="bench",
+                source=group,
+                total_requests=0,
+                metrics=metrics,
+                telemetry=telemetry,
+                spec={"bench_group": group, "scale": BENCH_SCALE, "seed": BENCH_SEED},
+            )
+            store.record(result)
+
+
 def pytest_sessionfinish(session, exitstatus):
     for group, results in _BENCH_RESULTS.items():
         payload = {
@@ -81,3 +113,6 @@ def pytest_sessionfinish(session, exitstatus):
         with open(f"BENCH_{group}.json", "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
+    store_path = os.environ.get("REPRO_RUN_STORE")
+    if store_path and _BENCH_RESULTS:
+        _store_bench_runs(store_path)

@@ -9,6 +9,15 @@ previous run) covers the whole benchmark trajectory::
     python scripts/bench_summary.py                  # merge ./BENCH_*.json
     python scripts/bench_summary.py --dir results/   # merge another directory
     python scripts/bench_summary.py --output traj.json
+    python scripts/bench_summary.py --store runs.db  # add run-store trajectories
+
+With no ``BENCH_*.json`` files the script still writes a valid, empty
+summary and exits 0, so CI jobs that conditionally skip benchmarks do
+not need to special-case the artifact step.  ``--store`` additionally
+reads ``bench``-mode runs recorded by ``benchmarks/conftest.py`` (via
+``REPRO_RUN_STORE``) out of a :mod:`repro.runstore` database and emits
+their longitudinal series under a ``store_trajectories`` key -- this is
+the only code path that needs ``PYTHONPATH=src``.
 
 The summary nests each group under its name and carries the per-group
 scale/seed, so groups measured at different scales stay distinguishable.
@@ -76,6 +85,34 @@ def merge_bench_files(paths: list[str]) -> dict:
     return {"format": "repro-bench-summary", "version": 1, "groups": groups}
 
 
+def store_trajectories(store_path: str) -> dict[str, list[dict]]:
+    """Per-group longitudinal series of ``bench``-mode runs in a run store.
+
+    Each entry is oldest-first: the run id, when it was recorded, the
+    library version that produced it and the flat benchmark metrics --
+    the whole performance trajectory of one benchmark group across
+    sessions.
+    """
+    from repro.runstore import RunStore  # needs PYTHONPATH=src
+
+    trajectories: dict[str, list[dict]] = {}
+    with RunStore(store_path, create=False) as store:
+        bench_runs = store.list_runs(mode="bench", limit=None)
+        for spec_hash in sorted({run.spec_hash for run in bench_runs}):
+            for summary in store.series(spec_hash):
+                data = store.export(summary.run_id)
+                trajectories.setdefault(summary.source, []).append(
+                    {
+                        "run_id": summary.run_id,
+                        "recorded_at": summary.recorded_at,
+                        "package_version": summary.package_version,
+                        "scale": (data.get("spec") or {}).get("scale"),
+                        "metrics": data.get("metrics", {}),
+                    }
+                )
+    return trajectories
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -86,6 +123,12 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_SUMMARY.json",
         help="path of the merged trajectory file to write",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="also read bench-mode run series from this repro.runstore database",
+    )
     args = parser.parse_args(argv)
 
     paths = [
@@ -95,13 +138,14 @@ def main(argv: list[str] | None = None) -> int:
     ]
     if not paths:
         print(f"no BENCH_*.json files found under {args.dir!r}", file=sys.stderr)
-        return 1
 
     summary = merge_bench_files(paths)
+    if args.store:
+        summary["store_trajectories"] = store_trajectories(args.store)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2)
         handle.write("\n")
-    names = ", ".join(sorted(summary["groups"]))
+    names = ", ".join(sorted(summary["groups"])) or "none"
     print(f"merged {len(paths)} group file(s) ({names}) into {args.output}")
     return 0
 

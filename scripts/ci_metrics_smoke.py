@@ -66,6 +66,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.02)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--scrapes", type=int, default=3, help="mid-run scrape count")
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=0,
+        help="port to serve /metrics on (default 0: the OS picks a free one "
+        "and the run advertises it, so parallel CI jobs never collide)",
+    )
     parser.add_argument("--timeout", type=float, default=300.0)
     args = parser.parse_args(argv)
 
@@ -81,7 +88,7 @@ def main(argv: list[str] | None = None) -> int:
         "--seed",
         str(args.seed),
         "--metrics-port",
-        "0",
+        str(args.metrics_port),
     ]
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")

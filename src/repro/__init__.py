@@ -67,6 +67,11 @@ The underlying subsystems remain directly usable:
   Prometheus text exposition and ``/metrics`` server, and structured
   key=value logging.  Every workload takes ``execute(spec,
   registry=...)``; with no registry the instrumentation is a no-op.
+* :mod:`repro.runstore` -- the persistent control plane: a SQLite run
+  store recording every executed spec/result/telemetry (content-hash
+  keyed, so re-runs form longitudinal series), run diffing with
+  regression thresholds, and a stdlib web dashboard.  ``execute(spec,
+  store="runs.db")`` records; ``repro runs`` browses, diffs and serves.
 """
 
 from repro.columns import FeatureMatrix, FrameSessions, RecordFrame, sessionize_frame
@@ -101,6 +106,7 @@ from repro.runspec import (
     execute,
     load_runspec,
 )
+from repro.runstore import RunStore, diff_runs, serve_dashboard
 from repro.stream import (
     ShardedStreamRunner,
     StreamEngine,
@@ -124,7 +130,7 @@ from repro.traffic.scenarios import (
     stealth_heavy,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Action",
@@ -147,6 +153,7 @@ __all__ = [
     "RecordFrame",
     "RunResult",
     "RunSpec",
+    "RunStore",
     "ShardedStreamRunner",
     "StreamEngine",
     "TraceReader",
@@ -158,6 +165,7 @@ __all__ = [
     "balanced_small",
     "build_report",
     "default_online_detectors",
+    "diff_runs",
     "execute",
     "generate_dataset",
     "get_scenario",
@@ -172,6 +180,7 @@ __all__ = [
     "register_scenario",
     "render_mitigation_report",
     "run_defense",
+    "serve_dashboard",
     "serve_metrics",
     "sessionize_frame",
     "standard_policy",

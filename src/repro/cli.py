@@ -51,6 +51,16 @@ Subcommands
     recorded attack onto a recorded background.  Recorded traces replay
     through every analysis subcommand via
     ``--config`` specs with ``traffic.source = "trace"``.
+``runs``
+    The persistent run store (:mod:`repro.runstore`).  Every executing
+    subcommand takes ``--store PATH`` (or honours ``REPRO_RUN_STORE``)
+    to append its result -- spec, tables, metrics, telemetry, traffic
+    fingerprint -- to a SQLite store; ``runs list`` / ``runs show``
+    browse it, ``runs diff`` compares two stored runs (spec deltas plus
+    metric/counter/quantile deltas, with ``--fail-on-regression`` for
+    CI), ``runs export`` emits the exact stored ``RunResult`` JSON,
+    ``runs gc`` trims old re-runs, and ``runs serve`` starts the
+    stdlib web dashboard.
 """
 
 from __future__ import annotations
@@ -58,7 +68,9 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
+import time
 from typing import Iterator, Sequence
 
 from repro import __version__
@@ -80,6 +92,13 @@ from repro.runspec import (
     build_dataset,
     execute,
     load_runspec,
+)
+from repro.runstore import (
+    DEFAULT_THRESHOLD,
+    RUN_STORE_ENV,
+    RunStore,
+    diff_runs,
+    serve_dashboard,
 )
 from repro.stream.engine import StreamEngine
 from repro.trace import (
@@ -125,6 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="serve a Prometheus /metrics endpoint on this port while the run executes (0 picks a free port)",
+    )
+    obs_parent.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append the run's result and telemetry to this SQLite run store "
+            f"(created on first use; defaults to ${RUN_STORE_ENV} when set)"
+        ),
     )
     scenario_parent = argparse.ArgumentParser(add_help=False)
     scenario_parent.add_argument(
@@ -259,6 +287,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="json",
         help="telemetry output format (with --config)",
     )
+    dump.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append the executed run to this SQLite run store "
+            f"(with --config; defaults to ${RUN_STORE_ENV} when set)"
+        ),
+    )
 
     trace = subparsers.add_parser(
         "trace",
@@ -325,6 +362,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep only this fraction of overlay records (0 < f <= 1)",
     )
     mix.add_argument("--seed", type=int, default=0, help="seed of the overlay sampling draw")
+
+    # The run store (repro.runstore).  Every ``runs`` subcommand reads a
+    # store named by --store or $REPRO_RUN_STORE.
+    store_parent = argparse.ArgumentParser(add_help=False)
+    store_parent.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=f"the SQLite run store to operate on (defaults to ${RUN_STORE_ENV})",
+    )
+
+    runs = subparsers.add_parser(
+        "runs",
+        help="browse, diff, export, trim and serve the persistent run store",
+    )
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_commands.add_parser(
+        "list",
+        parents=[store_parent, json_parent],
+        help="list stored runs, newest first",
+    )
+    runs_list.add_argument("--mode", default=None, help="only runs of this workload mode")
+    runs_list.add_argument(
+        "--series", default=None, metavar="HASH", help="only runs of this spec-hash series (prefix ok)"
+    )
+    runs_list.add_argument("--limit", type=int, default=None, help="show at most N runs")
+
+    runs_show = runs_commands.add_parser(
+        "show",
+        parents=[store_parent, json_parent],
+        help="one stored run: report by default, the exact RunResult dict with --json",
+    )
+    runs_show.add_argument("run_id", type=int, help="run id (see `runs list`)")
+
+    runs_diff = runs_commands.add_parser(
+        "diff",
+        parents=[store_parent, json_parent],
+        help="compare two stored runs: spec deltas plus metric/counter/quantile deltas",
+    )
+    runs_diff.add_argument("left", type=int, help="baseline run id")
+    runs_diff.add_argument("right", type=int, help="candidate run id")
+    runs_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative change above which a metric/counter delta is a regression",
+    )
+    runs_diff.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any delta exceeds the threshold (the CI gate)",
+    )
+    runs_diff.add_argument(
+        "--all", action="store_true", help="print unchanged quantities too"
+    )
+
+    runs_export = runs_commands.add_parser(
+        "export",
+        parents=[store_parent],
+        help="emit one stored run as its exact RunResult JSON",
+    )
+    runs_export.add_argument("run_id", type=int, help="run id (see `runs list`)")
+    runs_export.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
+    )
+
+    runs_gc = runs_commands.add_parser(
+        "gc",
+        parents=[store_parent, json_parent],
+        help="trim every spec series to its newest N runs and compact the file",
+    )
+    runs_gc.add_argument(
+        "--keep", type=int, default=10, help="runs kept per spec series (newest first)"
+    )
+
+    runs_serve = runs_commands.add_parser(
+        "serve",
+        parents=[store_parent],
+        help="serve the run-store web dashboard (stdlib http.server)",
+    )
+    runs_serve.add_argument("--port", type=int, default=0, help="port to bind (0 picks a free one)")
+    runs_serve.add_argument("--host", default="127.0.0.1", help="address to bind")
     return parser
 
 
@@ -351,6 +471,21 @@ def _print_result(result, args: argparse.Namespace) -> None:
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(result.render())
+
+
+def _store_path(args: argparse.Namespace) -> str | None:
+    """The run-store path of this invocation (flag beats environment)."""
+    explicit = getattr(args, "store", None)
+    return explicit or os.environ.get(RUN_STORE_ENV) or None
+
+
+def _require_store_path(args: argparse.Namespace) -> str:
+    path = _store_path(args)
+    if path is None:
+        raise SystemExit(
+            f"no run store given: pass --store PATH or set ${RUN_STORE_ENV}"
+        )
+    return path
 
 
 @contextlib.contextmanager
@@ -410,7 +545,7 @@ def _command_tables(args: argparse.Namespace) -> int:
         execution=ExecutionSpec(engine=args.engine),
     )
     with _obs_session(args) as registry:
-        result = execute(spec, registry=registry)
+        result = execute(spec, registry=registry, store=_store_path(args))
     _print_result(result, args)
     return 0
 
@@ -422,7 +557,7 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         execution=ExecutionSpec(compare_configurations=args.configurations, engine=args.engine),
     )
     with _obs_session(args) as registry:
-        result = execute(spec, registry=registry)
+        result = execute(spec, registry=registry, store=_store_path(args))
     _print_result(result, args)
     return 0
 
@@ -464,7 +599,7 @@ def _command_stream(args: argparse.Namespace) -> int:
         )
         progress = _progress_printer(args.progress_every)
     with _obs_session(args) as registry:
-        result = execute(spec, progress=progress, registry=registry)
+        result = execute(spec, progress=progress, registry=registry, store=_store_path(args))
     if not args.json:
         print()
     _print_result(result, args)
@@ -497,7 +632,9 @@ def _command_defend(args: argparse.Namespace) -> int:
                     f"simulating the {campaign} campaign against the {args.policy!r} policy "
                     f"(~{args.requests:,} requests, k={args.k}-out-of-4) ..."
                 )
-            results[campaign] = execute(_defend_spec(args, campaign), registry=registry)
+            results[campaign] = execute(
+                _defend_spec(args, campaign), registry=registry, store=_store_path(args)
+            )
             if not args.json:
                 print()
                 print(results[campaign].render())
@@ -586,7 +723,7 @@ def _trace_mix(args: argparse.Namespace) -> int:
 def _command_run(args: argparse.Namespace) -> int:
     spec = load_runspec(args.config)
     with _obs_session(args) as registry:
-        result = execute(spec, registry=registry)
+        result = execute(spec, registry=registry, store=_store_path(args))
     _print_result(result, args)
     return 0
 
@@ -614,12 +751,139 @@ def _obs_dump(args: argparse.Namespace) -> int:
         return 0
     spec = load_runspec(args.config)
     registry = MetricsRegistry()
-    execute(spec, registry=registry)
+    execute(spec, registry=registry, store=_store_path(args))
     if args.format == "prometheus":
         print(render_prometheus(registry), end="")
     else:
         print(json.dumps(registry.to_dict(), indent=2))
     return 0
+
+
+def _command_runs(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _runs_list,
+        "show": _runs_show,
+        "diff": _runs_diff,
+        "export": _runs_export,
+        "gc": _runs_gc,
+        "serve": _runs_serve,
+    }
+    return handlers[args.runs_command](args)
+
+
+def _format_run_row(summary) -> str:
+    label = f" [{summary.label}]" if summary.label else ""
+    wall = "-" if summary.wall_seconds is None else f"{summary.wall_seconds:.2f}s"
+    when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(summary.recorded_at))
+    return (
+        f"#{summary.run_id:<5} {summary.mode:<9} {summary.source:<24} "
+        f"{summary.total_requests:>10,}  {wall:>8}  {when}  "
+        f"{summary.spec_hash[:12]}{label}"
+    )
+
+
+def _runs_list(args: argparse.Namespace) -> int:
+    with RunStore(_require_store_path(args), create=False) as store:
+        summaries = store.list_runs(mode=args.mode, spec_hash=args.series, limit=args.limit)
+        stats = store.stats()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "stats": stats.to_dict(),
+                    "runs": [summary.to_dict() for summary in summaries],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    if not summaries:
+        print("run store is empty (record with --store on any executing subcommand)")
+        return 0
+    print(f"{stats.runs} run(s) over {stats.specs} spec(s):")
+    print(
+        f"{'run':<6} {'mode':<9} {'source':<24} {'requests':>10}  "
+        f"{'wall':>8}  {'recorded':<19}  series"
+    )
+    for summary in summaries:
+        print(_format_run_row(summary))
+    return 0
+
+
+def _runs_show(args: argparse.Namespace) -> int:
+    with RunStore(_require_store_path(args), create=False) as store:
+        summary = store.get(args.run_id)
+        data = store.export(args.run_id)
+    if args.json:
+        # The exact stored RunResult.to_dict() -- the replay contract:
+        # this output round-trips through every RunResult consumer.
+        print(json.dumps(data, indent=2))
+        return 0
+    from repro.runspec.result import RunResult
+
+    print(_format_run_row(summary))
+    print()
+    print(RunResult.from_dict(data).render())
+    return 0
+
+
+def _runs_diff(args: argparse.Namespace) -> int:
+    with RunStore(_require_store_path(args), create=False) as store:
+        diff = diff_runs(store, args.left, args.right)
+    regressions = diff.regressions(args.threshold)
+    if args.json:
+        payload = diff.to_dict()
+        payload["threshold"] = args.threshold
+        payload["regressions"] = [delta.to_dict() for delta in regressions]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(diff.render(threshold=args.threshold, all_deltas=args.all))
+        if regressions:
+            print()
+            print(f"{len(regressions)} regression(s) beyond {args.threshold:.0%}:")
+            for delta in regressions:
+                change = "new" if delta.change == float("inf") else f"{delta.change:+.1%}"
+                print(f"  {delta.name}: {delta.left:g} -> {delta.right:g} ({change})")
+    if args.fail_on_regression and regressions:
+        return 1
+    return 0
+
+
+def _runs_export(args: argparse.Namespace) -> int:
+    with RunStore(_require_store_path(args), create=False) as store:
+        data = store.export(args.run_id)
+    text = json.dumps(data, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"exported run #{args.run_id} to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _runs_gc(args: argparse.Namespace) -> int:
+    with RunStore(_require_store_path(args), create=False) as store:
+        deleted = store.gc(keep_last=args.keep)
+        remaining = len(store)
+    if args.json:
+        print(json.dumps({"deleted": deleted, "remaining": remaining, "keep": args.keep}, indent=2))
+    else:
+        print(f"deleted {deleted} run(s); {remaining} remain (keeping {args.keep} per series)")
+    return 0
+
+
+def _runs_serve(args: argparse.Namespace) -> int:
+    server = serve_dashboard(_require_store_path(args), port=args.port, host=args.host)
+    print(f"serving the run-store dashboard at {server.url} (Ctrl-C to stop)")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+    finally:
+        server.close()
 
 
 def _command_scenarios(args: argparse.Namespace) -> int:
@@ -663,6 +927,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scenarios": _command_scenarios,
         "obs": _command_obs,
         "trace": _command_trace,
+        "runs": _command_runs,
     }
     return handlers[args.command](args)
 

@@ -98,6 +98,16 @@ class SpecError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """Raised for invalid run-store operations.
+
+    Covers unreadable or non-runstore SQLite files, databases written by
+    a newer schema than this library understands, unknown run ids and
+    misuse of the :class:`~repro.runstore.store.RunStore` API (e.g.
+    recording into a closed store).
+    """
+
+
 class ObsError(ReproError):
     """Raised for invalid observability operations.
 

@@ -1,0 +1,63 @@
+"""A small background HTTP server shared by every serving surface.
+
+Both observability endpoints -- the Prometheus ``/metrics`` exposition
+(:mod:`repro.obs.prometheus`) and the run-store dashboard
+(:mod:`repro.runstore.dashboard`) -- need the same plumbing: a stdlib
+:class:`ThreadingHTTPServer` on a daemon thread, an ephemeral port when
+asked for port ``0``, and a handle exposing the *bound* port plus a
+``close()`` that shuts the server down deterministically.
+:class:`BackgroundHTTPServer` is that plumbing, once.
+
+No third-party dependency is involved, matching the package's
+no-dependency stance: anything importable from the standard library is
+fair game, nothing else is.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class BackgroundHTTPServer:
+    """A :class:`ThreadingHTTPServer` on a daemon thread, with a clean stop.
+
+    Subclasses (or callers) provide the request-handler class; this base
+    owns binding (``port=0`` picks a free port -- read it back from
+    :attr:`port` / :attr:`url`), the serving thread, and shutdown.  The
+    thread is a daemon, so it never blocks interpreter exit, but
+    :meth:`close` (or the context-manager form) is the deterministic way
+    down and is what the CLI uses in its ``finally`` blocks.
+    """
+
+    #: Path advertised by :attr:`url` (subclasses override).
+    url_path = "/"
+
+    def __init__(
+        self,
+        handler: type[BaseHTTPRequestHandler],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        thread_name: str = "repro-http",
+    ):
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self.url = f"http://{self.host}:{self.port}{self.url_path}"
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name=thread_name, daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop serving, release the port and join the server thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "BackgroundHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

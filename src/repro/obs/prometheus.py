@@ -16,10 +16,10 @@ emit (and to validate line-by-line in the test-suite) directly.
 
 from __future__ import annotations
 
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import BaseHTTPRequestHandler
 from typing import Mapping
 
+from repro.obs.httpserve import BackgroundHTTPServer
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -78,13 +78,16 @@ def render(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n" if lines else "\n"
 
 
-class MetricsServer:
+class MetricsServer(BackgroundHTTPServer):
     """A background ``/metrics`` endpoint over a live registry.
 
-    Create via :func:`serve_metrics`; the server thread is a daemon, so
-    it never blocks interpreter exit, but call :meth:`close` for a
-    deterministic shutdown (the CLI does, in a ``finally``).
+    Create via :func:`serve_metrics`; the handle exposes the *bound*
+    ``port``/``url`` (so ``port=0`` callers learn the ephemeral port) and
+    a :meth:`~repro.obs.httpserve.BackgroundHTTPServer.close` that shuts
+    the daemon server down cleanly (the CLI does, in a ``finally``).
     """
+
+    url_path = "/metrics"
 
     def __init__(self, registry: MetricsRegistry, host: str, port: int):
         server_registry = registry
@@ -104,26 +107,7 @@ class MetricsServer:
             def log_message(self, format: str, *args) -> None:  # noqa: A002
                 pass  # scrapes should not spam the CLI's stderr
 
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.daemon_threads = True
-        self.host, self.port = self._httpd.server_address[:2]
-        self.url = f"http://{self.host}:{self.port}/metrics"
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
-        )
-        self._thread.start()
-
-    def close(self) -> None:
-        """Stop serving and release the port."""
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        self._thread.join(timeout=5.0)
-
-    def __enter__(self) -> "MetricsServer":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+        super().__init__(_Handler, host, port, thread_name="repro-metrics")
 
 
 def serve_metrics(

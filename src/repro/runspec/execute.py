@@ -177,12 +177,32 @@ def _validate_for_mode(spec: RunSpec) -> None:
         reject(execution.progress_every != 0, "emits no live progress; progress_every is stream-only")
 
 
+def _spec_trace_fingerprint(spec: RunSpec) -> str | None:
+    """The traffic's content address, when the spec's traffic has one.
+
+    Scenario-generated traffic is pure, so its generation-cache
+    fingerprint identifies the exact data set the run analysed; a log or
+    trace file has no stable content address here (hashing gigabytes on
+    every run would defeat the <2% recording budget), and ``defend``
+    runs generate closed-loop traffic that depends on enforcement.
+    """
+    if spec.mode == "defend" or spec.traffic.resolved_source() != "scenario":
+        return None
+    return traffic_fingerprint(
+        scenario=spec.traffic.scenario or DEFAULT_SCENARIO,
+        scale=spec.traffic.scale,
+        seed=spec.traffic.seed,
+        params=spec.traffic.params,
+    )
+
+
 def execute(
     spec: RunSpec,
     *,
     progress: ProgressHook | None = None,
     dataset: Dataset | None = None,
     registry: MetricsRegistry | None = None,
+    store=None,
 ) -> RunResult:
     """Run the workload a spec describes and return its uniform result.
 
@@ -205,9 +225,18 @@ def execute(
         per-stage durations are folded into ``RunResult.timings``
         (legacy timing keys are preserved).  ``None`` keeps the run
         uninstrumented at near-zero overhead.
+    store:
+        Optional :class:`~repro.runstore.store.RunStore` (or a path to
+        one): the finished result -- spec, tables, metrics, telemetry,
+        traffic fingerprint, wall clock -- is appended to the store, so
+        the run becomes longitudinal data (``repro runs list/diff``).  A
+        path is opened (and created on first use) and closed again;
+        ``None`` falls back to the ``REPRO_RUN_STORE`` environment
+        variable, and keeps the run unrecorded when that is unset too.
     """
     registry = resolve_registry(registry)
     _validate_for_mode(spec)
+    wall_started = time.perf_counter()
     if registry.enabled:
         registry.counter(metric_names.RUNS, "RunSpec executions, by mode.").inc(
             mode=spec.mode
@@ -230,6 +259,20 @@ def execute(
         # verbatim on top (they win any name collision).
         result.timings = {**registry.stage_timings(), **result.timings}
         result.telemetry = registry.to_dict()
+    # Late import: repro.runstore builds on this module's RunResult.
+    from repro.runstore.store import open_store
+
+    opened = open_store(store)  # None consults $REPRO_RUN_STORE
+    if opened is not None:
+        try:
+            opened.record(
+                result,
+                wall_seconds=time.perf_counter() - wall_started,
+                trace_fingerprint=_spec_trace_fingerprint(spec),
+            )
+        finally:
+            if opened is not store:
+                opened.close()
     return result
 
 

@@ -1,0 +1,63 @@
+"""repro.runstore -- the persistent control plane: every run, kept.
+
+Before this package, an executed :class:`~repro.runspec.spec.RunSpec`
+and its telemetry snapshot evaporated with the process.  The run store
+gives them a home: a single SQLite file (schema-versioned, migrated in
+place on open) recording spec, result, telemetry, traffic fingerprint,
+library version and wall-clock metadata for every run -- keyed by the
+content hash of the spec, so identical experiments dedupe into one
+*series* and re-runs become longitudinal data.
+
+Quickstart::
+
+    from repro.runstore import RunStore, diff_runs
+    from repro.runspec import RunSpec, TrafficSpec, execute
+
+    spec = RunSpec(mode="tables", traffic=TrafficSpec(scale=0.02, seed=2018))
+    execute(spec, store="runs.db")          # records automatically
+    execute(spec, store="runs.db")          # appends to the same series
+
+    with RunStore("runs.db") as store:
+        first, second = [s.run_id for s in store.series(store.list_runs()[0].spec_hash)]
+        print(diff_runs(store, first, second).render())
+
+The CLI front ends are ``--store PATH`` (or ``REPRO_RUN_STORE``) on
+every executing subcommand and the ``repro runs`` family
+(``list`` / ``show`` / ``diff`` / ``gc`` / ``export`` / ``serve`` -- the
+last one starts the stdlib web dashboard of
+:mod:`repro.runstore.dashboard`).
+"""
+
+from repro.runstore.dashboard import DashboardServer, serve_dashboard, sparkline
+from repro.runstore.diff import DEFAULT_THRESHOLD, Delta, RunDiff, diff_runs, diff_specs
+from repro.runstore.migrations import SCHEMA_VERSION, apply_migrations, schema_version
+from repro.runstore.store import (
+    RUN_STORE_ENV,
+    RecordedRun,
+    RunStore,
+    RunSummary,
+    StoreStats,
+    open_store,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "DashboardServer",
+    "Delta",
+    "RUN_STORE_ENV",
+    "RecordedRun",
+    "RunDiff",
+    "RunStore",
+    "RunSummary",
+    "SCHEMA_VERSION",
+    "StoreStats",
+    "apply_migrations",
+    "diff_runs",
+    "diff_specs",
+    "open_store",
+    "schema_version",
+    "serve_dashboard",
+    "spec_fingerprint",
+    "sparkline",
+]

@@ -1,0 +1,376 @@
+"""The run-store dashboard: a stdlib-only web UI over a :class:`RunStore`.
+
+``repro runs serve --store runs.db`` starts this server.  It is built on
+the same :class:`~repro.obs.httpserve.BackgroundHTTPServer` plumbing as
+the Prometheus ``/metrics`` endpoint and, like it, uses nothing outside
+the standard library -- ``http.server``, inline CSS, unicode-block
+sparklines -- so the dashboard works wherever the library does.
+
+Routes
+------
+``/``
+    The run list: store totals, then one row per run (newest first) with
+    links into the detail and series pages.
+``/runs/<id>``
+    One run: summary header, scalar metrics, per-detector alert counts,
+    per-stage timing breakdown, telemetry counter series and histogram
+    quantiles, and the stored spec JSON.
+``/series/<spec-hash>``
+    One spec's run series (oldest first): a trend table with a unicode
+    sparkline per telemetry counter, wall-clock and request totals --
+    the longitudinal view the store exists for.
+``/api/runs``, ``/api/runs/<id>``, ``/api/series/<spec-hash>``
+    The same data as JSON; ``/api/runs/<id>`` is the exact
+    ``RunResult.to_dict()`` export, so the dashboard doubles as a read
+    API for tooling.
+``/healthz``
+    Liveness probe (200 ``ok``).
+
+Every request opens its own short-lived read connection, so the
+dashboard can watch a store that concurrent runs are appending to.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import time
+from http.server import BaseHTTPRequestHandler
+from typing import Any, Iterable, Mapping
+from urllib.parse import urlparse
+
+from repro.exceptions import StoreError
+from repro.obs.httpserve import BackgroundHTTPServer
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.runstore.store import RunStore, RunSummary
+
+#: Unicode eighth-blocks, the sparkline alphabet.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+_PAGE = """<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem;
+         padding: 0 1rem; color: #1a1a1a; }}
+  h1, h2 {{ font-weight: 600; }} h1 {{ font-size: 1.4rem; }} h2 {{ font-size: 1.1rem; }}
+  table {{ border-collapse: collapse; margin: 0.5rem 0 1.5rem; width: 100%; }}
+  th, td {{ text-align: left; padding: 0.25rem 0.75rem 0.25rem 0; vertical-align: top;
+           border-bottom: 1px solid #e5e5e5; font-variant-numeric: tabular-nums; }}
+  th {{ color: #555; font-weight: 600; }}
+  a {{ color: #0b62a4; text-decoration: none; }} a:hover {{ text-decoration: underline; }}
+  code, pre {{ font: 12px/1.45 ui-monospace, monospace; }}
+  pre {{ background: #f6f6f6; padding: 0.75rem; overflow-x: auto; }}
+  .spark {{ font-size: 16px; letter-spacing: 1px; color: #0b62a4; }}
+  .muted {{ color: #777; }}
+</style></head><body>
+<p><a href="/">runs</a></p>
+{body}
+</body></html>
+"""
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """``values`` as a unicode-block sparkline (empty string for none)."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return SPARK_BLOCKS[0] * len(values)
+    scale = (len(SPARK_BLOCKS) - 1) / (high - low)
+    return "".join(SPARK_BLOCKS[int((v - low) * scale + 0.5)] for v in values)
+
+
+def _counter_totals(telemetry: Mapping[str, Any] | None) -> dict[str, float]:
+    """Counter totals (summed over labels) of one telemetry snapshot."""
+    totals: dict[str, float] = {}
+    if not telemetry:
+        return totals
+    for name, entry in telemetry.get("metrics", {}).items():
+        if entry.get("kind") != "counter":
+            continue
+        totals[name] = sum(float(s.get("value", 0)) for s in entry.get("series", []))
+    return totals
+
+
+def series_trends(store: RunStore, spec_hash: str) -> dict[str, Any]:
+    """Longitudinal data of one spec series: per-run counter/wall trends."""
+    runs = store.series(spec_hash)
+    if not runs:
+        raise StoreError(f"run store has no series {spec_hash!r}")
+    counters: dict[str, list[float]] = {}
+    for index, summary in enumerate(runs):
+        totals = _counter_totals(store.export(summary.run_id).get("telemetry"))
+        for name, value in totals.items():
+            counters.setdefault(name, [0.0] * len(runs))[index] = value
+    return {
+        "spec_hash": runs[0].spec_hash,
+        "spec": store.spec_json(runs[0].spec_hash),
+        "runs": [summary.to_dict() for summary in runs],
+        "wall_seconds": [summary.wall_seconds for summary in runs],
+        "total_requests": [summary.total_requests for summary in runs],
+        "counters": {name: counters[name] for name in sorted(counters)},
+    }
+
+
+# ----------------------------------------------------------------------
+# HTML fragments
+# ----------------------------------------------------------------------
+def _e(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    head = "".join(f"<th>{h}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>" for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _when(timestamp: float | None) -> str:
+    if timestamp is None:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(timestamp))
+
+
+def _seconds(value: float | None) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def _run_row(summary: RunSummary) -> list[str]:
+    return [
+        f'<a href="/runs/{summary.run_id}">#{summary.run_id}</a>',
+        _e(summary.mode),
+        _e(summary.source),
+        _e(summary.label) or '<span class="muted">-</span>',
+        f"{summary.total_requests:,}",
+        _seconds(summary.wall_seconds),
+        _when(summary.recorded_at),
+        f'<a href="/series/{_e(summary.spec_hash)}"><code>{_e(summary.spec_hash[:12])}</code></a>',
+    ]
+
+
+def render_run_list(store: RunStore) -> str:
+    stats = store.stats()
+    modes = ", ".join(f"{mode}: {count}" for mode, count in stats.modes.items()) or "empty"
+    rows = [_run_row(summary) for summary in store.list_runs()]
+    body = (
+        f"<h1>run store</h1>"
+        f"<p>{stats.runs} run(s) over {stats.specs} spec(s) "
+        f'(schema v{stats.schema_version}) &mdash; <span class="muted">{_e(modes)}</span></p>'
+        + _table(
+            ["run", "mode", "source", "label", "requests", "wall s", "recorded", "series"],
+            rows,
+        )
+    )
+    return _PAGE.format(title="repro run store", body=body)
+
+
+def _metrics_rows(metrics: Mapping[str, Any]) -> list[list[str]]:
+    rows = []
+    for name in sorted(metrics):
+        value = metrics[name]
+        shown = f"{value:g}" if isinstance(value, (int, float)) and not isinstance(value, bool) else _e(value)
+        rows.append([f"<code>{_e(name)}</code>", shown])
+    return rows
+
+
+def _telemetry_sections(telemetry: Mapping[str, Any] | None) -> str:
+    if not telemetry:
+        return '<p class="muted">no telemetry recorded (run executed without a registry)</p>'
+    counter_rows = []
+    for name, entry in sorted(telemetry.get("metrics", {}).items()):
+        if entry.get("kind") != "counter":
+            continue
+        for series in entry.get("series", []):
+            labels = ", ".join(
+                f"{k}={v}" for k, v in sorted(series.get("labels", {}).items())
+            )
+            counter_rows.append(
+                [f"<code>{_e(name)}</code>", _e(labels) or "-", f"{series.get('value', 0):g}"]
+            )
+    registry = MetricsRegistry.from_dict(dict(telemetry))
+    histogram_rows = []
+    for metric in registry.metrics():
+        if not isinstance(metric, Histogram):
+            continue
+        for labels, series in metric.series():
+            shown_labels = ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            histogram_rows.append(
+                [
+                    f"<code>{_e(metric.name)}</code>",
+                    _e(shown_labels) or "-",
+                    f"{series.count:,}",
+                    f"{metric.quantile(0.50, **labels):.6g}",
+                    f"{metric.quantile(0.95, **labels):.6g}",
+                    f"{metric.quantile(0.99, **labels):.6g}",
+                ]
+            )
+    parts = []
+    if counter_rows:
+        parts.append("<h2>telemetry counters</h2>")
+        parts.append(_table(["counter", "labels", "value"], counter_rows))
+    if histogram_rows:
+        parts.append("<h2>telemetry quantiles</h2>")
+        parts.append(
+            _table(["histogram", "labels", "count", "p50", "p95", "p99"], histogram_rows)
+        )
+    return "".join(parts)
+
+
+def render_run_detail(store: RunStore, run_id: int) -> str:
+    summary = store.get(run_id)
+    data = store.export(run_id)
+    sections = [
+        f"<h1>run #{summary.run_id} &mdash; {_e(summary.mode)} on {_e(summary.source)}</h1>",
+        _table(
+            ["recorded", "wall s", "requests", "label", "library", "series"],
+            [
+                [
+                    _when(summary.recorded_at),
+                    _seconds(summary.wall_seconds),
+                    f"{summary.total_requests:,}",
+                    _e(summary.label) or "-",
+                    _e(summary.package_version or "-"),
+                    f'<a href="/series/{_e(summary.spec_hash)}">'
+                    f"<code>{_e(summary.spec_hash[:12])}</code></a>",
+                ]
+            ],
+        ),
+    ]
+    if data.get("alert_counts"):
+        sections.append("<h2>alert counts</h2>")
+        sections.append(
+            _table(["detector", "alerted requests"], _metrics_rows(data["alert_counts"]))
+        )
+    if data.get("metrics"):
+        sections.append("<h2>metrics</h2>")
+        sections.append(_table(["metric", "value"], _metrics_rows(data["metrics"])))
+    if data.get("timings"):
+        sections.append("<h2>stage timings</h2>")
+        sections.append(
+            _table(["stage", "seconds"], _metrics_rows(data["timings"]))
+        )
+    sections.append(_telemetry_sections(data.get("telemetry")))
+    sections.append("<h2>spec</h2>")
+    sections.append(f"<pre>{_e(json.dumps(data.get('spec'), indent=2))}</pre>")
+    return _PAGE.format(title=f"run #{run_id}", body="".join(sections))
+
+
+def render_series(store: RunStore, spec_hash: str) -> str:
+    trends = series_trends(store, spec_hash)
+    runs = trends["runs"]
+    run_links = " ".join(f'<a href="/runs/{run["run_id"]}">#{run["run_id"]}</a>' for run in runs)
+    trend_rows = [
+        [
+            "<code>wall_seconds</code>",
+            f'<span class="spark">{sparkline([w or 0.0 for w in trends["wall_seconds"]])}</span>',
+            _seconds(trends["wall_seconds"][0]),
+            _seconds(trends["wall_seconds"][-1]),
+        ],
+        [
+            "<code>total_requests</code>",
+            f'<span class="spark">{sparkline(trends["total_requests"])}</span>',
+            f'{trends["total_requests"][0]:,}',
+            f'{trends["total_requests"][-1]:,}',
+        ],
+    ]
+    for name, values in trends["counters"].items():
+        trend_rows.append(
+            [
+                f"<code>{_e(name)}</code>",
+                f'<span class="spark">{sparkline(values)}</span>',
+                f"{values[0]:g}",
+                f"{values[-1]:g}",
+            ]
+        )
+    body = (
+        f"<h1>series <code>{_e(trends['spec_hash'][:12])}</code> &mdash; {len(runs)} run(s)</h1>"
+        f"<p>{run_links}</p>"
+        "<h2>trends (oldest &rarr; newest)</h2>"
+        + _table(["quantity", "trend", "first", "last"], trend_rows)
+        + "<h2>spec</h2>"
+        + f"<pre>{_e(json.dumps(trends['spec'], indent=2))}</pre>"
+    )
+    return _PAGE.format(title=f"series {trends['spec_hash'][:12]}", body=body)
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+class DashboardServer(BackgroundHTTPServer):
+    """The run-store dashboard on a background daemon thread.
+
+    Create via :func:`serve_dashboard`.  The handle mirrors
+    :class:`~repro.obs.prometheus.MetricsServer`: bound ``port``/``url``
+    plus ``close()``.
+    """
+
+    url_path = "/"
+
+    def __init__(self, store_path: str, host: str, port: int):
+        # Fail fast on a missing or unopenable store, before binding the
+        # port -- a dashboard over a typo'd path should not look healthy.
+        RunStore(store_path, create=False).close()
+        dashboard = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                status, content_type, body = dashboard._respond(
+                    urlparse(self.path).path
+                )
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, format: str, *args) -> None:  # noqa: A002
+                pass  # HTTP chatter should not spam the CLI's stderr
+
+        self._store_path = store_path
+        super().__init__(_Handler, host, port, thread_name="repro-dashboard")
+
+    # ------------------------------------------------------------------
+    def _respond(self, path: str) -> tuple[int, str, str]:
+        """Route one GET; every response is (status, content type, body)."""
+        HTML, JSON, TEXT = "text/html; charset=utf-8", "application/json", "text/plain"
+        try:
+            with RunStore(self._store_path) as store:
+                if path in ("/", "/runs"):
+                    return 200, HTML, render_run_list(store)
+                if path == "/healthz":
+                    return 200, TEXT, "ok\n"
+                if path == "/api/runs":
+                    payload = {
+                        "stats": store.stats().to_dict(),
+                        "runs": [summary.to_dict() for summary in store.list_runs()],
+                    }
+                    return 200, JSON, json.dumps(payload, indent=2)
+                parts = [part for part in path.split("/") if part]
+                if len(parts) == 2 and parts[0] == "runs" and parts[1].isdigit():
+                    return 200, HTML, render_run_detail(store, int(parts[1]))
+                if len(parts) == 2 and parts[0] == "series":
+                    return 200, HTML, render_series(store, parts[1])
+                if len(parts) == 3 and parts[:2] == ["api", "runs"] and parts[2].isdigit():
+                    return 200, JSON, json.dumps(store.export(int(parts[2])), indent=2)
+                if len(parts) == 3 and parts[:2] == ["api", "series"]:
+                    return 200, JSON, json.dumps(series_trends(store, parts[2]), indent=2)
+        except StoreError as exc:
+            return 404, TEXT, f"{exc}\n"
+        return 404, TEXT, f"no such page: {path}\n"
+
+
+def serve_dashboard(
+    store_path: str, port: int = 0, host: str = "127.0.0.1"
+) -> DashboardServer:
+    """Serve the dashboard for ``store_path`` on ``http://host:port/``.
+
+    ``port=0`` binds an ephemeral port; read it back from the returned
+    server's ``.port`` / ``.url``.  Requests read the store file afresh,
+    so runs recorded while the dashboard is up appear on reload.
+    """
+    return DashboardServer(store_path, host, port)

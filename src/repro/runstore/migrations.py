@@ -1,0 +1,131 @@
+"""Schema migrations for the run store's SQLite database.
+
+The run store is a long-lived file: databases recorded by one library
+version must open under every later one.  The schema is therefore
+versioned, and every structural change is an entry in :data:`MIGRATIONS`
+-- an ordered list of ``(version, statements)`` pairs applied inside one
+transaction each.  Opening a store runs every migration past the file's
+recorded version; a file *newer* than the library fails loudly instead
+of being half-understood.
+
+Version history
+---------------
+1
+    The initial layout: ``runstore_meta`` (key/value, carries
+    ``schema_version``), ``specs`` (content-addressed RunSpec JSON, one
+    row per distinct spec hash -- identical experiments dedupe here) and
+    ``runs`` (one row per execution, referencing its spec by hash, with
+    the full result and telemetry JSON).
+2
+    Adds provenance columns to ``runs``: ``trace_fingerprint`` (the
+    content address of the generated traffic, when the run's traffic was
+    cacheable) and ``package_version`` (the library that recorded the
+    run), plus the ``runs_mode`` index the CLI list filters use.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.exceptions import StoreError
+
+#: The schema version this library writes.
+SCHEMA_VERSION = 2
+
+#: Ordered migrations; each entry upgrades the schema *to* its version.
+MIGRATIONS: tuple[tuple[int, tuple[str, ...]], ...] = (
+    (
+        1,
+        (
+            """
+            CREATE TABLE runstore_meta (
+                key   TEXT PRIMARY KEY,
+                value TEXT NOT NULL
+            )
+            """,
+            """
+            CREATE TABLE specs (
+                hash              TEXT PRIMARY KEY,
+                mode              TEXT NOT NULL,
+                label             TEXT NOT NULL DEFAULT '',
+                spec_json         TEXT NOT NULL,
+                first_recorded_at REAL NOT NULL
+            )
+            """,
+            """
+            CREATE TABLE runs (
+                id             INTEGER PRIMARY KEY AUTOINCREMENT,
+                spec_hash      TEXT NOT NULL REFERENCES specs(hash),
+                mode           TEXT NOT NULL,
+                source         TEXT NOT NULL,
+                label          TEXT NOT NULL DEFAULT '',
+                recorded_at    REAL NOT NULL,
+                wall_seconds   REAL,
+                total_requests INTEGER NOT NULL,
+                result_json    TEXT NOT NULL,
+                telemetry_json TEXT
+            )
+            """,
+            "CREATE INDEX runs_spec_hash ON runs(spec_hash, id)",
+        ),
+    ),
+    (
+        2,
+        (
+            "ALTER TABLE runs ADD COLUMN trace_fingerprint TEXT",
+            "ALTER TABLE runs ADD COLUMN package_version TEXT",
+            "CREATE INDEX runs_mode ON runs(mode, id)",
+        ),
+    ),
+)
+
+
+def schema_version(connection: sqlite3.Connection) -> int:
+    """The schema version recorded in ``connection`` (0 for a fresh file)."""
+    try:
+        row = connection.execute(
+            "SELECT value FROM runstore_meta WHERE key = 'schema_version'"
+        ).fetchone()
+    except sqlite3.OperationalError:
+        return 0  # no meta table yet: an empty database
+    if row is None:
+        raise StoreError("runstore_meta exists but carries no schema_version")
+    try:
+        return int(row[0])
+    except ValueError as exc:
+        raise StoreError(f"corrupt schema_version {row[0]!r}") from exc
+
+
+def apply_migrations(
+    connection: sqlite3.Connection, *, target: int = SCHEMA_VERSION
+) -> int:
+    """Bring ``connection`` to schema ``target``; return the final version.
+
+    Each pending migration runs in its own transaction, so a failure
+    leaves the database at a consistent (older) version.  A database
+    already *past* ``target`` raises :class:`StoreError` -- downgrades
+    are not supported, and silently operating on unknown columns is
+    worse than refusing.
+    """
+    current = schema_version(connection)
+    if current > target:
+        raise StoreError(
+            f"run store is at schema v{current}, newer than the v{target} this "
+            f"library understands; upgrade the library instead of the file"
+        )
+    for version, statements in MIGRATIONS:
+        if version <= current or version > target:
+            continue
+        try:
+            with connection:  # one transaction per migration step
+                for statement in statements:
+                    connection.execute(statement)
+                connection.execute(
+                    "INSERT INTO runstore_meta (key, value) VALUES ('schema_version', ?) "
+                    "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                    (str(version),),
+                )
+        except sqlite3.DatabaseError as exc:
+            raise StoreError(f"migration to schema v{version} failed: {exc}") from exc
+        current = version
+    return current

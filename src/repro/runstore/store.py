@@ -1,0 +1,415 @@
+"""The persistent run store: every executed RunSpec's result, in SQLite.
+
+A :class:`RunStore` is a single SQLite file recording one row per
+executed run: the full spec JSON (content-addressed, so identical
+experiments share one ``specs`` row and re-runs append to a *series*),
+the complete :class:`~repro.runspec.result.RunResult` dictionary, the
+``repro.obs`` telemetry snapshot, the traffic's content-address
+fingerprint when the run's traffic was cacheable, the recording
+library's version and wall-clock metadata.  Everything the run produced
+comes back out byte-identically::
+
+    with RunStore("runs.db") as store:
+        recorded = store.record(execute(spec), wall_seconds=1.2)
+        assert store.load(recorded.run_id).to_dict() == result.to_dict()
+
+The schema is versioned and migrated in place on open (see
+:mod:`repro.runstore.migrations`); stores written by older library
+versions upgrade transparently, newer ones are refused loudly.
+
+Storage layout notes
+--------------------
+* ``specs`` is the dedupe table: the spec's canonical JSON is stored
+  once per distinct :func:`spec_fingerprint`; ``runs.spec_hash`` groups
+  a series of re-runs of the same experiment, which is what the
+  dashboard's trend sparklines and ``repro runs diff`` iterate.
+* ``runs.result_json`` holds ``RunResult.to_dict()`` *minus* the
+  telemetry snapshot, which lives in its own column so listing and
+  diffing spec/metric data never parses the (much larger) telemetry.
+* One connection per store, guarded by a lock -- the dashboard serves
+  each HTTP request from a short-lived read-only store instead of
+  sharing connections across threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.exceptions import StoreError
+from repro.runspec.result import RunResult
+from repro.runstore.migrations import SCHEMA_VERSION, apply_migrations, schema_version
+
+#: Environment variable naming the default run-store file for the CLI
+#: and the benchmark harness (``--store`` beats it when both are given).
+RUN_STORE_ENV = "REPRO_RUN_STORE"
+
+
+def spec_fingerprint(spec: Mapping[str, Any] | None) -> str:
+    """The content address of one spec dictionary (sha256 of canonical JSON).
+
+    Key order never matters; two specs serialise to the same fingerprint
+    iff they describe the same experiment.  ``None`` (a result recorded
+    without a spec, e.g. a legacy entry point) hashes the empty spec, so
+    such runs still form a series.
+    """
+    canonical = json.dumps(spec or {}, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One ``runs`` row without its (potentially large) JSON payloads."""
+
+    run_id: int
+    spec_hash: str
+    mode: str
+    source: str
+    label: str
+    recorded_at: float
+    wall_seconds: float | None
+    total_requests: int
+    trace_fingerprint: str | None
+    package_version: str | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "spec_hash": self.spec_hash,
+            "mode": self.mode,
+            "source": self.source,
+            "label": self.label,
+            "recorded_at": self.recorded_at,
+            "wall_seconds": self.wall_seconds,
+            "total_requests": self.total_requests,
+            "trace_fingerprint": self.trace_fingerprint,
+            "package_version": self.package_version,
+        }
+
+
+@dataclass(frozen=True)
+class RecordedRun:
+    """What :meth:`RunStore.record` hands back: the new row's identity."""
+
+    run_id: int
+    spec_hash: str
+    #: Position of this run within its spec series (1 = first run).
+    series_index: int
+
+
+@dataclass
+class StoreStats:
+    """Aggregate store contents (the dashboard's header numbers)."""
+
+    runs: int = 0
+    specs: int = 0
+    modes: dict[str, int] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "runs": self.runs,
+            "specs": self.specs,
+            "modes": dict(self.modes),
+            "schema_version": self.schema_version,
+        }
+
+
+class RunStore:
+    """A SQLite-backed, schema-migrated store of executed runs."""
+
+    def __init__(self, path: str | os.PathLike, *, create: bool = True):
+        self.path = os.fspath(path)
+        if not create and not os.path.exists(self.path):
+            raise StoreError(f"run store {self.path!r} does not exist")
+        try:
+            self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open run store {self.path!r}: {exc}") from exc
+        self._lock = threading.Lock()
+        self._closed = False
+        try:
+            # A non-runstore SQLite file has tables but version 0 and the
+            # first migration would collide with them; detect that early.
+            if schema_version(self._connection) == 0 and self._has_foreign_tables():
+                raise StoreError(f"{self.path!r} is a SQLite file but not a run store")
+            apply_migrations(self._connection)
+        except StoreError:
+            self._connection.close()
+            raise
+        except sqlite3.DatabaseError as exc:
+            self._connection.close()
+            raise StoreError(f"{self.path!r} is not a run-store database: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def _has_foreign_tables(self) -> bool:
+        rows = self._connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        ).fetchall()
+        return bool(rows)
+
+    def _execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
+        if self._closed:
+            raise StoreError(f"run store {self.path!r} is closed")
+        try:
+            return self._connection.execute(sql, parameters)
+        except sqlite3.DatabaseError as exc:
+            raise StoreError(f"run-store query failed: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        result: RunResult,
+        *,
+        wall_seconds: float | None = None,
+        recorded_at: float | None = None,
+        trace_fingerprint: str | None = None,
+    ) -> RecordedRun:
+        """Append one executed run; return its id, spec hash and series index.
+
+        The spec travels inside the result (``RunResult.spec``); its
+        content hash dedupes the ``specs`` row, so recording the same
+        experiment twice appends a second run to the same series rather
+        than duplicating the spec.
+        """
+        from repro import __version__ as package_version  # late: package init order
+
+        if not isinstance(result, RunResult):
+            raise StoreError(
+                f"record() takes a RunResult, got {type(result).__name__}"
+            )
+        if self._closed:
+            raise StoreError(f"run store {self.path!r} is closed")
+        data = result.to_dict()
+        telemetry = data.pop("telemetry", None)
+        spec = data.get("spec")
+        spec_hash = spec_fingerprint(spec)
+        recorded_at = time.time() if recorded_at is None else float(recorded_at)
+        if wall_seconds is None:
+            # Fall back to the result's own slowest stage wall-clock.
+            wall_seconds = max(result.timings.values(), default=None)
+        with self._lock, self._connection:
+            self._execute(
+                "INSERT INTO specs (hash, mode, label, spec_json, first_recorded_at) "
+                "VALUES (?, ?, ?, ?, ?) ON CONFLICT(hash) DO NOTHING",
+                (
+                    spec_hash,
+                    result.mode,
+                    result.label,
+                    json.dumps(spec or {}, sort_keys=True),
+                    recorded_at,
+                ),
+            )
+            cursor = self._execute(
+                "INSERT INTO runs (spec_hash, mode, source, label, recorded_at, "
+                "wall_seconds, total_requests, result_json, telemetry_json, "
+                "trace_fingerprint, package_version) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    spec_hash,
+                    result.mode,
+                    result.source,
+                    result.label,
+                    recorded_at,
+                    wall_seconds,
+                    result.total_requests,
+                    json.dumps(data),
+                    None if telemetry is None else json.dumps(telemetry),
+                    trace_fingerprint,
+                    package_version,
+                ),
+            )
+            run_id = cursor.lastrowid
+            series_index = self._execute(
+                "SELECT COUNT(*) FROM runs WHERE spec_hash = ? AND id <= ?",
+                (spec_hash, run_id),
+            ).fetchone()[0]
+        return RecordedRun(run_id=run_id, spec_hash=spec_hash, series_index=series_index)
+
+    # ------------------------------------------------------------------
+    _SUMMARY_COLUMNS = (
+        "id, spec_hash, mode, source, label, recorded_at, wall_seconds, "
+        "total_requests, trace_fingerprint, package_version"
+    )
+
+    @staticmethod
+    def _summary(row: tuple) -> RunSummary:
+        return RunSummary(
+            run_id=row[0],
+            spec_hash=row[1],
+            mode=row[2],
+            source=row[3],
+            label=row[4],
+            recorded_at=row[5],
+            wall_seconds=row[6],
+            total_requests=row[7],
+            trace_fingerprint=row[8],
+            package_version=row[9],
+        )
+
+    def list_runs(
+        self,
+        *,
+        mode: str | None = None,
+        spec_hash: str | None = None,
+        limit: int | None = None,
+    ) -> list[RunSummary]:
+        """Run summaries, newest first; filter by mode or spec-hash prefix."""
+        clauses, parameters = [], []
+        if mode is not None:
+            clauses.append("mode = ?")
+            parameters.append(mode)
+        if spec_hash is not None:
+            clauses.append("spec_hash LIKE ?")
+            parameters.append(spec_hash + "%")
+        sql = f"SELECT {self._SUMMARY_COLUMNS} FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            parameters.append(int(limit))
+        with self._lock:
+            rows = self._execute(sql, tuple(parameters)).fetchall()
+        return [self._summary(row) for row in rows]
+
+    def series(self, spec_hash: str) -> list[RunSummary]:
+        """Every run of one spec series, oldest first (the trend axis)."""
+        with self._lock:
+            rows = self._execute(
+                f"SELECT {self._SUMMARY_COLUMNS} FROM runs WHERE spec_hash LIKE ? "
+                "ORDER BY id ASC",
+                (spec_hash + "%",),
+            ).fetchall()
+        return [self._summary(row) for row in rows]
+
+    def get(self, run_id: int) -> RunSummary:
+        """One run's summary row (raises :class:`StoreError` when absent)."""
+        with self._lock:
+            row = self._execute(
+                f"SELECT {self._SUMMARY_COLUMNS} FROM runs WHERE id = ?", (int(run_id),)
+            ).fetchone()
+        if row is None:
+            raise StoreError(f"run store has no run #{run_id}")
+        return self._summary(row)
+
+    # ------------------------------------------------------------------
+    def export(self, run_id: int) -> dict[str, Any]:
+        """The exact ``RunResult.to_dict()`` dictionary of one stored run.
+
+        This is the replay contract: what ``record()`` was handed is
+        what comes back, telemetry folded back in place, so stored runs
+        flow through every existing ``RunResult`` consumer unchanged.
+        """
+        with self._lock:
+            row = self._execute(
+                "SELECT result_json, telemetry_json FROM runs WHERE id = ?",
+                (int(run_id),),
+            ).fetchone()
+        if row is None:
+            raise StoreError(f"run store has no run #{run_id}")
+        data = json.loads(row[0])
+        data["telemetry"] = None if row[1] is None else json.loads(row[1])
+        return data
+
+    def load(self, run_id: int) -> RunResult:
+        """One stored run rebuilt as a :class:`RunResult`."""
+        return RunResult.from_dict(self.export(run_id))
+
+    def spec_json(self, spec_hash: str) -> dict[str, Any]:
+        """The stored spec dictionary of one series (prefix lookup)."""
+        with self._lock:
+            rows = self._execute(
+                "SELECT hash, spec_json FROM specs WHERE hash LIKE ?", (spec_hash + "%",)
+            ).fetchall()
+        if not rows:
+            raise StoreError(f"run store has no spec {spec_hash!r}")
+        if len(rows) > 1:
+            raise StoreError(f"spec prefix {spec_hash!r} is ambiguous ({len(rows)} matches)")
+        return json.loads(rows[0][1])
+
+    # ------------------------------------------------------------------
+    def stats(self) -> StoreStats:
+        """Aggregate counts over the whole store."""
+        with self._lock:
+            runs = self._execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            specs = self._execute("SELECT COUNT(*) FROM specs").fetchone()[0]
+            modes = dict(
+                self._execute(
+                    "SELECT mode, COUNT(*) FROM runs GROUP BY mode ORDER BY mode"
+                ).fetchall()
+            )
+            version = schema_version(self._connection)
+        return StoreStats(runs=runs, specs=specs, modes=modes, schema_version=version)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def __iter__(self) -> Iterator[RunSummary]:
+        return iter(self.list_runs())
+
+    # ------------------------------------------------------------------
+    def gc(self, *, keep_last: int = 10, vacuum: bool = True) -> int:
+        """Trim every spec series to its newest ``keep_last`` runs.
+
+        Returns the number of runs deleted.  Specs left with no runs are
+        removed too, and the file is compacted (``VACUUM``) when
+        anything was deleted so the space actually returns to the OS.
+        """
+        if keep_last < 0:
+            raise StoreError("gc keep_last must be non-negative")
+        if self._closed:
+            raise StoreError(f"run store {self.path!r} is closed")
+        with self._lock, self._connection:
+            cursor = self._execute(
+                "DELETE FROM runs WHERE id NOT IN ("
+                "  SELECT id FROM runs AS newest"
+                "  WHERE newest.spec_hash = runs.spec_hash"
+                "  ORDER BY newest.id DESC LIMIT ?"
+                ")",
+                (keep_last,),
+            )
+            deleted = cursor.rowcount
+            self._execute(
+                "DELETE FROM specs WHERE hash NOT IN (SELECT DISTINCT spec_hash FROM runs)"
+            )
+        if deleted and vacuum:
+            with self._lock:
+                self._execute("VACUUM")
+        return deleted
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying connection (record/load raise afterwards)."""
+        if not self._closed:
+            self._closed = True
+            self._connection.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_store(path: str | os.PathLike | "RunStore" | None) -> RunStore | None:
+    """Normalise the ``store=`` parameter: a path opens, a store passes through.
+
+    ``None`` consults the :data:`RUN_STORE_ENV` environment variable, so
+    ``REPRO_RUN_STORE=runs.db`` turns recording on process-wide without
+    touching call sites; an unset variable keeps recording off.
+    """
+    if path is None:
+        path = os.environ.get(RUN_STORE_ENV) or None
+        if path is None:
+            return None
+    if isinstance(path, RunStore):
+        return path
+    return RunStore(path)

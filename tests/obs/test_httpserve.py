@@ -1,0 +1,54 @@
+"""The shared background HTTP server underneath /metrics and the dashboard."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler
+
+import pytest
+
+from repro.obs.httpserve import BackgroundHTTPServer
+
+
+class _Hello(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        payload = b"hello\n"
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+
+def test_port_zero_binds_and_advertises_real_port():
+    with BackgroundHTTPServer(_Hello) as server:
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}/"
+        with urllib.request.urlopen(server.url, timeout=10) as response:
+            assert response.read() == b"hello\n"
+
+
+def test_close_releases_the_port():
+    server = BackgroundHTTPServer(_Hello)
+    url = server.url
+    server.close()
+    assert not server._thread.is_alive()
+    with pytest.raises(urllib.error.URLError):
+        urllib.request.urlopen(url, timeout=1)
+
+
+def test_two_servers_never_collide():
+    with BackgroundHTTPServer(_Hello) as first, BackgroundHTTPServer(_Hello) as second:
+        assert first.port != second.port
+
+
+def test_url_path_override():
+    class _Sub(BackgroundHTTPServer):
+        url_path = "/metrics"
+
+    with _Sub(_Hello) as server:
+        assert server.url.endswith("/metrics")

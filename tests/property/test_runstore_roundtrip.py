@@ -1,0 +1,144 @@
+"""Property-based tests: the run store is a lossless RunResult round trip.
+
+For any result the strategies can build -- including an arbitrary
+telemetry snapshot assembled through a real ``MetricsRegistry`` --
+``store.record`` followed by ``store.export``/``store.load`` returns a
+dictionary equal to the original ``RunResult.to_dict()``, and identical
+specs always land in the same series.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.runspec.result import RunResult
+from repro.runstore import RunStore, spec_fingerprint
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+)
+_json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**9), 10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+_metrics = st.dictionaries(_names, _json_scalars, max_size=5)
+_alert_counts = st.dictionaries(_names, st.integers(0, 10**6), max_size=3)
+_tables = st.dictionaries(_names, st.text(max_size=80), max_size=3)
+_rows = st.dictionaries(
+    _names,
+    st.lists(st.dictionaries(_names, _json_scalars, max_size=3), max_size=3),
+    max_size=2,
+)
+_timings = st.dictionaries(
+    _names, st.floats(min_value=0.0, max_value=1e4, allow_nan=False), max_size=4
+)
+_specs = st.one_of(
+    st.none(),
+    st.fixed_dictionaries(
+        {
+            "mode": st.sampled_from(["tables", "evaluate", "stream", "defend"]),
+            "traffic": st.fixed_dictionaries(
+                {
+                    "scenario": st.sampled_from(["balanced_small", "stealth_heavy"]),
+                    "seed": st.integers(0, 100),
+                }
+            ),
+        }
+    ),
+)
+
+_counter_name = st.sampled_from(
+    ["repro_records_ingested_total", "repro_detector_alerts_total", "repro_runs_total"]
+)
+_observations = st.lists(
+    st.floats(min_value=1e-6, max_value=1e3, allow_nan=False), min_size=1, max_size=8
+)
+
+
+@st.composite
+def telemetry_snapshots(draw):
+    """A real registry snapshot: counters with labels plus one histogram."""
+    if draw(st.booleans()):
+        return None
+    registry = MetricsRegistry()
+    for name in draw(st.lists(_counter_name, max_size=3, unique=True)):
+        registry.counter(name, "Property counter.").inc(
+            draw(st.integers(1, 10**6)), detector=draw(st.sampled_from(["a", "b"]))
+        )
+    if draw(st.booleans()):
+        histogram = registry.histogram("repro_stage_seconds", "Property histogram.")
+        for value in draw(_observations):
+            histogram.observe(value, stage="x")
+    return registry.to_dict()
+
+
+@st.composite
+def run_results(draw):
+    return RunResult(
+        mode=draw(st.sampled_from(["tables", "evaluate", "stream", "defend"])),
+        source=draw(_names),
+        total_requests=draw(st.integers(0, 10**7)),
+        alert_counts=draw(_alert_counts),
+        metrics=draw(_metrics),
+        tables=draw(_tables),
+        rows=draw(_rows),
+        timings=draw(_timings),
+        telemetry=draw(telemetry_snapshots()),
+        summary=draw(st.lists(st.text(max_size=40), max_size=3)),
+        enforcement=draw(st.one_of(st.none(), _metrics)),
+        spec=draw(_specs),
+        label=draw(st.text(max_size=16)),
+    )
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    with RunStore(tmp_path_factory.mktemp("prop") / "runs.db") as store:
+        yield store
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(result=run_results())
+def test_store_round_trip_is_byte_identical(store, result):
+    expected = result.to_dict()
+    recorded = store.record(result)
+    assert store.export(recorded.run_id) == expected
+    assert store.load(recorded.run_id).to_dict() == expected
+    # Telemetry specifically survives its separate-column storage.
+    assert store.export(recorded.run_id)["telemetry"] == expected["telemetry"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(result=run_results())
+def test_series_membership_follows_spec_fingerprint(store, result):
+    first = store.record(result)
+    second = store.record(result)
+    assert first.spec_hash == second.spec_hash == spec_fingerprint(result.spec)
+    assert second.series_index == first.series_index + 1
+    summary = store.get(second.run_id)
+    assert summary.mode == result.mode
+    assert summary.label == result.label
+    assert summary.total_requests == result.total_requests
+
+
+@settings(max_examples=20, deadline=None)
+@given(result=run_results())
+def test_fingerprint_is_key_order_invariant(result):
+    spec = result.spec
+    if not spec:
+        reordered = spec
+    else:
+        reordered = {key: spec[key] for key in reversed(list(spec))}
+    assert spec_fingerprint(reordered) == spec_fingerprint(spec)

@@ -1,0 +1,11 @@
+"""Run-store test fixtures: keep recording hermetic."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_run_store(monkeypatch):
+    """An ambient ``REPRO_RUN_STORE`` must never leak runs out of tests."""
+    monkeypatch.delenv("REPRO_RUN_STORE", raising=False)

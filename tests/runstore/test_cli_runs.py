@@ -1,0 +1,268 @@
+"""The ``repro runs`` CLI family and ``--store`` on executing subcommands."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.runstore import RUN_STORE_ENV, RunStore
+
+
+@pytest.fixture(scope="module")
+def recorded_store(tmp_path_factory):
+    """A store with three CLI-recorded runs: two re-runs plus one reseed."""
+    path = str(tmp_path_factory.mktemp("cli") / "runs.db")
+    for seed in ("3", "3", "7"):
+        code = main(["tables", "--scenario", "balanced_small", "--seed", seed, "--store", path])
+        assert code == 0
+    return path
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str]:
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Recording via --store / env
+# ----------------------------------------------------------------------
+def test_store_flag_records_runs(recorded_store):
+    with RunStore(recorded_store, create=False) as store:
+        assert len(store) == 3
+        assert store.stats().specs == 2  # seeds 3+3 dedupe, 7 is new
+
+
+def test_env_var_is_the_default_store(tmp_path, monkeypatch, capsys):
+    path = str(tmp_path / "env.db")
+    monkeypatch.setenv(RUN_STORE_ENV, path)
+    assert main(["tables", "--scenario", "balanced_small", "--seed", "5"]) == 0
+    capsys.readouterr()
+    with RunStore(path, create=False) as store:
+        assert len(store) == 1
+
+
+def test_store_flag_beats_env(tmp_path, monkeypatch, capsys):
+    flag_path, env_path = str(tmp_path / "flag.db"), str(tmp_path / "env.db")
+    monkeypatch.setenv(RUN_STORE_ENV, env_path)
+    assert (
+        main(
+            ["tables", "--scenario", "balanced_small", "--seed", "5", "--store", flag_path]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    with RunStore(flag_path, create=False) as store:
+        assert len(store) == 1
+    import os
+
+    assert not os.path.exists(env_path)
+
+
+# ----------------------------------------------------------------------
+# runs list / show / export
+# ----------------------------------------------------------------------
+def test_runs_list(recorded_store, capsys):
+    code, out = run_cli(capsys, "runs", "list", "--store", recorded_store)
+    assert code == 0
+    assert "3 run(s) over 2 spec(s)" in out
+    assert out.count("balanced_small") == 3
+
+
+def test_runs_list_json_and_filters(recorded_store, capsys):
+    code, out = run_cli(capsys, "runs", "list", "--store", recorded_store, "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["stats"]["runs"] == 3
+    assert len(payload["runs"]) == 3
+
+    code, out = run_cli(
+        capsys, "runs", "list", "--store", recorded_store, "--limit", "1", "--json"
+    )
+    assert len(json.loads(out)["runs"]) == 1
+
+    series = payload["runs"][0]["spec_hash"][:10]
+    code, out = run_cli(
+        capsys, "runs", "list", "--store", recorded_store, "--series", series, "--json"
+    )
+    assert {run["spec_hash"][:10] for run in json.loads(out)["runs"]} == {series}
+
+
+def test_runs_show_renders_tables(recorded_store, capsys):
+    code, out = run_cli(capsys, "runs", "show", "1", "--store", recorded_store)
+    assert code == 0
+    assert "Table 1" in out  # the stored run re-renders the paper report
+
+
+def test_runs_show_json_is_exact_export(recorded_store, capsys):
+    code, out = run_cli(capsys, "runs", "show", "1", "--store", recorded_store, "--json")
+    assert code == 0
+    with RunStore(recorded_store, create=False) as store:
+        assert json.loads(out) == store.export(1)
+
+
+def test_runs_export_matches_show_json(recorded_store, capsys, tmp_path):
+    output = tmp_path / "run1.json"
+    code, _ = run_cli(
+        capsys, "runs", "export", "1", "--store", recorded_store, "--output", str(output)
+    )
+    assert code == 0
+    with RunStore(recorded_store, create=False) as store:
+        assert json.loads(output.read_text()) == store.export(1)
+
+
+def test_runs_export_stdout(recorded_store, capsys):
+    code, out = run_cli(capsys, "runs", "export", "2", "--store", recorded_store)
+    assert code == 0
+    assert json.loads(out)["mode"] == "tables"
+
+
+# ----------------------------------------------------------------------
+# runs diff
+# ----------------------------------------------------------------------
+def test_runs_diff_rerun_has_no_regressions(recorded_store, capsys):
+    code, out = run_cli(capsys, "runs", "diff", "1", "2", "--store", recorded_store)
+    assert code == 0
+    assert "re-run comparison" in out
+
+
+def test_runs_diff_reports_spec_changes(recorded_store, capsys):
+    code, out = run_cli(capsys, "runs", "diff", "1", "3", "--store", recorded_store)
+    assert code == 0
+    assert "traffic.seed" in out
+
+
+def test_runs_diff_fail_on_regression_both_ways(tmp_path, capsys):
+    """An injected >=20% counter regression flips the exit code."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.runspec.result import RunResult
+
+    def fake_run(alerts: int) -> RunResult:
+        registry = MetricsRegistry()
+        registry.counter("repro_detector_alerts_total", "Alerts.").inc(
+            alerts, detector="inhouse"
+        )
+        return RunResult(
+            mode="tables",
+            source="balanced_small",
+            total_requests=1000,
+            alert_counts={"inhouse": alerts},
+            telemetry=registry.to_dict(),
+            spec={"mode": "tables"},
+        )
+
+    path = str(tmp_path / "reg.db")
+    with RunStore(path) as store:
+        store.record(fake_run(100))
+        store.record(fake_run(125))  # +25%: beyond the default 20% threshold
+
+    code, out = run_cli(
+        capsys, "runs", "diff", "1", "2", "--store", path, "--fail-on-regression"
+    )
+    assert code == 1
+    assert "regression" in out
+
+    # A looser threshold tolerates the same delta.
+    code, _ = run_cli(
+        capsys,
+        "runs",
+        "diff",
+        "1",
+        "2",
+        "--store",
+        path,
+        "--fail-on-regression",
+        "--threshold",
+        "0.4",
+    )
+    assert code == 0
+
+    # Without --fail-on-regression the diff always exits 0.
+    code, out = run_cli(capsys, "runs", "diff", "1", "2", "--store", path)
+    assert code == 0
+    assert "<< regression" in out
+
+
+def test_runs_diff_json(recorded_store, capsys):
+    code, out = run_cli(
+        capsys, "runs", "diff", "1", "3", "--store", recorded_store, "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["left"]["run_id"] == 1
+    assert "traffic.seed" in payload["spec_changes"]
+    assert "regressions" in payload and "threshold" in payload
+
+
+# ----------------------------------------------------------------------
+# runs gc
+# ----------------------------------------------------------------------
+def test_runs_gc(tmp_path, capsys):
+    path = str(tmp_path / "gc.db")
+    for seed in ("3", "3", "3"):
+        assert (
+            main(["tables", "--scenario", "balanced_small", "--seed", seed, "--store", path])
+            == 0
+        )
+    capsys.readouterr()
+    code, out = run_cli(capsys, "runs", "gc", "--store", path, "--keep", "1")
+    assert code == 0
+    assert "deleted 2 run(s)" in out
+    with RunStore(path, create=False) as store:
+        assert len(store) == 1
+
+
+# ----------------------------------------------------------------------
+# Error paths
+# ----------------------------------------------------------------------
+def test_runs_without_store_exits_with_message(monkeypatch):
+    monkeypatch.delenv(RUN_STORE_ENV, raising=False)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["runs", "list"])
+    assert "store" in str(excinfo.value).lower()
+
+
+def test_runs_list_missing_store_errors(tmp_path):
+    from repro.exceptions import StoreError
+
+    with pytest.raises(StoreError, match="does not exist"):
+        main(["runs", "list", "--store", str(tmp_path / "absent.db")])
+
+
+# ----------------------------------------------------------------------
+# obs dump --store
+# ----------------------------------------------------------------------
+def test_obs_dump_records_into_store(tmp_path, capsys):
+    from repro.runspec import RunSpec, TrafficSpec
+
+    path = str(tmp_path / "obs.db")
+    config = tmp_path / "spec.json"
+    RunSpec(
+        mode="tables",
+        traffic=TrafficSpec(
+            scenario="balanced_small", seed=3, params={"total_requests": 3000}
+        ),
+    ).save(config)
+    code = main(["obs", "dump", "--config", str(config), "--store", path])
+    assert code == 0
+    capsys.readouterr()
+    with RunStore(path, create=False) as store:
+        assert len(store) == 1
+        # obs dump always runs instrumented, so telemetry is stored.
+        assert store.export(1)["telemetry"] is not None
+
+
+# ----------------------------------------------------------------------
+# runs serve (quick HTTP round trip through the CLI-facing API)
+# ----------------------------------------------------------------------
+def test_serve_dashboard_over_recorded_store(recorded_store):
+    from repro.runstore import serve_dashboard
+
+    server = serve_dashboard(recorded_store, port=0)
+    try:
+        with urllib.request.urlopen(server.url.rstrip("/") + "/api/runs", timeout=10) as r:
+            assert json.loads(r.read())["stats"]["runs"] == 3
+    finally:
+        server.close()

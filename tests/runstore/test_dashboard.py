@@ -1,0 +1,165 @@
+"""The dashboard, exercised over real HTTP on an ephemeral port."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.obs.metrics import MetricsRegistry
+from repro.runspec.result import RunResult
+from repro.runstore import RunStore, serve_dashboard, sparkline
+
+
+def make_result(*, alerts: int = 100, seed: int = 3) -> RunResult:
+    registry = MetricsRegistry()
+    registry.counter("repro_detector_alerts_total", "Alerts.").inc(
+        alerts, detector="inhouse"
+    )
+    registry.histogram("repro_stage_seconds", "Stage wall clock.").observe(
+        0.25, stage="experiment"
+    )
+    return RunResult(
+        mode="tables",
+        source="balanced_small",
+        total_requests=5000,
+        alert_counts={"inhouse": alerts},
+        metrics={"kappa": 0.8},
+        timings={"experiment": 0.25},
+        telemetry=registry.to_dict(),
+        spec={"mode": "tables", "traffic": {"seed": seed}},
+    )
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A store with two series (one of them three runs deep) behind HTTP."""
+    path = tmp_path_factory.mktemp("dash") / "runs.db"
+    with RunStore(path) as store:
+        for alerts in (100, 110, 120):
+            store.record(make_result(alerts=alerts, seed=3))
+        store.record(make_result(alerts=50, seed=4))
+        spec_hash = store.list_runs()[-1].spec_hash  # the seed-3 series
+    server = serve_dashboard(path, port=0)
+    yield server, spec_hash
+    server.close()
+
+
+def fetch(server, path: str) -> str:
+    with urllib.request.urlopen(server.url.rstrip("/") + path, timeout=10) as response:
+        assert response.status == 200
+        return response.read().decode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# HTML pages
+# ----------------------------------------------------------------------
+def test_run_list_page(served):
+    server, _ = served
+    body = fetch(server, "/")
+    assert "<html" in body.lower()
+    assert "4 run" in body
+    assert "balanced_small" in body
+    assert "/runs/1" in body  # rows link to run detail pages
+
+
+def test_run_detail_page_shows_telemetry(served):
+    server, _ = served
+    body = fetch(server, "/runs/1")
+    assert "balanced_small" in body
+    assert "repro_detector_alerts_total" in body  # telemetry counter table
+    assert "repro_stage_seconds" in body  # histogram quantile table
+    assert "kappa" in body  # metrics table
+    assert "experiment" in body  # stage timing breakdown
+
+
+def test_series_page_has_sparklines(served):
+    server, spec_hash = served
+    body = fetch(server, f"/series/{spec_hash}")
+    assert "series" in body
+    assert any(block in body for block in "▁▂▃▄▅▆▇█")
+
+
+def test_healthz(served):
+    server, _ = served
+    assert fetch(server, "/healthz").strip() == "ok"
+
+
+def test_unknown_run_is_404(served):
+    server, _ = served
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        fetch(server, "/runs/999")
+    assert excinfo.value.code == 404
+
+
+def test_unknown_path_is_404(served):
+    server, _ = served
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        fetch(server, "/nope")
+    assert excinfo.value.code == 404
+
+
+# ----------------------------------------------------------------------
+# JSON API
+# ----------------------------------------------------------------------
+def test_api_run_list(served):
+    server, _ = served
+    payload = json.loads(fetch(server, "/api/runs"))
+    assert payload["stats"]["runs"] == 4
+    assert payload["stats"]["specs"] == 2
+    assert len(payload["runs"]) == 4
+
+
+def test_api_run_detail_is_exact_export(served):
+    server, _ = served
+    payload = json.loads(fetch(server, "/api/runs/1"))
+    with RunStore(server._store_path, create=False) as store:
+        assert payload == store.export(1)
+
+
+def test_api_series_trends(served):
+    server, spec_hash = served
+    payload = json.loads(fetch(server, f"/api/series/{spec_hash}"))
+    assert len(payload["runs"]) == 3
+    counters = payload["counters"]
+    assert counters["repro_detector_alerts_total"] == [100.0, 110.0, 120.0]
+
+
+def test_dashboard_sees_appends_live(served):
+    """Runs recorded after the server started appear without a restart."""
+    server, _ = served
+    before = json.loads(fetch(server, "/api/runs"))["stats"]["runs"]
+    with RunStore(server._store_path) as store:
+        store.record(make_result(alerts=999, seed=5))
+    after = json.loads(fetch(server, "/api/runs"))["stats"]["runs"]
+    assert after == before + 1
+
+
+# ----------------------------------------------------------------------
+# Server lifecycle / sparkline unit
+# ----------------------------------------------------------------------
+def test_serve_requires_openable_store(tmp_path):
+    with pytest.raises(StoreError):
+        serve_dashboard(tmp_path / "absent.db")
+
+
+def test_port_zero_binds_an_ephemeral_port(tmp_path):
+    path = tmp_path / "runs.db"
+    RunStore(path).close()
+    server = serve_dashboard(path, port=0)
+    try:
+        assert server.port > 0
+        assert str(server.port) in server.url
+    finally:
+        server.close()
+
+
+def test_sparkline_shape():
+    assert sparkline([]) == ""
+    assert sparkline([1.0]) == "▁"  # a flat series renders as the low block
+    line = sparkline([0.0, 5.0, 10.0])
+    assert len(line) == 3
+    assert line[0] == "▁" and line[-1] == "█"

@@ -1,0 +1,156 @@
+"""Run diffing: spec deltas, regression detection, thresholds, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.obs.metrics import MetricsRegistry
+from repro.runspec.result import RunResult
+from repro.runstore import DEFAULT_THRESHOLD, Delta, RunStore, diff_runs, diff_specs
+
+
+def make_result(
+    *,
+    alerts: int = 100,
+    kappa: float = 0.8,
+    ingested: int = 1000,
+    latency: float = 0.01,
+    seed: int = 3,
+) -> RunResult:
+    """A small synthetic result with a real telemetry snapshot."""
+    registry = MetricsRegistry()
+    registry.counter("repro_records_ingested_total", "Records.").inc(ingested)
+    registry.counter("repro_detector_alerts_total", "Alerts.").inc(
+        alerts, detector="inhouse"
+    )
+    histogram = registry.histogram("repro_stage_seconds", "Stage wall clock.")
+    histogram.observe(latency, stage="experiment")
+    return RunResult(
+        mode="tables",
+        source="balanced_small",
+        total_requests=ingested,
+        alert_counts={"inhouse": alerts},
+        metrics={"kappa": kappa, "both": alerts // 2},
+        timings={"experiment": latency},
+        telemetry=registry.to_dict(),
+        spec={"mode": "tables", "traffic": {"scenario": "balanced_small", "seed": seed}},
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with RunStore(tmp_path / "runs.db") as store:
+        yield store
+
+
+# ----------------------------------------------------------------------
+# diff_specs
+# ----------------------------------------------------------------------
+def test_diff_specs_reports_leaf_changes():
+    left = {"traffic": {"scale": 0.02, "seed": 1}, "mode": "tables"}
+    right = {"traffic": {"scale": 0.1, "seed": 1}, "mode": "tables"}
+    assert diff_specs(left, right) == {"traffic.scale": (0.02, 0.1)}
+
+
+def test_diff_specs_handles_added_and_removed_keys():
+    changes = diff_specs({"a": 1}, {"b": 2})
+    assert changes == {"a": (1, None), "b": (None, 2)}
+
+
+def test_diff_specs_none_means_empty():
+    assert diff_specs(None, None) == {}
+
+
+# ----------------------------------------------------------------------
+# Delta arithmetic
+# ----------------------------------------------------------------------
+def test_delta_relative_change():
+    assert Delta("x", 100.0, 120.0).change == pytest.approx(0.2)
+    assert Delta("x", 100.0, 80.0).change == pytest.approx(-0.2)
+    assert Delta("x", 0.0, 0.0).change == 0.0
+    assert Delta("x", 0.0, 5.0).change == float("inf")
+
+
+# ----------------------------------------------------------------------
+# Regression detection (the ISSUE's acceptance case)
+# ----------------------------------------------------------------------
+def test_injected_counter_regression_is_detected(store):
+    baseline = store.record(make_result(alerts=100))
+    regressed = store.record(make_result(alerts=125))  # +25% alert counter
+
+    diff = diff_runs(store, baseline.run_id, regressed.run_id)
+    flagged = {delta.name for delta in diff.regressions(DEFAULT_THRESHOLD)}
+    assert "counter.repro_detector_alerts_total{detector=inhouse}" in flagged
+    assert "alert_counts.inhouse" in flagged
+    # A 40% threshold tolerates the same injected change.
+    assert diff.regressions(0.4) == []
+
+
+def test_equal_runs_have_no_regressions(store):
+    first = store.record(make_result())
+    second = store.record(make_result())
+    diff = diff_runs(store, first.run_id, second.run_id)
+    assert diff.spec_changes == {}
+    assert diff.regressions() == []
+
+
+def test_wall_clock_quantities_never_count_as_regressions(store):
+    fast = store.record(make_result(latency=0.01))
+    slow = store.record(make_result(latency=10.0))  # 1000x slower
+    diff = diff_runs(store, fast.run_id, slow.run_id)
+    assert diff.regressions() == []
+    # ... but the deltas are still visible in the report sections.
+    assert any(delta.name == "timings.experiment" for delta in diff.timings)
+    assert any("repro_stage_seconds" in delta.name for delta in diff.quantiles)
+
+
+def test_regressions_sorted_by_magnitude(store):
+    left = store.record(make_result(alerts=100, ingested=1000))
+    right = store.record(make_result(alerts=150, ingested=2000))  # +50%, +100%
+    flagged = diff_runs(store, left.run_id, right.run_id).regressions()
+    changes = [abs(delta.change) for delta in flagged]
+    assert changes == sorted(changes, reverse=True)
+
+
+def test_negative_threshold_is_refused(store):
+    first = store.record(make_result())
+    diff = diff_runs(store, first.run_id, first.run_id)
+    with pytest.raises(StoreError, match="non-negative"):
+        diff.regressions(-0.1)
+
+
+# ----------------------------------------------------------------------
+# Rendering and serialization
+# ----------------------------------------------------------------------
+def test_render_marks_regressions_and_spec_changes(store):
+    left = store.record(make_result(alerts=100, seed=3))
+    right = store.record(make_result(alerts=200, seed=4))
+    report = diff_runs(store, left.run_id, right.run_id).render()
+    assert "traffic.seed: 3 -> 4" in report
+    assert "<< regression" in report
+    assert "alert_counts.inhouse: 100 -> 200" in report
+
+
+def test_render_same_series_reruns(store):
+    first = store.record(make_result())
+    second = store.record(make_result())
+    report = diff_runs(store, first.run_id, second.run_id).render()
+    assert "re-run comparison" in report
+
+
+def test_to_dict_is_json_ready(store):
+    import json
+
+    left = store.record(make_result(alerts=100))
+    right = store.record(make_result(alerts=130))
+    payload = diff_runs(store, left.run_id, right.run_id).to_dict()
+    parsed = json.loads(json.dumps(payload))
+    assert parsed["left"]["run_id"] == left.run_id
+    assert any(d["name"] == "alert_counts.inhouse" for d in parsed["metrics"])
+
+
+def test_diff_missing_run_raises(store):
+    store.record(make_result())
+    with pytest.raises(StoreError, match="no run"):
+        diff_runs(store, 1, 42)

@@ -1,0 +1,151 @@
+"""Schema migrations: v1 fixtures upgrade in place, newer files refuse."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.runstore import (
+    SCHEMA_VERSION,
+    RunStore,
+    apply_migrations,
+    schema_version,
+    spec_fingerprint,
+)
+
+V1_SPEC = {"mode": "tables", "traffic": {"scenario": "balanced_small", "seed": 3}}
+
+V1_RESULT = {
+    "mode": "tables",
+    "source": "balanced_small",
+    "label": "",
+    "total_requests": 1234,
+    "alert_counts": {"commercial": 10, "inhouse": 12},
+    "metrics": {"both": 8},
+    "tables": {},
+    "rows": {},
+    "timings": {"experiment": 0.5},
+    "summary": [],
+    "enforcement": None,
+    "spec": V1_SPEC,
+}
+
+
+def make_v1_store(path) -> str:
+    """A version-1 database with one recorded run, as an old library wrote it."""
+    spec_hash = spec_fingerprint(V1_SPEC)
+    connection = sqlite3.connect(path)
+    try:
+        assert apply_migrations(connection, target=1) == 1
+        with connection:
+            connection.execute(
+                "INSERT INTO specs (hash, mode, label, spec_json, first_recorded_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (spec_hash, "tables", "", json.dumps(V1_SPEC, sort_keys=True), 1520000000.0),
+            )
+            connection.execute(
+                "INSERT INTO runs (spec_hash, mode, source, label, recorded_at, "
+                "wall_seconds, total_requests, result_json, telemetry_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    spec_hash,
+                    "tables",
+                    "balanced_small",
+                    "",
+                    1520000001.0,
+                    0.5,
+                    1234,
+                    json.dumps(V1_RESULT),
+                    None,
+                ),
+            )
+    finally:
+        connection.close()
+    return spec_hash
+
+
+def test_fresh_database_reports_version_zero(tmp_path):
+    connection = sqlite3.connect(tmp_path / "fresh.db")
+    assert schema_version(connection) == 0
+    connection.close()
+
+
+def test_migrations_reach_current_version(tmp_path):
+    connection = sqlite3.connect(tmp_path / "new.db")
+    assert apply_migrations(connection) == SCHEMA_VERSION
+    # Idempotent: a second open applies nothing and stays current.
+    assert apply_migrations(connection) == SCHEMA_VERSION
+    connection.close()
+
+
+def test_v1_database_upgrades_in_place(tmp_path):
+    path = tmp_path / "old.db"
+    spec_hash = make_v1_store(path)
+
+    with RunStore(path) as store:
+        # The open migrated the file to the current schema...
+        assert store.stats().schema_version == SCHEMA_VERSION
+        # ...the v1 row is intact and readable through the v2 API...
+        summary = store.get(1)
+        assert summary.spec_hash == spec_hash
+        assert summary.total_requests == 1234
+        # ...and the v2 columns exist but are empty for the old row.
+        assert summary.trace_fingerprint is None
+        assert summary.package_version is None
+        assert store.export(1)["telemetry"] is None
+        assert store.export(1)["metrics"] == {"both": 8}
+
+    # The upgrade is persistent, not per-open.
+    connection = sqlite3.connect(path)
+    assert schema_version(connection) == SCHEMA_VERSION
+    connection.close()
+
+
+def test_v1_database_accepts_new_recordings_after_upgrade(tmp_path):
+    from repro.runspec.result import RunResult
+
+    path = tmp_path / "old.db"
+    make_v1_store(path)
+    with RunStore(path) as store:
+        recorded = store.record(RunResult.from_dict(V1_RESULT))
+        # Same spec: the new run joins the v1 run's series.
+        assert recorded.series_index == 2
+        assert store.get(recorded.run_id).package_version is not None
+
+
+def test_newer_schema_is_refused(tmp_path):
+    path = tmp_path / "future.db"
+    connection = sqlite3.connect(path)
+    apply_migrations(connection)
+    with connection:
+        connection.execute(
+            "UPDATE runstore_meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+    connection.close()
+    with pytest.raises(StoreError, match="newer"):
+        RunStore(path)
+
+
+def test_downgrade_target_is_refused(tmp_path):
+    connection = sqlite3.connect(tmp_path / "new.db")
+    apply_migrations(connection)
+    with pytest.raises(StoreError, match="newer"):
+        apply_migrations(connection, target=1)
+    connection.close()
+
+
+def test_corrupt_schema_version_is_refused(tmp_path):
+    path = tmp_path / "corrupt.db"
+    connection = sqlite3.connect(path)
+    apply_migrations(connection)
+    with connection:
+        connection.execute(
+            "UPDATE runstore_meta SET value = 'bogus' WHERE key = 'schema_version'"
+        )
+    connection.close()
+    with pytest.raises(StoreError, match="corrupt"):
+        RunStore(path)

@@ -1,0 +1,253 @@
+"""The run store: record, dedupe, round-trip, series, gc, lifecycle."""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.runspec import RunSpec, TrafficSpec, execute
+from repro.runspec.result import RunResult
+from repro.runstore import (
+    RUN_STORE_ENV,
+    RunStore,
+    open_store,
+    spec_fingerprint,
+)
+
+SMALL_TRAFFIC = TrafficSpec(scenario="balanced_small", seed=3, params={"total_requests": 3000})
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    """One executed small tables run (module-scoped: execution is the slow part)."""
+    return execute(RunSpec(mode="tables", traffic=SMALL_TRAFFIC))
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with RunStore(tmp_path / "runs.db") as store:
+        yield store
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_ignores_key_order():
+    assert spec_fingerprint({"a": 1, "b": {"c": 2}}) == spec_fingerprint(
+        {"b": {"c": 2}, "a": 1}
+    )
+
+
+def test_fingerprint_distinguishes_values():
+    assert spec_fingerprint({"a": 1}) != spec_fingerprint({"a": 2})
+
+
+def test_fingerprint_none_is_empty_spec():
+    assert spec_fingerprint(None) == spec_fingerprint({})
+
+
+# ----------------------------------------------------------------------
+# Record / round trip
+# ----------------------------------------------------------------------
+def test_record_round_trips_byte_identically(store, small_run):
+    recorded = store.record(small_run, wall_seconds=1.25)
+    assert store.export(recorded.run_id) == small_run.to_dict()
+    assert store.load(recorded.run_id).to_dict() == small_run.to_dict()
+
+
+def test_record_same_spec_forms_a_series(store, small_run):
+    first = store.record(small_run)
+    second = store.record(small_run)
+    assert first.spec_hash == second.spec_hash
+    assert (first.series_index, second.series_index) == (1, 2)
+    assert store.stats().specs == 1
+    assert [s.run_id for s in store.series(first.spec_hash)] == [
+        first.run_id,
+        second.run_id,
+    ]
+
+
+def test_record_different_spec_opens_a_new_series(store, small_run):
+    other = execute(
+        RunSpec(
+            mode="tables",
+            traffic=TrafficSpec(
+                scenario="balanced_small", seed=9, params={"total_requests": 3000}
+            ),
+        )
+    )
+    store.record(small_run)
+    recorded = store.record(other)
+    assert recorded.series_index == 1
+    assert store.stats() .specs == 2
+
+
+def test_record_rejects_non_results(store):
+    with pytest.raises(StoreError, match="RunResult"):
+        store.record({"mode": "tables"})
+
+
+def test_record_stores_package_version_and_fingerprint(store, small_run):
+    from repro import __version__
+
+    recorded = store.record(small_run, trace_fingerprint="cafe" * 8)
+    summary = store.get(recorded.run_id)
+    assert summary.package_version == __version__
+    assert summary.trace_fingerprint == "cafe" * 8
+
+
+def test_wall_seconds_falls_back_to_slowest_stage(store, small_run):
+    recorded = store.record(small_run)
+    expected = max(small_run.timings.values(), default=None)
+    assert store.get(recorded.run_id).wall_seconds == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# Listing and lookup
+# ----------------------------------------------------------------------
+def test_list_runs_newest_first_with_filters(store, small_run):
+    ids = [store.record(small_run).run_id for _ in range(3)]
+    summaries = store.list_runs()
+    assert [s.run_id for s in summaries] == ids[::-1]
+    assert [s.run_id for s in store.list_runs(limit=1)] == [ids[-1]]
+    assert store.list_runs(mode="defend") == []
+    prefix = summaries[0].spec_hash[:10]
+    assert len(store.list_runs(spec_hash=prefix)) == 3
+
+
+def test_get_missing_run_raises(store):
+    with pytest.raises(StoreError, match="no run #99"):
+        store.get(99)
+    with pytest.raises(StoreError, match="no run #99"):
+        store.export(99)
+
+
+def test_spec_json_prefix_lookup(store, small_run):
+    recorded = store.record(small_run)
+    assert store.spec_json(recorded.spec_hash[:8]) == small_run.to_dict()["spec"]
+    with pytest.raises(StoreError, match="no spec"):
+        store.spec_json("0" * 12)
+
+
+def test_len_and_iter(store, small_run):
+    assert len(store) == 0
+    store.record(small_run)
+    store.record(small_run)
+    assert len(store) == 2
+    assert {summary.mode for summary in store} == {"tables"}
+
+
+# ----------------------------------------------------------------------
+# gc
+# ----------------------------------------------------------------------
+def test_gc_trims_each_series_to_keep_last(store, small_run):
+    for _ in range(5):
+        store.record(small_run)
+    deleted = store.gc(keep_last=2, vacuum=False)
+    assert deleted == 3
+    remaining = store.list_runs()
+    assert len(remaining) == 2
+    # The newest runs survive.
+    assert [s.run_id for s in remaining] == [5, 4]
+
+
+def test_gc_drops_orphaned_specs(store, small_run):
+    store.record(small_run)
+    store.gc(keep_last=0, vacuum=False)
+    assert store.stats().runs == 0
+    assert store.stats().specs == 0
+
+
+def test_gc_rejects_negative_keep(store):
+    with pytest.raises(StoreError, match="non-negative"):
+        store.gc(keep_last=-1)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle and open_store
+# ----------------------------------------------------------------------
+def test_create_false_requires_existing_file(tmp_path):
+    with pytest.raises(StoreError, match="does not exist"):
+        RunStore(tmp_path / "absent.db", create=False)
+
+
+def test_closed_store_raises(tmp_path, small_run):
+    store = RunStore(tmp_path / "runs.db")
+    store.close()
+    with pytest.raises(StoreError, match="closed"):
+        store.record(small_run)
+    store.close()  # idempotent
+
+
+def test_rejects_foreign_sqlite_files(tmp_path):
+    path = tmp_path / "other.db"
+    connection = sqlite3.connect(path)
+    connection.execute("CREATE TABLE unrelated (x INTEGER)")
+    connection.commit()
+    connection.close()
+    with pytest.raises(StoreError, match="not a run store"):
+        RunStore(path)
+
+
+def test_rejects_non_sqlite_files(tmp_path):
+    path = tmp_path / "garbage.db"
+    path.write_bytes(b"this is not a database at all, not even close!")
+    with pytest.raises(StoreError):
+        RunStore(path)
+
+
+def test_open_store_passthrough_and_env(tmp_path, monkeypatch):
+    assert open_store(None) is None  # env unset: recording stays off
+    monkeypatch.delenv(RUN_STORE_ENV, raising=False)
+    assert open_store(None) is None
+    monkeypatch.setenv(RUN_STORE_ENV, str(tmp_path / "env.db"))
+    opened = open_store(None)
+    assert isinstance(opened, RunStore)
+    opened.close()
+    with RunStore(tmp_path / "direct.db") as direct:
+        assert open_store(direct) is direct
+
+
+# ----------------------------------------------------------------------
+# execute(spec, store=...)
+# ----------------------------------------------------------------------
+def test_execute_records_into_store(tmp_path):
+    path = tmp_path / "runs.db"
+    spec = RunSpec(mode="tables", traffic=SMALL_TRAFFIC)
+    result = execute(spec, store=path)
+    with RunStore(path, create=False) as store:
+        assert len(store) == 1
+        summary = store.list_runs()[0]
+        assert summary.mode == "tables"
+        assert summary.wall_seconds is not None and summary.wall_seconds > 0
+        assert store.export(summary.run_id) == result.to_dict()
+        # Scenario traffic is cacheable, so the trace fingerprint lands.
+        assert summary.trace_fingerprint
+
+
+def test_execute_with_open_store_keeps_it_open(tmp_path):
+    spec = RunSpec(mode="tables", traffic=SMALL_TRAFFIC)
+    with RunStore(tmp_path / "runs.db") as store:
+        execute(spec, store=store)
+        execute(spec, store=store)  # still open: would raise if closed
+        assert len(store) == 2
+
+
+def test_execute_store_env_default(tmp_path, monkeypatch):
+    path = tmp_path / "env.db"
+    monkeypatch.setenv(RUN_STORE_ENV, str(path))
+    execute(RunSpec(mode="tables", traffic=SMALL_TRAFFIC))
+    with RunStore(path, create=False) as store:
+        assert len(store) == 1
+
+
+def test_record_without_spec_still_forms_series(store):
+    bare = RunResult(mode="tables", source="adhoc", total_requests=10)
+    first = store.record(bare)
+    second = store.record(bare)
+    assert first.spec_hash == second.spec_hash == spec_fingerprint(None)
+    assert second.series_index == 2
+    assert os.path.exists(store.path)
