@@ -27,7 +27,7 @@ import tracemalloc
 
 import pytest
 
-from repro.bench.harness import BENCH_SEED, bench_spec, scenario_dataset
+from repro.bench.harness import BENCH_SEED, scenario_dataset
 from repro.runspec import RunSpec, TrafficSpec, build_dataset, execute
 from repro.trace import TraceReader, read_trace, trace_info, traffic_fingerprint, write_trace
 from repro.trace.cache import CACHE_DIR_ENV, GenerationCache
@@ -86,7 +86,7 @@ def test_perf_trace_replay_vs_regenerate(trace_dataset, recorded_trace, record_b
     )
     # Measured ~4-5x on a development host; 2x leaves margin for slow CI.
     assert speedup >= 2.0, (
-        f"trace replay should be at least 2x faster than regeneration "
+        "trace replay should be at least 2x faster than regeneration "
         f"(got {speedup:.2f}x: generate {generate_seconds:.2f}s vs replay {replay_seconds:.2f}s)"
     )
 
@@ -140,7 +140,7 @@ def test_perf_trace_warm_generation_cache(record_bench, tmp_path, monkeypatch):
     # The issue's headline number: a warm cache makes materialisation at
     # least 5x cheaper than the cold generate-and-record path.
     assert disk_speedup >= 5.0 or warm_speedup >= 5.0, (
-        f"warm cache should be >=5x faster than cold materialisation "
+        "warm cache should be >=5x faster than cold materialisation "
         f"(disk x{disk_speedup:.2f}, memo x{warm_speedup:.2f})"
     )
     assert warm_materialize < disk_materialize < cold_materialize
@@ -187,8 +187,8 @@ def test_perf_trace_out_of_core_iteration(trace_dataset, recorded_trace, record_
     # every block); record storage itself stays one block deep, so the
     # ratio keeps growing with trace size.  3x holds at the 0.1 scale.
     assert streaming_peak * 3 < materialised_peak, (
-        f"streaming a trace should need a small fraction of the memory of "
-        f"materialising it "
+        "streaming a trace should need a small fraction of the memory of "
+        "materialising it "
         f"({streaming_peak / 1e6:.1f} MB vs {materialised_peak / 1e6:.1f} MB)"
     )
 

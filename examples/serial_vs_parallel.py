@@ -56,8 +56,8 @@ def main() -> int:
     saved_escalate = 1 - escalate.total_workload / parallel.total_workload
     print("Summary:")
     print(f"  parallel 1-out-of-2: highest sensitivity ({parallel.confusion.sensitivity():.3f}), "
-          f"both tools process every request.")
-    print(f"  serial confirm (commercial -> inhouse): specificity of 2-out-of-2 "
+          "both tools process every request.")
+    print("  serial confirm (commercial -> inhouse): specificity of 2-out-of-2 "
           f"({confirm.confusion.specificity():.3f}) while the second tool processes "
           f"{confirm.workload['inhouse']:,} requests ({saved_confirm:.0%} less total work).")
     print(f"  serial escalate (commercial -> inhouse): sensitivity {escalate.confusion.sensitivity():.3f} "

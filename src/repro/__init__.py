@@ -130,7 +130,7 @@ from repro.traffic.scenarios import (
     stealth_heavy,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Action",

@@ -61,6 +61,13 @@ Subcommands
     CI), ``runs export`` emits the exact stored ``RunResult`` JSON,
     ``runs gc`` trims old re-runs, and ``runs serve`` starts the
     stdlib web dashboard.
+``lint``
+    Project-invariant static analysis (:mod:`repro.lint`): ``repro lint``
+    checks the paper's guarantees (seeded determinism, columnar parity,
+    metric-catalogue discipline, spec round-trips, lock hygiene, CLI
+    drift) over the source tree, with ``--json`` findings output, a
+    checked-in baseline (``--update-baseline`` to accept), and
+    ``--fail-on`` severity gating for CI.
 """
 
 from __future__ import annotations
@@ -224,6 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="print live alert totals every N requests (single-shard runs only; 0 disables)",
+    )
+    stream.add_argument(
+        "--track-latency",
+        action="store_true",
+        help="record per-request detection latency percentiles in the result",
     )
 
     defend = subparsers.add_parser(
@@ -445,6 +457,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runs_serve.add_argument("--port", type=int, default=0, help="port to bind (0 picks a free one)")
     runs_serve.add_argument("--host", default="127.0.0.1", help="address to bind")
+
+    lint = subparsers.add_parser(
+        "lint",
+        parents=[json_parent],
+        help="check the project's paper invariants (repro.lint)",
+    )
+    lint.add_argument("--root", default=".", help="repository root to lint (default: .)")
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file of accepted findings (default: [tool.repro-lint] baseline)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file entirely"
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept the current findings: rewrite the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=["info", "warning", "error"],
+        default="warning",
+        help="lowest severity that fails the run (default: warning)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="describe every registered rule and exit"
+    )
     return parser
 
 
@@ -585,6 +626,7 @@ def _command_stream(args: argparse.Namespace) -> int:
             shards=args.shards,
             backend=args.backend,
             max_skew_seconds=args.skew,
+            track_latency=args.track_latency,
             progress_every=args.progress_every,
         ),
     )
@@ -911,6 +953,72 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint import available_rules, load_config, run_lint, write_baseline
+    from repro.lint.config import replace_baseline
+
+    if args.list_rules:
+        rules = available_rules()
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "rule": rule.rule_id,
+                            "severity": rule.severity,
+                            "summary": rule.summary,
+                            "fix": rule.autofix_hint,
+                        }
+                        for rule in rules
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        for rule in rules:
+            print(f"{rule.rule_id} [{rule.severity}] {rule.summary}")
+            if rule.autofix_hint:
+                print(f"    fix: {rule.autofix_hint}")
+        return 0
+
+    config = load_config(args.root)
+    if args.no_baseline:
+        config = replace_baseline(config, None)
+    elif args.baseline is not None:
+        config = replace_baseline(config, args.baseline)
+
+    if args.update_baseline:
+        if config.baseline is None:
+            raise SystemExit("--update-baseline needs a baseline path (not --no-baseline)")
+        report = run_lint(args.root, config=config, baseline=set())
+        count = write_baseline(
+            os.path.join(args.root, config.baseline), report.findings
+        )
+        if not args.json:
+            print(f"baseline {config.baseline}: {count} accepted finding(s)")
+        return 0
+
+    report = run_lint(args.root, config=config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        counts = report.counts()
+        summary = (
+            ", ".join(f"{counts[s]} {s}(s)" for s in ("error", "warning", "info") if s in counts)
+            or "no findings"
+        )
+        print(
+            f"checked {report.checked_files} file(s): {summary}"
+            + (f", {len(report.baselined)} baselined" if report.baselined else "")
+            + (f", {report.suppressed} suppressed" if report.suppressed else "")
+        )
+        for fingerprint in report.stale_baseline:
+            print(f"note: stale baseline entry (fixed? run --update-baseline): {fingerprint}")
+    return 1 if report.worst_at_or_above(args.fail_on) else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -928,6 +1036,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "obs": _command_obs,
         "trace": _command_trace,
         "runs": _command_runs,
+        "lint": _command_lint,
     }
     return handlers[args.command](args)
 

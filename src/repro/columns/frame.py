@@ -259,7 +259,7 @@ class RecordFrame:
         if ground_truth is not None:
             try:
                 label_values, actor_values = ground_truth.label_columns(request_ids)
-            except LabelError:
+            except LabelError:  # repro-lint: allow[REP007] unlabelled frame is the documented fallback
                 pass  # incomplete ground truth: the frame is unlabelled
             else:
                 labels = np.fromiter(

@@ -82,6 +82,10 @@ class SessionDetector(Detector):
     and in-house tools attribute session verdicts back to requests.
     """
 
+    #: Session detectors deliberately run the record path under the
+    #: columnar engine: sessionization is inherently row-ordered.
+    columnar_fallback = True
+
     def __init__(self, sessionizer: Sessionizer | None = None):
         self.sessionizer = sessionizer or Sessionizer()
 

@@ -24,7 +24,7 @@ class LogParseError(ReproError):
         1-based line number within the source file, if known.
     """
 
-    def __init__(self, message: str, line: str = "", line_number: int | None = None):
+    def __init__(self, message: str, line: str = "", line_number: int | None = None) -> None:
         super().__init__(message)
         self.line = line
         self.line_number = line_number
@@ -105,6 +105,16 @@ class StoreError(ReproError):
     a newer schema than this library understands, unknown run ids and
     misuse of the :class:`~repro.runstore.store.RunStore` API (e.g.
     recording into a closed store).
+    """
+
+
+class LintError(ReproError):
+    """Raised for invalid static-analysis operations.
+
+    Covers malformed :mod:`repro.lint` configurations and baseline
+    files, unknown rule ids or severities, and findings that do not
+    round-trip.  Rule *findings* are data, not exceptions -- this type
+    is about misuse of the lint machinery itself.
     """
 
 

@@ -1,0 +1,48 @@
+"""Project-invariant static analysis for the reproduction.
+
+Generic linters police Python; this package polices the *paper's*
+guarantees: seeded determinism, batch/stream and record/columnar
+parity, metric-catalogue discipline, spec round-trips, lock hygiene.
+Rules are AST-based (stdlib only), registered like every other component
+family, and surfaced through ``repro lint``.
+
+>>> from repro.lint import run_lint
+>>> report = run_lint(".")
+>>> report.counts()
+{}
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import (
+    BASELINE_VERSION,
+    RULES,
+    LintReport,
+    Project,
+    Rule,
+    SourceFile,
+    available_rules,
+    load_baseline,
+    register_rule,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.findings import SEVERITIES, Finding, severity_rank
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Project",
+    "RULES",
+    "Rule",
+    "SEVERITIES",
+    "SourceFile",
+    "available_rules",
+    "load_baseline",
+    "load_config",
+    "register_rule",
+    "run_lint",
+    "severity_rank",
+    "write_baseline",
+]

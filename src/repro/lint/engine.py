@@ -1,0 +1,376 @@
+"""The rule engine: parse once, dispatch every rule, report findings.
+
+The engine walks the configured roots, parses each Python source into a
+:class:`SourceFile` (AST, raw lines, pragma suppressions), and hands the
+parsed project to every registered rule.  Rules come in two shapes:
+
+* **per-file** -- ``check_file(source, project)`` runs once per source
+  file (determinism, exception hygiene, ...);
+* **project** -- ``check_project(project)`` runs once over the whole
+  tree and may correlate files (metric-name discipline, CLI drift).
+
+Rules register through :func:`register_rule` into a
+:class:`repro.registry.Registry` keyed by rule id, so third-party
+invariants plug in exactly like detectors and scenarios do.
+
+Suppression and baseline
+------------------------
+A finding is dropped when its source line carries a pragma::
+
+    frozen = time.time()  # repro-lint: allow[REP001] wall-clock display
+
+and *baselined* (reported separately, never failing the gate) when its
+:meth:`~repro.lint.findings.Finding.fingerprint` appears in the checked-in
+baseline file -- the burn-down list of accepted legacy findings.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.exceptions import LintError
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, severity_rank
+from repro.registry import Registry
+
+#: ``# repro-lint: allow[REP001]`` or ``allow[REP001,REP007] reason...``
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*allow\[([A-Z0-9,\s]+)\]")
+
+BASELINE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Parsed sources
+# ----------------------------------------------------------------------
+@dataclass
+class SourceFile:
+    """One parsed Python source file."""
+
+    #: POSIX path relative to the lint root (the path findings carry).
+    rel_path: str
+    source: str
+    tree: ast.Module
+    #: line number -> set of rule ids allowed on that line.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, rel_path: str, source: str) -> "SourceFile":
+        tree = ast.parse(source, filename=rel_path)
+        suppressions: dict[int, set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+                suppressions[lineno] = rules
+        return cls(rel_path=rel_path, source=source, tree=tree, suppressions=suppressions)
+
+    def suppressed(self, finding: Finding) -> bool:
+        return finding.rule in self.suppressions.get(finding.line, ())
+
+
+@dataclass
+class Project:
+    """Every parsed source file plus the active configuration."""
+
+    root: Path
+    config: LintConfig
+    files: list[SourceFile]
+
+    def file(self, rel_path: str) -> SourceFile | None:
+        """The parsed file at ``rel_path``, or ``None`` when not scanned."""
+        for source in self.files:
+            if source.rel_path == rel_path:
+                return source
+        return None
+
+    def in_scope(self, source: SourceFile, prefixes: tuple[str, ...]) -> bool:
+        return self.config.matches(source.rel_path, prefixes)
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class Rule(abc.ABC):
+    """One project invariant, checked statically.
+
+    Subclasses set the class attributes and override :meth:`check_file`
+    (per-file rules), :meth:`check_project` (cross-file rules), or both.
+    """
+
+    #: Stable id (``"REP001"``); the registry key and the baseline key.
+    rule_id: str = ""
+    #: Default severity of this rule's findings.
+    severity: str = "error"
+    #: One-line statement of the invariant (``repro lint --list-rules``).
+    summary: str = ""
+    #: How a finding is typically fixed (shown with ``--list-rules``).
+    autofix_hint: str = ""
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        """Findings of this rule in one file (default: none)."""
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Cross-file findings of this rule (default: none)."""
+        return iter(())
+
+    # ------------------------------------------------------------------
+    def finding(
+        self,
+        source: SourceFile,
+        node: ast.AST | None,
+        message: str,
+        *,
+        suggestion: str | None = None,
+        severity: str | None = None,
+    ) -> Finding:
+        """Build a finding of this rule at ``node``'s location."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) + 1 if node is not None else 1
+        return Finding(
+            rule=self.rule_id,
+            severity=severity or self.severity,
+            path=source.rel_path,
+            line=line,
+            col=col,
+            message=message,
+            suggestion=suggestion,
+        )
+
+
+RULES: Registry[Rule] = Registry("lint rule", LintError)
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator registering a :class:`Rule` under its ``rule_id``."""
+    if not cls.rule_id:
+        raise LintError(f"rule class {cls.__name__} has no rule_id")
+    severity_rank(cls.severity)
+    RULES.register(cls.rule_id, cls)
+    return cls
+
+
+def available_rules() -> list[Rule]:
+    """One instance of every registered rule, sorted by id."""
+    _load_builtin_rules()
+    return [RULES.create(rule_id) for rule_id in RULES.names()]
+
+
+def _load_builtin_rules() -> None:
+    # Importing the rules package runs every @register_rule decorator;
+    # idempotent because Registry rejects double registration and the
+    # module body only executes once.
+    from repro.lint import rules  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def load_baseline(path: str | Path) -> set[str]:
+    """The accepted-finding fingerprints of a baseline file.
+
+    A missing file is an empty baseline (the common initial state).
+    """
+    path = Path(path)
+    if not path.is_file():
+        return set()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"cannot read lint baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != "repro-lint-baseline":
+        raise LintError(f"{path} is not a repro-lint baseline file")
+    if data.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} has version {data.get('version')!r}; "
+            f"this library reads version {BASELINE_VERSION}"
+        )
+    fingerprints = data.get("findings", [])
+    if not isinstance(fingerprints, list) or not all(isinstance(f, str) for f in fingerprints):
+        raise LintError(f"baseline {path} findings must be a list of fingerprint strings")
+    return set(fingerprints)
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    fingerprints = sorted({finding.fingerprint() for finding in findings})
+    payload = {
+        "format": "repro-lint-baseline",
+        "version": BASELINE_VERSION,
+        "findings": fingerprints,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(fingerprints)
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    #: Findings that count (not suppressed, not baselined), sorted.
+    findings: list[Finding]
+    #: Findings matched by the baseline file (the burn-down backlog).
+    baselined: list[Finding]
+    #: Number of findings silenced by inline ``allow[...]`` pragmas.
+    suppressed: int
+    #: Files parsed and checked.
+    checked_files: int
+    #: Baseline fingerprints that matched nothing -- stale entries a
+    #: burn-down should delete.
+    stale_baseline: list[str]
+
+    def counts(self) -> dict[str, int]:
+        """Finding counts by severity (only severities that occur)."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return counts
+
+    def worst_at_or_above(self, severity: str) -> bool:
+        """Whether any finding is at least ``severity`` (the CI gate)."""
+        threshold = severity_rank(severity)
+        return any(severity_rank(f.severity) >= threshold for f in self.findings)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "format": "repro-lint",
+            "version": 1,
+            "checked_files": self.checked_files,
+            "counts": self.counts(),
+            "suppressed": self.suppressed,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+
+def collect_sources(root: Path, roots: tuple[str, ...]) -> list[tuple[str, Path]]:
+    """``(rel_path, absolute_path)`` of every Python source in scope."""
+    seen: set[str] = set()
+    sources: list[tuple[str, Path]] = []
+    for entry in roots:
+        base = root / entry
+        if base.is_file():
+            candidates = [base]
+        elif base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            raise LintError(f"lint root {entry!r} does not exist under {root}")
+        for path in candidates:
+            if "__pycache__" in path.parts:
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel not in seen:
+                seen.add(rel)
+                sources.append((rel, path))
+    return sources
+
+
+def parse_project(root: str | Path, config: LintConfig) -> Project:
+    """Parse every source under ``config.roots`` into a :class:`Project`.
+
+    A file that does not parse becomes a synthetic ``REP000`` finding at
+    run time rather than an exception here -- see :func:`run_lint`.
+    """
+    root = Path(root).resolve()
+    files: list[SourceFile] = []
+    for rel, path in collect_sources(root, config.roots):
+        source = path.read_text(encoding="utf-8")
+        files.append(SourceFile.parse(rel, source))
+    return Project(root=root, config=config, files=files)
+
+
+def run_lint(
+    root: str | Path,
+    *,
+    config: LintConfig | None = None,
+    rules: Iterable[Rule] | None = None,
+    baseline: set[str] | None = None,
+) -> LintReport:
+    """Run the rule suite over a project tree.
+
+    Parameters
+    ----------
+    root:
+        Repository root all configured paths are relative to.
+    config:
+        Lint configuration; defaults to :class:`LintConfig` defaults
+        (callers wanting ``pyproject.toml`` settings pass
+        :func:`repro.lint.config.load_config` output).
+    rules:
+        The rules to run; defaults to every registered rule, filtered by
+        the config's ``select`` / ``ignore``.
+    baseline:
+        Accepted fingerprints; defaults to the config's baseline file.
+    """
+    config = config or LintConfig()
+    root = Path(root).resolve()
+    if rules is None:
+        rules = available_rules()
+        if config.select:
+            rules = [rule for rule in rules if rule.rule_id in config.select]
+        if config.ignore:
+            rules = [rule for rule in rules if rule.rule_id not in config.ignore]
+    if baseline is None:
+        baseline = set()
+        if config.baseline is not None:
+            baseline = load_baseline(root / config.baseline)
+
+    syntax_findings: list[Finding] = []
+    files: list[SourceFile] = []
+    for rel, path in collect_sources(root, config.roots):
+        source = path.read_text(encoding="utf-8")
+        try:
+            files.append(SourceFile.parse(rel, source))
+        except SyntaxError as exc:
+            syntax_findings.append(
+                Finding(
+                    rule="REP000",
+                    severity="error",
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    project = Project(root=root, config=config, files=files)
+
+    raw: list[Finding] = list(syntax_findings)
+    for rule in rules:
+        for source in project.files:
+            raw.extend(rule.check_file(source, project))
+        raw.extend(rule.check_project(project))
+
+    findings: list[Finding] = []
+    baselined: list[Finding] = []
+    suppressed = 0
+    matched_fingerprints: set[str] = set()
+    for finding in sorted(raw, key=Finding.sort_key):
+        source_file = project.file(finding.path)
+        if source_file is not None and source_file.suppressed(finding):
+            suppressed += 1
+            continue
+        if finding.fingerprint() in baseline:
+            matched_fingerprints.add(finding.fingerprint())
+            baselined.append(finding)
+            continue
+        findings.append(finding)
+    return LintReport(
+        findings=findings,
+        baselined=baselined,
+        suppressed=suppressed,
+        checked_files=len(project.files),
+        stale_baseline=sorted(baseline - matched_fingerprints),
+    )

@@ -1,0 +1,113 @@
+"""Lint findings: what a rule reports and how it travels.
+
+A :class:`Finding` is one violation of one rule at one source location.
+Findings are plain data -- :meth:`Finding.to_dict` /
+:meth:`Finding.from_dict` round-trip through JSON (the ``repro lint
+--json`` output and the CI artifact), and :meth:`Finding.fingerprint`
+gives the *line-insensitive* identity the baseline file stores, so
+unrelated edits that shift line numbers never invalidate a baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.exceptions import LintError
+from repro.registry import unknown_name_message
+
+#: Finding severities, mildest first.  ``--fail-on`` compares against
+#: this order; rules pick a default severity per rule class.
+SEVERITIES = ("info", "warning", "error")
+
+
+def severity_rank(severity: str) -> int:
+    """The position of ``severity`` in :data:`SEVERITIES` (validates it)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError as exc:
+        raise LintError(unknown_name_message("severity", severity, SEVERITIES)) from exc
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: The rule that fired (``"REP001"``).
+    rule: str
+    #: One of :data:`SEVERITIES`.
+    severity: str
+    #: Repo-relative POSIX path of the offending file.
+    path: str
+    #: 1-based source line.
+    line: int
+    #: 1-based source column.
+    col: int
+    #: What is wrong, in one sentence.
+    message: str
+    #: A did-you-mean / how-to-fix hint, when the rule has one.
+    suggestion: str | None = None
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)
+        if not self.rule:
+            raise LintError("a finding needs a rule id")
+        if self.line < 1 or self.col < 1:
+            raise LintError(
+                f"finding locations are 1-based, got line {self.line} col {self.col}"
+            )
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """The baseline identity: rule, file and message -- no line numbers.
+
+        Editing elsewhere in a file moves findings around without
+        changing what they say, so the baseline matches on content, not
+        position.
+        """
+        return f"{self.rule}|{self.path}|{self.message}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """The one-line human form (``path:line:col: RULE [severity] ...``)."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+        if self.suggestion:
+            text += f" ({self.suggestion})"
+        return text
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The finding as a JSON-ready dictionary (round-trips)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (strict keys)."""
+        if not isinstance(data, Mapping):
+            raise LintError(f"a finding must be a mapping, got {type(data).__name__}")
+        known = {"rule", "severity", "path", "line", "col", "message", "suggestion"}
+        unknown = set(data) - known
+        if unknown:
+            raise LintError(f"unknown finding keys {sorted(unknown)}; expected {sorted(known)}")
+        try:
+            return cls(
+                rule=data["rule"],
+                severity=data["severity"],
+                path=data["path"],
+                line=data["line"],
+                col=data["col"],
+                message=data["message"],
+                suggestion=data.get("suggestion"),
+            )
+        except KeyError as exc:
+            raise LintError(f"finding dictionary is missing key {exc}") from exc

@@ -1,0 +1,80 @@
+"""REP008: every ``ExecutionSpec`` field is reachable from the CLI.
+
+``ExecutionSpec`` is how a run's execution knobs are stored, replayed,
+and compared.  When a field exists on the spec but no ``repro`` CLI path
+can set it, runs driven from the command line silently can't express --
+or reproduce -- configurations the programmatic API supports.  The rule
+compares the spec dataclass's fields against the keyword arguments of
+every ``ExecutionSpec(...)`` construction in the CLI module and flags
+each unreachable field at its declaration line.
+
+Constructions using ``**kwargs`` make reachability undecidable, so a
+single splatted call site disables the rule for that run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import dataclass_fields, dotted_name, iter_classes
+from repro.lint.engine import Project, Rule, register_rule
+from repro.lint.findings import Finding
+
+_SPEC_CLASS = "ExecutionSpec"
+
+
+@register_rule
+class CliDriftRule(Rule):
+    rule_id = "REP008"
+    severity = "error"
+    summary = "every ExecutionSpec field must be settable from repro.cli"
+    autofix_hint = (
+        "add a CLI flag and pass it through to the ExecutionSpec construction"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        spec_file = project.file(project.config.spec_module)
+        cli_file = project.file(project.config.cli_module)
+        if spec_file is None or cli_file is None:
+            return
+        spec_cls = next(
+            (cls for cls in iter_classes(spec_file.tree) if cls.name == _SPEC_CLASS),
+            None,
+        )
+        if spec_cls is None:
+            return
+        fields = dataclass_fields(spec_cls)
+        field_names = [name for name, _ in fields]
+
+        reachable: set[str] = set()
+        saw_construction = False
+        for node in ast.walk(cli_file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None or callee.split(".")[-1] != _SPEC_CLASS:
+                continue
+            saw_construction = True
+            if any(keyword.arg is None for keyword in node.keywords):
+                return  # **kwargs: reachability is undecidable
+            reachable.update(field_names[: len(node.args)])
+            reachable.update(
+                keyword.arg for keyword in node.keywords if keyword.arg is not None
+            )
+        if not saw_construction:
+            yield self.finding(
+                cli_file,
+                cli_file.tree.body[0] if cli_file.tree.body else None,
+                f"CLI module never constructs {_SPEC_CLASS}; execution knobs "
+                "are not reachable from the command line",
+            )
+            return
+        for name, node in fields:
+            if name not in reachable:
+                yield self.finding(
+                    spec_file,
+                    node,
+                    f"{_SPEC_CLASS}.{name} is not settable from any CLI code path",
+                    suggestion=f"wire a --{name.replace('_', '-')} flag through repro.cli",
+                )

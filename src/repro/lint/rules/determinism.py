@@ -1,0 +1,139 @@
+"""REP001: engine paths must be deterministic under a seed.
+
+The reproduction's headline guarantee -- byte-identical batch/stream
+and record/columnar results -- holds only because every simulation and
+detection path draws randomness from an explicitly seeded generator and
+takes time from the record stream, never from the machine.  This rule
+bans the wall clock (``time.time``, ``datetime.now`` and friends) and
+global random state (module-level ``random.*``, legacy ``np.random.*``)
+inside the configured engine paths.
+
+Seeded constructions remain fine: ``random.Random(seed)``,
+``np.random.default_rng(seed)``, and methods on generator objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import ImportMap, dotted_name
+from repro.lint.engine import Project, Rule, SourceFile, register_rule
+from repro.lint.findings import Finding
+
+#: Wall-clock call suffixes, keyed by the module the receiver must
+#: resolve to.
+_CLOCK_CALLS = {
+    "time": {"time", "time_ns"},
+    "datetime": {"now", "utcnow", "today"},
+}
+
+#: ``random`` module attributes that are fine to call (explicitly seeded
+#: constructions and state plumbing).
+_RANDOM_ALLOWED = {"Random", "SystemRandom", "seed", "getstate", "setstate"}
+
+#: ``numpy.random`` attributes that are fine (seeded generator API).
+_NP_RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence", "PCG64", "BitGenerator"}
+
+
+@register_rule
+class DeterminismRule(Rule):
+    rule_id = "REP001"
+    severity = "error"
+    summary = (
+        "engine paths must not read the wall clock or global random state "
+        "(seeded determinism)"
+    )
+    autofix_hint = (
+        "thread a seeded random.Random / np.random.default_rng(seed) through, "
+        "or take timestamps from the record stream"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if not project.in_scope(source, project.config.deterministic_paths):
+            return
+        imports = ImportMap.of(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            yield from self._check_call(source, node, name, imports)
+
+    # ------------------------------------------------------------------
+    def _check_call(
+        self, source: SourceFile, node: ast.Call, name: str, imports: ImportMap
+    ) -> Iterator[Finding]:
+        parts = name.split(".")
+        head, tail = parts[0], parts[-1]
+
+        # time.time() / time.time_ns()
+        if len(parts) == 2 and imports.resolves_to_module(head, "time"):
+            if tail in _CLOCK_CALLS["time"]:
+                yield self.finding(
+                    source,
+                    node,
+                    f"call to {name}() reads the wall clock in an engine path",
+                    suggestion="derive time from the record stream (or time.perf_counter for pure telemetry)",
+                )
+            return
+
+        # datetime.now() / datetime.datetime.now() / date.today()
+        if tail in _CLOCK_CALLS["datetime"]:
+            receiver = parts[:-1]
+            is_datetime = False
+            if receiver and imports.imported_from(receiver[0], "datetime") in (
+                "datetime",
+                "date",
+            ):
+                is_datetime = len(receiver) == 1
+            elif receiver and imports.resolves_to_module(receiver[0], "datetime"):
+                is_datetime = len(receiver) == 2 and receiver[1] in ("datetime", "date")
+            if is_datetime:
+                yield self.finding(
+                    source,
+                    node,
+                    f"call to {name}() reads the wall clock in an engine path",
+                    suggestion="pass timestamps in explicitly; engine results must not depend on run time",
+                )
+            return
+
+        # random.<fn>() on the module's hidden global generator
+        if len(parts) == 2 and imports.resolves_to_module(head, "random"):
+            if tail not in _RANDOM_ALLOWED:
+                yield self.finding(
+                    source,
+                    node,
+                    f"call to {name}() uses the global (unseeded) random generator",
+                    suggestion="use an explicitly seeded random.Random instance",
+                )
+            return
+
+        # from random import shuffle; shuffle(...)
+        if len(parts) == 1 and imports.imported_from(head, "random") not in (
+            None,
+            *sorted(_RANDOM_ALLOWED),
+        ):
+            yield self.finding(
+                source,
+                node,
+                f"call to random.{imports.imported_from(head, 'random')}() uses the "
+                "global (unseeded) random generator",
+                suggestion="use an explicitly seeded random.Random instance",
+            )
+            return
+
+        # np.random.<fn>() legacy global-state API
+        if (
+            len(parts) == 3
+            and parts[1] == "random"
+            and imports.resolves_to_module(head, "numpy")
+            and tail not in _NP_RANDOM_ALLOWED
+        ):
+            yield self.finding(
+                source,
+                node,
+                f"call to {name}() uses numpy's legacy global random state",
+                suggestion="use np.random.default_rng(seed)",
+            )

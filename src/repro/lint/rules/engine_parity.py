@@ -1,0 +1,69 @@
+"""REP003: batch detectors keep the columnar engine in lockstep.
+
+The columnar substrate only reproduces the record-path results because
+every detector either implements ``analyze_columns`` or deliberately
+falls back to the record path.  A detector that defines ``analyze``
+without either is the drift this rule exists to catch: the columnar
+engine would quietly produce different Table 1 numbers.
+
+The explicit fallback is a class-body marker::
+
+    class SessionDetector(Detector):
+        columnar_fallback = True  # record-path semantics are the spec
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import class_assigns_true, class_has_method, dotted_name, iter_classes
+from repro.lint.engine import Project, Rule, SourceFile, register_rule
+from repro.lint.findings import Finding
+
+FALLBACK_MARKER = "columnar_fallback"
+
+
+def _is_detector_subclass(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        name = dotted_name(base)
+        if name is not None and name.split(".")[-1].endswith("Detector"):
+            return True
+    return False
+
+
+@register_rule
+class EngineParityRule(Rule):
+    rule_id = "REP003"
+    severity = "error"
+    summary = (
+        "Detector subclasses defining analyze must define analyze_columns "
+        f"or set {FALLBACK_MARKER} = True"
+    )
+    autofix_hint = (
+        "implement analyze_columns over the columnar batch, or add "
+        f"'{FALLBACK_MARKER} = True' to opt into the record-path fallback"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if not project.in_scope(source, project.config.detector_paths):
+            return
+        for cls in iter_classes(source.tree):
+            if not _is_detector_subclass(cls):
+                continue
+            if not class_has_method(cls, "analyze"):
+                continue
+            if class_has_method(cls, "analyze_columns"):
+                continue
+            if class_assigns_true(cls, FALLBACK_MARKER):
+                continue
+            yield self.finding(
+                source,
+                cls,
+                f"detector {cls.name} defines analyze without analyze_columns "
+                f"and does not declare {FALLBACK_MARKER} = True",
+                suggestion=(
+                    f"implement {cls.name}.analyze_columns or mark the class "
+                    f"with {FALLBACK_MARKER} = True"
+                ),
+            )

@@ -1,0 +1,50 @@
+"""REP007: no bare ``except:``, no silently swallowed errors.
+
+A bare ``except:`` catches ``KeyboardInterrupt`` and ``SystemExit`` and
+is flagged everywhere in the scanned roots.  An ``except`` whose entire
+body is ``pass`` is flagged (as a warning) inside the configured engine
+and persistence paths, where an eaten exception can silently corrupt
+results.  Deliberate best-effort cleanup stays expressible::
+
+    except OSError:  # repro-lint: allow[REP007] best-effort tmp cleanup
+        pass
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Project, Rule, SourceFile, register_rule
+from repro.lint.findings import Finding
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    rule_id = "REP007"
+    severity = "error"
+    summary = "no bare except; no except bodies that only pass in engine paths"
+    autofix_hint = (
+        "catch a specific exception type; log or re-raise instead of passing"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        in_engine = project.in_scope(source, project.config.exception_paths)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    source,
+                    node,
+                    "bare except: catches SystemExit and KeyboardInterrupt",
+                    suggestion="catch Exception (or the specific error) instead",
+                )
+            elif in_engine and all(isinstance(stmt, ast.Pass) for stmt in node.body):
+                yield self.finding(
+                    source,
+                    node,
+                    "exception swallowed (except body is only 'pass') in an engine path",
+                    suggestion="record the failure (metrics/log) or re-raise",
+                    severity="warning",
+                )

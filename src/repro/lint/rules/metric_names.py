@@ -1,0 +1,179 @@
+"""REP002: instrumentation sites and the metric catalogue agree.
+
+``repro.obs.names`` is the single source of truth for telemetry names:
+every constant it defines must be documented in ``METRIC_REFERENCE``,
+every catalogue row must describe a defined constant, and every
+``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` call site must
+use a catalogued name.  Drift in either direction means dashboards and
+alerts silently reference series that no longer exist (or never did).
+
+Call-site first arguments are resolved statically: string literals,
+names imported from the catalogue module, and ``names.FOO``-style
+attribute reads.  Dynamic names (variables, f-strings) are skipped --
+this rule only judges what it can prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import ImportMap, dotted_name, module_path_of
+from repro.lint.engine import Project, Rule, SourceFile, register_rule
+from repro.lint.findings import Finding
+from repro.registry import suggest
+
+_INSTRUMENT_METHODS = ("counter", "gauge", "histogram")
+
+
+def _module_assignment(stmt: ast.stmt) -> tuple[ast.Name | None, ast.expr | None]:
+    """``(target, value)`` of a single-target module assignment (plain or
+    annotated), else ``(None, None)``."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            return target, stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+        return stmt.target, stmt.value
+    return None, None
+
+
+def _catalogue_of(source: SourceFile) -> tuple[dict[str, str], dict[str, int], ast.AST | None]:
+    """``(constants, reference_names, reference_node)`` of the names module.
+
+    ``constants`` maps constant name -> metric-name string for every
+    module-level ``FOO = "..."`` assignment; ``reference_names`` maps
+    each ``METRIC_REFERENCE`` row's metric name to its line.
+    """
+    constants: dict[str, str] = {}
+    reference: dict[str, int] = {}
+    reference_node: ast.AST | None = None
+    for stmt in source.tree.body:
+        target, value = _module_assignment(stmt)
+        if target is None or value is None:
+            continue
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            constants[target.id] = value.value
+        elif target.id == "METRIC_REFERENCE":
+            reference_node = stmt
+            for row in ast.walk(value):
+                if not isinstance(row, ast.Tuple) or not row.elts:
+                    continue
+                first = row.elts[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    reference[first.value] = row.lineno
+                elif isinstance(first, ast.Name) and first.id in constants:
+                    reference[constants[first.id]] = row.lineno
+    return constants, reference, reference_node
+
+
+@register_rule
+class MetricNameRule(Rule):
+    rule_id = "REP002"
+    severity = "error"
+    summary = (
+        "metric names at instrumentation sites and in METRIC_REFERENCE "
+        "must match, both directions"
+    )
+    autofix_hint = (
+        "add the metric to repro.obs.names (constant + METRIC_REFERENCE row) "
+        "or fix the call site to use a catalogued constant"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        catalogue_file = project.file(project.config.metric_catalogue)
+        if catalogue_file is None:
+            return
+        catalogue_module = module_path_of(catalogue_file.rel_path)
+        constants, reference, reference_node = _catalogue_of(catalogue_file)
+        if reference_node is None:
+            yield self.finding(
+                catalogue_file,
+                catalogue_file.tree.body[0] if catalogue_file.tree.body else None,
+                "metric catalogue module defines no METRIC_REFERENCE table",
+            )
+            return
+
+        # Direction 1: every defined constant is catalogued ...
+        for stmt in catalogue_file.tree.body:
+            target, _ = _module_assignment(stmt)
+            if target is None or target.id not in constants:
+                continue
+            value = constants[target.id]
+            if value not in reference:
+                yield self.finding(
+                    catalogue_file,
+                    stmt,
+                    f"metric constant {target.id} = {value!r} has no METRIC_REFERENCE row",
+                    suggestion=_suggest(value, reference),
+                )
+        # ... and every catalogue row describes a defined constant.
+        known_values = set(constants.values())
+        for value, lineno in sorted(reference.items()):
+            if value not in known_values:
+                yield Finding(
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    path=catalogue_file.rel_path,
+                    line=lineno,
+                    col=1,
+                    message=(
+                        f"METRIC_REFERENCE row {value!r} does not correspond to any "
+                        "metric constant in the catalogue module"
+                    ),
+                    suggestion=_suggest(value, known_values),
+                )
+
+        # Direction 2: every resolvable instrumentation call site uses a
+        # catalogued name.
+        for source in project.files:
+            if source.rel_path == catalogue_file.rel_path:
+                continue
+            imports = ImportMap.of(source.tree)
+            for node in ast.walk(source.tree):
+                name = _instrumented_name(node, imports, constants, catalogue_module)
+                if name is None:
+                    continue
+                if name not in reference:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"metric name {name!r} is not in METRIC_REFERENCE",
+                        suggestion=_suggest(name, reference),
+                    )
+
+
+def _instrumented_name(
+    node: ast.AST,
+    imports: ImportMap,
+    constants: dict[str, str],
+    catalogue_module: str,
+) -> str | None:
+    """The statically-resolvable metric name of an instrumentation call."""
+    if not isinstance(node, ast.Call) or not node.args:
+        return None
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _INSTRUMENT_METHODS:
+        return None
+    arg = node.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.Name):
+        original = imports.imported_from(arg.id, catalogue_module)
+        if original is not None:
+            return constants.get(original)
+        return None
+    if isinstance(arg, ast.Attribute):
+        dotted = dotted_name(arg)
+        if dotted is None or "." not in dotted:
+            return None
+        head, _, const = dotted.rpartition(".")
+        receiver = dotted.split(".")[0]
+        if imports.resolves_to_module(receiver, catalogue_module):
+            return constants.get(const)
+    return None
+
+
+def _suggest(name: str, known: dict[str, int] | set[str]) -> str | None:
+    match = suggest(name, list(known))
+    return f"did you mean {match!r}?" if match else None

@@ -1,0 +1,61 @@
+"""REP004: component families are extended through the public helpers.
+
+Detectors, scenarios, backends, and lint rules all hang off
+:class:`repro.registry.Registry` instances, and every family exposes a
+``register_*`` helper (or decorator) that validates the entry.  Poking
+``registry._factories`` directly -- or importing private names from the
+registry module -- bypasses that validation and breaks the did-you-mean
+error messages, so both are flagged anywhere outside ``repro.registry``
+itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import module_path_of
+from repro.lint.engine import Project, Rule, SourceFile, register_rule
+from repro.lint.findings import Finding
+
+_REGISTRY_MODULE = "repro.registry"
+
+
+@register_rule
+class RegistryDisciplineRule(Rule):
+    rule_id = "REP004"
+    severity = "error"
+    summary = (
+        "registries are extended via register_* helpers, never by touching "
+        "registry internals"
+    )
+    autofix_hint = "call the family's register_* helper (or Registry.register)"
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if module_path_of(source.rel_path) == _REGISTRY_MODULE:
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "_factories":
+                yield self.finding(
+                    source,
+                    node,
+                    "access to registry internals (._factories) outside repro.registry",
+                    suggestion="use Registry.register / names / create, or the family's register_* helper",
+                )
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module is not None
+                and node.level == 0
+                and (
+                    node.module == _REGISTRY_MODULE
+                    or node.module.startswith(_REGISTRY_MODULE + ".")
+                )
+            ):
+                for alias in node.names:
+                    if alias.name.startswith("_"):
+                        yield self.finding(
+                            source,
+                            node,
+                            f"import of private registry name {alias.name!r}",
+                            suggestion="use the public Registry API",
+                        )

@@ -1,0 +1,98 @@
+"""REP005: explicit ``to_dict``/``from_dict`` cover every field.
+
+The run-spec layer guarantees ``from_dict(to_dict(x)) == x`` so stored
+runs replay bit-for-bit.  Generic implementations (driven by
+``dataclasses.fields``) keep that guarantee automatically; the risk is
+the *explicit* serializers -- add a field to the dataclass, forget the
+serializer, and round-trips silently drop data.
+
+For every ``*Spec`` / ``RunResult`` dataclass that writes its own
+``to_dict`` or ``from_dict``, each field name must be visible inside
+that method: as a string key, a ``self.<field>`` read (``to_dict``), or
+a keyword argument (``from_dict``).  Findings anchor at the field's
+declaration line, so one pragma covers a deliberately-unserialized
+field in both directions::
+
+    raw: Any = None  # repro-lint: allow[REP005] transient, never persisted
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import (
+    dataclass_fields,
+    is_dataclass,
+    iter_classes,
+    self_attribute_reads,
+    string_constants,
+)
+from repro.lint.engine import Project, Rule, SourceFile, register_rule
+from repro.lint.findings import Finding
+
+
+def _covered(cls: ast.ClassDef) -> bool:
+    name = cls.name
+    return name.endswith("Spec") or name == "RunResult"
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _keyword_args(func: ast.FunctionDef) -> set[str]:
+    return {
+        keyword.arg
+        for node in ast.walk(func)
+        if isinstance(node, ast.Call)
+        for keyword in node.keywords
+        if keyword.arg is not None
+    }
+
+
+@register_rule
+class SpecRoundTripRule(Rule):
+    rule_id = "REP005"
+    severity = "error"
+    summary = (
+        "explicit to_dict/from_dict on *Spec/RunResult dataclasses must "
+        "mention every field"
+    )
+    autofix_hint = (
+        "serialize the field in both methods, or pragma the field line when "
+        "it is deliberately transient"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for cls in iter_classes(source.tree):
+            if not _covered(cls) or not is_dataclass(cls):
+                continue
+            to_dict = _method(cls, "to_dict")
+            from_dict = _method(cls, "from_dict")
+            if to_dict is None and from_dict is None:
+                continue
+            fields = dataclass_fields(cls)
+            if to_dict is not None:
+                mentioned = string_constants(to_dict) | self_attribute_reads(to_dict)
+                for name, node in fields:
+                    if name not in mentioned:
+                        yield self.finding(
+                            source,
+                            node,
+                            f"{cls.name}.{name} is not serialized by {cls.name}.to_dict",
+                            suggestion=f'emit "{name}": self.{name} (or pragma the field)',
+                        )
+            if from_dict is not None:
+                mentioned = string_constants(from_dict) | _keyword_args(from_dict)
+                for name, node in fields:
+                    if name not in mentioned:
+                        yield self.finding(
+                            source,
+                            node,
+                            f"{cls.name}.{name} is not restored by {cls.name}.from_dict",
+                            suggestion=f"read {name!r} from the payload (or pragma the field)",
+                        )

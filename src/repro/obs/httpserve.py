@@ -40,7 +40,7 @@ class BackgroundHTTPServer:
         port: int = 0,
         *,
         thread_name: str = "repro-http",
-    ):
+    ) -> None:
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self.host, self.port = self._httpd.server_address[:2]
@@ -59,5 +59,5 @@ class BackgroundHTTPServer:
     def __enter__(self) -> "BackgroundHTTPServer":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

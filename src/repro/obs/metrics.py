@@ -29,7 +29,12 @@ Design points:
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+if TYPE_CHECKING:
+    from contextlib import AbstractContextManager
+
+    from repro.obs.spans import Span
 
 from repro.exceptions import ObsError
 from repro.obs.names import STAGE_SECONDS
@@ -52,7 +57,7 @@ class _Instrument:
 
     kind = "abstract"
 
-    def __init__(self, name: str, help: str = "", *, lock: threading.Lock | None = None):
+    def __init__(self, name: str, help: str = "", *, lock: threading.Lock | None = None) -> None:
         self.name = name
         self.help = help
         self._lock = lock or threading.Lock()
@@ -120,7 +125,7 @@ class _HistogramSeries:
 
     __slots__ = ("buckets", "sum", "count", "min", "max")
 
-    def __init__(self, bound_count: int):
+    def __init__(self, bound_count: int) -> None:
         # One slot per finite bound plus the overflow bucket.
         self.buckets = [0] * (bound_count + 1)
         self.sum = 0.0
@@ -141,7 +146,7 @@ class Histogram(_Instrument):
         *,
         bounds: tuple[float, ...] | None = None,
         lock: threading.Lock | None = None,
-    ):
+    ) -> None:
         super().__init__(name, help, lock=lock)
         bounds = DEFAULT_BOUNDS if bounds is None else tuple(float(b) for b in bounds)
         if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
@@ -248,7 +253,7 @@ class MetricsRegistry:
         self._span_stacks = threading.local()
 
     # ------------------------------------------------------------------
-    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Any:
+    def _get_or_create(self, cls: type[Any], name: str, help: str, **kwargs: Any) -> Any:
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
@@ -290,13 +295,13 @@ class MetricsRegistry:
         """One instrument by name, or ``None``."""
         return self._metrics.get(name)
 
-    def span(self, name: str, **attributes: Any):
+    def span(self, name: str, **attributes: Any) -> AbstractContextManager[Span]:
         """Open a traced stage span (see :func:`repro.obs.spans.trace_span`)."""
         from repro.obs.spans import trace_span
 
         return trace_span(name, registry=self, **attributes)
 
-    def _span_stack(self) -> list:
+    def _span_stack(self) -> list[Any]:
         stack = getattr(self._span_stacks, "stack", None)
         if stack is None:
             stack = self._span_stacks.stack = []
@@ -431,37 +436,37 @@ class _NullInstrument:
     help = ""
     bounds = DEFAULT_BOUNDS
 
-    def inc(self, *args, **kwargs) -> None:
+    def inc(self, *args: Any, **kwargs: Any) -> None:
         pass
 
-    def dec(self, *args, **kwargs) -> None:
+    def dec(self, *args: Any, **kwargs: Any) -> None:
         pass
 
-    def set(self, *args, **kwargs) -> None:
+    def set(self, *args: Any, **kwargs: Any) -> None:
         pass
 
-    def observe(self, *args, **kwargs) -> None:
+    def observe(self, *args: Any, **kwargs: Any) -> None:
         pass
 
-    def value(self, **labels) -> int:
+    def value(self, **labels: str) -> int:
         return 0
 
     def total(self) -> int:
         return 0
 
-    def count(self, **labels) -> int:
+    def count(self, **labels: str) -> int:
         return 0
 
-    def sum(self, **labels) -> float:
+    def sum(self, **labels: str) -> float:
         return 0.0
 
-    def quantile(self, q, **labels) -> float:
+    def quantile(self, q: float, **labels: str) -> float:
         return 0.0
 
-    def percentiles(self, **labels) -> dict:
+    def percentiles(self, **labels: str) -> dict[str, float]:
         return {}
 
-    def series(self):
+    def series(self) -> Iterator[tuple[dict[str, str], Any]]:
         return iter(())
 
     def __len__(self) -> int:
@@ -487,7 +492,9 @@ class NullRegistry(MetricsRegistry):
     def gauge(self, name: str, help: str = "") -> Gauge:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
-    def histogram(self, name: str, help: str = "", *, bounds=None) -> Histogram:  # type: ignore[override]
+    def histogram(
+        self, name: str, help: str = "", *, bounds: tuple[float, ...] | None = None
+    ) -> Histogram:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
     def merge(self, snapshot: Mapping[str, Any]) -> None:

@@ -17,7 +17,7 @@ emit (and to validate line-by-line in the test-suite) directly.
 from __future__ import annotations
 
 from http.server import BaseHTTPRequestHandler
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro.obs.httpserve import BackgroundHTTPServer
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -89,7 +89,7 @@ class MetricsServer(BackgroundHTTPServer):
 
     url_path = "/metrics"
 
-    def __init__(self, registry: MetricsRegistry, host: str, port: int):
+    def __init__(self, registry: MetricsRegistry, host: str, port: int) -> None:
         server_registry = registry
 
         class _Handler(BaseHTTPRequestHandler):
@@ -104,7 +104,7 @@ class MetricsServer(BackgroundHTTPServer):
                 self.end_headers()
                 self.wfile.write(body)
 
-            def log_message(self, format: str, *args) -> None:  # noqa: A002
+            def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
                 pass  # scrapes should not spam the CLI's stderr
 
         super().__init__(_Handler, host, port, thread_name="repro-metrics")

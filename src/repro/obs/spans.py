@@ -76,7 +76,7 @@ class _NullSpan:
     name = ""
     duration = 0.0
     attributes: dict[str, Any] = {}
-    children: list = []
+    children: list[Any] = []
 
     def set_attribute(self, **attributes: Any) -> None:
         pass

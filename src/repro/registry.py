@@ -21,7 +21,7 @@ after which ``DetectorSpec(name="my-detector")`` resolves to it.
 from __future__ import annotations
 
 import difflib
-from typing import Callable, Generic, Iterable, TypeVar
+from typing import Any, Callable, Generic, Iterable, TypeVar
 
 from repro.exceptions import ReproError
 
@@ -93,6 +93,6 @@ class Registry(Generic[T]):
         except KeyError as exc:
             raise self.error_type(unknown_name_message(self.kind, name, self._factories)) from exc
 
-    def create(self, name: str, **kwargs) -> T:
+    def create(self, name: str, **kwargs: Any) -> T:
         """Instantiate the component registered under ``name``."""
         return self.get(name)(**kwargs)

@@ -19,8 +19,12 @@ third-party component works as soon as that component is registered.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:
+    from repro.runstore.store import RunStore
 
 from repro.core.configurations import compare_configurations
 from repro.core.evaluation import per_actor_class_detection
@@ -202,7 +206,7 @@ def execute(
     progress: ProgressHook | None = None,
     dataset: Dataset | None = None,
     registry: MetricsRegistry | None = None,
-    store=None,
+    store: str | os.PathLike[str] | RunStore | None = None,
 ) -> RunResult:
     """Run the workload a spec describes and return its uniform result.
 
@@ -310,7 +314,7 @@ def _source_of(spec: RunSpec, dataset: Dataset) -> str:
 
 def _batch_result(spec: RunSpec, dataset: Dataset, result: ExperimentResult) -> RunResult:
     breakdown = result.breakdown
-    metrics: dict = {
+    metrics: dict[str, Any] = {
         "both": breakdown.both,
         "neither": breakdown.neither,
         "first_only": breakdown.first_only,
@@ -389,7 +393,7 @@ def _run_evaluate(
         comparison = compare_configurations(dataset, first_detector, second_detector)
         config_rows = []
         for outcome in comparison.outcomes:
-            row: dict = {
+            row: dict[str, Any] = {
                 "configuration": outcome.name,
                 "alerts": outcome.alert_count,
                 "workload": outcome.total_workload,
@@ -408,7 +412,7 @@ def _run_evaluate(
 # ----------------------------------------------------------------------
 # Stream mode
 # ----------------------------------------------------------------------
-def _online_detectors(spec: RunSpec):
+def _online_detectors(spec: RunSpec) -> list[Any]:
     if not spec.detectors:
         return default_online_detectors()
     return [create_online_detector(d.name, **d.params) for d in spec.detectors]
@@ -503,7 +507,7 @@ def _run_stream(
 def _stream_result(
     spec: RunSpec, source: str, total_requests: int, result: StreamResult, wall_seconds: float
 ) -> RunResult:
-    metrics: dict = {
+    metrics: dict[str, Any] = {
         "records": result.stats.records,
         "sessions_opened": result.stats.sessions_opened,
         "sessions_closed": result.stats.sessions_closed,
@@ -619,7 +623,7 @@ def _run_defend(spec: RunSpec, registry: MetricsRegistry | None = None) -> RunRe
     )
 
 
-def _enforcement_summary(report: MitigationReport) -> dict:
+def _enforcement_summary(report: MitigationReport) -> dict[str, Any]:
     return {
         "policy": report.policy_name,
         "action_counts": dict(report.action_counts),

@@ -60,7 +60,7 @@ class RunResult:
     label: str = ""
     #: The underlying workload result object (ExperimentResult,
     #: StreamResult or SimulationResult).  Not serialized.
-    raw: Any = None
+    raw: Any = None  # repro-lint: allow[REP005] transient handle, never persisted
 
     # ------------------------------------------------------------------
     def metric(self, name: str) -> Any:

@@ -36,7 +36,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Self
 
 from repro.detectors.pipeline import ENGINES
 from repro.exceptions import SpecError
@@ -78,6 +78,11 @@ def _as_plain_dict(params: Mapping[str, Any]) -> dict[str, Any]:
 class _SpecBase:
     """Shared serialization for the spec dataclasses."""
 
+    if TYPE_CHECKING:
+        # Subclasses are dataclasses; this gives ``cls(**data)`` in
+        # from_dict a keyword-accepting constructor to check against.
+        def __init__(self, **kwargs: Any) -> None: ...
+
     def to_dict(self) -> dict[str, Any]:
         """The spec as a JSON-ready dictionary (nested specs recurse)."""
         result: dict[str, Any] = {}
@@ -93,7 +98,7 @@ class _SpecBase:
         return result
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]):
+    def from_dict(cls, data: Mapping[str, Any]) -> Self:
         """Rebuild the spec from :meth:`to_dict` output (strict keys)."""
         if not isinstance(data, Mapping):
             raise SpecError(f"a {cls.__name__} must be a mapping, got {type(data).__name__}")
@@ -153,7 +158,7 @@ class TrafficSpec(_SpecBase):
             raise SpecError("traffic source 'log' needs traffic.log_file")
         if self.path is not None and self.source not in (None, "trace"):
             raise SpecError(
-                f"traffic.path names a trace file; remove it or set source='trace' "
+                "traffic.path names a trace file; remove it or set source='trace' "
                 f"(source is {self.source!r})"
             )
         if self.log_file is not None and self.source == "scenario":

@@ -157,7 +157,7 @@ def render_run_list(store: RunStore) -> str:
     modes = ", ".join(f"{mode}: {count}" for mode, count in stats.modes.items()) or "empty"
     rows = [_run_row(summary) for summary in store.list_runs()]
     body = (
-        f"<h1>run store</h1>"
+        "<h1>run store</h1>"
         f"<p>{stats.runs} run(s) over {stats.specs} spec(s) "
         f'(schema v{stats.schema_version}) &mdash; <span class="muted">{_e(modes)}</span></p>'
         + _table(
@@ -310,7 +310,7 @@ class DashboardServer(BackgroundHTTPServer):
 
     url_path = "/"
 
-    def __init__(self, store_path: str, host: str, port: int):
+    def __init__(self, store_path: str, host: str, port: int) -> None:
         # Fail fast on a missing or unopenable store, before binding the
         # port -- a dashboard over a typo'd path should not look healthy.
         RunStore(store_path, create=False).close()
@@ -328,7 +328,7 @@ class DashboardServer(BackgroundHTTPServer):
                 self.end_headers()
                 self.wfile.write(payload)
 
-            def log_message(self, format: str, *args) -> None:  # noqa: A002
+            def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
                 pass  # HTTP chatter should not spam the CLI's stderr
 
         self._store_path = store_path

@@ -111,7 +111,7 @@ def apply_migrations(
     if current > target:
         raise StoreError(
             f"run store is at schema v{current}, newer than the v{target} this "
-            f"library understands; upgrade the library instead of the file"
+            "library understands; upgrade the library instead of the file"
         )
     for version, statements in MIGRATIONS:
         if version <= current or version > target:

@@ -124,7 +124,7 @@ class StoreStats:
 class RunStore:
     """A SQLite-backed, schema-migrated store of executed runs."""
 
-    def __init__(self, path: str | os.PathLike, *, create: bool = True):
+    def __init__(self, path: str | os.PathLike[str], *, create: bool = True) -> None:
         self.path = os.fspath(path)
         if not create and not os.path.exists(self.path):
             raise StoreError(f"run store {self.path!r} does not exist")
@@ -154,7 +154,7 @@ class RunStore:
         ).fetchall()
         return bool(rows)
 
-    def _execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
+    def _execute(self, sql: str, parameters: tuple[Any, ...] = ()) -> sqlite3.Cursor:
         if self._closed:
             raise StoreError(f"run store {self.path!r} is closed")
         try:
@@ -239,7 +239,7 @@ class RunStore:
     )
 
     @staticmethod
-    def _summary(row: tuple) -> RunSummary:
+    def _summary(row: tuple[Any, ...]) -> RunSummary:
         return RunSummary(
             run_id=row[0],
             spec_hash=row[1],
@@ -395,11 +395,11 @@ class RunStore:
     def __enter__(self) -> "RunStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
-def open_store(path: str | os.PathLike | "RunStore" | None) -> RunStore | None:
+def open_store(path: str | os.PathLike[str] | "RunStore" | None) -> RunStore | None:
     """Normalise the ``store=`` parameter: a path opens, a store passes through.
 
     ``None`` consults the :data:`RUN_STORE_ENV` environment variable, so

@@ -149,7 +149,7 @@ class GenerationCache:
             )
             try:
                 os.remove(path)
-            except OSError:
+            except OSError:  # repro-lint: allow[REP007] best-effort removal, corruption already logged
                 pass
             return None
         self.disk_hits += 1
@@ -172,7 +172,7 @@ class GenerationCache:
             if os.path.exists(temp_path):
                 try:
                     os.remove(temp_path)
-                except OSError:
+                except OSError:  # repro-lint: allow[REP007] best-effort tmp cleanup
                     pass
         self._remember(fingerprint, dataset)
         return path

@@ -14,7 +14,7 @@ from repro.core.breakdown import (
 from repro.core.diversity import diversity_breakdown, multi_detector_breakdown
 from repro.exceptions import AnalysisError
 from repro.logs.dataset import Dataset
-from tests.helpers import make_alert_matrix, make_labelled_dataset, make_record, make_records
+from tests.helpers import make_alert_matrix, make_labelled_dataset, make_records
 
 
 def _two_tool_matrix():

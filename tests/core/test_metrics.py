@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.diversity import DiversityBreakdown, diversity_breakdown
+from repro.core.diversity import DiversityBreakdown
 from repro.core.metrics import (
     all_pairwise_diversity,
     cohens_kappa,

@@ -10,7 +10,7 @@ from repro.core.confusion import ConfusionMatrix
 from repro.detectors.ratelimit import RateLimitDetector
 from repro.exceptions import AnalysisError
 from repro.logs.dataset import Dataset
-from tests.helpers import make_alert_matrix, make_labelled_dataset, make_record, make_records
+from tests.helpers import make_alert_matrix, make_record, make_records
 
 
 def _three_day_matrix():

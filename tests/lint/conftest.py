@@ -1,0 +1,26 @@
+"""Fixture helpers: build a throwaway project tree and lint it.
+
+Fixture trees mirror the real layout (``src/repro/...``) so the default
+:class:`~repro.lint.config.LintConfig` scopes apply unmodified -- the
+same paths the rules govern in the repository govern the fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import LintConfig, LintReport, run_lint
+from tests.lint.util import write_tree
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """``lint_tree(files, **config_overrides) -> LintReport``."""
+
+    def _lint(files: dict[str, str], **overrides) -> LintReport:
+        write_tree(tmp_path, files)
+        config = LintConfig(baseline=None, **overrides)
+        return run_lint(tmp_path, config=config, baseline=set())
+
+    _lint.root = tmp_path
+    return _lint

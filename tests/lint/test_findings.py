@@ -1,0 +1,87 @@
+"""Finding mechanics: validation, ordering, rendering, JSON round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LintError
+from repro.lint import Finding, severity_rank
+from repro.lint.findings import SEVERITIES
+
+
+def _finding(**overrides) -> Finding:
+    payload = dict(
+        rule="REP001",
+        severity="error",
+        path="src/repro/core/x.py",
+        line=10,
+        col=5,
+        message="call to time.time() reads the wall clock in an engine path",
+        suggestion="derive time from the record stream",
+    )
+    payload.update(overrides)
+    return Finding(**payload)
+
+
+def test_severity_rank_orders_the_scale():
+    ranks = [severity_rank(s) for s in SEVERITIES]
+    assert ranks == sorted(ranks)
+    assert severity_rank("error") > severity_rank("warning") > severity_rank("info")
+
+
+def test_severity_rank_rejects_unknown_with_suggestion():
+    with pytest.raises(LintError, match="did you mean 'warning'"):
+        severity_rank("warn")
+
+
+def test_finding_validates_fields():
+    with pytest.raises(LintError, match="severity"):
+        _finding(severity="fatal")
+    with pytest.raises(LintError, match="line"):
+        _finding(line=0)
+    with pytest.raises(LintError, match="rule"):
+        _finding(rule="")
+
+
+def test_render_carries_location_and_suggestion():
+    text = _finding().render()
+    assert "src/repro/core/x.py:10:5" in text
+    assert "REP001" in text
+    assert "[error]" in text
+    assert text.endswith("(derive time from the record stream)")
+    assert not _finding(suggestion=None).render().endswith(")")
+
+
+def test_fingerprint_is_line_insensitive():
+    assert _finding(line=10).fingerprint() == _finding(line=99, col=1).fingerprint()
+    assert _finding().fingerprint() != _finding(message="other").fingerprint()
+    assert _finding().fingerprint() != _finding(path="src/other.py").fingerprint()
+
+
+def test_sort_key_orders_by_path_then_line():
+    first = _finding(path="a.py", line=5)
+    second = _finding(path="a.py", line=9)
+    third = _finding(path="b.py", line=1)
+    unsorted = [third, second, first]
+    assert sorted(unsorted, key=Finding.sort_key) == [first, second, third]
+
+
+def test_dict_round_trip():
+    finding = _finding()
+    assert Finding.from_dict(finding.to_dict()) == finding
+    bare = _finding(suggestion=None)
+    assert Finding.from_dict(bare.to_dict()) == bare
+
+
+def test_from_dict_rejects_unknown_keys():
+    payload = _finding().to_dict()
+    payload["extra"] = 1
+    with pytest.raises(LintError, match="extra"):
+        Finding.from_dict(payload)
+
+
+def test_from_dict_rejects_missing_keys():
+    payload = _finding().to_dict()
+    del payload["message"]
+    with pytest.raises(LintError, match="message"):
+        Finding.from_dict(payload)

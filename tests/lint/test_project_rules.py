@@ -1,0 +1,172 @@
+"""REP002 / REP008: cross-file rules over mini project trees.
+
+The fixture trees put the catalogue, spec, and CLI modules at the same
+paths the default config points at, so the rules run exactly as they do
+against the repository.
+"""
+
+from __future__ import annotations
+
+from tests.lint.util import only_rule
+
+_CATALOGUE = """
+RECORDS_TOTAL = "repro_records_total"
+LATENCY_SECONDS = "repro_latency_seconds"
+
+METRIC_REFERENCE: tuple = (
+    (RECORDS_TOTAL, "counter", "-", "records seen"),
+    (LATENCY_SECONDS, "histogram", "-", "latency"),
+)
+"""
+
+
+# ----------------------------------------------------------------------
+# REP002 metric names
+# ----------------------------------------------------------------------
+def test_rep002_fires_on_uncatalogued_call_site_with_suggestion(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/obs/names.py": _CATALOGUE,
+            "src/repro/stream/instrumented.py": """
+            def run(registry):
+                registry.counter("repro_record_total", "typo'd name").inc()
+            """,
+        }
+    )
+    (finding,) = only_rule(report, "REP002")
+    assert finding.path == "src/repro/stream/instrumented.py"
+    assert "repro_record_total" in finding.message
+    assert "did you mean 'repro_records_total'?" == finding.suggestion
+
+
+def test_rep002_fires_on_constant_missing_from_reference(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/obs/names.py": """
+            CATALOGUED = "repro_catalogued_total"
+            ORPHANED = "repro_orphaned_total"
+
+            METRIC_REFERENCE: tuple = (
+                (CATALOGUED, "counter", "-", "present"),
+            )
+            """
+        }
+    )
+    (finding,) = only_rule(report, "REP002")
+    assert "ORPHANED" in finding.message
+    assert finding.path == "src/repro/obs/names.py"
+
+
+def test_rep002_fires_on_reference_row_without_constant(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/obs/names.py": """
+            CATALOGUED = "repro_catalogued_total"
+
+            METRIC_REFERENCE: tuple = (
+                (CATALOGUED, "counter", "-", "present"),
+                ("repro_ghost_total", "counter", "-", "no constant defines me"),
+            )
+            """
+        }
+    )
+    (finding,) = only_rule(report, "REP002")
+    assert "repro_ghost_total" in finding.message
+
+
+def test_rep002_resolves_imported_constants_and_skips_dynamic_names(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/obs/names.py": _CATALOGUE,
+            "src/repro/stream/ok.py": """
+            from repro.obs import names
+            from repro.obs.names import RECORDS_TOTAL
+
+            def run(registry, dynamic):
+                registry.counter(RECORDS_TOTAL, "by from-import").inc()
+                registry.histogram(names.LATENCY_SECONDS, "by attribute").observe(1.0)
+                registry.counter(dynamic, "unresolvable: skipped").inc()
+            """,
+        }
+    )
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# REP008 CLI drift
+# ----------------------------------------------------------------------
+_SPEC = """
+from dataclasses import dataclass
+
+@dataclass
+class ExecutionSpec:
+    shards: int = 1
+    backend: str = "thread"
+    track_latency: bool = False
+"""
+
+
+def test_rep008_fires_on_unreachable_field(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/runspec/spec.py": _SPEC,
+            "src/repro/cli.py": """
+            from repro.runspec.spec import ExecutionSpec
+
+            def command(args):
+                return ExecutionSpec(shards=args.shards, backend=args.backend)
+            """,
+        }
+    )
+    (finding,) = only_rule(report, "REP008")
+    assert finding.path == "src/repro/runspec/spec.py"
+    assert "track_latency" in finding.message
+    assert "--track-latency" in finding.suggestion
+
+
+def test_rep008_union_of_call_sites_counts(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/runspec/spec.py": _SPEC,
+            "src/repro/cli.py": """
+            from repro.runspec.spec import ExecutionSpec
+
+            def stream(args):
+                return ExecutionSpec(shards=args.shards, track_latency=args.track_latency)
+
+            def tables(args):
+                return ExecutionSpec(backend=args.backend)
+            """,
+        }
+    )
+    assert report.findings == []
+
+
+def test_rep008_splatted_construction_disables_the_rule(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/runspec/spec.py": _SPEC,
+            "src/repro/cli.py": """
+            from repro.runspec.spec import ExecutionSpec
+
+            def command(kwargs):
+                return ExecutionSpec(**kwargs)
+            """,
+        }
+    )
+    assert report.findings == []
+
+
+def test_rep008_fires_when_cli_never_builds_the_spec(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/runspec/spec.py": _SPEC,
+            "src/repro/cli.py": """
+            def command(args):
+                return 0
+            """,
+        }
+    )
+    (finding,) = only_rule(report, "REP008")
+    assert finding.path == "src/repro/cli.py"
+    assert "never constructs" in finding.message

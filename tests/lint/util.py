@@ -1,0 +1,25 @@
+"""Shared helpers for the lint test suite."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintReport
+
+
+def write_tree(root: Path, files: dict[str, str]) -> None:
+    """Write ``{rel_path: source}`` fixture files under ``root``."""
+    for rel_path, source in files.items():
+        path = root / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def only_rule(report: LintReport, rule_id: str) -> list:
+    """Assert every finding is of ``rule_id`` and return them."""
+    assert report.findings, f"expected {rule_id} findings, got none"
+    assert {finding.rule for finding in report.findings} == {rule_id}, [
+        finding.render() for finding in report.findings
+    ]
+    return report.findings

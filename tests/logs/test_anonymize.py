@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.logs.anonymize import LogAnonymizer
-from repro.logs.dataset import Dataset
 from tests.helpers import make_labelled_dataset, make_record
 
 

@@ -3,7 +3,6 @@
 
 from __future__ import annotations
 
-from datetime import timedelta
 
 import pytest
 
@@ -22,7 +21,7 @@ from repro.logs.filters import (
 )
 from repro.logs.rotation import iter_days, split_by_day
 from repro.logs.statuses import STATUS_REGISTRY, describe_status, status_class
-from tests.helpers import BASE_TIME, make_record
+from tests.helpers import make_record
 
 
 class TestStatuses:

@@ -1,0 +1,63 @@
+"""Property tests: lint findings survive their JSON journey."""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint import Finding, severity_rank
+from repro.lint.findings import SEVERITIES
+
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=60
+)
+
+findings = st.builds(
+    Finding,
+    rule=st.sampled_from([f"REP00{n}" for n in range(1, 9)]),
+    severity=st.sampled_from(SEVERITIES),
+    path=_text,
+    line=st.integers(min_value=1, max_value=10_000),
+    col=st.integers(min_value=1, max_value=500),
+    message=_text,
+    suggestion=st.none() | _text,
+)
+
+
+@given(findings)
+def test_finding_json_round_trip(finding):
+    payload = json.loads(json.dumps(finding.to_dict()))
+    assert Finding.from_dict(payload) == finding
+
+
+@given(findings)
+def test_fingerprint_ignores_location_but_not_content(finding):
+    moved = Finding(
+        rule=finding.rule,
+        severity=finding.severity,
+        path=finding.path,
+        line=finding.line + 7,
+        col=1,
+        message=finding.message,
+        suggestion=None,
+    )
+    assert moved.fingerprint() == finding.fingerprint()
+
+
+@given(findings)
+def test_render_carries_location_and_severity(finding):
+    text = finding.render()
+    assert f"{finding.path}:{finding.line}:{finding.col}" in text
+    assert finding.rule in text
+    assert f"[{finding.severity}]" in text
+    assert severity_rank(finding.severity) in range(len(SEVERITIES))
+
+
+@given(st.lists(findings, max_size=20))
+def test_sorting_is_stable_and_deterministic(items):
+    once = sorted(items, key=Finding.sort_key)
+    twice = sorted(once, key=Finding.sort_key)
+    assert once == twice
+    assert sorted(items, key=Finding.sort_key) == once

@@ -97,7 +97,9 @@ class TestShardedStreamRunner:
 
     @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
     def test_backends_match_single_engine(self, backend, small_dataset):
-        factory = lambda: StreamEngine(default_online_detectors())
+        def factory():
+            return StreamEngine(default_online_detectors())
+
         single = factory().run(dataset_replay(small_dataset))
         runner = ShardedStreamRunner(factory, shards=2, backend=backend, queue_size=512)
         sharded = runner.run(dataset_replay(small_dataset))
@@ -126,7 +128,9 @@ class TestShardedStreamRunner:
         assert fingerprint <= result.adjudication.alerted_ids
 
     def test_backpressure_small_queue_still_correct(self, small_dataset):
-        factory = lambda: StreamEngine(default_online_detectors())
+        def factory():
+            return StreamEngine(default_online_detectors())
+
         runner = ShardedStreamRunner(factory, shards=2, backend="thread", queue_size=8, batch_size=4)
         result = runner.run(dataset_replay(small_dataset))
         assert result.stats.records == len(small_dataset)
@@ -181,7 +185,9 @@ class TestShardedStreamRunner:
             runner.run(make_records(400))
 
     def test_serial_backend_throughput_accounts_for_sequential_shards(self, small_dataset):
-        factory = lambda: StreamEngine(default_online_detectors())
+        def factory():
+            return StreamEngine(default_online_detectors())
+
         single = factory().run(dataset_replay(small_dataset))
         sharded = ShardedStreamRunner(factory, shards=4, backend="serial").run(
             dataset_replay(small_dataset)
@@ -193,7 +199,9 @@ class TestShardedStreamRunner:
         )
 
     def test_invalid_construction(self):
-        factory = lambda: StreamEngine([OnlineRequestRateLimiter()])
+        def factory():
+            return StreamEngine([OnlineRequestRateLimiter()])
+
         with pytest.raises(DetectorError):
             ShardedStreamRunner(factory, shards=0)
         with pytest.raises(DetectorError):

@@ -8,7 +8,6 @@ adjudication schemes against the ground truth.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.adjudication import adjudicate
 from repro.core.diversity import diversity_breakdown

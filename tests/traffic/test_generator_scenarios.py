@@ -7,7 +7,6 @@ import random
 import pytest
 
 from repro.exceptions import ScenarioError
-from repro.logs.dataset import MALICIOUS
 from repro.traffic.actors import TimeWindow
 from repro.traffic.botnet import BotnetCampaign
 from repro.traffic.generator import TrafficGenerator, generate_dataset
