@@ -37,8 +37,14 @@ SAMPLE_LINE = re.compile(
 
 #: Metrics the stream run is guaranteed to expose once records flow.
 #: Engine *counters* are bulk-exported at finish, so the live mid-run
-#: signals are the run marker and the per-record latency histogram.
-EXPECTED_METRICS = ("repro_runs_total", "repro_verdict_seconds_count")
+#: signals are the run marker, the per-record latency histogram and --
+#: because the run is spawned with ``--profile`` -- the profiler's
+#: sample counter ticking on its background thread.
+EXPECTED_METRICS = (
+    "repro_runs_total",
+    "repro_verdict_seconds_count",
+    "repro_profile_samples_total",
+)
 
 
 def validate_exposition(text: str) -> int:
@@ -89,6 +95,9 @@ def main(argv: list[str] | None = None) -> int:
         str(args.seed),
         "--metrics-port",
         str(args.metrics_port),
+        # Profile the run too: the smoke test then also proves the
+        # sampler's live counter reaches the exposition mid-run.
+        "--profile",
     ]
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")

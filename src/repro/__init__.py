@@ -72,6 +72,12 @@ The underlying subsystems remain directly usable:
   keyed, so re-runs form longitudinal series), run diffing with
   regression thresholds, and a stdlib web dashboard.  ``execute(spec,
   store="runs.db")`` records; ``repro runs`` browses, diffs and serves.
+* :mod:`repro.prof` -- the sampling profiler: a low-overhead
+  background-thread stack sampler plus per-span memory attribution
+  (resident-set by default, tracemalloc-exact on request), all
+  correlated against the live span tree, with
+  collapsed-stack / speedscope exports and run-store persistence.
+  ``execute(spec, profile=True)`` captures; ``repro profile`` reports.
 """
 
 from repro.columns import FeatureMatrix, FrameSessions, RecordFrame, sessionize_frame
@@ -83,6 +89,7 @@ from repro.detectors.registry import register_detector
 from repro.logs.dataset import Dataset
 from repro.mitigation.policy import register_policy
 from repro.obs import MetricsRegistry, logging_setup, serve_metrics, trace_span
+from repro.prof import Profile, ProfileOptions, Profiler, profile_run
 from repro.stream.detectors import register_online_detector
 from repro.mitigation import (
     Action,
@@ -130,7 +137,7 @@ from repro.traffic.scenarios import (
     stealth_heavy,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Action",
@@ -150,6 +157,9 @@ __all__ = [
     "PaperExperiment",
     "Policy",
     "PolicySpec",
+    "Profile",
+    "ProfileOptions",
+    "Profiler",
     "RecordFrame",
     "RunResult",
     "RunSpec",
@@ -172,6 +182,7 @@ __all__ = [
     "load_runspec",
     "logging_setup",
     "pass_through_policy",
+    "profile_run",
     "read_trace",
     "register_adjudication_scheme",
     "register_detector",

@@ -55,12 +55,24 @@ Subcommands
     The persistent run store (:mod:`repro.runstore`).  Every executing
     subcommand takes ``--store PATH`` (or honours ``REPRO_RUN_STORE``)
     to append its result -- spec, tables, metrics, telemetry, traffic
-    fingerprint -- to a SQLite store; ``runs list`` / ``runs show``
-    browse it, ``runs diff`` compares two stored runs (spec deltas plus
-    metric/counter/quantile deltas, with ``--fail-on-regression`` for
-    CI), ``runs export`` emits the exact stored ``RunResult`` JSON,
-    ``runs gc`` trims old re-runs, and ``runs serve`` starts the
-    stdlib web dashboard.
+    fingerprint, profile -- to a SQLite store; ``runs list`` / ``runs
+    show`` browse it, ``runs diff`` compares two stored runs (spec
+    deltas plus metric/counter/quantile deltas, and per-span
+    self-time/peak-memory deltas when both runs were profiled, with
+    ``--fail-on-regression`` for CI), ``runs export`` emits the exact
+    stored ``RunResult`` JSON, ``runs gc`` trims old re-runs, and
+    ``runs serve`` starts the stdlib web dashboard (including a per-run
+    flame / top-spans view).
+``profile``
+    The sampling profiler (:mod:`repro.prof`).  Every executing
+    subcommand takes ``--profile`` (and ``--profile-hz``) to sample
+    stacks on a background thread and attribute CPU time and memory to
+    the run's tracing spans; ``profile run`` executes a saved spec under
+    the profiler with export switches (``--collapsed`` for
+    flamegraph.pl input, ``--speedscope`` for speedscope.app JSON),
+    ``profile report`` prints a stored run's top-spans / top-functions
+    report, and ``profile export`` re-emits a stored profile in any of
+    the three formats.
 ``lint``
     Project-invariant static analysis (:mod:`repro.lint`): ``repro lint``
     checks the paper's guarantees (seeded determinism, columnar parity,
@@ -160,6 +172,22 @@ def build_parser() -> argparse.ArgumentParser:
             "append the run's result and telemetry to this SQLite run store "
             f"(created on first use; defaults to ${RUN_STORE_ENV} when set)"
         ),
+    )
+    obs_parent.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "profile the run: sample stacks on a background thread and "
+            "attribute CPU time and memory to the pipeline stages "
+            "(the capture rides along in --json output and the run store)"
+        ),
+    )
+    obs_parent.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="stack-sampling rate with --profile (default 97)",
     )
     scenario_parent = argparse.ArgumentParser(add_help=False)
     scenario_parent.add_argument(
@@ -412,7 +440,10 @@ def build_parser() -> argparse.ArgumentParser:
     runs_diff = runs_commands.add_parser(
         "diff",
         parents=[store_parent, json_parent],
-        help="compare two stored runs: spec deltas plus metric/counter/quantile deltas",
+        help=(
+            "compare two stored runs: spec deltas plus "
+            "metric/counter/quantile/profile deltas"
+        ),
     )
     runs_diff.add_argument("left", type=int, help="baseline run id")
     runs_diff.add_argument("right", type=int, help="candidate run id")
@@ -457,6 +488,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runs_serve.add_argument("--port", type=int, default=0, help="port to bind (0 picks a free one)")
     runs_serve.add_argument("--host", default="127.0.0.1", help="address to bind")
+
+    # The sampling profiler (repro.prof).
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile runs: flamegraph/speedscope exports and hot-span reports",
+    )
+    profile_commands = profile.add_subparsers(dest="profile_command", required=True)
+
+    profile_run = profile_commands.add_parser(
+        "run",
+        parents=[json_parent],
+        help="execute a saved run specification under the sampling profiler",
+    )
+    profile_run.add_argument(
+        "--config", required=True, help="path of the RunSpec JSON file to execute"
+    )
+    profile_run.add_argument(
+        "--hz", type=float, default=None, help="stack-sampling rate (default 97)"
+    )
+    profile_run.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip per-span memory attribution (CPU samples only)",
+    )
+    profile_run.add_argument(
+        "--precise-memory",
+        action="store_true",
+        help=(
+            "use tracemalloc for exact per-span traced bytes instead of "
+            "resident-set reads (precise, but several times slower on "
+            "allocation-heavy runs)"
+        ),
+    )
+    profile_run.add_argument(
+        "--top", type=int, default=10, help="rows per report table (default 10)"
+    )
+    profile_run.add_argument(
+        "--collapsed",
+        default=None,
+        metavar="PATH",
+        help="also write flamegraph.pl-compatible collapsed stacks to this file",
+    )
+    profile_run.add_argument(
+        "--speedscope",
+        default=None,
+        metavar="PATH",
+        help="also write a speedscope.app JSON profile to this file",
+    )
+    profile_run.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append the profiled run (result, telemetry and profile) to this "
+            f"SQLite run store (defaults to ${RUN_STORE_ENV} when set)"
+        ),
+    )
+
+    profile_report = profile_commands.add_parser(
+        "report",
+        parents=[store_parent, json_parent],
+        help="print a stored run's top-spans / top-functions profile report",
+    )
+    profile_report.add_argument("run_id", type=int, help="run id (see `runs list`)")
+    profile_report.add_argument(
+        "--top", type=int, default=10, help="rows per report table (default 10)"
+    )
+
+    profile_export = profile_commands.add_parser(
+        "export",
+        parents=[store_parent],
+        help="emit a stored run's profile as collapsed stacks, speedscope or JSON",
+    )
+    profile_export.add_argument("run_id", type=int, help="run id (see `runs list`)")
+    profile_export.add_argument(
+        "--format",
+        choices=["collapsed", "speedscope", "json"],
+        default="collapsed",
+        help="export format (default: collapsed stacks for flamegraph.pl)",
+    )
+    profile_export.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
+    )
 
     lint = subparsers.add_parser(
         "lint",
@@ -512,6 +626,25 @@ def _print_result(result, args: argparse.Namespace) -> None:
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(result.render())
+        _maybe_print_profile(result, args)
+
+
+def _profile_options(args: argparse.Namespace):
+    """The ``execute(profile=...)`` value of this invocation (None = off)."""
+    if not getattr(args, "profile", False):
+        return None
+    hz = getattr(args, "profile_hz", None)
+    return {"hz": hz} if hz is not None else True
+
+
+def _maybe_print_profile(result, args: argparse.Namespace) -> None:
+    """After a non-JSON report, append the profile summary when captured."""
+    if getattr(args, "json", False) or not getattr(result, "profile", None):
+        return
+    from repro.prof import Profile
+
+    print()
+    print(Profile.from_dict(result.profile).render_report())
 
 
 def _store_path(args: argparse.Namespace) -> str | None:
@@ -586,7 +719,9 @@ def _command_tables(args: argparse.Namespace) -> int:
         execution=ExecutionSpec(engine=args.engine),
     )
     with _obs_session(args) as registry:
-        result = execute(spec, registry=registry, store=_store_path(args))
+        result = execute(
+            spec, registry=registry, store=_store_path(args), profile=_profile_options(args)
+        )
     _print_result(result, args)
     return 0
 
@@ -598,7 +733,9 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         execution=ExecutionSpec(compare_configurations=args.configurations, engine=args.engine),
     )
     with _obs_session(args) as registry:
-        result = execute(spec, registry=registry, store=_store_path(args))
+        result = execute(
+            spec, registry=registry, store=_store_path(args), profile=_profile_options(args)
+        )
     _print_result(result, args)
     return 0
 
@@ -641,7 +778,13 @@ def _command_stream(args: argparse.Namespace) -> int:
         )
         progress = _progress_printer(args.progress_every)
     with _obs_session(args) as registry:
-        result = execute(spec, progress=progress, registry=registry, store=_store_path(args))
+        result = execute(
+            spec,
+            progress=progress,
+            registry=registry,
+            store=_store_path(args),
+            profile=_profile_options(args),
+        )
     if not args.json:
         print()
     _print_result(result, args)
@@ -675,11 +818,15 @@ def _command_defend(args: argparse.Namespace) -> int:
                     f"(~{args.requests:,} requests, k={args.k}-out-of-4) ..."
                 )
             results[campaign] = execute(
-                _defend_spec(args, campaign), registry=registry, store=_store_path(args)
+                _defend_spec(args, campaign),
+                registry=registry,
+                store=_store_path(args),
+                profile=_profile_options(args),
             )
             if not args.json:
                 print()
                 print(results[campaign].render())
+                _maybe_print_profile(results[campaign], args)
                 print()
     if args.json:
         print(
@@ -765,7 +912,9 @@ def _trace_mix(args: argparse.Namespace) -> int:
 def _command_run(args: argparse.Namespace) -> int:
     spec = load_runspec(args.config)
     with _obs_session(args) as registry:
-        result = execute(spec, registry=registry, store=_store_path(args))
+        result = execute(
+            spec, registry=registry, store=_store_path(args), profile=_profile_options(args)
+        )
     _print_result(result, args)
     return 0
 
@@ -861,11 +1010,15 @@ def _runs_show(args: argparse.Namespace) -> int:
         # this output round-trips through every RunResult consumer.
         print(json.dumps(data, indent=2))
         return 0
+    from repro.prof import Profile
     from repro.runspec.result import RunResult
 
     print(_format_run_row(summary))
     print()
     print(RunResult.from_dict(data).render())
+    if data.get("profile"):
+        print()
+        print(Profile.from_dict(data["profile"]).render_report())
     return 0
 
 
@@ -926,6 +1079,85 @@ def _runs_serve(args: argparse.Namespace) -> int:
         return 0
     finally:
         server.close()
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _profile_run,
+        "report": _profile_report,
+        "export": _profile_export,
+    }
+    return handlers[args.profile_command](args)
+
+
+def _profile_run(args: argparse.Namespace) -> int:
+    from repro.prof import Profile
+
+    spec = load_runspec(args.config)
+    options: dict = {}
+    if args.hz is not None:
+        options["hz"] = args.hz
+    if args.no_memory:
+        options["memory"] = False
+    if args.precise_memory:
+        options["precise_memory"] = True
+    result = execute(spec, store=_store_path(args), profile=options or True)
+    assert result.profile is not None  # execute(profile=...) always captures
+    profile = Profile.from_dict(result.profile)
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(profile.collapsed())
+        print(f"wrote collapsed stacks to {args.collapsed}", file=sys.stderr)
+    if args.speedscope:
+        with open(args.speedscope, "w", encoding="utf-8") as handle:
+            json.dump(profile.speedscope(os.path.basename(args.config)), handle)
+            handle.write("\n")
+        print(f"wrote speedscope profile to {args.speedscope}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.profile, indent=2))
+    else:
+        print(result.render())
+        print()
+        print(profile.render_report(limit=args.top))
+    return 0
+
+
+def _stored_profile(args: argparse.Namespace):
+    from repro.prof import Profile
+
+    with RunStore(_require_store_path(args), create=False) as store:
+        stored = store.profile(args.run_id)
+    if stored is None:
+        raise SystemExit(
+            f"run #{args.run_id} has no profile; re-run with --profile to capture one"
+        )
+    return stored, Profile.from_dict(stored)
+
+
+def _profile_report(args: argparse.Namespace) -> int:
+    stored, profile = _stored_profile(args)
+    if args.json:
+        print(json.dumps(stored, indent=2))
+    else:
+        print(profile.render_report(limit=args.top))
+    return 0
+
+
+def _profile_export(args: argparse.Namespace) -> int:
+    stored, profile = _stored_profile(args)
+    if args.format == "collapsed":
+        text = profile.collapsed()
+    elif args.format == "speedscope":
+        text = json.dumps(profile.speedscope(f"run #{args.run_id}")) + "\n"
+    else:
+        text = json.dumps(stored, indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"exported run #{args.run_id} profile to {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
 
 
 def _command_scenarios(args: argparse.Namespace) -> int:
@@ -1036,6 +1268,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "obs": _command_obs,
         "trace": _command_trace,
         "runs": _command_runs,
+        "profile": _command_profile,
         "lint": _command_lint,
     }
     return handlers[args.command](args)

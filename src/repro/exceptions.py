@@ -118,6 +118,16 @@ class LintError(ReproError):
     """
 
 
+class ProfError(ReproError):
+    """Raised for invalid profiling operations.
+
+    Covers malformed :mod:`repro.prof` options (non-positive sampling
+    rates), profiles that do not round-trip (bad collapsed-stack or
+    profile-snapshot payloads) and misuse of the profiler lifecycle
+    (starting a running profiler, stopping a stopped one).
+    """
+
+
 class ObsError(ReproError):
     """Raised for invalid observability operations.
 

@@ -20,6 +20,9 @@ REP007    exception hygiene: no bare ``except:``; no silently
           swallowed exceptions in engine paths
 REP008    CLI drift: every ``ExecutionSpec`` field is reachable
           from ``repro.cli``
+REP009    span-name discipline: ``trace_span``/``registry.span``
+          stage names and the ``SPAN_REFERENCE`` catalogue match,
+          both directions
 ========  ==========================================================
 
 Adding a rule: subclass :class:`repro.lint.engine.Rule` in a new module
@@ -36,5 +39,6 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     lock_guard,
     metric_names,
     registry_discipline,
+    span_names,
     spec_roundtrip,
 )

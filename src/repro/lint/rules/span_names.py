@@ -1,0 +1,159 @@
+"""REP009: span stage names and the ``SPAN_REFERENCE`` catalogue agree.
+
+Span names are the other half of the telemetry vocabulary: they key the
+per-stage timings, the span-tree telemetry, and the profiler's
+attribution paths.  ``repro.obs.names.SPAN_REFERENCE`` documents every
+stage name the library may open; this rule keeps the two in sync, both
+directions -- every statically-resolvable ``trace_span(...)`` /
+``registry.span(...)`` first argument must be a catalogued stage, and
+every catalogue row must name a stage some call site actually opens.
+
+Resolution mirrors REP002: only string-literal stage names are judged
+(dynamic names -- variables, f-strings -- are skipped), and ``.span``
+attribute calls whose literal contains ``/`` are skipped too, since a
+slash marks a :class:`repro.prof.profile.Profile` *path* lookup rather
+than a stage being opened.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import ImportMap, dotted_name
+from repro.lint.engine import Project, Rule, SourceFile, register_rule
+from repro.lint.findings import Finding
+from repro.registry import suggest
+
+#: Modules ``trace_span`` is importable from (definition plus re-exports).
+_SPAN_MODULES = ("repro.obs.spans", "repro.obs", "repro")
+
+
+def _span_reference_of(source: SourceFile) -> tuple[dict[str, int], ast.AST | None]:
+    """``(stage name -> line, table node)`` of the catalogue module."""
+    reference: dict[str, int] = {}
+    reference_node: ast.AST | None = None
+    for stmt in source.tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if (
+            not isinstance(target, ast.Name)
+            or target.id != "SPAN_REFERENCE"
+            or value is None
+        ):
+            continue
+        reference_node = stmt
+        for row in ast.walk(value):
+            if not isinstance(row, ast.Tuple) or not row.elts:
+                continue
+            first = row.elts[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                reference.setdefault(first.value, row.lineno)
+    return reference, reference_node
+
+
+def _span_name_of(node: ast.AST, imports: ImportMap) -> str | None:
+    """The statically-resolvable stage name a call opens, else ``None``."""
+    if not isinstance(node, ast.Call) or not node.args:
+        return None
+    arg = node.args[0]
+    if not isinstance(arg, ast.Constant) or not isinstance(arg.value, str):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        if any(
+            imports.imported_from(func.id, module) == "trace_span"
+            for module in _SPAN_MODULES
+        ):
+            return arg.value
+        return None
+    if isinstance(func, ast.Attribute):
+        if func.attr == "trace_span":
+            receiver = dotted_name(func.value)
+            if receiver is not None and any(
+                imports.resolves_to_module(receiver, module)
+                for module in _SPAN_MODULES
+            ):
+                return arg.value
+            return None
+        if func.attr == "span" and "/" not in arg.value:
+            # ``registry.span("stage")``; slashes mark Profile path lookups.
+            return arg.value
+    return None
+
+
+@register_rule
+class SpanNameRule(Rule):
+    rule_id = "REP009"
+    severity = "error"
+    summary = (
+        "span stage names at call sites and in SPAN_REFERENCE must "
+        "match, both directions"
+    )
+    autofix_hint = (
+        "add the stage to repro.obs.names.SPAN_REFERENCE (name + meaning row) "
+        "or fix the call site to open a catalogued stage"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        catalogue_file = project.file(project.config.metric_catalogue)
+        if catalogue_file is None:
+            return
+        reference, reference_node = _span_reference_of(catalogue_file)
+
+        # Every resolvable call site, gathered first: a project that opens
+        # no spans does not need the catalogue table at all.
+        sites: list[tuple[SourceFile, ast.AST, str]] = []
+        for source in project.files:
+            if source.rel_path == catalogue_file.rel_path:
+                continue
+            imports = ImportMap.of(source.tree)
+            for node in ast.walk(source.tree):
+                name = _span_name_of(node, imports)
+                if name is not None:
+                    sites.append((source, node, name))
+
+        if reference_node is None:
+            if sites:
+                yield self.finding(
+                    catalogue_file,
+                    catalogue_file.tree.body[0] if catalogue_file.tree.body else None,
+                    "span stage names are opened but the catalogue module "
+                    "defines no SPAN_REFERENCE table",
+                )
+            return
+
+        # Direction 1: every opened stage is catalogued ...
+        for source, node, name in sites:
+            if name not in reference:
+                yield self.finding(
+                    source,
+                    node,
+                    f"span stage {name!r} is not in SPAN_REFERENCE",
+                    suggestion=_suggest(name, reference),
+                )
+        # ... and every catalogue row names a stage some call site opens.
+        opened = {name for _source, _node, name in sites}
+        for name, lineno in sorted(reference.items()):
+            if name not in opened:
+                yield Finding(
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    path=catalogue_file.rel_path,
+                    line=lineno,
+                    col=1,
+                    message=(
+                        f"SPAN_REFERENCE row {name!r} does not correspond to any "
+                        "trace_span/registry.span call site"
+                    ),
+                    suggestion=_suggest(name, opened),
+                )
+
+
+def _suggest(name: str, known: dict[str, int] | set[str]) -> str | None:
+    match = suggest(name, list(known))
+    return f"did you mean {match!r}?" if match else None

@@ -32,10 +32,11 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    exponential_bounds,
     resolve_registry,
 )
 from repro.obs.prometheus import MetricsServer, render, serve_metrics
-from repro.obs.spans import Span, trace_span
+from repro.obs.spans import Span, SpanHook, trace_span
 
 __all__ = [
     "Counter",
@@ -48,6 +49,8 @@ __all__ = [
     "NULL_REGISTRY",
     "NullRegistry",
     "Span",
+    "SpanHook",
+    "exponential_bounds",
     "logging_setup",
     "names",
     "render",

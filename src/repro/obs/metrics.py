@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Any, Iterator, Mapping
 if TYPE_CHECKING:
     from contextlib import AbstractContextManager
 
-    from repro.obs.spans import Span
+    from repro.obs.spans import Span, SpanHook
 
 from repro.exceptions import ObsError
 from repro.obs.names import STAGE_SECONDS
@@ -43,6 +43,23 @@ from repro.obs.names import STAGE_SECONDS
 #: Chosen for durations (the library's dominant histogram use); a custom
 #: ``bounds=`` serves other distributions.
 DEFAULT_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2**i for i in range(28))
+
+
+def exponential_bounds(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` strictly increasing bucket bounds: ``start * factor**i``.
+
+    The convenience constructor for custom histogram boundaries
+    (``registry.histogram(name, bounds=exponential_bounds(1024, 4, 16))``
+    covers 1 KiB .. 1 TiB), so distributions that the duration-shaped
+    :data:`DEFAULT_BOUNDS` would clip -- byte sizes, request counts --
+    get buckets that actually resolve their quantiles.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ObsError(
+            "exponential_bounds needs start > 0, factor > 1 and count >= 1, "
+            f"got start={start}, factor={factor}, count={count}"
+        )
+    return tuple(start * factor**i for i in range(count))
 
 _KINDS = ("counter", "gauge", "histogram")
 
@@ -225,11 +242,12 @@ class Histogram(_Instrument):
         return series.max
 
     def percentiles(self, **labels: str) -> dict[str, float]:
-        """The standard p50/p95/p99 summary of one label series."""
+        """The standard p50/p95/p99/p999 summary of one label series."""
         return {
             "p50": self.quantile(0.50, **labels),
             "p95": self.quantile(0.95, **labels),
             "p99": self.quantile(0.99, **labels),
+            "p999": self.quantile(0.999, **labels),
         }
 
 
@@ -251,6 +269,12 @@ class MetricsRegistry:
         #: Completed root spans, in completion order (see repro.obs.spans).
         self.spans: list[Any] = []
         self._span_stacks = threading.local()
+        #: thread ident -> the tuple of span names currently open on that
+        #: thread (root first).  Written by ``trace_span`` on the owning
+        #: thread only; read cross-thread by the sampling profiler, which
+        #: is safe because tuple replacement is atomic under the GIL.
+        self._span_paths: dict[int, tuple[str, ...]] = {}
+        self._span_hooks: list[SpanHook] = []
 
     # ------------------------------------------------------------------
     def _get_or_create(self, cls: type[Any], name: str, help: str, **kwargs: Any) -> Any:
@@ -306,6 +330,27 @@ class MetricsRegistry:
         if stack is None:
             stack = self._span_stacks.stack = []
         return stack
+
+    # ------------------------------------------------------------------
+    def add_span_hook(self, hook: SpanHook) -> None:
+        """Observe every span enter/exit (see :class:`repro.obs.spans.SpanHook`)."""
+        with self._lock:
+            if hook not in self._span_hooks:
+                self._span_hooks = [*self._span_hooks, hook]
+
+    def remove_span_hook(self, hook: SpanHook) -> None:
+        """Stop observing span boundaries (unknown hooks are ignored)."""
+        with self._lock:
+            self._span_hooks = [h for h in self._span_hooks if h is not hook]
+
+    def active_span_paths(self) -> dict[int, tuple[str, ...]]:
+        """thread ident -> the span path currently open on that thread.
+
+        A point-in-time snapshot (threads between spans are absent); this
+        is the correlation surface the sampling profiler reads to
+        attribute each captured stack to the stage it ran under.
+        """
+        return {ident: path for ident, path in self._span_paths.items() if path}
 
     # ------------------------------------------------------------------
     def stage_timings(self) -> dict[str, float]:

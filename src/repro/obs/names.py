@@ -83,6 +83,13 @@ TRACE_WRITTEN_BYTES = "repro_trace_compressed_written_bytes_total"
 TRACE_RECORDS_WRITTEN = "repro_trace_records_written_total"
 
 # ----------------------------------------------------------------------
+# Profiler (repro.prof): live sampling / per-span resource attribution
+# ----------------------------------------------------------------------
+PROFILE_SAMPLES = "repro_profile_samples_total"
+PROFILE_SPAN_ALLOC_BYTES = "repro_profile_span_alloc_bytes_total"
+PROFILE_SPAN_PEAK_BYTES = "repro_profile_span_peak_bytes"
+
+# ----------------------------------------------------------------------
 # Mitigation gateway / policy engine
 # ----------------------------------------------------------------------
 ENFORCEMENT_ACTIONS = "repro_enforcement_actions_total"
@@ -125,9 +132,31 @@ METRIC_REFERENCE: tuple[tuple[str, str, str, str], ...] = (
     (TRACE_READ_BYTES, "counter", "-", "compressed trace bytes read"),
     (TRACE_WRITTEN_BYTES, "counter", "-", "compressed trace bytes written"),
     (TRACE_RECORDS_WRITTEN, "counter", "-", "records appended to trace files"),
+    (PROFILE_SAMPLES, "counter", "-", "stack samples captured by the profiler"),
+    (PROFILE_SPAN_ALLOC_BYTES, "counter", "span", "net bytes allocated inside each span path"),
+    (PROFILE_SPAN_PEAK_BYTES, "gauge", "span", "peak traced memory observed inside each span path"),
     (ENFORCEMENT_ACTIONS, "counter", "action", "gateway decisions by enforcement action"),
     (ESCALATIONS, "counter", "-", "decisions driven by the escalation ladder"),
     (CHALLENGES, "counter", "outcome", "challenges issued, by passed/failed outcome"),
     (COOLDOWN_RESETS, "counter", "-", "visitor strike states decayed by cool-down"),
     (BLOCKS_EXPIRED, "counter", "-", "expired blocks lifted by the policy engine"),
+)
+
+#: ``(stage, meaning)`` rows of the span-name catalogue: every
+#: ``trace_span`` / ``registry.span`` stage name used anywhere in the
+#: library must appear here (enforced by lint rule REP009), so span
+#: trees, per-stage timings and profiler attribution paths use a stable,
+#: documented vocabulary -- the span-tree counterpart of
+#: :data:`METRIC_REFERENCE`.
+SPAN_REFERENCE: tuple[tuple[str, str], ...] = (
+    ("dataset", "traffic materialisation (generate, parse or replay)"),
+    ("experiment", "the batch diversity experiment over one data set"),
+    ("sessionize", "grouping records into visitor sessions"),
+    ("features", "batched session feature extraction"),
+    ("detectors", "the batch detector ensemble"),
+    ("detector", "one batch detector's analysis"),
+    ("source", "stream-source resolution (dataset or trace replay)"),
+    ("stream", "streaming replay through the online engine"),
+    ("simulate", "the closed-loop defense simulation"),
+    ("report", "mitigation report assembly"),
 )

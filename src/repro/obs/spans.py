@@ -19,13 +19,32 @@ yields a shared inert span and records nothing.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterator, Mapping, Protocol
 
 from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.obs.names import STAGE_SECONDS
+
+
+class SpanHook(Protocol):
+    """Observer of span boundaries (see :meth:`MetricsRegistry.add_span_hook`).
+
+    Hooks see every span enter/exit with the span's full *path* -- the
+    tuple of names from the root span down (``("tables", "sessionize")``)
+    -- which is the correlation key the profiler uses to attribute CPU
+    samples and allocations to pipeline stages.  Hook calls happen on
+    the instrumented thread, inline with the workload: implementations
+    must be cheap and must not raise.
+    """
+
+    def span_opened(self, path: tuple[str, ...]) -> None:
+        """Called after a span is pushed, before its body runs."""
+
+    def span_closed(self, span: "Span", path: tuple[str, ...]) -> None:
+        """Called after a span's body finished and its duration is set."""
 
 
 @dataclass
@@ -103,6 +122,11 @@ def trace_span(
     span = Span(name=name, attributes=dict(attributes))
     stack = registry._span_stack()
     stack.append(span)
+    path = tuple(entry.name for entry in stack)
+    ident = threading.get_ident()
+    registry._span_paths[ident] = path
+    for hook in registry._span_hooks:
+        hook.span_opened(path)
     span.start = time.perf_counter()
     try:
         yield span
@@ -111,8 +135,12 @@ def trace_span(
         stack.pop()
         if stack:
             stack[-1].children.append(span)
+            registry._span_paths[ident] = path[:-1]
         else:
             registry.spans.append(span)
+            registry._span_paths.pop(ident, None)
+        for hook in registry._span_hooks:
+            hook.span_closed(span, path)
         registry.histogram(
             STAGE_SECONDS, "Duration of every traced pipeline stage."
         ).observe(span.duration, stage=name)

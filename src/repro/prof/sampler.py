@@ -1,0 +1,170 @@
+"""The background-thread stack sampler.
+
+A :class:`StackSampler` wakes at a fixed rate on its own daemon thread,
+snapshots every interesting thread's Python stack via
+``sys._current_frames()`` and aggregates the walks in place -- no
+per-sample allocation beyond the first occurrence of a stack, no
+tracing hooks in the profiled code, so the profiled workload runs at
+full speed between ticks.
+
+Interesting threads are (a) the thread that started the sampler (the
+run's main thread) and (b) every thread currently inside a
+``trace_span`` (read from
+:meth:`~repro.obs.metrics.MetricsRegistry.active_span_paths`); each
+captured stack is attributed to the span path its thread was under at
+that instant, which is what correlates raw frames with pipeline stages.
+
+The default rate is 97 Hz -- a prime frequency, so the sampler cannot
+phase-lock with millisecond-periodic work and systematically hit (or
+miss) the same code.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from types import FrameType
+from typing import Callable
+
+from repro.exceptions import ProfError
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.names import PROFILE_SAMPLES
+from repro.prof.profile import PATH_SEPARATOR, frame_label
+
+#: Default sampling rate (prime, see module docstring).
+DEFAULT_HZ = 97.0
+
+#: Stack frames kept per sample, innermost out; deeper stacks truncate
+#: at the root end so the hot leaf is always preserved.
+DEFAULT_MAX_DEPTH = 64
+
+
+class StackSampler:
+    """Sample thread stacks at a fixed rate and aggregate them.
+
+    Lifecycle: construct, :meth:`start`, run the workload, :meth:`stop`;
+    then read :attr:`counts` / :attr:`span_self_samples`.  A sampler is
+    single-use.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        hz: float = DEFAULT_HZ,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        on_tick: Callable[[], None] | None = None,
+    ) -> None:
+        if hz <= 0:
+            raise ProfError(f"sampling rate must be positive, got {hz} Hz")
+        if hz > 1000:
+            raise ProfError(f"sampling above 1000 Hz is self-defeating, got {hz} Hz")
+        if max_depth < 1:
+            raise ProfError(f"max stack depth must be >= 1, got {max_depth}")
+        self._registry = registry
+        self._interval = 1.0 / hz
+        self._max_depth = max_depth
+        #: Piggy-backed per-tick work (e.g. the memory tracker's peak
+        #: poll) -- runs on the sampler thread after each stack capture.
+        self._on_tick = on_tick
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._finished = False
+        self._counter: Counter | None = None
+        #: ``(span_path, frames) -> sample count`` aggregate.
+        self.counts: dict[tuple[str, tuple[str, ...]], int] = {}
+        #: ``span_path -> self sample count`` ("" = outside any span).
+        self.span_self_samples: dict[str, int] = {}
+        #: Total stacks captured.
+        self.samples = 0
+        #: Sampler ticks that fell behind schedule (overload signal).
+        self.missed_ticks = 0
+        self._targets: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start sampling; the calling thread becomes a sampling target."""
+        if self._thread is not None or self._finished:
+            raise ProfError("stack sampler already started")
+        self._targets.add(threading.get_ident())
+        if self._registry.enabled:
+            self._counter = self._registry.counter(
+                PROFILE_SAMPLES, "Stack samples captured by the profiler."
+            )
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-prof-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the sampling thread and seal the aggregates."""
+        if self._thread is None:
+            raise ProfError("stack sampler is not running")
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+        self._finished = True
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        next_tick = time.perf_counter() + self._interval
+        while not self._stop_event.is_set():
+            self._sample_once(own_ident)
+            if self._on_tick is not None:
+                self._on_tick()
+            delay = next_tick - time.perf_counter()
+            if delay > 0:
+                self._stop_event.wait(delay)
+                next_tick += self._interval
+            else:
+                # Fell behind (a tick took longer than the interval):
+                # resynchronise instead of bursting to catch up.
+                self.missed_ticks += 1
+                next_tick = time.perf_counter() + self._interval
+
+    def _sample_once(self, own_ident: int) -> None:
+        paths = self._registry.active_span_paths()
+        targets = self._targets | set(paths)
+        targets.discard(own_ident)
+        if not targets:
+            return
+        frames = sys._current_frames()
+        captured = 0
+        try:
+            for ident in targets:
+                frame = frames.get(ident)
+                if frame is None:
+                    continue
+                stack = self._walk(frame)
+                if not stack:
+                    continue
+                span_path = PATH_SEPARATOR.join(paths.get(ident, ()))
+                key = (span_path, stack)
+                self.counts[key] = self.counts.get(key, 0) + 1
+                self.span_self_samples[span_path] = (
+                    self.span_self_samples.get(span_path, 0) + 1
+                )
+                captured += 1
+        finally:
+            del frames  # drop the frame references promptly
+        self.samples += captured
+        if captured and self._counter is not None:
+            self._counter.inc(captured)
+
+    def _walk(self, frame: FrameType | None) -> tuple[str, ...]:
+        stack: list[str] = []
+        depth = 0
+        while frame is not None and depth < self._max_depth:
+            code = frame.f_code
+            module = frame.f_globals.get("__name__", "?")
+            stack.append(frame_label(str(module), code.co_qualname))
+            frame = frame.f_back
+            depth += 1
+        stack.reverse()
+        return tuple(stack)
+
+
+__all__ = ["DEFAULT_HZ", "DEFAULT_MAX_DEPTH", "StackSampler"]

@@ -41,6 +41,7 @@ from repro.mitigation.scenarios import run_defense
 from repro.obs import names as metric_names
 from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.obs.spans import trace_span
+from repro.prof.profiler import ProfileOptions, Profiler
 from repro.runspec.result import RunResult
 from repro.runspec.spec import (
     DEFAULT_SCENARIO,
@@ -207,6 +208,7 @@ def execute(
     dataset: Dataset | None = None,
     registry: MetricsRegistry | None = None,
     store: str | os.PathLike[str] | RunStore | None = None,
+    profile: Any = None,
 ) -> RunResult:
     """Run the workload a spec describes and return its uniform result.
 
@@ -237,27 +239,51 @@ def execute(
         path is opened (and created on first use) and closed again;
         ``None`` falls back to the ``REPRO_RUN_STORE`` environment
         variable, and keeps the run unrecorded when that is unset too.
+    profile:
+        Profile the run: ``True`` (defaults), a
+        :class:`~repro.prof.profiler.ProfileOptions` or a mapping of its
+        fields samples stacks on a background thread and attributes CPU
+        time and memory to the run's tracing spans; the result carries
+        the capture as ``RunResult.profile`` (and it lands in the run
+        store's ``profiles`` table when the run is recorded).  Profiling
+        needs span telemetry, so a run profiled without a ``registry``
+        gets a private one.  ``None`` / ``False`` (the default) keep the
+        no-profiling fast path at zero cost.
     """
     registry = resolve_registry(registry)
     _validate_for_mode(spec)
+    options = ProfileOptions.coerce(profile)
+    if options is not None and not registry.enabled:
+        # The span tree is the profiler's attribution key; a profiled
+        # run therefore always carries telemetry, even when the caller
+        # did not ask for any.
+        registry = MetricsRegistry()
     wall_started = time.perf_counter()
     if registry.enabled:
         registry.counter(metric_names.RUNS, "RunSpec executions, by mode.").inc(
             mode=spec.mode
         )
-    if spec.mode == "defend":
-        if dataset is not None:
-            raise SpecError("defend mode generates its own closed-loop traffic")
-        result = _run_defend(spec, registry)
-    elif spec.mode == "stream":
-        result = _run_stream(spec, progress, dataset, registry)
-    else:
-        runners = {"tables": _run_tables, "evaluate": _run_evaluate}
-        try:
-            runner = runners[spec.mode]
-        except KeyError as exc:  # pragma: no cover - RunSpec validates mode
-            raise SpecError(f"unknown run mode {spec.mode!r}") from exc
-        result = runner(spec, dataset, registry)
+    profiler = Profiler(registry, options) if options is not None else None
+    if profiler is not None:
+        profiler.start()
+    try:
+        if spec.mode == "defend":
+            if dataset is not None:
+                raise SpecError("defend mode generates its own closed-loop traffic")
+            result = _run_defend(spec, registry)
+        elif spec.mode == "stream":
+            result = _run_stream(spec, progress, dataset, registry)
+        else:
+            runners = {"tables": _run_tables, "evaluate": _run_evaluate}
+            try:
+                runner = runners[spec.mode]
+            except KeyError as exc:  # pragma: no cover - RunSpec validates mode
+                raise SpecError(f"unknown run mode {spec.mode!r}") from exc
+            result = runner(spec, dataset, registry)
+    finally:
+        captured = profiler.stop() if profiler is not None else None
+    if captured is not None:
+        result.profile = captured.to_dict()
     if registry.enabled:
         # Span-derived per-stage durations, with the legacy keys kept
         # verbatim on top (they win any name collision).

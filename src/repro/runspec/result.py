@@ -50,6 +50,10 @@ class RunResult:
     #: the run was executed with a registry; ``None`` otherwise.  The
     #: schema is :meth:`repro.obs.metrics.MetricsRegistry.to_dict`.
     telemetry: dict[str, Any] | None = None
+    #: Captured profile (stack samples, per-span resource attribution)
+    #: when the run was executed with ``profile=``; ``None`` otherwise.
+    #: The schema is :meth:`repro.prof.profile.Profile.to_dict`.
+    profile: dict[str, Any] | None = None
     #: Human-readable summary lines appended after the tables.
     summary: list[str] = field(default_factory=list)
     #: Closed-loop enforcement summary (``defend`` runs only).
@@ -86,6 +90,7 @@ class RunResult:
             "rows": {name: [dict(row) for row in rows] for name, rows in self.rows.items()},
             "timings": dict(self.timings),
             "telemetry": dict(self.telemetry) if self.telemetry is not None else None,
+            "profile": dict(self.profile) if self.profile is not None else None,
             "summary": list(self.summary),
             "enforcement": dict(self.enforcement) if self.enforcement is not None else None,
             "spec": self.spec,
@@ -108,6 +113,9 @@ class RunResult:
                 timings=dict(data.get("timings", {})),
                 telemetry=(
                     dict(data["telemetry"]) if data.get("telemetry") is not None else None
+                ),
+                profile=(
+                    dict(data["profile"]) if data.get("profile") is not None else None
                 ),
                 summary=list(data.get("summary", [])),
                 enforcement=(

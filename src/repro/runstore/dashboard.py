@@ -14,7 +14,12 @@ Routes
 ``/runs/<id>``
     One run: summary header, scalar metrics, per-detector alert counts,
     per-stage timing breakdown, telemetry counter series and histogram
-    quantiles, and the stored spec JSON.
+    quantiles, and the stored spec JSON (plus a link to the profile view
+    when the run was profiled).
+``/runs/<id>/flame``
+    One run's :mod:`repro.prof` capture: per-span self-time flame bars,
+    allocation/peak-memory attribution, the hottest functions and the
+    collapsed stacks themselves.
 ``/series/<spec-hash>``
     One spec's run series (oldest first): a trend table with a unicode
     sparkline per telemetry counter, wall-clock and request totals --
@@ -42,6 +47,7 @@ from urllib.parse import urlparse
 from repro.exceptions import StoreError
 from repro.obs.httpserve import BackgroundHTTPServer
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.prof.profile import Profile
 from repro.runstore.store import RunStore, RunSummary
 
 #: Unicode eighth-blocks, the sparkline alphabet.
@@ -254,9 +260,73 @@ def render_run_detail(store: RunStore, run_id: int) -> str:
             _table(["stage", "seconds"], _metrics_rows(data["timings"]))
         )
     sections.append(_telemetry_sections(data.get("telemetry")))
+    if data.get("profile"):
+        profile = Profile.from_dict(data["profile"])
+        sections.append(
+            f'<h2><a href="/runs/{summary.run_id}/flame">profile</a></h2>'
+            f"<p>{profile.sample_count():,} stack sample(s) over "
+            f"{profile.duration_seconds:.2f}s at {profile.hz:g} Hz &mdash; "
+            f'<a href="/runs/{summary.run_id}/flame">flame / top spans</a></p>'
+        )
     sections.append("<h2>spec</h2>")
     sections.append(f"<pre>{_e(json.dumps(data.get('spec'), indent=2))}</pre>")
     return _PAGE.format(title=f"run #{run_id}", body="".join(sections))
+
+
+def _flame_bar(fraction: float, width: int = 30) -> str:
+    cells = int(round(max(0.0, min(1.0, fraction)) * width))
+    return (
+        f'<span class="spark">{SPARK_BLOCKS[-1] * cells}</span>'
+        f'<span class="muted">{"·" * (width - cells)}</span>'
+    )
+
+
+def render_run_flame(store: RunStore, run_id: int) -> str:
+    """The per-run profile view: span flame bars, hot functions, stacks."""
+    summary = store.get(run_id)
+    stored = store.profile(run_id)
+    if stored is None:
+        raise StoreError(
+            f"run #{run_id} was not profiled; re-run with --profile to capture one"
+        )
+    profile = Profile.from_dict(stored)
+    total = max(profile.sample_count(), 1)
+    span_rows = []
+    for stat in profile.top_spans(limit=len(profile.spans)):
+        span_rows.append(
+            [
+                f"<code>{_e(stat.path)}</code>",
+                _flame_bar(stat.self_samples / total),
+                f"{stat.self_seconds(profile.hz):.3f}",
+                f"{stat.total_samples / total:.1%}",
+                f"{stat.calls:,}",
+                f"{stat.alloc_bytes:,}",
+                f"{stat.peak_bytes:,}",
+            ]
+        )
+    function_rows = [
+        [f"<code>{_e(name)}</code>", f"{self_count:,}", f"{total_count:,}"]
+        for name, self_count, total_count in profile.top_functions(limit=25)
+    ]
+    sections = [
+        f'<h1>run <a href="/runs/{summary.run_id}">#{summary.run_id}</a> profile</h1>',
+        f"<p>{profile.sample_count():,} stack sample(s) over "
+        f"{profile.duration_seconds:.2f}s at {profile.hz:g} Hz</p>",
+        "<h2>spans (self time)</h2>",
+        _table(
+            ["span path", "flame", "self s", "total %", "calls", "alloc B", "peak B"],
+            span_rows,
+        )
+        if span_rows
+        else '<p class="muted">no span samples captured</p>',
+        "<h2>hottest functions</h2>",
+        _table(["function", "self", "total"], function_rows)
+        if function_rows
+        else '<p class="muted">no samples captured</p>',
+        "<h2>collapsed stacks</h2>",
+        f"<pre>{_e(profile.collapsed())}</pre>",
+    ]
+    return _PAGE.format(title=f"run #{run_id} profile", body="".join(sections))
 
 
 def render_series(store: RunStore, spec_hash: str) -> str:
@@ -353,6 +423,13 @@ class DashboardServer(BackgroundHTTPServer):
                 parts = [part for part in path.split("/") if part]
                 if len(parts) == 2 and parts[0] == "runs" and parts[1].isdigit():
                     return 200, HTML, render_run_detail(store, int(parts[1]))
+                if (
+                    len(parts) == 3
+                    and parts[0] == "runs"
+                    and parts[1].isdigit()
+                    and parts[2] == "flame"
+                ):
+                    return 200, HTML, render_run_flame(store, int(parts[1]))
                 if len(parts) == 2 and parts[0] == "series":
                     return 200, HTML, render_series(store, parts[1])
                 if len(parts) == 3 and parts[:2] == ["api", "runs"] and parts[2].isdigit():

@@ -8,8 +8,11 @@ comparative too: :func:`diff_runs` takes two stored runs and reports
 * **metric deltas** -- every numeric ``RunResult.metrics`` entry,
 * **counter deltas** -- every labelled counter series of the stored
   telemetry snapshots (``repro_detector_alerts_total{detector=inhouse}``),
-* **quantile deltas** -- p50/p95/p99 of every labelled histogram series,
-* **timing deltas** -- the per-stage ``RunResult.timings`` seconds.
+* **quantile deltas** -- p50/p95/p99/p999 of every labelled histogram
+  series,
+* **timing deltas** -- the per-stage ``RunResult.timings`` seconds,
+* **profile deltas** -- per-span self time and peak traced memory, when
+  both runs carry a :mod:`repro.prof` capture.
 
 A delta whose relative change exceeds a configurable threshold is a
 *regression candidate*; ``repro runs diff --fail-on-regression`` exits
@@ -30,7 +33,7 @@ from repro.runstore.store import RunStore, RunSummary
 DEFAULT_THRESHOLD = 0.2
 
 #: Quantiles reported per histogram series.
-QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999))
 
 
 @dataclass(frozen=True)
@@ -150,6 +153,35 @@ def _quantile_values(telemetry: Mapping[str, Any] | None) -> dict[str, float]:
     return values
 
 
+def _profile_values(
+    profile: Mapping[str, Any] | None, *, memory: bool = True
+) -> dict[str, float]:
+    """Per-span self time and peak memory of a stored profile capture.
+
+    Self time is the span's self sample count over the sampling rate --
+    a statistical estimate, but one whose *relative* change between two
+    profiled runs of the same spec tracks real hot-path drift.  Memory
+    figures are only meaningful against a capture of the same mode
+    (resident-set watermarks vs tracemalloc traced bytes differ by
+    orders of magnitude), so the caller disables them via ``memory=``
+    when the two profiles' modes disagree.
+    """
+    values: dict[str, float] = {}
+    if not profile:
+        return values
+    hz = float(profile.get("hz") or 0.0)
+    for span in profile.get("spans", []):
+        path = span.get("path", "")
+        if not path:
+            continue
+        suffix = "{path=" + path + "}"
+        if hz > 0:
+            values[f"span{suffix}.self_seconds"] = float(span.get("self_samples", 0)) / hz
+        if memory:
+            values[f"span{suffix}.peak_bytes"] = float(span.get("peak_bytes", 0))
+    return values
+
+
 @dataclass
 class RunDiff:
     """Everything that differs (or could regress) between two stored runs."""
@@ -161,11 +193,18 @@ class RunDiff:
     counters: list[Delta] = field(default_factory=list)
     quantiles: list[Delta] = field(default_factory=list)
     timings: list[Delta] = field(default_factory=list)
+    profile: list[Delta] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def deltas(self) -> list[Delta]:
-        """Every numeric delta, across all four sections."""
-        return [*self.metrics, *self.counters, *self.quantiles, *self.timings]
+        """Every numeric delta, across all five sections."""
+        return [
+            *self.metrics,
+            *self.counters,
+            *self.quantiles,
+            *self.timings,
+            *self.profile,
+        ]
 
     def regressions(self, threshold: float = DEFAULT_THRESHOLD) -> list[Delta]:
         """Deltas whose relative change exceeds ``threshold``.
@@ -174,10 +213,22 @@ class RunDiff:
         inherently noisy across machines, so they are reported in the
         diff but never counted as regressions; behaviour counters and
         result metrics are deterministic for a given spec and count.
+        Profile spans *are* candidates -- both runs opted into profiling,
+        so a span whose self time or peak memory moved past the
+        threshold is exactly the longitudinal signal the capture exists
+        to flag.  The profiler's *own* counters (``repro_profile_*``:
+        sample totals, span byte counters) are excluded: they scale with
+        wall clock and capture mode, and the curated per-span profile
+        deltas already carry that signal.
         """
         if threshold < 0:
             raise StoreError("regression threshold must be non-negative")
-        candidates = [*self.metrics, *self.counters]
+        behaviour_counters = [
+            delta
+            for delta in self.counters
+            if not delta.name.startswith("counter.repro_profile_")
+        ]
+        candidates = [*self.metrics, *behaviour_counters, *self.profile]
         flagged = [
             delta for delta in candidates if abs(delta.change) > threshold
         ]
@@ -197,6 +248,7 @@ class RunDiff:
             "counters": [delta.to_dict() for delta in self.counters],
             "quantiles": [delta.to_dict() for delta in self.quantiles],
             "timings": [delta.to_dict() for delta in self.timings],
+            "profile": [delta.to_dict() for delta in self.profile],
         }
 
     def render(self, *, threshold: float = DEFAULT_THRESHOLD, all_deltas: bool = False) -> str:
@@ -222,6 +274,7 @@ class RunDiff:
             ("telemetry counters", self.counters),
             ("telemetry quantiles", self.quantiles),
             ("timings (seconds)", self.timings),
+            ("profile spans", self.profile),
         ):
             shown = [d for d in deltas if all_deltas or d.delta != 0.0]
             if not shown:
@@ -248,6 +301,11 @@ def diff_results(
     right_data: Mapping[str, Any],
 ) -> RunDiff:
     """Build a :class:`RunDiff` from two exported run dictionaries."""
+    _left_profile = left_data.get("profile") or {}
+    _right_profile = right_data.get("profile") or {}
+    _same_memory_mode = _left_profile.get("memory", "rss") == _right_profile.get(
+        "memory", "rss"
+    )
     return RunDiff(
         left=left_summary,
         right=right_summary,
@@ -272,6 +330,19 @@ def diff_results(
         ),
         timings=_numeric_deltas(
             "timings", left_data.get("timings", {}), right_data.get("timings", {})
+        ),
+        # Span-level comparison only makes sense when both runs were
+        # profiled; against an unprofiled run every span would read as an
+        # infinite "regression".  Memory figures additionally require the
+        # same capture mode on both sides.
+        profile=(
+            _numeric_deltas(
+                "profile",
+                _profile_values(left_data.get("profile"), memory=_same_memory_mode),
+                _profile_values(right_data.get("profile"), memory=_same_memory_mode),
+            )
+            if left_data.get("profile") and right_data.get("profile")
+            else []
         ),
     )
 

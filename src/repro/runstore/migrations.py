@@ -21,6 +21,12 @@ Version history
     content address of the generated traffic, when the run's traffic was
     cacheable) and ``package_version`` (the library that recorded the
     run), plus the ``runs_mode`` index the CLI list filters use.
+3
+    Adds the ``profiles`` table: one optional row per run holding the
+    full :meth:`repro.prof.profile.Profile.to_dict` JSON (stack samples
+    and per-span resource attribution).  Profiles live outside
+    ``runs.result_json`` for the same reason telemetry does -- listing
+    and diffing never parses them unless asked.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ import sqlite3
 from repro.exceptions import StoreError
 
 #: The schema version this library writes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Ordered migrations; each entry upgrades the schema *to* its version.
 MIGRATIONS: tuple[tuple[int, tuple[str, ...]], ...] = (
@@ -75,6 +81,17 @@ MIGRATIONS: tuple[tuple[int, tuple[str, ...]], ...] = (
             "ALTER TABLE runs ADD COLUMN trace_fingerprint TEXT",
             "ALTER TABLE runs ADD COLUMN package_version TEXT",
             "CREATE INDEX runs_mode ON runs(mode, id)",
+        ),
+    ),
+    (
+        3,
+        (
+            """
+            CREATE TABLE profiles (
+                run_id       INTEGER PRIMARY KEY REFERENCES runs(id),
+                profile_json TEXT NOT NULL
+            )
+            """,
         ),
     ),
 )

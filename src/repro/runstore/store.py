@@ -24,8 +24,9 @@ Storage layout notes
   a series of re-runs of the same experiment, which is what the
   dashboard's trend sparklines and ``repro runs diff`` iterate.
 * ``runs.result_json`` holds ``RunResult.to_dict()`` *minus* the
-  telemetry snapshot, which lives in its own column so listing and
-  diffing spec/metric data never parses the (much larger) telemetry.
+  telemetry snapshot (its own column) and the profile capture (the
+  ``profiles`` table), so listing and diffing spec/metric data never
+  parses those much larger payloads.
 * One connection per store, guarded by a lock -- the dashboard serves
   each HTTP request from a short-lived read-only store instead of
   sharing connections across threads.
@@ -188,6 +189,7 @@ class RunStore:
             raise StoreError(f"run store {self.path!r} is closed")
         data = result.to_dict()
         telemetry = data.pop("telemetry", None)
+        profile = data.pop("profile", None)
         spec = data.get("spec")
         spec_hash = spec_fingerprint(spec)
         recorded_at = time.time() if recorded_at is None else float(recorded_at)
@@ -226,6 +228,11 @@ class RunStore:
                 ),
             )
             run_id = cursor.lastrowid
+            if profile is not None:
+                self._execute(
+                    "INSERT INTO profiles (run_id, profile_json) VALUES (?, ?)",
+                    (run_id, json.dumps(profile)),
+                )
             series_index = self._execute(
                 "SELECT COUNT(*) FROM runs WHERE spec_hash = ? AND id <= ?",
                 (spec_hash, run_id),
@@ -304,23 +311,42 @@ class RunStore:
         """The exact ``RunResult.to_dict()`` dictionary of one stored run.
 
         This is the replay contract: what ``record()`` was handed is
-        what comes back, telemetry folded back in place, so stored runs
-        flow through every existing ``RunResult`` consumer unchanged.
+        what comes back, telemetry and profile folded back in place, so
+        stored runs flow through every existing ``RunResult`` consumer
+        unchanged.
         """
         with self._lock:
             row = self._execute(
-                "SELECT result_json, telemetry_json FROM runs WHERE id = ?",
+                "SELECT runs.result_json, runs.telemetry_json, profiles.profile_json "
+                "FROM runs LEFT JOIN profiles ON profiles.run_id = runs.id "
+                "WHERE runs.id = ?",
                 (int(run_id),),
             ).fetchone()
         if row is None:
             raise StoreError(f"run store has no run #{run_id}")
         data = json.loads(row[0])
         data["telemetry"] = None if row[1] is None else json.loads(row[1])
+        data["profile"] = None if row[2] is None else json.loads(row[2])
         return data
 
     def load(self, run_id: int) -> RunResult:
         """One stored run rebuilt as a :class:`RunResult`."""
         return RunResult.from_dict(self.export(run_id))
+
+    def profile(self, run_id: int) -> dict[str, Any] | None:
+        """One stored run's profile dictionary (``None`` when unprofiled).
+
+        The schema is :meth:`repro.prof.profile.Profile.to_dict`; feed it
+        to :meth:`repro.prof.profile.Profile.from_dict` for reports and
+        exports.  Raises :class:`StoreError` when the run itself is
+        absent, so a missing profile and a missing run stay distinct.
+        """
+        self.get(run_id)
+        with self._lock:
+            row = self._execute(
+                "SELECT profile_json FROM profiles WHERE run_id = ?", (int(run_id),)
+            ).fetchone()
+        return None if row is None else json.loads(row[0])
 
     def spec_json(self, spec_hash: str) -> dict[str, Any]:
         """The stored spec dictionary of one series (prefix lookup)."""
@@ -379,6 +405,11 @@ class RunStore:
             deleted = cursor.rowcount
             self._execute(
                 "DELETE FROM specs WHERE hash NOT IN (SELECT DISTINCT spec_hash FROM runs)"
+            )
+            # SQLite does not enforce the profiles->runs reference by
+            # default; drop profile rows orphaned by the trim explicitly.
+            self._execute(
+                "DELETE FROM profiles WHERE run_id NOT IN (SELECT id FROM runs)"
             )
         if deleted and vacuum:
             with self._lock:

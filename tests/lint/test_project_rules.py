@@ -93,6 +93,95 @@ def test_rep002_resolves_imported_constants_and_skips_dynamic_names(lint_tree):
 
 
 # ----------------------------------------------------------------------
+# REP009 span names
+# ----------------------------------------------------------------------
+_SPAN_CATALOGUE = _CATALOGUE + """
+SPAN_REFERENCE: tuple = (
+    ("dataset", "traffic materialisation"),
+    ("experiment", "the batch experiment"),
+)
+"""
+
+
+def test_rep009_fires_on_uncatalogued_stage_with_suggestion(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/obs/names.py": _SPAN_CATALOGUE,
+            "src/repro/runspec/run.py": """
+            from repro.obs.spans import trace_span
+
+            def run(registry):
+                with trace_span("dataset", registry):
+                    with trace_span("experiment", registry):
+                        pass
+                with trace_span("experiments", registry):  # typo'd stage
+                    pass
+            """,
+        }
+    )
+    (finding,) = only_rule(report, "REP009")
+    assert finding.path == "src/repro/runspec/run.py"
+    assert "experiments" in finding.message
+    assert finding.suggestion == "did you mean 'experiment'?"
+
+
+def test_rep009_fires_on_unopened_reference_row(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/obs/names.py": _SPAN_CATALOGUE,
+            "src/repro/runspec/run.py": """
+            from repro.obs.spans import trace_span
+
+            def run(registry):
+                with trace_span("dataset", registry):
+                    pass
+            """,
+        }
+    )
+    (finding,) = only_rule(report, "REP009")
+    assert finding.path == "src/repro/obs/names.py"
+    assert "'experiment'" in finding.message
+
+
+def test_rep009_fires_when_spans_opened_without_a_catalogue(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/obs/names.py": _CATALOGUE,
+            "src/repro/runspec/run.py": """
+            from repro.obs.spans import trace_span
+
+            def run(registry):
+                with trace_span("dataset", registry):
+                    pass
+            """,
+        }
+    )
+    (finding,) = only_rule(report, "REP009")
+    assert finding.path == "src/repro/obs/names.py"
+    assert "SPAN_REFERENCE" in finding.message
+
+
+def test_rep009_covers_registry_span_and_skips_dynamic_and_paths(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/obs/names.py": _SPAN_CATALOGUE,
+            "src/repro/runspec/run.py": """
+            from repro.obs import spans
+
+            def run(registry, profile, stage):
+                with spans.trace_span("dataset", registry):
+                    with registry.span("experiment"):
+                        pass
+                with registry.span(stage):  # dynamic: skipped
+                    pass
+                profile.span("dataset/experiment")  # path lookup: skipped
+            """,
+        }
+    )
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
 # REP008 CLI drift
 # ----------------------------------------------------------------------
 _SPEC = """

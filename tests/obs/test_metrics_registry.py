@@ -24,6 +24,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    exponential_bounds,
     resolve_registry,
 )
 
@@ -118,7 +119,8 @@ class TestHistogramQuantiles:
         assert hist.quantile(0.5) == pytest.approx(0.5, abs=0.15)
         assert hist.quantile(0.95) == pytest.approx(0.95, abs=0.10)
         assert hist.quantile(0.99) == pytest.approx(0.99, abs=0.05)
-        assert set(hist.percentiles()) == {"p50", "p95", "p99"}
+        assert set(hist.percentiles()) == {"p50", "p95", "p99", "p999"}
+        assert hist.percentiles()["p999"] >= hist.percentiles()["p99"]
 
     def test_quantiles_clamped_to_observed_range(self):
         hist = Histogram("h_seconds")
@@ -138,6 +140,26 @@ class TestHistogramQuantiles:
         hist = Histogram("h_seconds")
         with pytest.raises(ObsError, match="within"):
             hist.quantile(1.5)
+
+
+class TestExponentialBounds:
+    def test_geometric_progression(self):
+        bounds = exponential_bounds(0.001, 10.0, 4)
+        assert bounds == pytest.approx((0.001, 0.01, 0.1, 1.0))
+
+    def test_usable_as_histogram_bounds(self):
+        hist = Histogram("h_seconds", bounds=exponential_bounds(0.5, 2.0, 6))
+        hist.observe(3.0)
+        assert hist.count() == 1
+        assert 2.0 <= hist.quantile(0.5) <= 4.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ObsError):
+            exponential_bounds(0.0, 2.0, 4)
+        with pytest.raises(ObsError):
+            exponential_bounds(0.1, 1.0, 4)
+        with pytest.raises(ObsError):
+            exponential_bounds(0.1, 2.0, 0)
 
 
 class TestRegistry:

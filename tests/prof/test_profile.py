@@ -1,0 +1,195 @@
+"""The profile artifact: collapse/parse, snapshots, reports, merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ProfError
+from repro.prof import (
+    Profile,
+    SpanStat,
+    StackSample,
+    collapse,
+    frame_label,
+    merge_span_stats,
+    parse_collapsed,
+)
+
+
+def make_profile() -> Profile:
+    return Profile(
+        hz=97.0,
+        duration_seconds=2.0,
+        samples=[
+            StackSample(("repro.cli:main", "repro.logs:parse"), 30, "dataset"),
+            StackSample(("repro.cli:main", "repro.core:run"), 50, "experiment"),
+            StackSample(("repro.cli:main", "repro.ml:fit"), 20, "experiment/detectors"),
+            StackSample(("repro.cli:main",), 5),
+        ],
+        spans=[
+            SpanStat("dataset", 30, 30, 1, 4096, 1_000_000),
+            SpanStat("experiment", 50, 70, 1, 1024, 500_000),
+            SpanStat("experiment/detectors", 20, 20, 2, 512, 250_000),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Frame labels
+# ----------------------------------------------------------------------
+def test_frame_label_escapes_separators():
+    assert frame_label("repro.cli", "main") == "repro.cli:main"
+    assert frame_label("pkg", "Outer.<locals> helper;x") == "pkg:Outer.<locals>_helper,x"
+
+
+# ----------------------------------------------------------------------
+# StackSample / SpanStat validation
+# ----------------------------------------------------------------------
+def test_stack_sample_rejects_empty_or_nonpositive():
+    with pytest.raises(ProfError, match="positive count"):
+        StackSample(("a:b",), 0)
+    with pytest.raises(ProfError, match="at least one frame"):
+        StackSample((), 1)
+
+
+def test_stack_sample_stack_prefixes_span_components():
+    sample = StackSample(("m:f", "m:g"), 3, "experiment/detectors")
+    assert sample.stack() == ("experiment", "detectors", "m:f", "m:g")
+    assert StackSample(("m:f",), 1).stack() == ("m:f",)
+
+
+def test_span_stat_self_seconds():
+    stat = SpanStat("dataset", self_samples=97)
+    assert stat.self_seconds(97.0) == pytest.approx(1.0)
+    assert stat.self_seconds(0.0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Collapsed stacks
+# ----------------------------------------------------------------------
+def test_collapse_is_sorted_and_aggregated():
+    samples = [
+        StackSample(("m:b",), 2),
+        StackSample(("m:a", "m:b"), 1),
+        StackSample(("m:b",), 3),  # duplicate stack: summed
+    ]
+    assert collapse(samples) == "m:a;m:b 1\nm:b 5\n"
+    assert collapse([]) == ""
+
+
+def test_parse_collapsed_is_the_inverse():
+    text = collapse(make_profile().samples)
+    assert collapse(parse_collapsed(text)) == text
+
+
+def test_parse_collapsed_rejects_malformed_lines():
+    with pytest.raises(ProfError, match="no stack"):
+        parse_collapsed("42\n")
+    with pytest.raises(ProfError, match="non-integer count"):
+        parse_collapsed("m:a;m:b many\n")
+    with pytest.raises(ProfError, match="non-positive count"):
+        parse_collapsed("m:a 0\n")
+    with pytest.raises(ProfError, match="empty frame"):
+        parse_collapsed("m:a;;m:b 3\n")
+
+
+# ----------------------------------------------------------------------
+# Snapshot round trip
+# ----------------------------------------------------------------------
+def test_to_dict_round_trips_through_json():
+    profile = make_profile()
+    snap = json.loads(json.dumps(profile.to_dict()))
+    rebuilt = Profile.from_dict(snap)
+    assert rebuilt.to_dict() == profile.to_dict()
+    assert rebuilt.sample_count() == profile.sample_count() == 105
+    assert rebuilt.collapsed() == profile.collapsed()
+
+
+def test_from_dict_rejects_foreign_payloads():
+    with pytest.raises(ProfError, match="format marker"):
+        Profile.from_dict({"hz": 97.0})
+    with pytest.raises(ProfError, match="mapping"):
+        Profile.from_dict([1, 2])
+
+
+def test_span_lookup():
+    profile = make_profile()
+    assert profile.span("dataset").peak_bytes == 1_000_000
+    with pytest.raises(ProfError, match="no span path"):
+        profile.span("absent")
+
+
+# ----------------------------------------------------------------------
+# speedscope export
+# ----------------------------------------------------------------------
+def test_speedscope_document_shape_and_weights():
+    profile = make_profile()
+    doc = profile.speedscope("demo")
+    assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+    (prof,) = doc["profiles"]
+    assert prof["type"] == "sampled"
+    assert prof["unit"] == "seconds"
+    assert len(prof["samples"]) == len(prof["weights"]) == len(profile.samples)
+    # Total weight is total samples over the rate.
+    assert prof["endValue"] == pytest.approx(profile.sample_count() / profile.hz)
+    # Every referenced frame index exists in the shared table.
+    frames = doc["shared"]["frames"]
+    assert all(0 <= i < len(frames) for stack in prof["samples"] for i in stack)
+    # The document is JSON-serializable as-is.
+    json.dumps(doc)
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+def test_top_spans_ordered_by_self_samples():
+    assert [s.path for s in make_profile().top_spans()] == [
+        "experiment",
+        "dataset",
+        "experiment/detectors",
+    ]
+    assert len(make_profile().top_spans(limit=1)) == 1
+
+
+def test_top_functions_self_and_total():
+    rows = {frame: (s, t) for frame, s, t in make_profile().top_functions()}
+    # main is never the leaf except in the bare sample, but on every stack.
+    assert rows["repro.cli:main"] == (5, 105)
+    assert rows["repro.core:run"] == (50, 50)
+
+
+def test_render_report_mentions_spans_and_functions():
+    report = make_profile().render_report()
+    assert "105 samples" in report
+    assert "top spans (self time):" in report
+    assert "experiment/detectors" in report
+    assert "top functions (self samples):" in report
+    assert "repro.ml:fit" in report
+
+
+def test_render_report_empty_profile():
+    report = Profile(hz=97.0, duration_seconds=0.01).render_report()
+    assert "no samples captured" in report
+
+
+# ----------------------------------------------------------------------
+# merge_span_stats
+# ----------------------------------------------------------------------
+def test_merge_span_stats_totals_include_descendants():
+    stats = merge_span_stats(
+        {"": 7, "a": 10, "a/b": 5, "a/bc": 3},
+        {"a": 100, "a/b": 50},
+        {"a": 900, "a/b": 400},
+        {"a": 1, "a/b": 2, "a/bc": 1},
+    )
+    by_path = {stat.path: stat for stat in stats}
+    # "a/bc" is not under "a/b" (prefix match is component-wise).
+    assert by_path["a"].total_samples == 18
+    assert by_path["a/b"].total_samples == 5
+    assert by_path["a/b"].calls == 2
+    assert by_path["a"].alloc_bytes == 100
+    # The unattributed path is excluded from span stats.
+    assert "" not in by_path
+    assert [stat.path for stat in stats] == sorted(by_path)

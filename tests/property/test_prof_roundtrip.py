@@ -1,0 +1,80 @@
+"""Property-based tests: the profile schema round-trips losslessly.
+
+Two invariants carry the profiler's interchange contract:
+
+* ``collapse -> parse_collapsed -> collapse`` is byte-identical for any
+  sample set the strategies can build (the flamegraph.pl surface);
+* ``Profile.to_dict -> json -> Profile.from_dict -> to_dict`` is the
+  identity (the run-store persistence surface).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prof import Profile, SpanStat, StackSample, collapse, parse_collapsed
+
+# Frame labels as frame_label() emits them: no ";" (frame separator), no
+# space (count separator), no newlines; never empty.
+_frame_alphabet = "abcdefghijklmnopqrstuvwxyz0123456789._:<>,"
+_frames = st.text(alphabet=_frame_alphabet, min_size=1, max_size=20)
+_stacks = st.lists(_frames, min_size=1, max_size=6).map(tuple)
+
+# Span names never contain the path separator; paths join 0-3 of them.
+_span_names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10)
+_span_paths = st.lists(_span_names, min_size=0, max_size=3).map("/".join)
+
+_samples = st.lists(
+    st.builds(
+        StackSample,
+        frames=_stacks,
+        count=st.integers(1, 10**6),
+        span_path=_span_paths,
+    ),
+    max_size=20,
+)
+
+_span_stats = st.lists(
+    st.builds(
+        SpanStat,
+        path=_span_paths.filter(bool),
+        self_samples=st.integers(0, 10**6),
+        total_samples=st.integers(0, 10**6),
+        calls=st.integers(0, 10**4),
+        alloc_bytes=st.integers(-(10**9), 10**9),
+        peak_bytes=st.integers(0, 10**9),
+    ),
+    max_size=10,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples=_samples)
+def test_collapse_parse_collapse_is_byte_identical(samples):
+    text = collapse(samples)
+    parsed = parse_collapsed(text)
+    assert collapse(parsed) == text
+    # Aggregation preserves the total sample count.
+    assert sum(s.count for s in parsed) == sum(s.count for s in samples)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    hz=st.floats(min_value=0.5, max_value=1000.0, allow_nan=False),
+    duration=st.floats(min_value=0.0, max_value=10**6, allow_nan=False),
+    samples=_samples,
+    spans=_span_stats,
+    memory=st.sampled_from(["rss", "tracemalloc", "off"]),
+)
+def test_profile_json_round_trip_is_the_identity(hz, duration, samples, spans, memory):
+    profile = Profile(
+        hz=hz, duration_seconds=duration, samples=samples, spans=spans, memory=memory
+    )
+    snap = json.loads(json.dumps(profile.to_dict()))
+    rebuilt = Profile.from_dict(snap)
+    assert rebuilt.to_dict() == profile.to_dict()
+    assert rebuilt.collapsed() == profile.collapsed()
+    assert json.loads(json.dumps(rebuilt.speedscope())) == profile.speedscope()

@@ -185,6 +185,64 @@ def test_runs_diff_fail_on_regression_both_ways(tmp_path, capsys):
     assert "<< regression" in out
 
 
+def test_runs_diff_fail_on_regression_flags_slowed_span(tmp_path, capsys):
+    """An artificially slowed span in a stored profile flips the exit code."""
+    from repro.runspec.result import RunResult
+
+    def profiled_run(dataset_samples: int) -> RunResult:
+        return RunResult(
+            mode="tables",
+            source="balanced_small",
+            total_requests=1000,
+            alert_counts={"inhouse": 10},
+            profile={
+                "format": "repro-prof",
+                "version": 1,
+                "hz": 97.0,
+                "duration_seconds": 2.0,
+                "samples": [],
+                "spans": [
+                    {
+                        "path": "dataset",
+                        "self_samples": dataset_samples,
+                        "total_samples": dataset_samples,
+                        "calls": 1,
+                        "alloc_bytes": 0,
+                        "peak_bytes": 1_000_000,
+                    }
+                ],
+            },
+            spec={"mode": "tables"},
+        )
+
+    path = str(tmp_path / "slow.db")
+    with RunStore(path) as store:
+        store.record(profiled_run(100))
+        store.record(profiled_run(160))  # the dataset stage got 60% slower
+
+    code, out = run_cli(
+        capsys, "runs", "diff", "1", "2", "--store", path, "--fail-on-regression"
+    )
+    assert code == 1
+    assert "span{path=dataset}.self_seconds" in out
+    assert "<< regression" in out
+
+    # A threshold above the injected slowdown tolerates it.
+    code, _ = run_cli(
+        capsys,
+        "runs",
+        "diff",
+        "1",
+        "2",
+        "--store",
+        path,
+        "--fail-on-regression",
+        "--threshold",
+        "0.8",
+    )
+    assert code == 0
+
+
 def test_runs_diff_json(recorded_store, capsys):
     code, out = run_cli(
         capsys, "runs", "diff", "1", "3", "--store", recorded_store, "--json"

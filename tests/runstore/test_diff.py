@@ -10,6 +10,40 @@ from repro.runspec.result import RunResult
 from repro.runstore import DEFAULT_THRESHOLD, Delta, RunStore, diff_runs, diff_specs
 
 
+def make_profile(
+    *, dataset_samples: int = 100, dataset_peak: int = 1_000_000, memory: str = "rss"
+) -> dict:
+    """A minimal stored profile capture with a tunable hot span."""
+    return {
+        "format": "repro-prof",
+        "version": 1,
+        "hz": 97.0,
+        "duration_seconds": 2.0,
+        "memory": memory,
+        "samples": [
+            {"frames": ["m:work"], "count": dataset_samples, "span_path": "dataset"}
+        ],
+        "spans": [
+            {
+                "path": "dataset",
+                "self_samples": dataset_samples,
+                "total_samples": dataset_samples,
+                "calls": 1,
+                "alloc_bytes": 4096,
+                "peak_bytes": dataset_peak,
+            },
+            {
+                "path": "experiment",
+                "self_samples": 50,
+                "total_samples": 50,
+                "calls": 1,
+                "alloc_bytes": 1024,
+                "peak_bytes": 65536,
+            },
+        ],
+    }
+
+
 def make_result(
     *,
     alerts: int = 100,
@@ -17,6 +51,7 @@ def make_result(
     ingested: int = 1000,
     latency: float = 0.01,
     seed: int = 3,
+    profile: dict | None = None,
 ) -> RunResult:
     """A small synthetic result with a real telemetry snapshot."""
     registry = MetricsRegistry()
@@ -34,6 +69,7 @@ def make_result(
         metrics={"kappa": kappa, "both": alerts // 2},
         timings={"experiment": latency},
         telemetry=registry.to_dict(),
+        profile=profile,
         spec={"mode": "tables", "traffic": {"scenario": "balanced_small", "seed": seed}},
     )
 
@@ -103,6 +139,76 @@ def test_wall_clock_quantities_never_count_as_regressions(store):
     # ... but the deltas are still visible in the report sections.
     assert any(delta.name == "timings.experiment" for delta in diff.timings)
     assert any("repro_stage_seconds" in delta.name for delta in diff.quantiles)
+
+
+def test_injected_slowed_span_is_flagged_as_regression(store):
+    baseline = store.record(make_result(profile=make_profile(dataset_samples=100)))
+    slowed = store.record(
+        make_result(profile=make_profile(dataset_samples=150))  # +50% self time
+    )
+
+    diff = diff_runs(store, baseline.run_id, slowed.run_id)
+    flagged = {delta.name for delta in diff.regressions(DEFAULT_THRESHOLD)}
+    assert "profile.span{path=dataset}.self_seconds" in flagged
+    # The untouched span does not fire.
+    assert "profile.span{path=experiment}.self_seconds" not in flagged
+    # The rendered report carries the section and the marker.
+    report = diff.render()
+    assert "profile spans:" in report
+    assert "<< regression" in report
+
+
+def test_injected_span_memory_regression_is_flagged(store):
+    lean = store.record(make_result(profile=make_profile(dataset_peak=1_000_000)))
+    bloated = store.record(make_result(profile=make_profile(dataset_peak=2_500_000)))
+    flagged = {
+        delta.name
+        for delta in diff_runs(store, lean.run_id, bloated.run_id).regressions()
+    }
+    assert "profile.span{path=dataset}.peak_bytes" in flagged
+
+
+def test_profile_deltas_require_both_runs_profiled(store):
+    profiled = store.record(make_result(profile=make_profile()))
+    plain = store.record(make_result())
+    diff = diff_runs(store, profiled.run_id, plain.run_id)
+    assert diff.profile == []
+    assert all("span{" not in delta.name for delta in diff.regressions())
+
+
+def test_memory_deltas_require_matching_capture_modes(store):
+    # Resident-set watermarks vs traced bytes differ by orders of
+    # magnitude -- comparing them would flag phantom memory regressions.
+    rss = store.record(make_result(profile=make_profile(memory="rss")))
+    precise = store.record(
+        make_result(profile=make_profile(dataset_peak=50_000_000, memory="tracemalloc"))
+    )
+    diff = diff_runs(store, rss.run_id, precise.run_id)
+    assert all("peak_bytes" not in delta.name for delta in diff.profile)
+    # Self time stays comparable: the sampler is mode-independent.
+    assert any("self_seconds" in delta.name for delta in diff.profile)
+
+
+def test_profiler_counters_are_never_flagged_as_regressions(store):
+    # The sample total scales with wall clock, not behaviour; it must be
+    # reported in the counter table but excluded from regression flags.
+    def profiled_result(samples: int) -> RunResult:
+        result = make_result(profile=make_profile())
+        registry = MetricsRegistry.from_dict(result.telemetry)
+        registry.counter("repro_profile_samples_total", "Samples.").inc(samples)
+        result.telemetry = registry.to_dict()
+        return result
+
+    left = store.record(profiled_result(100))
+    right = store.record(profiled_result(10))  # -90%, pure wall-clock noise
+    diff = diff_runs(store, left.run_id, right.run_id)
+    assert any(
+        delta.name == "counter.repro_profile_samples_total" for delta in diff.counters
+    )
+    assert all(
+        not delta.name.startswith("counter.repro_profile_")
+        for delta in diff.regressions()
+    )
 
 
 def test_regressions_sorted_by_magnitude(store):

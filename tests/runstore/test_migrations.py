@@ -104,6 +104,93 @@ def test_v1_database_upgrades_in_place(tmp_path):
     connection.close()
 
 
+def make_v2_store(path) -> str:
+    """A version-2 database with one recorded run, as the previous library wrote it."""
+    spec_hash = spec_fingerprint(V1_SPEC)
+    connection = sqlite3.connect(path)
+    try:
+        assert apply_migrations(connection, target=2) == 2
+        with connection:
+            connection.execute(
+                "INSERT INTO specs (hash, mode, label, spec_json, first_recorded_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (spec_hash, "tables", "", json.dumps(V1_SPEC, sort_keys=True), 1520000000.0),
+            )
+            connection.execute(
+                "INSERT INTO runs (spec_hash, mode, source, label, recorded_at, "
+                "wall_seconds, total_requests, result_json, telemetry_json, "
+                "trace_fingerprint, package_version) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    spec_hash,
+                    "tables",
+                    "balanced_small",
+                    "",
+                    1520000001.0,
+                    0.5,
+                    1234,
+                    json.dumps(V1_RESULT),
+                    None,
+                    None,
+                    "1.8.0",
+                ),
+            )
+    finally:
+        connection.close()
+    return spec_hash
+
+
+def test_v2_database_upgrades_to_v3_with_profiles_table(tmp_path):
+    path = tmp_path / "v2.db"
+    make_v2_store(path)
+
+    with RunStore(path) as store:
+        assert store.stats().schema_version == SCHEMA_VERSION
+        # The v2 row is intact, and the new profile surface reads as absent.
+        assert store.get(1).total_requests == 1234
+        assert store.export(1)["profile"] is None
+        assert store.profile(1) is None
+
+    # The profiles table exists and the upgrade persisted.
+    connection = sqlite3.connect(path)
+    assert schema_version(connection) == SCHEMA_VERSION
+    assert connection.execute("SELECT COUNT(*) FROM profiles").fetchone()[0] == 0
+    connection.close()
+
+
+def test_v2_database_records_profiles_after_upgrade(tmp_path):
+    from repro.runspec.result import RunResult
+
+    path = tmp_path / "v2.db"
+    make_v2_store(path)
+    profile = {
+        "format": "repro-prof",
+        "version": 1,
+        "hz": 97.0,
+        "duration_seconds": 1.0,
+        "samples": [{"frames": ["m:f"], "count": 3, "span_path": "dataset"}],
+        "spans": [
+            {
+                "path": "dataset",
+                "self_samples": 3,
+                "total_samples": 3,
+                "calls": 1,
+                "alloc_bytes": 0,
+                "peak_bytes": 0,
+            }
+        ],
+    }
+    result = RunResult.from_dict(V1_RESULT)
+    result.profile = profile
+    with RunStore(path) as store:
+        recorded = store.record(result)
+        assert recorded.series_index == 2
+        assert store.profile(recorded.run_id) == profile
+        assert store.export(recorded.run_id)["profile"] == profile
+        # The old run still reads back without one.
+        assert store.profile(1) is None
+
+
 def test_v1_database_accepts_new_recordings_after_upgrade(tmp_path):
     from repro.runspec.result import RunResult
 

@@ -189,6 +189,7 @@ RUN_RESULT_KEYS = {
     "summary",
     "enforcement",
     "spec",
+    "profile",
 }
 
 
