@@ -137,7 +137,7 @@ from repro.traffic.scenarios import (
     stealth_heavy,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "Action",

@@ -224,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="columnar",
         help="batch pipeline engine (vectorized columnar substrate or legacy record path)",
     )
+    tables.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the record frame by visitor across N worker processes (columnar engine)",
+    )
 
     evaluate = subparsers.add_parser(
         "evaluate",
@@ -236,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINES,
         default="columnar",
         help="batch pipeline engine (vectorized columnar substrate or legacy record path)",
+    )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the record frame by visitor across N worker processes (columnar engine)",
     )
 
     stream = subparsers.add_parser(
@@ -716,7 +728,7 @@ def _command_tables(args: argparse.Namespace) -> int:
     spec = RunSpec(
         mode="tables",
         traffic=_traffic_spec(args, log_file=args.log_file),
-        execution=ExecutionSpec(engine=args.engine),
+        execution=ExecutionSpec(engine=args.engine, workers=args.workers),
     )
     with _obs_session(args) as registry:
         result = execute(
@@ -730,7 +742,11 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     spec = RunSpec(
         mode="evaluate",
         traffic=_traffic_spec(args),
-        execution=ExecutionSpec(compare_configurations=args.configurations, engine=args.engine),
+        execution=ExecutionSpec(
+            compare_configurations=args.configurations,
+            engine=args.engine,
+            workers=args.workers,
+        ),
     )
     with _obs_session(args) as registry:
         result = execute(

@@ -24,6 +24,7 @@ The record-object APIs remain as thin compatibility layers
 unchanged while the batch hot path runs columnar end to end.
 """
 
+from repro.columns.alertframe import AlertFrame, DetectorAlerts, ReasonEncoder
 from repro.columns.features import (
     FEATURE_NAMES,
     FeatureMatrix,
@@ -34,9 +35,12 @@ from repro.columns.frame import STRING_COLUMNS, RecordFrame, encode_column
 from repro.columns.sessions import FrameSessions, sessionize_frame, timeout_microseconds
 
 __all__ = [
+    "AlertFrame",
+    "DetectorAlerts",
     "FEATURE_NAMES",
     "FeatureMatrix",
     "FrameSessions",
+    "ReasonEncoder",
     "RecordFrame",
     "SessionArrays",
     "SessionFeatures",

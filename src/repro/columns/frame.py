@@ -135,6 +135,7 @@ class RecordFrame:
         self._time_ordered = time_ordered
         self._derived: dict[str, np.ndarray] = {}
         self._url_paths: list[str] | None = None
+        self._row_index: dict[str, int] | None = None
 
         lengths = {
             len(self.timestamps_us),
@@ -160,6 +161,30 @@ class RecordFrame:
     def string(self, column: str, code: int) -> str:
         """The string value behind one dictionary code."""
         return self.tables[column][code]
+
+    def row_index(self) -> dict[str, int]:
+        """``{request_id: row}`` for the frame, built once and cached.
+
+        The bridge between id-keyed APIs (:class:`~repro.core.alerts.AlertSet`)
+        and row-indexed alert arrays; do not mutate the returned mapping.
+        """
+        if self._row_index is None:
+            self._row_index = {rid: i for i, rid in enumerate(self.request_ids)}
+        return self._row_index
+
+    def status_dictionary(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dictionary-encode the status column: ``(values, codes)``, cached.
+
+        ``values`` holds the distinct status codes in ascending order and
+        ``codes`` maps each record to its index in ``values`` -- the
+        substrate for the vectorized per-status breakdown kernels.
+        """
+        values = self._derived.get("status_values")
+        if values is None:
+            values, codes = np.unique(self.statuses, return_inverse=True)
+            self._derived["status_values"] = values
+            self._derived["status_codes"] = np.asarray(codes, dtype=np.int64).reshape(-1)
+        return self._derived["status_values"], self._derived["status_codes"]
 
     # ------------------------------------------------------------------
     # Construction
@@ -366,6 +391,47 @@ class RecordFrame:
             cached = hours < 6
             self._derived["night"] = cached
         return cached
+
+    # ------------------------------------------------------------------
+    # Row-subset views (the multi-process shard substrate)
+    # ------------------------------------------------------------------
+    def take(self, rows: np.ndarray) -> "RecordFrame":
+        """A row-subset frame **sharing** this frame's dictionary tables.
+
+        The string tables (and the table-level derived flags computed so
+        far) are shared, not copied -- frames are immutable by
+        convention, so a shard worker forked from this process reads the
+        parent's tables zero-copy.  Only the per-row arrays are gathered.
+        Row order follows ``rows``; the time-ordered marker survives only
+        when ``rows`` is ascending.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        ascending = len(rows) < 2 or bool(np.all(rows[1:] >= rows[:-1]))
+        sub = object.__new__(RecordFrame)
+        ids = self.request_ids
+        sub.request_ids = [ids[i] for i in rows.tolist()]
+        sub.timestamps_us = self.timestamps_us[rows]
+        sub.tz_offsets_us = self.tz_offsets_us[rows]
+        sub.statuses = self.statuses[rows]
+        sub.sizes = self.sizes[rows]
+        sub.codes = {name: array[rows] for name, array in self.codes.items()}
+        sub.tables = self.tables
+        sub.labels = None if self.labels is None else self.labels[rows]
+        sub.actor_codes = None if self.actor_codes is None else self.actor_codes[rows]
+        sub.actor_table = self.actor_table
+        sub.extras = None if self.extras is None else [self.extras[i] for i in rows.tolist()]
+        sub.metadata = self.metadata
+        sub._time_ordered = self._time_ordered if ascending else None
+        sub._url_paths = self._url_paths
+        # Table-level derived flags transfer (they index the shared
+        # tables); row-level caches (night, url path codes) do not.
+        sub._derived = {
+            key: flags
+            for key, flags in self._derived.items()
+            if key in ("asset", "robots", "referrer_present") or key.startswith("method_")
+        }
+        sub._row_index = None
+        return sub
 
     # ------------------------------------------------------------------
     # Compatibility layer: back to record objects

@@ -23,9 +23,10 @@ individual tools.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.alerts import AlertMatrix, AlertSet
 from repro.exceptions import AdjudicationError
@@ -68,7 +69,7 @@ class AdjudicationScheme:
 
     name: str = "adjudication"
 
-    def decide(self, matrix: AlertMatrix) -> np.ndarray:
+    def decide(self, matrix: AlertMatrix) -> npt.NDArray[np.bool_]:
         """Boolean ensemble verdict per request (row order of the matrix)."""
         raise NotImplementedError
 
@@ -94,13 +95,13 @@ class AdjudicationScheme:
 class KOutOfNScheme(AdjudicationScheme):
     """Alert when at least ``k`` detectors alert."""
 
-    def __init__(self, k: int):
+    def __init__(self, k: int) -> None:
         if k < 1:
             raise AdjudicationError("k must be at least 1")
         self.k = k
         self.name = f"{k}-out-of-n"
 
-    def decide(self, matrix: AlertMatrix) -> np.ndarray:
+    def decide(self, matrix: AlertMatrix) -> npt.NDArray[np.bool_]:
         if self.k > matrix.n_detectors:
             raise AdjudicationError(
                 f"k={self.k} exceeds the number of detectors ({matrix.n_detectors})"
@@ -116,7 +117,7 @@ class UnanimousScheme(KOutOfNScheme):
         super().__init__(1)
         self.name = "unanimous"
 
-    def decide(self, matrix: AlertMatrix) -> np.ndarray:
+    def decide(self, matrix: AlertMatrix) -> npt.NDArray[np.bool_]:
         self.k = matrix.n_detectors
         verdicts = super().decide(matrix)
         self.name = "unanimous"
@@ -130,7 +131,7 @@ class MajorityScheme(KOutOfNScheme):
         super().__init__(1)
         self.name = "majority"
 
-    def decide(self, matrix: AlertMatrix) -> np.ndarray:
+    def decide(self, matrix: AlertMatrix) -> npt.NDArray[np.bool_]:
         self.k = matrix.n_detectors // 2 + 1
         verdicts = super().decide(matrix)
         self.name = "majority"
@@ -145,7 +146,9 @@ class WeightedVoteScheme(AdjudicationScheme):
     ``threshold=0.5`` is a weighted majority.
     """
 
-    def __init__(self, weights: Mapping[str, float], *, threshold: float = 0.5, name: str = "weighted-vote"):
+    def __init__(
+        self, weights: Mapping[str, float], *, threshold: float = 0.5, name: str = "weighted-vote"
+    ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise AdjudicationError("threshold must be in (0, 1]")
         if any(weight < 0 for weight in weights.values()):
@@ -154,7 +157,7 @@ class WeightedVoteScheme(AdjudicationScheme):
         self.threshold = threshold
         self.name = name
 
-    def decide(self, matrix: AlertMatrix) -> np.ndarray:
+    def decide(self, matrix: AlertMatrix) -> npt.NDArray[np.bool_]:
         weight_vector = np.array(
             [self.weights.get(name, 1.0) for name in matrix.detector_names], dtype=float
         )
@@ -162,7 +165,8 @@ class WeightedVoteScheme(AdjudicationScheme):
         if total_weight <= 0:
             raise AdjudicationError("the total detector weight must be positive")
         weighted_votes = matrix.values.astype(float) @ weight_vector
-        return weighted_votes >= self.threshold * total_weight
+        verdicts: npt.NDArray[np.bool_] = weighted_votes >= self.threshold * total_weight
+        return verdicts
 
 
 def adjudicate(matrix: AlertMatrix, scheme: AdjudicationScheme | int) -> AdjudicationResult:
@@ -210,7 +214,7 @@ def available_adjudication_schemes() -> list[str]:
     return _SCHEME_REGISTRY.names()
 
 
-def create_adjudication_scheme(name: str, **kwargs) -> AdjudicationScheme:
+def create_adjudication_scheme(name: str, **kwargs: Any) -> AdjudicationScheme:
     """Instantiate a registered adjudication scheme by name.
 
     Raises :class:`~repro.exceptions.AdjudicationError` -- with a

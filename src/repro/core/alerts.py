@@ -13,12 +13,19 @@ each tool either raised an alert or did not.  This module provides:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from itertools import chain
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (avoids an import cycle)
+    from repro.columns.alertframe import AlertFrame
+    from repro.logs.dataset import Dataset
 
 
 @dataclass(frozen=True)
@@ -42,7 +49,7 @@ class AlertSet:
     iteration) while retaining the richer per-alert information.
     """
 
-    def __init__(self, detector_name: str, alerts: Iterable[Alert] = ()):
+    def __init__(self, detector_name: str, alerts: Iterable[Alert] = ()) -> None:
         if not detector_name:
             raise ValueError("an alert set needs a detector name")
         self.detector_name = detector_name
@@ -149,20 +156,31 @@ class AlertSet:
         return self._alerts.get(request_id)
 
     def reason_counts(self) -> dict[str, int]:
-        """How many alerts carry each reason (useful for drill-down)."""
-        counts: dict[str, int] = {}
-        for alert in self._alerts.values():
-            for reason in alert.reasons:
-                counts[reason] = counts.get(reason, 0) + 1
-        return counts
+        """How many alerts carry each reason (useful for drill-down).
+
+        One C-level pass (``Counter`` over a chained iterator) instead of
+        a per-alert/per-reason Python loop; insertion order (first
+        appearance) is preserved like the naive loop's.
+        """
+        counts = Counter(
+            chain.from_iterable(alert.reasons for alert in self._alerts.values())
+        )
+        return dict(counts)
 
     def restrict_to(self, request_ids: Iterable[str]) -> "AlertSet":
-        """A copy containing only alerts for the given request ids."""
-        allowed = set(request_ids)
-        return AlertSet(
-            self.detector_name,
-            (alert for rid, alert in self._alerts.items() if rid in allowed),
+        """A copy containing only alerts for the given request ids.
+
+        Alerts are frozen, so the restricted set shares them instead of
+        re-running the add/merge path per alert.
+        """
+        allowed = (
+            request_ids if isinstance(request_ids, (set, frozenset)) else set(request_ids)
         )
+        restricted = AlertSet(self.detector_name)
+        restricted._alerts = {
+            rid: alert for rid, alert in self._alerts.items() if rid in allowed
+        }
+        return restricted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"AlertSet(detector={self.detector_name!r}, alerts={len(self)})"
@@ -178,7 +196,12 @@ class AlertMatrix:
     request ids raise :class:`~repro.exceptions.AnalysisError`.
     """
 
-    def __init__(self, request_ids: Sequence[str], detector_names: Sequence[str], matrix: np.ndarray):
+    def __init__(
+        self,
+        request_ids: Sequence[str],
+        detector_names: Sequence[str],
+        matrix: npt.NDArray[np.bool_],
+    ) -> None:
         if matrix.shape != (len(request_ids), len(detector_names)):
             raise AnalysisError(
                 f"matrix shape {matrix.shape} does not match "
@@ -186,13 +209,47 @@ class AlertMatrix:
             )
         self._request_ids = list(request_ids)
         self._detector_names = list(detector_names)
-        self._matrix = matrix.astype(bool)
-        self._row_index = {rid: i for i, rid in enumerate(self._request_ids)}
-        self._column_index = {name: j for j, name in enumerate(self._detector_names)}
+        self._matrix = matrix.astype(bool, copy=False)
+        self._row_index_cache: dict[str, int] | None = None
+        self._column_index_cache: dict[str, int] | None = None
+
+    @property
+    def _row_index(self) -> dict[str, int]:
+        # Built lazily: the frame-native path never looks rows up by id.
+        if self._row_index_cache is None:
+            self._row_index_cache = {rid: i for i, rid in enumerate(self._request_ids)}
+        return self._row_index_cache
+
+    @property
+    def _column_index(self) -> dict[str, int]:
+        if self._column_index_cache is None:
+            self._column_index_cache = {
+                name: j for j, name in enumerate(self._detector_names)
+            }
+        return self._column_index_cache
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_alert_sets(cls, dataset, alert_sets: Sequence[AlertSet], *, strict: bool = True) -> "AlertMatrix":
+    def from_alert_frame(cls, alert_frame: "AlertFrame") -> "AlertMatrix":
+        """Stack an :class:`~repro.columns.alertframe.AlertFrame`'s flags.
+
+        Zero per-alert iteration: the per-detector boolean columns are
+        column-stacked straight into the matrix (an ``n x 1`` copy per
+        detector, nothing per alert), and row/column id indexes are built
+        lazily only if a dict-path consumer asks for them.
+        """
+        frame = alert_frame.frame
+        names = alert_frame.detector_names
+        if alert_frame.detectors:
+            matrix = np.column_stack([alerts.flags for alerts in alert_frame.detectors])
+        else:
+            matrix = np.zeros((len(frame), 0), dtype=bool)
+        return cls(frame.request_ids, names, matrix)
+
+    @classmethod
+    def from_alert_sets(
+        cls, dataset: "Dataset", alert_sets: Sequence[AlertSet], *, strict: bool = True
+    ) -> "AlertMatrix":
         """Build the matrix from a data set and one alert set per detector.
 
         Parameters
@@ -209,12 +266,11 @@ class AlertMatrix:
         if len(set(names)) != len(names):
             raise AnalysisError(f"duplicate detector names in alert sets: {names}")
         request_ids = dataset.request_ids
-        known = set(request_ids)
         matrix = np.zeros((len(request_ids), len(alert_sets)), dtype=bool)
-        row_of = {rid: i for i, rid in enumerate(request_ids)}
+        row_of = dataset.row_index()
         for column, alert_set in enumerate(alert_sets):
             for request_id in alert_set:
-                if request_id not in known:
+                if request_id not in row_of:
                     if strict:
                         raise AnalysisError(
                             f"detector {alert_set.detector_name!r} alerted on unknown "
@@ -236,7 +292,7 @@ class AlertMatrix:
         return self._detector_names
 
     @property
-    def values(self) -> np.ndarray:
+    def values(self) -> npt.NDArray[np.bool_]:
         """The underlying boolean matrix (requests x detectors). Do not mutate."""
         return self._matrix
 
@@ -251,7 +307,7 @@ class AlertMatrix:
         return len(self._detector_names)
 
     # ------------------------------------------------------------------
-    def column(self, detector_name: str) -> np.ndarray:
+    def column(self, detector_name: str) -> npt.NDArray[np.bool_]:
         """The boolean alert vector of one detector."""
         try:
             index = self._column_index[detector_name]
@@ -261,7 +317,7 @@ class AlertMatrix:
             ) from exc
         return self._matrix[:, index]
 
-    def row(self, request_id: str) -> np.ndarray:
+    def row(self, request_id: str) -> npt.NDArray[np.bool_]:
         """The boolean verdict vector for one request."""
         try:
             index = self._row_index[request_id]
@@ -274,9 +330,10 @@ class AlertMatrix:
         totals = self._matrix.sum(axis=0)
         return {name: int(totals[j]) for j, name in enumerate(self._detector_names)}
 
-    def votes_per_request(self) -> np.ndarray:
+    def votes_per_request(self) -> npt.NDArray[np.int64]:
         """Number of detectors alerting on each request (row sums)."""
-        return self._matrix.sum(axis=1)
+        votes: npt.NDArray[np.int64] = self._matrix.sum(axis=1, dtype=np.int64)
+        return votes
 
     def alerted_by(self, detector_name: str) -> set[str]:
         """The set of request ids alerted by one detector."""

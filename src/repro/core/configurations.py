@@ -75,7 +75,9 @@ class ConfigurationOutcome:
 class ParallelConfiguration:
     """All detectors see all traffic; an adjudication scheme combines them."""
 
-    def __init__(self, detectors: Sequence[Detector], *, k: int = 1, name: str | None = None):
+    def __init__(
+        self, detectors: Sequence[Detector], *, k: int = 1, name: str | None = None
+    ) -> None:
         if not detectors:
             raise ConfigurationError("a parallel configuration needs at least one detector")
         if not 1 <= k <= len(detectors):
@@ -108,7 +110,9 @@ class SerialConfiguration:
 
     VALID_MODES = ("confirm", "escalate")
 
-    def __init__(self, first: Detector, second: Detector, *, mode: str = "confirm", name: str | None = None):
+    def __init__(
+        self, first: Detector, second: Detector, *, mode: str = "confirm", name: str | None = None
+    ) -> None:
         if mode not in self.VALID_MODES:
             raise ConfigurationError(f"unknown serial mode {mode!r}; expected one of {self.VALID_MODES}")
         self.first = first
@@ -175,10 +179,15 @@ class ConfigurationComparison:
 
     def best_by(self, metric: str) -> ConfigurationOutcome:
         """The outcome maximising a confusion-matrix metric (e.g. ``"f1"``)."""
-        labelled = [outcome for outcome in self.outcomes if outcome.confusion is not None]
+        labelled = [
+            (outcome, confusion)
+            for outcome in self.outcomes
+            if (confusion := outcome.confusion) is not None
+        ]
         if not labelled:
             raise ConfigurationError("no labelled outcomes to compare")
-        return max(labelled, key=lambda outcome: outcome.confusion.as_dict()[metric])
+        best, _ = max(labelled, key=lambda pair: pair[1].as_dict()[metric])
+        return best
 
 
 def compare_configurations(

@@ -104,7 +104,7 @@ class ConfusionMatrix:
     def matthews_correlation(self) -> float:
         """Matthews correlation coefficient."""
         tp, fp, tn, fn = self.true_positives, self.false_positives, self.true_negatives, self.false_negatives
-        denominator = ((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn)) ** 0.5
+        denominator: float = ((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn)) ** 0.5
         if denominator == 0:
             return 0.0
         return (tp * tn - fp * fn) / denominator

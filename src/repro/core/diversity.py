@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.alerts import AlertMatrix
 from repro.exceptions import AnalysisError
@@ -70,7 +71,7 @@ class DiversityBreakdown:
             f"{self.second_detector}_only": self.second_only,
         }
 
-    def contingency(self) -> np.ndarray:
+    def contingency(self) -> npt.NDArray[np.float64]:
         """The 2x2 contingency table ``[[both, first_only], [second_only, neither]]``."""
         return np.array([[self.both, self.first_only], [self.second_only, self.neither]], dtype=float)
 

@@ -86,14 +86,14 @@ def evaluate_ensemble(
 def sensitivity_specificity_tradeoff(
     dataset: Dataset,
     matrix: AlertMatrix,
-) -> list[Mapping[str, float]]:
+) -> list[Mapping[str, float | str]]:
     """The sensitivity/specificity operating points of every k-out-of-N scheme.
 
     Increasing ``k`` trades sensitivity for specificity (fewer false
     positives, more false negatives); this is the quantitative version of
     the trade-off discussion in the paper's Section V.
     """
-    points = []
+    points: list[Mapping[str, float | str]] = []
     for evaluation in evaluate_ensemble(dataset, matrix):
         points.append(
             {

@@ -10,12 +10,18 @@ definition of "the experiment".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.alerts import AlertMatrix
 from repro.core.breakdown import BreakdownTable, exclusive_status_breakdown, status_breakdown
 from repro.core.diversity import DiversityBreakdown, diversity_breakdown
 from repro.core.evaluation import DetectorEvaluation, evaluate_ensemble, evaluate_matrix
+from repro.core.framestats import (
+    evaluate_ensemble_from_frame,
+    evaluate_matrix_from_frame,
+    pairwise_diversity_from_frame,
+    status_tables_from_frame,
+)
 from repro.core.metrics import PairwiseDiversity, pairwise_diversity
 from repro.core.reporting import (
     render_side_by_side,
@@ -31,12 +37,22 @@ from repro.logs.dataset import Dataset
 from repro.traffic.generator import generate_dataset
 from repro.traffic.scenarios import Scenario, amadeus_march_2018
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import RecordFrame
+    from repro.obs.metrics import MetricsRegistry
+
 
 @dataclass
 class ExperimentResult:
-    """Everything the paper experiment produces for one data set."""
+    """Everything the paper experiment produces for one data set.
 
-    dataset: Dataset
+    Exactly one of ``dataset`` and ``frame`` may be the sole data view:
+    frame-native runs (:meth:`PaperExperiment.run_on_frame`) leave
+    ``dataset`` as ``None`` and carry the columnar ``frame`` instead, so
+    a trace-sourced experiment never materialises record objects.
+    """
+
+    dataset: Dataset | None
     matrix: AlertMatrix
     #: Table 1 -- total requests and per-tool alert counts.
     total_requests: int
@@ -54,6 +70,8 @@ class ExperimentResult:
     #: Extension: labelled evaluation of the k-out-of-2 adjudications.
     adjudication_evaluations: Sequence[DetectorEvaluation] = field(default_factory=list)
     timings: Mapping[str, float] = field(default_factory=dict)
+    #: The columnar data view of a frame-native run (``dataset`` is None).
+    frame: "RecordFrame | None" = None
 
     # ------------------------------------------------------------------
     def render_table1(self) -> str:
@@ -107,7 +125,11 @@ class PaperExperiment:
 
     # ------------------------------------------------------------------
     def run_on(
-        self, dataset: Dataset, *, engine: str = "columnar", registry=None
+        self,
+        dataset: Dataset,
+        *,
+        engine: str = "columnar",
+        registry: "MetricsRegistry | None" = None,
     ) -> ExperimentResult:
         """Run both tools on an existing data set and compute every table.
 
@@ -151,6 +173,66 @@ class PaperExperiment:
             tool_evaluations=tool_evaluations,
             adjudication_evaluations=adjudication_evaluations,
             timings=pipeline_result.timings,
+        )
+
+    def run_on_frame(
+        self,
+        frame: "RecordFrame",
+        *,
+        workers: int = 1,
+        registry: "MetricsRegistry | None" = None,
+        dataset: Dataset | None = None,
+    ) -> ExperimentResult:
+        """Run both tools frame-natively and compute every table from columns.
+
+        The whole analysis -- detection, Tables 1-4, diversity metrics
+        and the labelled evaluations -- runs on numpy arrays over the
+        frame; no :class:`Dataset` and no per-alert objects are built, so
+        a frame streamed from a trace file stays the only copy of the
+        data.  With ``workers > 1`` the detectors run sharded across
+        processes (see :meth:`~repro.detectors.pipeline.DetectionPipeline.run_frame`).
+        ``dataset`` optionally attaches an already-materialised data set
+        to the result for downstream record-path consumers; it is not
+        used by the analysis itself.
+        """
+        from repro.obs.metrics import resolve_registry
+        from repro.obs.spans import trace_span
+
+        registry = resolve_registry(registry)
+        pipeline = DetectionPipeline(
+            [self.first_detector, self.second_detector], registry=registry
+        )
+        pipeline_result = pipeline.run_frame(frame, workers=workers)
+        matrix = pipeline_result.matrix
+        first = self.first_detector.name
+        second = self.second_detector.name
+
+        with trace_span("analysis", registry, engine="columnar"):
+            breakdown = diversity_breakdown(matrix, first, second)
+            status_tables, exclusive_tables = status_tables_from_frame(
+                frame, matrix, (first, second)
+            )
+            metrics = pairwise_diversity_from_frame(frame, matrix, first, second)
+
+            tool_evaluations: list[DetectorEvaluation] = []
+            adjudication_evaluations: list[DetectorEvaluation] = []
+            if frame.is_labelled:
+                tool_evaluations = evaluate_matrix_from_frame(frame, matrix)
+                adjudication_evaluations = evaluate_ensemble_from_frame(frame, matrix)
+
+        return ExperimentResult(
+            dataset=dataset,
+            matrix=matrix,
+            total_requests=len(frame),
+            alert_counts=matrix.alert_counts(),
+            breakdown=breakdown,
+            status_tables=status_tables,
+            exclusive_status_tables=exclusive_tables,
+            diversity_metrics=metrics,
+            tool_evaluations=tool_evaluations,
+            adjudication_evaluations=adjudication_evaluations,
+            timings=pipeline_result.timings,
+            frame=frame,
         )
 
     def run_scenario(

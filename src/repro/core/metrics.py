@@ -60,7 +60,10 @@ def yules_q(breakdown: DiversityBreakdown) -> float:
     statistic degenerates; a continuity correction of 0.5 is applied in
     that case, which is the usual practice.
     """
-    a, b, c, d = breakdown.both, breakdown.first_only, breakdown.second_only, breakdown.neither
+    a = float(breakdown.both)
+    b = float(breakdown.first_only)
+    c = float(breakdown.second_only)
+    d = float(breakdown.neither)
     if min(a, b, c, d) == 0:
         a, b, c, d = a + 0.5, b + 0.5, c + 0.5, d + 0.5
     return (a * d - b * c) / (a * d + b * c)

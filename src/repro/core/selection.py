@@ -19,6 +19,7 @@ traffic:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -80,7 +81,7 @@ class SelectionResult:
         return self.steps[-1].objective
 
 
-_OBJECTIVES = {
+_OBJECTIVES: dict[str, Callable[[ConfusionMatrix], float]] = {
     "f1": lambda cm: cm.f1_score(),
     "sensitivity": lambda cm: cm.sensitivity(),
     "balanced_accuracy": lambda cm: cm.balanced_accuracy(),

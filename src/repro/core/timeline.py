@@ -23,12 +23,13 @@ from repro.core.alerts import AlertMatrix
 from repro.core.diversity import DiversityBreakdown
 from repro.exceptions import AnalysisError
 from repro.logs.dataset import Dataset
+from repro.logs.record import LogRecord
 
 #: Supported bucketing granularities.
 GRANULARITIES = ("hour", "day")
 
 
-def _bucket_of(record, granularity: str) -> str:
+def _bucket_of(record: LogRecord, granularity: str) -> str:
     if granularity == "day":
         return record.day
     if granularity == "hour":

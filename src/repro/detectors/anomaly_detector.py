@@ -58,6 +58,10 @@ def alert_anomalous_groups(
 class AnomalySessionDetector(Detector):
     """Alert on the most anomalous sessions according to an unsupervised model."""
 
+    #: The frame pipeline bridges the dict-path alert set into arrays;
+    #: model scoring has no array-native formulation worth maintaining.
+    frame_fallback = True
+
     def __init__(
         self,
         model: AnomalyModel | None = None,

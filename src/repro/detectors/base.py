@@ -23,6 +23,7 @@ from repro.logs.sessionization import Session, Sessionizer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
+    from repro.columns.alertframe import DetectorAlerts
 
 
 class Detector(abc.ABC):
@@ -30,6 +31,13 @@ class Detector(abc.ABC):
 
     #: Unique, human-readable detector name (used as the alert-set name).
     name: str = "detector"
+
+    #: True when this detector's verdicts depend only on data that
+    #: hash-sharding by client IP keeps together (the visitor's own rows,
+    #: its sessions, its user-agent/IP strings) -- the precondition for
+    #: the multi-process frame pipeline.  Detectors with cross-visitor
+    #: state (learned models, global thresholds) must leave this False.
+    frame_shardable: bool = False
 
     @abc.abstractmethod
     def analyze(self, dataset: Dataset, *, sessions: Sequence[Session] | None = None) -> AlertSet:
@@ -61,6 +69,24 @@ class Detector(abc.ABC):
         implementation must produce exactly the alerts :meth:`analyze`
         would (ids, scores and reasons); the equivalence suite pins this
         for every built-in detector.
+        """
+        return None
+
+    def alert_columns(
+        self,
+        frame: "RecordFrame",
+        sessions: "FrameSessions",
+        features: "FeatureMatrix",
+    ) -> "DetectorAlerts | None":
+        """Analyse a frame into columnar alert arrays (the frame-native path).
+
+        Returns a :class:`~repro.columns.alertframe.DetectorAlerts` --
+        per-row flag/score/reason-code arrays -- or ``None`` when this
+        detector has no array implementation; the frame pipeline then
+        falls back to :meth:`analyze_columns` (bridging its
+        :class:`AlertSet` into arrays) and finally to :meth:`analyze`
+        over materialised records.  An implementation must carry exactly
+        the ids, scores and reasons the dict path would.
         """
         return None
 

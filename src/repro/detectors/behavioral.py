@@ -29,6 +29,7 @@ from repro.logs.sessionization import Session, Sessionizer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
+    from repro.columns.alertframe import DetectorAlerts
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,10 @@ class BehaviouralScoreConfig:
 
 class BehavioralSessionDetector(SessionDetector):
     """Weighted-evidence behavioural model over session features."""
+
+    #: Evidence is per-session + per-(agent, IP) pair; both survive
+    #: hash-sharding by client IP.
+    frame_shardable = True
 
     def __init__(
         self,
@@ -218,3 +223,100 @@ class BehavioralSessionDetector(SessionDetector):
         self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
     ) -> AlertSet:
         return AlertSet.from_scored(self.name, self.scored_columns(frame, sessions, features))
+
+    # ------------------------------------------------------------------
+    def verdict_alerts(
+        self,
+        frame: "RecordFrame",
+        sessions: "FrameSessions",
+        features: "FeatureMatrix",
+        fingerprint_verdicts: "dict | None" = None,
+    ) -> "DetectorAlerts":
+        """Frame-native alert arrays: per-session evidence scattered to rows.
+
+        The evidence accumulation is identical to :meth:`scored_columns`
+        (same signal order, bit-identical scores); only the per-row
+        expansion differs -- a vectorized session -> row scatter instead
+        of a Python loop over every alerted request.
+        """
+        from repro.columns.alertframe import DetectorAlerts, ReasonEncoder
+
+        config = self.config
+        counts = features.counts
+        cv = features.column("interarrival_cv")
+
+        verdicts = (
+            fingerprint_verdicts
+            if fingerprint_verdicts is not None
+            else self.fingerprint.pair_verdicts(frame)
+        )
+        fingerprinted = np.fromiter(
+            (
+                (int(agent), int(ip)) in verdicts
+                for agent, ip in zip(sessions.agent_codes, sessions.ip_codes)
+            ),
+            bool,
+            len(features),
+        )
+        signals = (
+            (
+                features.column("asset_fraction") < config.no_assets_threshold,
+                config.no_assets_weight,
+            ),
+            (
+                features.column("referrer_fraction") < config.no_referrer_threshold,
+                config.no_referrer_weight,
+            ),
+            (
+                (counts >= config.machine_timing_min_requests)
+                & (cv < config.machine_timing_cv),
+                config.machine_timing_weight,
+            ),
+            (counts >= config.high_volume_requests, config.high_volume_weight),
+            (
+                (counts >= config.coverage_min_requests)
+                & (features.column("unique_path_ratio") > config.coverage_ratio),
+                config.coverage_weight,
+            ),
+            (features.column("night_fraction") > config.night_fraction, config.night_weight),
+            (fingerprinted, config.fingerprint_weight),
+        )
+        scores = np.zeros(len(features))
+        for fired, weight in signals:
+            scores = scores + np.where(fired, weight, 0.0)
+
+        alerted = scores >= config.alert_threshold
+        normalised = np.minimum(1.0, scores / (2 * config.alert_threshold))
+        session_codes = np.full(len(features), -1, dtype=np.int64)
+        encoder = ReasonEncoder()
+        for index in np.flatnonzero(alerted).tolist():
+            reasons: list[str] = []
+            if signals[0][0][index]:
+                reasons.append("no static assets loaded")
+            if signals[1][0][index]:
+                reasons.append("no referrer headers")
+            if signals[2][0][index]:
+                reasons.append(f"machine-regular timing (cv={float(cv[index]):.2f})")
+            if signals[3][0][index]:
+                reasons.append(f"high volume ({int(counts[index])} requests)")
+            if signals[4][0][index]:
+                reasons.append("exhaustive URL coverage")
+            if signals[5][0][index]:
+                reasons.append("night-time activity")
+            if signals[6][0][index]:
+                reasons.append("non-browser client fingerprint")
+            session_codes[index] = encoder.code(tuple(reasons))
+        return DetectorAlerts.from_sessions(
+            self.name,
+            frame,
+            sessions,
+            alerted,
+            np.where(alerted, normalised, 0.0),
+            session_codes,
+            encoder.table,
+        )
+
+    def alert_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> "DetectorAlerts":
+        return self.verdict_alerts(frame, sessions, features)

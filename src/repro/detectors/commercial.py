@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+import numpy as np
+
 from repro.core.alerts import AlertSet
 from repro.detectors.base import Detector
 from repro.detectors.behavioral import BehavioralSessionDetector, BehaviouralScoreConfig
@@ -32,6 +34,7 @@ from repro.logs.sessionization import Session, Sessionizer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
+    from repro.columns.alertframe import DetectorAlerts
 
 
 class CommercialBotDefenceDetector(Detector):
@@ -60,6 +63,14 @@ class CommercialBotDefenceDetector(Detector):
             name=f"{name}/behavioral",
             fingerprint=self.fingerprint,
             sessionizer=self.sessionizer,
+        )
+        # The composite shards iff every layer does (the reputation layer
+        # opts out when it uses a global per-prefix count threshold).
+        self.frame_shardable = (
+            self.fingerprint.frame_shardable
+            and self.reputation.frame_shardable
+            and self.ratelimit.frame_shardable
+            and self.behavioral.frame_shardable
         )
 
     # ------------------------------------------------------------------
@@ -160,6 +171,84 @@ class CommercialBotDefenceDetector(Detector):
                     request_ids[row] for row in order[starts[index] : starts[index + 1]]
                 )
         return self._merge_scored(layer_scored, whitelisted)
+
+    def alert_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> "DetectorAlerts":
+        """Frame-native composite: merge the layers' alert arrays directly.
+
+        Scores merge by elementwise maximum over the alerting layers
+        (identical to the dict path's first-sets / strictly-greater-
+        replaces walk); reasons merge per *distinct layer reason-code
+        combination* -- a handful of combos stand in for every alerted
+        row, so the layer-prefixing and order-preserving dedup run once
+        per combo instead of once per alert.
+        """
+        from repro.columns.alertframe import (
+            DetectorAlerts,
+            ReasonEncoder,
+            whitelist_row_mask,
+        )
+
+        verdicts = self.fingerprint.pair_verdicts(frame)
+        layers: list[tuple[str, DetectorAlerts]] = [
+            ("fingerprint", self.fingerprint.verdict_alerts(frame, verdicts)),
+            ("reputation", self.reputation.alert_columns(frame, sessions, features)),
+            ("rate", self.ratelimit.alert_columns(frame, sessions, features)),
+            (
+                "behavioral",
+                self.behavioral.verdict_alerts(
+                    frame, sessions, features, fingerprint_verdicts=verdicts
+                ),
+            ),
+        ]
+        not_whitelisted = ~whitelist_row_mask(
+            frame, sessions, self.fingerprint.is_verified_crawler
+        )
+        n = len(frame)
+        masked_flags = [alerts.flags & not_whitelisted for _, alerts in layers]
+        flags = np.logical_or.reduce(masked_flags)
+        best = np.maximum.reduce(
+            [
+                np.where(mask, alerts.scores, -np.inf)
+                for mask, (_, alerts) in zip(masked_flags, layers)
+            ]
+        )
+        scores = np.where(flags, best, 0.0)
+
+        reason_codes = np.full(n, -1, dtype=np.int64)
+        encoder = ReasonEncoder()
+        flagged_rows = np.flatnonzero(flags)
+        if len(flagged_rows):
+            code_matrix = np.stack(
+                [
+                    np.where(mask, alerts.reason_codes, np.int64(-1))
+                    for mask, (_, alerts) in zip(masked_flags, layers)
+                ],
+                axis=1,
+            )
+            combos, inverse = np.unique(
+                code_matrix[flagged_rows], axis=0, return_inverse=True
+            )
+            prefixed = [
+                [
+                    tuple(f"{layer_name}: {reason}" for reason in reasons)
+                    or (layer_name,)
+                    for reasons in alerts.reason_table
+                ]
+                for layer_name, alerts in layers
+            ]
+            combo_codes = np.empty(len(combos), dtype=np.int64)
+            for combo_index, combo in enumerate(combos.tolist()):
+                parts: list[str] = []
+                for layer_index, code in enumerate(combo):
+                    if code >= 0:
+                        parts.extend(prefixed[layer_index][code])
+                combo_codes[combo_index] = encoder.code(tuple(dict.fromkeys(parts)))
+            reason_codes[flagged_rows] = combo_codes[
+                np.asarray(inverse, dtype=np.int64).reshape(-1)
+            ]
+        return DetectorAlerts(self.name, flags, scores, reason_codes, encoder.table)
 
     # ------------------------------------------------------------------
     def _whitelisted_request_ids(self, sessions: Sequence[Session]) -> set[str]:

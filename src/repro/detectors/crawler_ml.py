@@ -37,6 +37,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class CrawlerDecisionTreeDetector(Detector):
     """Session classifier built on the from-scratch CART tree."""
 
+    #: The frame pipeline bridges the dict-path alert set into arrays;
+    #: model scoring has no array-native formulation worth maintaining.
+    frame_fallback = True
+
     def __init__(
         self,
         *,

@@ -22,10 +22,15 @@ from repro.traffic.useragents import is_headless_agent, is_known_crawler_agent, 
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
+    from repro.columns.alertframe import DetectorAlerts
 
 
 class UserAgentFingerprintDetector(Detector):
     """Flag requests whose client fingerprint is inconsistent or non-browser."""
+
+    #: Verdicts depend only on the row's own (user agent, client IP)
+    #: strings, so hash-sharding by IP cannot change them.
+    frame_shardable = True
 
     def __init__(
         self,
@@ -139,3 +144,52 @@ class UserAgentFingerprintDetector(Detector):
         self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
     ) -> AlertSet:
         return AlertSet.from_scored(self.name, self.scored_columns(frame))
+
+    # ------------------------------------------------------------------
+    def verdict_alerts(
+        self,
+        frame: "RecordFrame",
+        verdicts: dict[tuple[int, int], tuple[float, str]] | None = None,
+    ) -> "DetectorAlerts":
+        """Frame-native alert arrays: one judgement per distinct pair.
+
+        Per-pair flag/score/reason-code arrays are filled from
+        :meth:`pair_verdicts` and gathered through the pair key's inverse
+        index -- no per-record Python at all.
+        """
+        from repro.columns.alertframe import DetectorAlerts, ReasonEncoder
+
+        if verdicts is None:
+            verdicts = self.pair_verdicts(frame)
+        alerts = DetectorAlerts.empty(self.name, len(frame))
+        if not verdicts:
+            return alerts
+        ips = frame.tables["client_ip"]
+        span = len(ips) + 1
+        pair_key = frame.codes["user_agent"] * np.int64(span) + frame.codes["client_ip"]
+        unique_keys, inverse = np.unique(pair_key, return_inverse=True)
+        n_pairs = len(unique_keys)
+        pair_flags = np.zeros(n_pairs, dtype=bool)
+        pair_scores = np.zeros(n_pairs, dtype=np.float64)
+        pair_codes = np.full(n_pairs, -1, dtype=np.int64)
+        encoder = ReasonEncoder()
+        for index, key in enumerate(unique_keys.tolist()):
+            verdict = verdicts.get((key // span, key % span))
+            if verdict is None:
+                continue
+            score, reason = verdict
+            pair_flags[index] = True
+            pair_scores[index] = score
+            pair_codes[index] = encoder.code((reason,))
+        return DetectorAlerts(
+            self.name,
+            pair_flags[inverse],
+            pair_scores[inverse],
+            pair_codes[inverse],
+            encoder.table,
+        )
+
+    def alert_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> "DetectorAlerts":
+        return self.verdict_alerts(frame)

@@ -24,6 +24,7 @@ from repro.traffic.useragents import is_known_crawler_agent, is_scripted_agent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
+    from repro.columns.alertframe import DetectorAlerts
 
 
 class Rule(abc.ABC):
@@ -303,6 +304,10 @@ class HeuristicRuleDetector(SessionDetector):
     operations team does to avoid alert noise from Googlebot.
     """
 
+    #: Rules judge one session at a time (the Rule contract), so
+    #: hash-sharding by IP -- which keeps sessions whole -- is safe.
+    frame_shardable = True
+
     def __init__(
         self,
         rules: Sequence[Rule],
@@ -389,3 +394,46 @@ class HeuristicRuleDetector(SessionDetector):
             for row in order[starts[index] : starts[index + 1]].tolist():
                 scored[request_ids[row]] = verdict
         return AlertSet.from_scored(self.name, scored)
+
+    def alert_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> "DetectorAlerts | None":
+        """Frame-native alert arrays: per-session rule verdicts, scattered.
+
+        Same per-session rule evaluation as :meth:`analyze_columns`
+        (including the whole-detector record fallback when a rule lacks a
+        vectorized implementation); the per-request expansion is a
+        vectorized session -> row scatter.
+        """
+        from repro.columns.alertframe import DetectorAlerts, ReasonEncoder
+
+        per_rule: list[list[str | None]] = []
+        for rule in self.rules:
+            reasons = rule.matches_frame(frame, sessions, features)
+            if reasons is None:
+                return None
+            per_rule.append(reasons)
+        whitelisted = self.whitelisted_sessions(frame, sessions)
+        n_sessions = len(sessions)
+        session_flags = np.zeros(n_sessions, dtype=bool)
+        session_scores = np.zeros(n_sessions, dtype=np.float64)
+        session_codes = np.full(n_sessions, -1, dtype=np.int64)
+        encoder = ReasonEncoder()
+        for index in range(n_sessions):
+            if whitelisted[index]:
+                continue
+            reasons = [rule[index] for rule in per_rule if rule[index] is not None]
+            if not reasons:
+                continue
+            session_flags[index] = True
+            session_scores[index] = min(1.0, 0.6 + 0.2 * (len(reasons) - 1))
+            session_codes[index] = encoder.code(tuple(reasons))
+        return DetectorAlerts.from_sessions(
+            self.name,
+            frame,
+            sessions,
+            session_flags,
+            session_scores,
+            session_codes,
+            encoder.table,
+        )

@@ -89,6 +89,10 @@ def binarize_matrix(features: "FeatureMatrix") -> np.ndarray:
 class NaiveBayesRobotDetector(Detector):
     """Self-trained Bernoulli naive-Bayes session classifier."""
 
+    #: The frame pipeline bridges the dict-path alert set into arrays;
+    #: model scoring has no array-native formulation worth maintaining.
+    frame_fallback = True
+
     def __init__(
         self,
         *,

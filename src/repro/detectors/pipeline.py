@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from repro.core.alerts import AlertMatrix, AlertSet
 from repro.detectors.base import Detector
@@ -38,6 +40,10 @@ from repro.logs.sessionization import Sessionizer
 from repro.obs import names as metric_names
 from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.obs.spans import trace_span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columns import FrameSessions, RecordFrame
+    from repro.columns.alertframe import AlertFrame, DetectorAlerts
 
 #: The batch execution engines of the pipeline.
 ENGINES = ("columnar", "records")
@@ -58,6 +64,26 @@ class PipelineResult:
             if alert_set.detector_name == detector_name:
                 return alert_set
         raise DetectorError(f"no alert set for detector {detector_name!r}")
+
+
+@dataclass
+class FramePipelineResult:
+    """Everything produced by one frame-native pipeline run.
+
+    No :class:`~repro.logs.dataset.Dataset` and no per-alert objects:
+    the alerts live as columnar arrays in ``alert_frame`` and the matrix
+    is stacked straight from them.  :meth:`alert_sets` bridges back to
+    the dict path on demand (the equivalence oracle).
+    """
+
+    frame: "RecordFrame"
+    alert_frame: "AlertFrame"
+    matrix: AlertMatrix
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def alert_sets(self) -> list[AlertSet]:
+        """Dict-path views of the columnar alerts (built on demand)."""
+        return self.alert_frame.to_alert_sets()
 
 
 class DetectionPipeline:
@@ -98,12 +124,12 @@ class DetectionPipeline:
         return self._run_records(dataset)
 
     # ------------------------------------------------------------------
-    def _account_shared(self, dataset: Dataset, session_count: int) -> None:
-        """The logical events both engines must count identically."""
+    def _account_shared(self, record_count: int, session_count: int) -> None:
+        """The logical events every engine must count identically."""
         registry = self.registry
         registry.counter(
             metric_names.RECORDS_INGESTED, "Records fed into a detection engine."
-        ).inc(len(dataset.records))
+        ).inc(record_count)
         registry.counter(metric_names.SESSIONS_OPENED, "Visitor sessions opened.").inc(
             session_count
         )
@@ -113,7 +139,7 @@ class DetectionPipeline:
         )
 
     def _account_detector(
-        self, detector_name: str, path: str, alerts: AlertSet, elapsed: float
+        self, detector_name: str, path: str, alert_count: int, elapsed: float
     ) -> None:
         registry = self.registry
         registry.counter(
@@ -121,7 +147,7 @@ class DetectionPipeline:
         ).inc(detector=detector_name, path=path)
         registry.counter(
             metric_names.DETECTOR_ALERTS, "Requests alerted per detector."
-        ).inc(len(alerts), detector=detector_name)
+        ).inc(alert_count, detector=detector_name)
         registry.histogram(
             metric_names.DETECTOR_SECONDS, "Batch per-detector analysis duration."
         ).observe(elapsed, detector=detector_name)
@@ -130,10 +156,13 @@ class DetectionPipeline:
         alerted = set()
         for alert_set in alert_sets:
             alerted |= alert_set.request_ids()
+        self._account_alerted(len(alerted))
+
+    def _account_alerted(self, alerted_count: int) -> None:
         self.registry.counter(
             metric_names.ALERTED_REQUESTS,
             "Requests alerted by at least one detector (batch).",
-        ).inc(len(alerted))
+        ).inc(alerted_count)
 
     # ------------------------------------------------------------------
     def _run_records(self, dataset: Dataset) -> PipelineResult:
@@ -143,7 +172,7 @@ class DetectionPipeline:
             sessions = self.sessionizer.sessionize(dataset.records)
             timings["sessionization"] = time.perf_counter() - started
             span.set_attribute(records=len(dataset.records), sessions=len(sessions))
-        self._account_shared(dataset, len(sessions))
+        self._account_shared(len(dataset.records), len(sessions))
         alert_sets: list[AlertSet] = []
         with trace_span("detectors", self.registry, engine="records"):
             for detector in self.detectors:
@@ -153,7 +182,7 @@ class DetectionPipeline:
                     elapsed = time.perf_counter() - started
                 alert_sets.append(alerts)
                 timings[detector.name] = elapsed
-                self._account_detector(detector.name, "records", alerts, elapsed)
+                self._account_detector(detector.name, "records", len(alerts), elapsed)
         matrix = AlertMatrix.from_alert_sets(dataset, alert_sets)
         self._account_matrix(alert_sets)
         return PipelineResult(dataset=dataset, alert_sets=alert_sets, matrix=matrix, timings=timings)
@@ -170,7 +199,7 @@ class DetectionPipeline:
             )
             timings["sessionization"] = time.perf_counter() - started
             span.set_attribute(records=len(frame), sessions=len(sessions))
-        self._account_shared(dataset, len(sessions))
+        self._account_shared(len(dataset.records), len(sessions))
 
         with trace_span("features", self.registry):
             started = time.perf_counter()
@@ -196,10 +225,251 @@ class DetectionPipeline:
                     elapsed = time.perf_counter() - started
                 alert_sets.append(alerts)
                 timings[detector.name] = elapsed
-                self._account_detector(detector.name, path, alerts, elapsed)
+                self._account_detector(detector.name, path, len(alerts), elapsed)
         matrix = AlertMatrix.from_alert_sets(dataset, alert_sets)
         self._account_matrix(alert_sets)
         return PipelineResult(dataset=dataset, alert_sets=alert_sets, matrix=matrix, timings=timings)
+
+    # ------------------------------------------------------------------
+    # Frame-native execution (no Dataset, no per-alert objects)
+    # ------------------------------------------------------------------
+    def run_frame(self, frame: "RecordFrame", *, workers: int = 1) -> "FramePipelineResult":
+        """Run every detector over a frame into columnar alert arrays.
+
+        The frame may come straight from
+        :meth:`~repro.trace.store.TraceReader.read_frame` -- no
+        :class:`Dataset` is ever materialised unless a detector without
+        any columnar implementation forces the record fallback.  With
+        ``workers > 1`` (and every detector declaring
+        ``frame_shardable``) the frame is hash-sharded by client IP
+        across forked worker processes, mirroring the stream runner's
+        visitor sharding, and the per-shard alert arrays are scattered
+        back into frame-global arrays at join.
+        """
+        from repro.columns.alertframe import AlertFrame
+
+        if type(self.sessionizer) is not Sessionizer:
+            raise DetectorError(
+                "the frame-native pipeline requires the base Sessionizer; "
+                "custom sessionizers must use run(dataset, engine='records')"
+            )
+        if workers < 1:
+            raise DetectorError("workers must be at least 1")
+        shardable = all(detector.frame_shardable for detector in self.detectors)
+        if workers > 1 and shardable and len(frame):
+            detector_alerts, session_count, timings = self._run_frame_sharded(
+                frame, workers
+            )
+        else:
+            detector_alerts, session_count, timings = self._run_frame_single(frame)
+        self._account_shared(len(frame), session_count)
+        alert_frame = AlertFrame(frame, detector_alerts)
+        matrix = AlertMatrix.from_alert_frame(alert_frame)
+        union = (
+            np.logical_or.reduce([alerts.flags for alerts in detector_alerts])
+            if detector_alerts
+            else np.zeros(len(frame), dtype=bool)
+        )
+        self._account_alerted(int(np.count_nonzero(union)))
+        return FramePipelineResult(
+            frame=frame, alert_frame=alert_frame, matrix=matrix, timings=timings
+        )
+
+    def _run_frame_single(
+        self, frame: "RecordFrame"
+    ) -> tuple[list["DetectorAlerts"], int, dict[str, float]]:
+        from repro.columns import FeatureMatrix, sessionize_frame
+
+        timings: dict[str, float] = {}
+        with trace_span("sessionize", self.registry, engine="columnar") as span:
+            started = time.perf_counter()
+            sessions = sessionize_frame(
+                frame, timeout=self.sessionizer.timeout, registry=self.registry
+            )
+            timings["sessionization"] = time.perf_counter() - started
+            span.set_attribute(records=len(frame), sessions=len(sessions))
+        with trace_span("features", self.registry):
+            started = time.perf_counter()
+            features = FeatureMatrix.from_frame(frame, sessions, registry=self.registry)
+            timings["features"] = time.perf_counter() - started
+
+        detector_alerts: list["DetectorAlerts"] = []
+        materialised: dict[str, object] = {}
+        with trace_span("detectors", self.registry, engine="columnar"):
+            for detector in self.detectors:
+                with trace_span("detector", self.registry, detector=detector.name):
+                    started = time.perf_counter()
+                    alerts, path = _frame_alerts_of(
+                        detector, frame, sessions, features, materialised
+                    )
+                    elapsed = time.perf_counter() - started
+                detector_alerts.append(alerts)
+                timings[detector.name] = elapsed
+                count = alerts.alert_count()
+                self._account_detector(detector.name, path, count, elapsed)
+                self.registry.counter(
+                    metric_names.FRAME_ALERT_ROWS,
+                    "Alerted rows in columnar alert frames.",
+                ).inc(count, detector=detector.name)
+        return detector_alerts, len(sessions), timings
+
+    def _run_frame_sharded(
+        self, frame: "RecordFrame", workers: int
+    ) -> tuple[list["DetectorAlerts"], int, dict[str, float]]:
+        from repro.columns.alertframe import DetectorAlerts, ReasonEncoder
+
+        # Reuse the stream runner's visitor hash so batch shards and
+        # stream shards agree on placement (the import is deferred to
+        # keep the detector layer import-independent of the stream one).
+        from repro.stream.runner import shard_of
+
+        global _FRAME_SHARD_STATE
+        timings: dict[str, float] = {}
+        ips = frame.tables["client_ip"]
+        per_ip_shard = np.fromiter(
+            (shard_of(ip, workers) for ip in ips), np.int64, len(ips)
+        )
+        row_shard = per_ip_shard[frame.codes["client_ip"]]
+        shard_rows = [np.flatnonzero(row_shard == index) for index in range(workers)]
+        for index, rows in enumerate(shard_rows):
+            self.registry.counter(
+                metric_names.FRAME_SHARD_ROWS,
+                "Rows assigned to each batch frame shard.",
+            ).inc(len(rows), shard=str(index))
+
+        with trace_span("shards", self.registry, workers=workers) as span:
+            started = time.perf_counter()
+            _FRAME_SHARD_STATE = (
+                frame,
+                shard_rows,
+                self.detectors,
+                self.sessionizer.timeout,
+            )
+            try:
+                try:
+                    import multiprocessing
+
+                    context = multiprocessing.get_context("fork")
+                    with context.Pool(processes=workers) as pool:
+                        shard_results = pool.map(_run_frame_shard, range(workers))
+                except (ValueError, ImportError, OSError):
+                    # No fork on this platform: degrade to in-process
+                    # shard execution (same arrays, same merge).
+                    shard_results = [_run_frame_shard(index) for index in range(workers)]
+            finally:
+                _FRAME_SHARD_STATE = None
+            timings["shards"] = time.perf_counter() - started
+            span.set_attribute(records=len(frame))
+
+        session_count = sum(count for count, _ in shard_results)
+        # The children could not reach this registry: account the
+        # columnar substrate events (sessions, feature rows) here so a
+        # sharded run reports the same counts as a single-process one.
+        self.registry.counter(
+            metric_names.FRAME_SESSIONS,
+            "Session spans produced by vectorized sessionization.",
+        ).inc(session_count)
+        self.registry.counter(
+            metric_names.FEATURE_ROWS, "Feature-matrix rows (sessions) computed."
+        ).inc(session_count)
+
+        with trace_span("merge", self.registry) as span:
+            started = time.perf_counter()
+            merged: list[DetectorAlerts] = []
+            for position, detector in enumerate(self.detectors):
+                alerts = DetectorAlerts.empty(detector.name, len(frame))
+                encoder = ReasonEncoder()
+                elapsed = 0.0
+                path = "columnar"
+                for shard_index, (_, per_detector) in enumerate(shard_results):
+                    flags, scores, codes, table, shard_path, shard_elapsed = per_detector[
+                        position
+                    ]
+                    alerts.scatter(
+                        shard_rows[shard_index],
+                        DetectorAlerts(detector.name, flags, scores, codes, table),
+                        encoder,
+                    )
+                    elapsed += shard_elapsed
+                    if shard_path == "fallback":
+                        path = "fallback"
+                merged.append(alerts)
+                timings[detector.name] = elapsed
+                count = alerts.alert_count()
+                self._account_detector(detector.name, path, count, elapsed)
+                self.registry.counter(
+                    metric_names.FRAME_ALERT_ROWS,
+                    "Alerted rows in columnar alert frames.",
+                ).inc(count, detector=detector.name)
+            timings["merge"] = time.perf_counter() - started
+            span.set_attribute(detectors=len(merged))
+        return merged, session_count, timings
+
+
+#: ``(frame, shard row arrays, detectors, session timeout)`` shared with
+#: forked shard workers through copy-on-write memory -- set immediately
+#: before the fork, cleared at join (the stream runner's pattern).
+_FRAME_SHARD_STATE: tuple | None = None
+
+
+def _run_frame_shard(index: int):
+    """Run every detector over one shard (executes in a worker process)."""
+    assert _FRAME_SHARD_STATE is not None
+    frame, shard_rows, detectors, timeout = _FRAME_SHARD_STATE
+    from repro.columns import FeatureMatrix, sessionize_frame
+    from repro.columns.alertframe import DetectorAlerts
+
+    rows = shard_rows[index]
+    if not len(rows):
+        empty = [
+            (alerts.flags, alerts.scores, alerts.reason_codes, alerts.reason_table, "columnar", 0.0)
+            for alerts in (DetectorAlerts.empty(d.name, 0) for d in detectors)
+        ]
+        return 0, empty
+    sub = frame.take(rows)
+    sessions = sessionize_frame(sub, timeout=timeout)
+    features = FeatureMatrix.from_frame(sub, sessions)
+    materialised: dict[str, object] = {}
+    out = []
+    for detector in detectors:
+        started = time.perf_counter()
+        alerts, path = _frame_alerts_of(detector, sub, sessions, features, materialised)
+        elapsed = time.perf_counter() - started
+        out.append(
+            (alerts.flags, alerts.scores, alerts.reason_codes, alerts.reason_table, path, elapsed)
+        )
+    return len(sessions), out
+
+
+def _frame_alerts_of(
+    detector: Detector,
+    frame: "RecordFrame",
+    sessions: "FrameSessions",
+    features,
+    materialised: dict,
+) -> tuple["DetectorAlerts", str]:
+    """One detector's columnar alerts, via the three-step fallback chain.
+
+    ``alert_columns`` (native arrays) -> ``analyze_columns`` (dict-path
+    alert set, bridged into arrays) -> ``analyze`` over records
+    materialised from the frame exactly once (shared via
+    ``materialised`` across detectors).
+    """
+    from repro.columns.alertframe import DetectorAlerts
+
+    alerts = detector.alert_columns(frame, sessions, features)
+    if alerts is not None:
+        return alerts, "columnar"
+    alert_set = detector.analyze_columns(frame, sessions, features)
+    if alert_set is not None:
+        return DetectorAlerts.from_alert_set(frame, alert_set), "columnar"
+    dataset = materialised.get("dataset")
+    if dataset is None:
+        dataset = frame.to_dataset()
+        materialised["dataset"] = dataset
+        materialised["sessions"] = sessions.to_sessions(dataset.records)
+    alert_set = detector.analyze(dataset, sessions=materialised["sessions"])
+    return DetectorAlerts.from_alert_set(frame, alert_set), "fallback"
 
 
 def run_detectors(

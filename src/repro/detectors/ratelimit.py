@@ -18,6 +18,7 @@ from repro.logs.sessionization import Session, Sessionizer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
+    from repro.columns.alertframe import DetectorAlerts
 
 
 class RateLimitDetector(SessionDetector):
@@ -26,6 +27,9 @@ class RateLimitDetector(SessionDetector):
     Both the session's average rate and its busiest one-minute window are
     checked, so bursty scrapers that idle between bursts are still caught.
     """
+
+    #: Verdicts are per-session pure; sharding by IP keeps sessions whole.
+    frame_shardable = True
 
     def __init__(
         self,
@@ -87,3 +91,33 @@ class RateLimitDetector(SessionDetector):
         self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
     ) -> AlertSet:
         return AlertSet.from_scored(self.name, self.scored_columns(frame, sessions, features))
+
+    def alert_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> "DetectorAlerts":
+        """Frame-native alert arrays: per-session verdicts scattered to rows."""
+        from repro.columns.alertframe import DetectorAlerts, ReasonEncoder
+
+        rates = features.column("requests_per_minute")
+        if self.use_peak_rate:
+            rates = np.maximum(rates, features.peak_rpm())
+        eligible = (features.counts >= self.min_requests) & (rates > self.threshold_rpm)
+        scores = np.minimum(
+            1.0, 0.5 + 0.5 * (rates - self.threshold_rpm) / self.threshold_rpm
+        )
+        session_codes = np.full(len(features), -1, dtype=np.int64)
+        encoder = ReasonEncoder()
+        for index in np.flatnonzero(eligible).tolist():
+            rate = float(rates[index])
+            session_codes[index] = encoder.code(
+                (f"rate {rate:.0f} req/min exceeds {self.threshold_rpm:.0f}",)
+            )
+        return DetectorAlerts.from_sessions(
+            self.name,
+            frame,
+            sessions,
+            eligible,
+            np.where(eligible, scores, 0.0),
+            session_codes,
+            encoder.table,
+        )

@@ -23,6 +23,7 @@ from repro.traffic.ipspace import IPSpace, prefix24
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.columns import FeatureMatrix, FrameSessions, RecordFrame
+    from repro.columns.alertframe import DetectorAlerts
 
 
 class IPReputationDetector(Detector):
@@ -43,6 +44,11 @@ class IPReputationDetector(Detector):
         if min_requests_from_prefix < 1:
             raise ValueError("min_requests_from_prefix must be at least 1")
         self.min_requests_from_prefix = min_requests_from_prefix
+        # With a prefix-count threshold the verdict depends on the
+        # *global* count over a /24, and hash-sharding by full IP can
+        # split a /24 across shards -- so only the default (threshold 1,
+        # verdict per-IP pure) is safe to shard.
+        self.frame_shardable = min_requests_from_prefix == 1
 
     def is_blocklisted(self, client_ip: str) -> bool:
         """True when the address's /24 prefix is on the blocklist."""
@@ -101,3 +107,47 @@ class IPReputationDetector(Detector):
         self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
     ) -> AlertSet:
         return AlertSet.from_scored(self.name, self.scored_columns(frame))
+
+    # ------------------------------------------------------------------
+    def alert_columns(
+        self, frame: "RecordFrame", sessions: "FrameSessions", features: "FeatureMatrix"
+    ) -> "DetectorAlerts":
+        """Frame-native alert arrays: one blocklist probe per distinct IP."""
+        from repro.columns.alertframe import DetectorAlerts, ReasonEncoder
+
+        ips = frame.tables["client_ip"]
+        alerts = DetectorAlerts.empty(self.name, len(frame))
+        if not ips:
+            return alerts
+        prefixes = [prefix24(ip) for ip in ips]
+        ip_flags = np.fromiter(
+            (prefix in self.blocklist for prefix in prefixes), bool, len(ips)
+        )
+        ip_codes = frame.codes["client_ip"]
+        if self.min_requests_from_prefix > 1:
+            from repro.columns.frame import encode_column
+
+            prefix_codes, prefix_table = encode_column(prefixes)
+            per_prefix = np.bincount(
+                prefix_codes[ip_codes].astype(np.intp), minlength=len(prefix_table)
+            )
+            ip_flags &= per_prefix[prefix_codes] >= self.min_requests_from_prefix
+        encoder = ReasonEncoder()
+        ip_reason_codes = np.fromiter(
+            (
+                encoder.code((f"IP prefix {prefix}.0/24 on reputation blocklist",))
+                if hit
+                else -1
+                for prefix, hit in zip(prefixes, ip_flags.tolist())
+            ),
+            np.int64,
+            len(ips),
+        )
+        flags = ip_flags[ip_codes]
+        return DetectorAlerts(
+            self.name,
+            flags,
+            np.where(flags, 0.8, 0.0),
+            ip_reason_codes[ip_codes],
+            encoder.table,
+        )

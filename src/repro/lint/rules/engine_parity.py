@@ -10,6 +10,13 @@ The explicit fallback is a class-body marker::
 
     class SessionDetector(Detector):
         columnar_fallback = True  # record-path semantics are the spec
+
+The same contract repeats one level up for the frame-native alert
+arrays: a detector that implements ``analyze_columns`` must either
+produce :class:`~repro.columns.alertframe.DetectorAlerts` via
+``alert_columns`` or declare ``frame_fallback = True`` to state that
+the frame pipeline may bridge its dict-path alert set into arrays.
+Silence is drift either way.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.lint.engine import Project, Rule, SourceFile, register_rule
 from repro.lint.findings import Finding
 
 FALLBACK_MARKER = "columnar_fallback"
+FRAME_FALLBACK_MARKER = "frame_fallback"
 
 
 def _is_detector_subclass(cls: ast.ClassDef) -> bool:
@@ -65,5 +73,43 @@ class EngineParityRule(Rule):
                 suggestion=(
                     f"implement {cls.name}.analyze_columns or mark the class "
                     f"with {FALLBACK_MARKER} = True"
+                ),
+            )
+
+
+@register_rule
+class FrameParityRule(Rule):
+    rule_id = "REP010"
+    severity = "error"
+    summary = (
+        "Detector subclasses defining analyze_columns must define alert_columns "
+        f"or set {FRAME_FALLBACK_MARKER} = True"
+    )
+    autofix_hint = (
+        "produce DetectorAlerts arrays via alert_columns, or add "
+        f"'{FRAME_FALLBACK_MARKER} = True' to let the frame pipeline bridge "
+        "the dict-path alert set"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if not project.in_scope(source, project.config.detector_paths):
+            return
+        for cls in iter_classes(source.tree):
+            if not _is_detector_subclass(cls):
+                continue
+            if not class_has_method(cls, "analyze_columns"):
+                continue
+            if class_has_method(cls, "alert_columns"):
+                continue
+            if class_assigns_true(cls, FRAME_FALLBACK_MARKER):
+                continue
+            yield self.finding(
+                source,
+                cls,
+                f"detector {cls.name} defines analyze_columns without alert_columns "
+                f"and does not declare {FRAME_FALLBACK_MARKER} = True",
+                suggestion=(
+                    f"implement {cls.name}.alert_columns or mark the class "
+                    f"with {FRAME_FALLBACK_MARKER} = True"
                 ),
             )

@@ -191,6 +191,8 @@ class Dataset:
         # order -- the traffic generator, the trace reader -- pass
         # ``True`` so replay never needs a sorted copy.
         self._time_ordered = time_ordered
+        self._request_ids: list[str] | None = None
+        self._row_of: dict[str, int] | None = None
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -214,8 +216,20 @@ class Dataset:
 
     @property
     def request_ids(self) -> list[str]:
-        """All request ids in log order."""
-        return [record.request_id for record in self._records]
+        """All request ids in log order (cached; do not mutate)."""
+        if self._request_ids is None:
+            self._request_ids = [record.request_id for record in self._records]
+        return self._request_ids
+
+    def row_index(self) -> dict[str, int]:
+        """``{request_id: row}`` in log order (cached; do not mutate).
+
+        Consumers that used to rebuild ``{rid: i}`` per call (matrix
+        assembly, stream equivalence bridges) share this one map.
+        """
+        if self._row_of is None:
+            self._row_of = {rid: i for i, rid in enumerate(self.request_ids)}
+        return self._row_of
 
     def get(self, request_id: str) -> LogRecord:
         """Return the record with the given id."""

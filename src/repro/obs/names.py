@@ -57,6 +57,8 @@ ALERTED_REQUESTS = "repro_alerted_requests_total"
 FRAME_ROWS = "repro_frame_rows_total"
 FEATURE_ROWS = "repro_feature_rows_total"
 FRAME_SESSIONS = "repro_frame_sessions_total"
+FRAME_SHARD_ROWS = "repro_frame_shard_rows_total"
+FRAME_ALERT_ROWS = "repro_frame_alert_rows_total"
 
 # ----------------------------------------------------------------------
 # Streaming engine / sharded runner
@@ -125,6 +127,8 @@ METRIC_REFERENCE: tuple[tuple[str, str, str, str], ...] = (
     (FRAME_ROWS, "counter", "source", "rows loaded into a RecordFrame"),
     (FRAME_SESSIONS, "counter", "-", "session spans produced by vectorized sessionization"),
     (FEATURE_ROWS, "counter", "-", "feature-matrix rows (sessions) computed"),
+    (FRAME_SHARD_ROWS, "counter", "shard", "rows assigned to each batch frame shard"),
+    (FRAME_ALERT_ROWS, "counter", "detector", "alerted rows in columnar alert frames"),
     (CACHE_HITS, "counter", "tier", "generation-cache hits (memory / disk)"),
     (CACHE_MISSES, "counter", "-", "generation-cache misses (traffic regenerated)"),
     (TRACE_BLOCKS_READ, "counter", "-", "trace blocks decoded"),
@@ -155,6 +159,9 @@ SPAN_REFERENCE: tuple[tuple[str, str], ...] = (
     ("features", "batched session feature extraction"),
     ("detectors", "the batch detector ensemble"),
     ("detector", "one batch detector's analysis"),
+    ("shards", "multi-process frame shard fan-out and join"),
+    ("merge", "merging per-shard alert arrays into the global frame"),
+    ("analysis", "frame-native table/diversity/evaluation kernels"),
     ("source", "stream-source resolution (dataset or trace replay)"),
     ("stream", "streaming replay through the online engine"),
     ("simulate", "the closed-loop defense simulation"),

@@ -29,6 +29,7 @@ if TYPE_CHECKING:
 from repro.core.configurations import compare_configurations
 from repro.core.evaluation import per_actor_class_detection
 from repro.core.experiment import ExperimentResult, PaperExperiment
+from repro.core.framestats import per_actor_rates_from_frame
 from repro.core.reporting import render_evaluation_rows, render_table1
 from repro.detectors.registry import create_detector
 from repro.exceptions import SpecError
@@ -165,6 +166,15 @@ def _validate_for_mode(spec: RunSpec) -> None:
         reject(execution.max_skew_seconds != 0.0, "replays in order; max_skew_seconds is stream-only")
         reject(execution.track_latency, "has no per-request latency; track_latency is stream-only")
         reject(execution.progress_every != 0, "emits no live progress; progress_every is stream-only")
+        reject(
+            execution.workers != 1 and execution.engine != "columnar",
+            "shards frames across workers only with execution.engine 'columnar'",
+        )
+    else:
+        reject(
+            execution.workers != 1,
+            "does not shard record frames; workers is tables/evaluate-only",
+        )
     if spec.mode != "evaluate":
         reject(
             execution.compare_configurations,
@@ -313,14 +323,38 @@ def _paper_experiment(
     spec: RunSpec,
     dataset: Dataset | None = None,
     registry: MetricsRegistry | None = None,
-) -> tuple[Dataset, ExperimentResult]:
+) -> tuple[Dataset | None, ExperimentResult]:
+    """Run the pairwise paper experiment a batch spec describes.
+
+    The ``"columnar"`` engine runs frame-natively: the traffic becomes a
+    :class:`~repro.columns.RecordFrame` (for trace-backed specs straight
+    from :meth:`~repro.trace.store.TraceReader.read_frame`, so no
+    :class:`Dataset` is ever materialised and the returned dataset is
+    ``None``) and detection *and* table analysis run as columnar kernels,
+    sharded across ``execution.workers`` processes when asked.  The
+    ``"records"`` engine keeps the legacy object path; both produce
+    identical results.
+    """
     registry = resolve_registry(registry)
     if spec.detectors and len(spec.detectors) != 2:
         raise SpecError(
             f"the paper experiment is pairwise: {spec.mode!r} mode needs exactly "
             f"two detectors, got {len(spec.detectors)}"
         )
-    if dataset is None:
+    frame = None
+    if spec.execution.engine == "columnar":
+        if dataset is None and spec.traffic.resolved_source() == "trace":
+            path = spec.traffic.path
+            assert path is not None  # TrafficSpec validates this
+            with trace_span("dataset", registry=registry, source="trace"):
+                frame = TraceReader(path).read_frame()
+        else:
+            if dataset is None:
+                dataset = build_dataset(spec.traffic, registry=registry)
+            from repro.columns import RecordFrame
+
+            frame = RecordFrame.from_dataset(dataset, registry=registry)
+    elif dataset is None:
         dataset = build_dataset(spec.traffic, registry=registry)
     if spec.detectors:
         first, second = (
@@ -330,15 +364,28 @@ def _paper_experiment(
     else:
         experiment = PaperExperiment()
     with trace_span("experiment", registry=registry, engine=spec.execution.engine):
-        result = experiment.run_on(dataset, engine=spec.execution.engine, registry=registry)
+        if frame is not None:
+            result = experiment.run_on_frame(
+                frame,
+                workers=spec.execution.workers,
+                registry=registry,
+                dataset=dataset,
+            )
+        else:
+            result = experiment.run_on(dataset, engine=spec.execution.engine, registry=registry)
     return dataset, result
 
 
-def _source_of(spec: RunSpec, dataset: Dataset) -> str:
-    return spec.traffic.log_file or dataset.metadata.name
+def _source_of(spec: RunSpec, result: ExperimentResult) -> str:
+    if spec.traffic.log_file:
+        return spec.traffic.log_file
+    if result.dataset is not None:
+        return result.dataset.metadata.name
+    assert result.frame is not None  # frame-native runs always carry the frame
+    return result.frame.metadata.name
 
 
-def _batch_result(spec: RunSpec, dataset: Dataset, result: ExperimentResult) -> RunResult:
+def _batch_result(spec: RunSpec, result: ExperimentResult) -> RunResult:
     breakdown = result.breakdown
     metrics: dict[str, Any] = {
         "both": breakdown.both,
@@ -349,7 +396,7 @@ def _batch_result(spec: RunSpec, dataset: Dataset, result: ExperimentResult) -> 
     metrics.update(result.diversity_metrics.as_dict())
     return RunResult(
         mode=spec.mode,
-        source=_source_of(spec, dataset),
+        source=_source_of(spec, result),
         label=spec.label,
         total_requests=result.total_requests,
         alert_counts=dict(result.alert_counts),
@@ -365,8 +412,8 @@ def _run_tables(
     dataset: Dataset | None = None,
     registry: MetricsRegistry | None = None,
 ) -> RunResult:
-    dataset, result = _paper_experiment(spec, dataset, registry)
-    run_result = _batch_result(spec, dataset, result)
+    _dataset, result = _paper_experiment(spec, dataset, registry)
+    run_result = _batch_result(spec, result)
     run_result.tables = {
         "table1": result.render_table1(),
         "table2": result.render_table2(),
@@ -382,7 +429,7 @@ def _run_evaluate(
     registry: MetricsRegistry | None = None,
 ) -> RunResult:
     dataset, result = _paper_experiment(spec, dataset, registry)
-    run_result = _batch_result(spec, dataset, result)
+    run_result = _batch_result(spec, result)
 
     tool_rows = [evaluation.as_dict() for evaluation in result.tool_evaluations]
     scheme_rows = [evaluation.as_dict() for evaluation in result.adjudication_evaluations]
@@ -395,10 +442,24 @@ def _run_evaluate(
         scheme_rows, title="Adjudication schemes (k-out-of-2)"
     )
 
-    if dataset.is_labelled:
+    labelled = dataset.is_labelled if dataset is not None else (
+        result.frame is not None and result.frame.is_labelled
+    )
+    if labelled:
         first, second = result.matrix.detector_names[:2]
-        first_rates = per_actor_class_detection(dataset, result.matrix.alerted_by(first))
-        second_rates = per_actor_class_detection(dataset, result.matrix.alerted_by(second))
+        if dataset is not None:
+            first_rates = per_actor_class_detection(dataset, result.matrix.alerted_by(first))
+            second_rates = per_actor_class_detection(dataset, result.matrix.alerted_by(second))
+        else:
+            # Frame-native run (trace source): the per-actor rates come
+            # from the frame's actor dictionary, no record objects needed.
+            assert result.frame is not None
+            first_rates = per_actor_rates_from_frame(
+                result.frame, result.matrix.column(first)
+            )
+            second_rates = per_actor_rates_from_frame(
+                result.frame, result.matrix.column(second)
+            )
         actor_rows = [
             {"actor_class": actor, first: first_rates[actor], second: second_rates[actor]}
             for actor in first_rates
@@ -409,6 +470,11 @@ def _run_evaluate(
         )
 
     if spec.execution.compare_configurations:
+        if dataset is None:
+            # The configuration comparison replays the record path; a
+            # frame-native run materialises the data set for it once.
+            assert result.frame is not None
+            dataset = result.frame.to_dataset()
         if spec.detectors:
             first_detector, second_detector = (
                 create_detector(d.name, **d.params) for d in spec.detectors
@@ -466,7 +532,8 @@ def _stream_source(
         )
     if dataset is None:
         dataset = build_dataset(spec.traffic, registry=registry)
-    return dataset_replay(dataset), len(dataset), _source_of(spec, dataset)
+    source = spec.traffic.log_file or dataset.metadata.name
+    return dataset_replay(dataset), len(dataset), source
 
 
 def _run_stream(

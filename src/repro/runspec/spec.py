@@ -261,10 +261,17 @@ class ExecutionSpec(_SpecBase):
     #: ``"columnar"`` (vectorized, default) or ``"records"`` (legacy
     #: record-object path).  Both produce identical results.
     engine: str = "columnar"
+    #: Multi-process frame sharding of the columnar batch pipeline
+    #: (``tables`` / ``evaluate`` modes): the record frame is
+    #: hash-sharded by client IP across this many worker processes.
+    #: 1 (default) runs single-process; the results are identical.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise SpecError("shards must be at least 1")
+        if self.workers < 1:
+            raise SpecError("workers must be at least 1")
         _check_choice("backend", self.backend, BACKENDS)
         _check_choice("engine", self.engine, ENGINES)
         if self.max_skew_seconds < 0:

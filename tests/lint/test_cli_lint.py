@@ -98,4 +98,4 @@ def test_lint_list_rules(capsys):
 def test_lint_list_rules_json(capsys):
     assert main(["lint", "--list-rules", "--json"]) == 0
     rules = json.loads(capsys.readouterr().out)
-    assert [rule["rule"] for rule in rules] == [f"REP00{n}" for n in range(1, 10)]
+    assert [rule["rule"] for rule in rules] == [f"REP00{n}" for n in range(1, 10)] + ["REP010"]

@@ -108,6 +108,9 @@ class ColumnarDetector(Detector):
     def analyze_columns(self, frame):
         return None
 
+    def alert_columns(self, frame):
+        return None
+
 
 class FallbackDetector(Detector):
     columnar_fallback = True
@@ -118,6 +121,48 @@ class FallbackDetector(Detector):
 
 class NotADetector:
     def analyze(self, dataset):
+        return None
+"""
+        }
+    )
+    assert report.findings == []
+
+
+def test_rep010_fires_on_analyze_columns_without_alert_columns(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/detectors/halfway.py": _DETECTOR_PREAMBLE
+            + """
+class HalfColumnarDetector(Detector):
+    def analyze(self, dataset):
+        return None
+
+    def analyze_columns(self, frame):
+        return None
+"""
+        }
+    )
+    assert [finding.rule for finding in report.findings] == ["REP010"]
+    assert "alert_columns" in report.findings[0].message
+
+
+def test_rep010_satisfied_by_alert_columns_or_frame_marker(lint_tree):
+    report = lint_tree(
+        {
+            "src/repro/detectors/framefine.py": _DETECTOR_PREAMBLE
+            + """
+class FrameNativeDetector(Detector):
+    def analyze_columns(self, frame):
+        return None
+
+    def alert_columns(self, frame):
+        return None
+
+
+class BridgedDetector(Detector):
+    frame_fallback = True
+
+    def analyze_columns(self, frame):
         return None
 """
         }

@@ -1,0 +1,115 @@
+"""Property tests: columnar alerts mirror the dict path on any pattern.
+
+:class:`~repro.columns.alertframe.DetectorAlerts` must be a lossless
+re-encoding of an :class:`~repro.core.alerts.AlertSet` -- same ids, same
+scores, same reason tuples -- for *every* alert pattern a detector could
+emit: no alerts, every row alerted, shared reason tuples, zero scores.
+The shard scatter/merge must likewise be invariant under any partition
+of the rows, which is what makes the multi-process frame pipeline a pure
+representation change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columns import RecordFrame
+from repro.columns.alertframe import DetectorAlerts, ReasonEncoder
+from repro.core.alerts import AlertSet
+from tests.helpers import make_records
+
+#: A handful of distinct reason tuples, deliberately including the empty
+#: tuple and tuples that several rows will share (the dictionary-encoded
+#: case the columnar representation exists for).
+REASON_POOL = [
+    (),
+    ("rate limit exceeded",),
+    ("scripted agent", "no asset requests"),
+    ("coverage breadth",),
+]
+
+_FRAMES: dict[int, RecordFrame] = {}
+
+
+def _frame(n: int) -> RecordFrame:
+    """A cached n-row frame (hypothesis re-runs patterns, not frames)."""
+    frame = _FRAMES.get(n)
+    if frame is None:
+        frame = _FRAMES[n] = RecordFrame.from_records(make_records(n))
+    return frame
+
+
+@st.composite
+def alert_patterns(draw):
+    """``(n, {row: (score, reasons)})`` over an n-row frame."""
+    n = draw(st.integers(min_value=0, max_value=24))
+    rows = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), unique=True, max_size=n)
+        if n
+        else st.just([])
+    )
+    scored = {}
+    for row in rows:
+        score = draw(st.floats(min_value=0.0, max_value=16.0, allow_nan=False))
+        reasons = draw(st.sampled_from(REASON_POOL))
+        scored[row] = (score, reasons)
+    return n, scored
+
+
+def _decoded(alerts: DetectorAlerts) -> dict[int, tuple[float, tuple[str, ...]]]:
+    """The code-independent content of alert columns."""
+    return {
+        int(row): (float(alerts.scores[row]), alerts.reasons_of(int(row)))
+        for row in np.flatnonzero(alerts.flags)
+    }
+
+
+def _alert_set(frame: RecordFrame, scored) -> AlertSet:
+    ids = frame.request_ids
+    return AlertSet.from_scored(
+        "prop-detector", {ids[row]: payload for row, payload in scored.items()}
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(alert_patterns())
+def test_alert_set_round_trips_through_columns(pattern):
+    n, scored = pattern
+    frame = _frame(n)
+    alert_set = _alert_set(frame, scored)
+    columns = DetectorAlerts.from_alert_set(frame, alert_set)
+    assert _decoded(columns) == scored
+    back = columns.to_alert_set(frame.request_ids)
+    assert {a.request_id: (a.score, a.reasons) for a in back.alerts()} == {
+        a.request_id: (a.score, a.reasons) for a in alert_set.alerts()
+    }
+    # The reason table is dictionary-encoded: one entry per distinct tuple.
+    assert len(columns.reason_table) == len(set(columns.reason_table))
+
+
+@settings(max_examples=60, deadline=None)
+@given(alert_patterns(), st.integers(min_value=1, max_value=4), st.randoms())
+def test_scatter_merge_is_partition_invariant(pattern, shards, rng):
+    n, scored = pattern
+    frame = _frame(n)
+    alert_set = _alert_set(frame, scored)
+    direct = DetectorAlerts.from_alert_set(frame, alert_set)
+
+    assignment = np.array([rng.randrange(shards) for _ in range(n)], dtype=np.int64)
+    merged = DetectorAlerts.empty("prop-detector", n)
+    encoder = ReasonEncoder()
+    for shard in range(shards):
+        rows = np.flatnonzero(assignment == shard)
+        sub = frame.take(rows)
+        shard_ids = set(sub.request_ids)
+        shard_alerts = DetectorAlerts.from_alert_set(
+            sub, alert_set.restrict_to(shard_ids)
+        )
+        merged.scatter(rows, shard_alerts, encoder)
+
+    assert _decoded(merged) == _decoded(direct)
+    assert (merged.flags == direct.flags).all()
+    # Equal reason tuples keep one code regardless of originating shard.
+    assert len(merged.reason_table) == len(set(merged.reason_table))
